@@ -1,0 +1,139 @@
+// Sect. 4.3 reproduction: the cost of order-preserving exchange routing and
+// why the optimizer pays it — unordered routing disturbs value order and
+// degrades the downstream encoding (a physically larger column).
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/exec/exchange.h"
+#include "src/exec/filter.h"
+#include "src/exec/flow_table.h"
+#include "src/plan/executor.h"
+#include "src/plan/strategic.h"
+#include "src/workload/rle_data.h"
+
+namespace tde {
+namespace {
+
+using namespace tde::expr;  // NOLINT
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t physical = 0;
+  EncodingType encoding = EncodingType::kUncompressed;
+};
+
+RunResult RunOnce(const std::shared_ptr<Table>& table, bool ordered) {
+  bench::Timer t;
+  // Scan -> Exchange[filter] -> FlowTable: the Sect. 4.3 example of a
+  // parallelized filter whose output is re-encoded.
+  auto plan = Plan::Scan(table)
+                  .Filter(Lt(Col("primary"), Int(90)))
+                  .ExchangeBy(4, ordered)
+                  .Materialize();
+  StrategicOptions opts;
+  opts.enable_rank_join = false;
+  opts.enable_invisible_join = false;
+  opts.enforce_order_preserving_exchange = false;  // measure both ways
+  auto built = BuildExecutable(
+      StrategicOptimize(plan.root(), opts).MoveValue());
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<Block> blocks;
+  if (!DrainOperator(built.value().op.get(), &blocks).ok()) std::exit(1);
+  RunResult r;
+  r.seconds = t.Seconds();
+  auto* ft = dynamic_cast<FlowTable*>(built.value().op.get());
+  const Column& col = *ft->table()->ColumnByName("primary").value();
+  r.physical = col.PhysicalSize();
+  r.encoding = col.data()->type();
+  return r;
+}
+
+}  // namespace
+}  // namespace tde
+
+namespace tde {
+namespace {
+
+/// Quantifies the order sensitivity of encodings directly (Sect. 4.3):
+/// encode the same filtered column with blocks in scan order vs shuffled
+/// into the arrival order a multi-core unordered exchange would produce.
+void BlockOrderAblation(const std::shared_ptr<Table>& table) {
+  auto scan = std::make_unique<TableScan>(table,
+                                          TableScanOptions{{"primary"}, true, {}});
+  Filter filter(std::move(scan), Lt(Col("primary"), Int(90)));
+  std::vector<Block> blocks;
+  if (!DrainOperator(&filter, &blocks).ok()) std::exit(1);
+
+  auto encode = [&](const std::vector<Block>& in) {
+    DynamicEncoderOptions opts;
+    DynamicEncoder enc(opts);
+    for (const Block& b : in) {
+      if (!enc.Append(b.columns[0].lanes.data(), b.rows()).ok()) {
+        std::exit(1);
+      }
+    }
+    auto col = enc.Finalize();
+    if (!col.ok()) std::exit(1);
+    return std::make_pair(col.value().stream->PhysicalSize(),
+                          col.value().stream->type());
+  };
+
+  const auto ordered = encode(blocks);
+  // Deterministic shuffle simulating out-of-order worker completion.
+  uint64_t x = 12345;
+  for (size_t i = blocks.size(); i > 1; --i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::swap(blocks[i - 1], blocks[x % i]);
+  }
+  const auto shuffled = encode(blocks);
+  std::printf("\nblock-order ablation of the same filtered column:\n");
+  std::printf("  ordered blocks:  %10llu bytes (%s)\n",
+              static_cast<unsigned long long>(ordered.first),
+              EncodingName(ordered.second));
+  std::printf("  shuffled blocks: %10llu bytes (%s) — %.1fx larger\n",
+              static_cast<unsigned long long>(shuffled.first),
+              EncodingName(shuffled.second),
+              static_cast<double>(shuffled.first) /
+                  static_cast<double>(ordered.first));
+}
+
+}  // namespace
+}  // namespace tde
+
+int main() {
+  tde::bench::PrintHeader(
+      "Sect. 4.3 — order-preserving exchange routing overhead");
+  auto table = tde::MakeRleTable(2000000).MoveValue();
+  double ordered_s = 0, unordered_s = 0;
+  tde::RunResult ordered, unordered;
+  for (int i = 0; i < 3; ++i) {
+    ordered = tde::RunOnce(table, true);
+    unordered = tde::RunOnce(table, false);
+    ordered_s += ordered.seconds;
+    unordered_s += unordered.seconds;
+  }
+  ordered_s /= 3;
+  unordered_s /= 3;
+  std::printf("%-24s %10s %14s %s\n", "routing", "time", "encoded_bytes",
+              "encoding of primary");
+  std::printf("%-24s %9.2fs %14llu %s\n", "order-preserving", ordered_s,
+              static_cast<unsigned long long>(ordered.physical),
+              tde::EncodingName(ordered.encoding));
+  std::printf("%-24s %9.2fs %14llu %s\n", "unordered", unordered_s,
+              static_cast<unsigned long long>(unordered.physical),
+              tde::EncodingName(unordered.encoding));
+  std::printf("ordering overhead: %.1f%% (paper: 10-15%%)\n",
+              100.0 * (ordered_s - unordered_s) / unordered_s);
+  std::printf(
+      "(single-core runs rarely reorder blocks in practice; the ablation "
+      "below shows what reordering does to the encoding)\n");
+  tde::BlockOrderAblation(table);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 6 reproduction: sorted string heaps, with and without encodings.
+//
+// Paper shape: without encodings only ~5 heaps are sorted (fortuitous
+// arrival order); with encodings on, every dictionary-encodable string
+// column gets a sorted heap except l_comment (large, low-duplication).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/exec/flow_table.h"
+#include "src/textscan/text_scan.h"
+#include "src/workload/flights.h"
+#include "src/workload/tpch.h"
+
+namespace tde {
+namespace {
+
+struct Counts {
+  int string_columns = 0;
+  int sorted_heaps = 0;
+};
+
+Counts CountSorted(const std::string& data, char sep, bool enc,
+                   double* seconds) {
+  TextScanOptions text;
+  text.field_separator = sep;
+  FlowTableOptions flow;
+  flow.enable_encodings = enc;
+  bench::Timer timer;
+  auto t = FlowTable::Build(TextScan::FromBuffer(data, text), flow);
+  *seconds = timer.Seconds();
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    std::exit(1);
+  }
+  Counts c;
+  for (size_t i = 0; i < t.value()->num_columns(); ++i) {
+    const Column& col = t.value()->column(i);
+    if (col.type() != TypeId::kString) continue;
+    ++c.string_columns;
+    if (col.heap()->sorted()) {
+      ++c.sorted_heaps;
+    } else {
+      std::printf("    unsorted: %s.%s (%s)\n", t.value()->name().c_str(),
+                  col.name().c_str(), EncodingName(col.data()->type()));
+    }
+  }
+  return c;
+}
+
+}  // namespace
+}  // namespace tde
+
+int main() {
+  tde::bench::PrintHeader("Fig. 6 — sorted string heaps (Sect. 6.3)");
+  const double sf = tde::bench::ScaleFactor();
+  for (const bool enc : {false, true}) {
+    std::printf("\nencodings=%d:\n", enc);
+    int total_cols = 0, total_sorted = 0;
+    double import_total = 0;
+    for (tde::TpchTable tt : tde::AllTpchTables()) {
+      double secs = 0;
+      const auto c = tde::CountSorted(tde::GenerateTpchTable(tt, sf), '|',
+                                      enc, &secs);
+      total_cols += c.string_columns;
+      total_sorted += c.sorted_heaps;
+      import_total += secs;
+      std::printf("  %-10s %d/%d sorted heaps\n", tde::TpchTableName(tt),
+                  c.sorted_heaps, c.string_columns);
+    }
+    double secs = 0;
+    const auto fc = tde::CountSorted(
+        tde::GenerateFlights(tde::bench::FlightsRows()), ',', enc, &secs);
+    total_cols += fc.string_columns;
+    total_sorted += fc.sorted_heaps;
+    import_total += secs;
+    std::printf("  %-10s %d/%d sorted heaps\n", "Flights", fc.sorted_heaps,
+                fc.string_columns);
+    std::printf("  TOTAL %d/%d sorted heaps, import %.2fs\n", total_sorted,
+                total_cols, import_total);
+  }
+  std::printf(
+      "\npaper shape: ~5 sorted without encodings; all but l_comment "
+      "sorted with encodings, at no discernible import cost.\n");
+  return 0;
+}

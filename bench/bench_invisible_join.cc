@@ -1,0 +1,109 @@
+// Sect. 4.1.2 reproduction: tactical optimization of an invisible join.
+// A date column is dictionary compressed with a sorted dictionary; a range
+// predicate filters the DictionaryTable to a dense token range, which
+// FlowTable detects and the Join operator upgrades to a fetch join instead
+// of hashing.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+#include "src/exec/dictionary_table.h"
+#include "src/exec/filter.h"
+#include "src/exec/hash_join.h"
+
+namespace tde {
+namespace {
+
+using namespace tde::expr;  // NOLINT
+
+std::shared_ptr<Table> MakeDateTable(uint64_t rows) {
+  // Two years of dates, dictionary compressed via AlterColumn.
+  std::string csv = "d,v\n";
+  csv.reserve(rows * 16);
+  const int64_t start = DaysFromCivil(2012, 1, 1);
+  const uint64_t per_day = std::max<uint64_t>(1, rows / 730);
+  for (uint64_t i = 0; i < rows; ++i) {
+    csv += FormatLane(TypeId::kDate,
+                      start + static_cast<int64_t>(i / per_day % 730));
+    csv += ",";
+    csv += std::to_string(i % 1000);
+    csv += "\n";
+  }
+  Engine engine;
+  auto t = engine.ImportTextBuffer(csv, "dates").MoveValue();
+  auto col = t->ColumnByName("d").value();
+  const Status st = AlterColumnToDictionary(col.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "alter failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return t;
+}
+
+struct JoinRun {
+  double seconds;
+  uint64_t rows;
+  JoinStrategy strategy;
+};
+
+JoinRun RunJoin(const std::shared_ptr<Table>& table, bool reassert_dense) {
+  bench::Timer timer;
+  auto col = table->ColumnByName("d").value();
+  auto dict = BuildDictionaryTable(col).MoveValue();
+  // Range predicate on the date values, pushed to the dictionary side.
+  auto pred = And(Ge(Col("d"), Date(2012, 6, 1)),
+                  Lt(Col("d"), Date(2012, 9, 1)));
+  auto inner_flow = std::make_unique<Filter>(
+      std::make_unique<TableScan>(dict), pred);
+  FlowTableOptions ft;
+  ft.allowed = kAllowRandomAccess;
+  // With post-processing off, FlowTable does not re-detect the dense token
+  // range left by the filter, so the tactical fetch join cannot fire.
+  ft.enable_encodings = reassert_dense;
+  ft.post_process = reassert_dense;
+  auto inner = FlowTable::Build(std::move(inner_flow), ft).MoveValue();
+
+  TableScanOptions scan;
+  scan.columns = {"v"};
+  scan.token_columns = {"d"};
+  HashJoinOptions jo;
+  jo.outer_key = "d$token";
+  jo.inner_key = "d$token";
+  HashJoin join(std::make_unique<TableScan>(table, scan), inner, jo);
+  std::vector<Block> out;
+  if (!DrainOperator(&join, &out).ok()) std::exit(1);
+  JoinRun r;
+  r.seconds = timer.Seconds();
+  r.rows = 0;
+  for (const Block& b : out) r.rows += b.rows();
+  r.strategy = join.strategy();
+  return r;
+}
+
+}  // namespace
+}  // namespace tde
+
+int main() {
+  tde::bench::PrintHeader(
+      "Sect. 4.1.2 — tactical fetch-join upgrade on a filtered dictionary");
+  auto table = tde::MakeDateTable(2000000);
+  for (const bool reassert : {false, true}) {
+    double secs = 0;
+    tde::JoinRun r{};
+    for (int i = 0; i < 3; ++i) {
+      r = tde::RunJoin(table, reassert);
+      secs += r.seconds;
+    }
+    std::printf(
+        "FlowTable dense re-detection %-3s -> join strategy %-14s "
+        "%9.3fs  (%llu rows)\n",
+        reassert ? "on" : "off", tde::JoinStrategyName(r.strategy), secs / 3,
+        static_cast<unsigned long long>(r.rows));
+  }
+  std::printf(
+      "\npaper shape: the filtered sorted dictionary leaves a contiguous "
+      "token range; FlowTable reasserts the dense property and the join "
+      "upgrades from hashing to a fetch join.\n");
+  return 0;
+}

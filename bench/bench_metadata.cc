@@ -1,0 +1,65 @@
+// Fig. 7 reproduction: number of metadata properties detected during
+// import, with and without encodings, split into the SF-scale table set
+// and the two large tables.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/exec/flow_table.h"
+#include "src/textscan/text_scan.h"
+#include "src/workload/flights.h"
+#include "src/workload/tpch.h"
+
+namespace tde {
+namespace {
+
+int DetectedIn(const std::string& data, char sep, bool enc) {
+  TextScanOptions text;
+  text.field_separator = sep;
+  FlowTableOptions flow;
+  flow.enable_encodings = enc;
+  flow.heap_acceleration = true;  // paper: acceleration on for these tests
+  auto t = FlowTable::Build(TextScan::FromBuffer(data, text), flow);
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    std::exit(1);
+  }
+  int n = 0;
+  for (size_t i = 0; i < t.value()->num_columns(); ++i) {
+    n += t.value()->column(i).metadata().DetectedCount();
+  }
+  return n;
+}
+
+}  // namespace
+}  // namespace tde
+
+int main() {
+  tde::bench::PrintHeader("Fig. 7 — metadata properties detected (Sect. 6.4)");
+  const double sf = tde::bench::ScaleFactor();
+  std::printf("%-14s %14s %14s\n", "table set", "encodings=off",
+              "encodings=on");
+  int off_small = 0, on_small = 0;
+  for (tde::TpchTable tt : tde::AllTpchTables()) {
+    if (tt == tde::TpchTable::kLineitem) continue;  // counted as "large"
+    const std::string data = tde::GenerateTpchTable(tt, sf);
+    off_small += tde::DetectedIn(data, '|', false);
+    on_small += tde::DetectedIn(data, '|', true);
+  }
+  std::printf("%-14s %14d %14d\n", "SF tables", off_small, on_small);
+
+  const std::string lineitem =
+      tde::GenerateTpchTable(tde::TpchTable::kLineitem, sf);
+  const std::string flights =
+      tde::GenerateFlights(tde::bench::FlightsRows());
+  const int off_large = tde::DetectedIn(lineitem, '|', false) +
+                        tde::DetectedIn(flights, ',', false);
+  const int on_large = tde::DetectedIn(lineitem, '|', true) +
+                       tde::DetectedIn(flights, ',', true);
+  std::printf("%-14s %14d %14d\n", "large tables", off_large, on_large);
+  std::printf(
+      "\npaper shape: most properties are only detected with encodings on; "
+      "the few detected without owe it to fortuitous circumstances "
+      "(accelerator statistics, sorted arrival).\n");
+  return 0;
+}

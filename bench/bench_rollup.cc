@@ -1,0 +1,102 @@
+// Sect. 8 ablation: index roll-up + parallel ordered aggregation. Compares
+// (a) rolling dates up per row and hash-aggregating, against (b) rolling up
+// the *index* (one entry per distinct date, MIN(start)/SUM(count)) and
+// running ordered aggregation over the ranges — serial and partitioned
+// across workers.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/exec/flow_table.h"
+#include "src/exec/parallel_rollup.h"
+#include "src/plan/executor.h"
+#include "src/plan/strategic.h"
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+using namespace tde::expr;  // NOLINT
+
+std::shared_ptr<Table> DailyTable(uint64_t rows) {
+  std::vector<Lane> day(rows), value(rows);
+  const int64_t start = DaysFromCivil(2000, 1, 1);
+  const uint64_t per_day = rows / 3652 + 1;
+  uint64_t x = 5;
+  for (uint64_t i = 0; i < rows; ++i) {
+    day[i] = start + static_cast<int64_t>(i / per_day);
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    value[i] = static_cast<Lane>(x % 1000);
+  }
+  return FlowTable::Build(testutil::VectorSource::Ints(
+                              {{"day", day}, {"value", value}}))
+      .MoveValue();
+}
+
+double RowLevelRollup(const std::shared_ptr<Table>& table, uint64_t* groups) {
+  bench::Timer t;
+  auto r = ExecutePlanNode(
+      StrategicOptimize(
+          Plan::Scan(table)
+              .Project({{DateF(DateFunc::kTruncMonth, Col("day")), "m"},
+                        {Col("value"), "value"}})
+              .Aggregate({"m"}, {{AggKind::kSum, "value", "total"}})
+              .root())
+          .MoveValue());
+  if (!r.ok()) std::exit(1);
+  *groups = r.value().num_rows();
+  return t.Seconds();
+}
+
+double IndexRollup(const std::shared_ptr<Table>& table, int workers,
+                   uint64_t* groups) {
+  bench::Timer t;
+  auto col = table->ColumnByName("day").value();
+  auto index = BuildIndexTable(*col).MoveValue();
+  auto monthly = RollUpIndex(index, TruncateToMonth).MoveValue();
+  ParallelRollupOptions opts;
+  opts.value_name = "m";
+  opts.value_type = TypeId::kDate;
+  opts.payload = {"value"};
+  opts.aggs = {{AggKind::kSum, "value", "total"}};
+  opts.workers = workers;
+  auto r = ParallelIndexedAggregate(table, monthly, opts);
+  if (!r.ok()) std::exit(1);
+  uint64_t n = 0;
+  for (const Block& b : r.value().blocks) n += b.rows();
+  *groups = n;
+  return t.Seconds();
+}
+
+}  // namespace
+}  // namespace tde
+
+int main() {
+  tde::bench::PrintHeader(
+      "Sect. 8 — index roll-up & parallel ordered aggregation");
+  auto table = tde::DailyTable(4000000);
+  std::printf("table: %llu rows, day column %s\n",
+              static_cast<unsigned long long>(table->rows()),
+              tde::EncodingName(
+                  table->ColumnByName("day").value()->data()->type()));
+  uint64_t g1 = 0, g2 = 0;
+  double row_s = 0, idx1_s = 0, idx4_s = 0;
+  for (int i = 0; i < 3; ++i) {
+    row_s += tde::RowLevelRollup(table, &g1);
+    idx1_s += tde::IndexRollup(table, 1, &g2);
+    idx4_s += tde::IndexRollup(table, 4, &g2);
+  }
+  std::printf("%-44s %8.3fs (%llu groups)\n",
+              "per-row TRUNC_MONTH + hash aggregation", row_s / 3,
+              static_cast<unsigned long long>(g1));
+  std::printf("%-44s %8.3fs (%llu groups)\n",
+              "index roll-up + ordered aggregation (1 worker)", idx1_s / 3,
+              static_cast<unsigned long long>(g2));
+  std::printf("%-44s %8.3fs\n",
+              "index roll-up + ordered aggregation (4 workers)", idx4_s / 3);
+  std::printf(
+      "\nshape: the roll-up computes TRUNC_MONTH once per distinct day "
+      "(~3.7k) instead of once per row (4M), so plan (b) should win "
+      "decisively; worker scaling is bounded by the single core here.\n");
+  return 0;
+}

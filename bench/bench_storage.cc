@@ -1,0 +1,101 @@
+// Fig. 5 + Sect. 6.2 reproduction: compression savings.
+//
+// For lineitem and Flights: logical vs physical size under every
+// {acceleration, encoding} combination, plus the per-encoding breakdown of
+// the savings. For the full SF table set: total database size with and
+// without encodings (the paper's 660 MB -> -140 MB observation).
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/exec/flow_table.h"
+#include "src/textscan/text_scan.h"
+#include "src/workload/flights.h"
+#include "src/workload/tpch.h"
+
+namespace tde {
+namespace {
+
+std::shared_ptr<Table> Import(const std::string& data, char sep, bool acc,
+                              bool enc) {
+  TextScanOptions text;
+  text.field_separator = sep;
+  FlowTableOptions flow;
+  flow.heap_acceleration = acc;
+  flow.enable_encodings = enc;
+  auto t = FlowTable::Build(TextScan::FromBuffer(data, text), flow);
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    std::exit(1);
+  }
+  return t.MoveValue();
+}
+
+void SizeMatrix(const char* label, const std::string& data, char sep) {
+  std::printf("\n-- %s: flat file %.1f MB --\n", label,
+              static_cast<double>(data.size()) / 1e6);
+  std::printf("%-22s %12s %12s %9s\n", "configuration", "logical_MB",
+              "physical_MB", "saved");
+  for (const bool acc : {false, true}) {
+    for (const bool enc : {false, true}) {
+      auto t = Import(data, sep, acc, enc);
+      const double logical = static_cast<double>(t->LogicalSize()) / 1e6;
+      const double physical = static_cast<double>(t->PhysicalSize()) / 1e6;
+      char name[64];
+      std::snprintf(name, sizeof(name), "acc=%d enc=%d", acc, enc);
+      std::printf("%-22s %12.2f %12.2f %8.0f%%\n", name, logical, physical,
+                  100.0 * (1.0 - physical / logical));
+      if (acc && enc) {
+        std::printf("%-22s %11.0f%% (paper: 84%% for both tables)\n",
+                    "saved vs flat file",
+                    100.0 * (1.0 - physical * 1e6 /
+                                       static_cast<double>(data.size())));
+        // Per-encoding breakdown (Fig. 5's stacked savings).
+        std::map<std::string, uint64_t> logical_by, physical_by;
+        for (size_t i = 0; i < t->num_columns(); ++i) {
+          const Column& c = t->column(i);
+          const char* e = EncodingName(c.data()->type());
+          logical_by[e] += c.LogicalSize();
+          physical_by[e] += c.PhysicalSize();
+        }
+        for (const auto& [e, lbytes] : logical_by) {
+          std::printf("    %-18s %12.2f %12.2f\n", e.c_str(),
+                      static_cast<double>(lbytes) / 1e6,
+                      static_cast<double>(physical_by[e]) / 1e6);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tde
+
+int main() {
+  tde::bench::PrintHeader("Fig. 5 / Sect. 6.2 — compression savings");
+  const double sf = tde::bench::ScaleFactor();
+  std::printf("TDE_SF=%g (paper: SF-30 lineitem, 25 GB Flights)\n", sf);
+
+  tde::SizeMatrix("lineitem",
+                  tde::GenerateTpchTable(tde::TpchTable::kLineitem, sf), '|');
+  tde::SizeMatrix("Flights",
+                  tde::GenerateFlights(tde::bench::FlightsRows()), ',');
+
+  // Sect. 6.2: whole TPC-H database, encoded vs not.
+  std::printf("\n-- full TPC-H database at SF %g --\n", sf);
+  for (const bool enc : {false, true}) {
+    uint64_t physical = 0, logical = 0;
+    for (tde::TpchTable tt : tde::AllTpchTables()) {
+      auto t = tde::Import(tde::GenerateTpchTable(tt, sf), '|', true, enc);
+      physical += t->PhysicalSize();
+      logical += t->LogicalSize();
+    }
+    std::printf("encodings=%d: logical %.2f MB, database file %.2f MB\n", enc,
+                static_cast<double>(logical) / 1e6,
+                static_cast<double>(physical) / 1e6);
+  }
+  std::printf("paper: SF-1 database 660 MB, encodings save ~140 MB (~21%%)\n");
+  return 0;
+}

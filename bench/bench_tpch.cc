@@ -1,0 +1,45 @@
+// Query throughput on the imported TPC-H tables: the five queries the
+// engine's analytic subset expresses (Q1, Q3, Q4-lite, Q6, Q12), run
+// through the SQL frontend and the full strategic/tactical optimizer.
+// Not a paper figure — a downstream-user sanity benchmark over the whole
+// stack (import, encodings, joins, aggregation).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/tpch_queries.h"
+
+int main() {
+  tde::bench::PrintHeader("TPC-H query suite over the SQL frontend");
+  const double sf = tde::bench::ScaleFactor();
+  std::printf("TDE_SF=%g\n", sf);
+  tde::Engine engine;
+  {
+    tde::bench::Timer t;
+    const tde::Status st = tde::LoadTpchTables(&engine, sf);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("import (lineitem, orders, customer): %.2fs\n", t.Seconds());
+  }
+  std::printf("%-8s %-42s %10s %8s\n", "query", "title", "time", "rows");
+  for (const tde::TpchQuery& q : tde::TpchQueries()) {
+    double secs = 0;
+    uint64_t rows = 0;
+    for (int i = 0; i < 3; ++i) {
+      tde::bench::Timer t;
+      auto r = engine.ExecuteSql(q.sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", q.id,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      secs += t.Seconds();
+      rows = r.value().num_rows();
+    }
+    std::printf("%-8s %-42s %9.3fs %8llu\n", q.id, q.title, secs / 3,
+                static_cast<unsigned long long>(rows));
+  }
+  return 0;
+}

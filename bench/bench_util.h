@@ -1,0 +1,56 @@
+#ifndef TDE_BENCH_BENCH_UTIL_H_
+#define TDE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tde {
+namespace bench {
+
+/// Scale factor for TPC-H-based benches (paper: SF-1 and SF-30; scaled to
+/// laptop/CI budgets — see DESIGN.md substitutions). Override with TDE_SF.
+inline double ScaleFactor() {
+  if (const char* e = std::getenv("TDE_SF")) return std::atof(e);
+  return 0.01;
+}
+
+/// Rows of the synthetic Flights file. Override with TDE_FLIGHTS_ROWS.
+inline uint64_t FlightsRows() {
+  if (const char* e = std::getenv("TDE_FLIGHTS_ROWS")) {
+    return static_cast<uint64_t>(std::atoll(e));
+  }
+  return 200000;
+}
+
+/// Rows of the "large" run-length table of Fig. 10 (paper: 1B). Override
+/// with TDE_LARGE_ROWS.
+inline uint64_t LargeRleRows() {
+  if (const char* e = std::getenv("TDE_LARGE_ROWS")) {
+    return static_cast<uint64_t>(std::atoll(e));
+  }
+  return 16000000;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace tde
+
+#endif  // TDE_BENCH_BENCH_UTIL_H_

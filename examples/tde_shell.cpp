@@ -1,0 +1,154 @@
+// An interactive shell over the engine: import flat files, run SQL, save
+// and reopen single-file databases.
+//
+//   build/examples/tde_shell [file.tde | file.csv ...]
+//
+// Commands:
+//   .import <path> [name]   import a flat file (TextScan + FlowTable)
+//   .attach <path> [name]   import and watch for changes (.refresh)
+//   .refresh                re-import attached files that changed
+//   .optimize <table>       convert small-domain scalar columns to
+//                           dictionary compression (global optimization)
+//   .tables                 list tables with row counts and sizes
+//   .schema <table>         per-column encodings and extracted metadata
+//   .save <path>            write the single-file database
+//   .open <path>            load a single-file database
+//   .quit
+// Anything else is SQL (prefix with EXPLAIN to see the optimized plan).
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/engine.h"
+
+using namespace tde;  // NOLINT: example brevity
+
+namespace {
+
+void ListTables(const Engine& engine) {
+  for (const auto& t : engine.database().tables()) {
+    std::printf("  %-20s %10llu rows  %8.2f MB encoded\n", t->name().c_str(),
+                static_cast<unsigned long long>(t->rows()),
+                static_cast<double>(t->PhysicalSize()) / 1e6);
+  }
+}
+
+void ShowSchema(const Engine& engine, const std::string& name) {
+  auto t = engine.database().GetTable(name);
+  if (!t.ok()) {
+    std::printf("%s\n", t.status().ToString().c_str());
+    return;
+  }
+  for (size_t i = 0; i < t.value()->num_columns(); ++i) {
+    const Column& c = t.value()->column(i);
+    std::printf("  %-20s %-9s %-18s width=%d  %s\n", c.name().c_str(),
+                TypeName(c.type()), EncodingName(c.data()->type()),
+                c.TokenWidth(), c.metadata().ToString().c_str());
+  }
+}
+
+std::string DefaultName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Engine engine;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    if (path.size() > 4 && path.substr(path.size() - 4) == ".tde") {
+      auto r = Engine::OpenDatabase(path);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      engine = r.MoveValue();
+      std::printf("opened %s\n", path.c_str());
+    } else {
+      auto r = engine.ImportTextFile(path, DefaultName(path));
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("imported %s as '%s' (%llu rows)\n", path.c_str(),
+                  DefaultName(path).c_str(),
+                  static_cast<unsigned long long>(r.value()->rows()));
+    }
+  }
+
+  std::string line;
+  std::printf("tde shell — SQL or .help\n");
+  while (std::printf("tde> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '.') {
+      std::istringstream ss(line);
+      std::string cmd, arg1, arg2;
+      ss >> cmd >> arg1 >> arg2;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".tables") {
+        ListTables(engine);
+      } else if (cmd == ".schema") {
+        ShowSchema(engine, arg1);
+      } else if (cmd == ".import" || cmd == ".attach") {
+        const std::string name = arg2.empty() ? DefaultName(arg1) : arg2;
+        auto r = cmd == ".import" ? engine.ImportTextFile(arg1, name)
+                                  : engine.AttachTextFile(arg1, name);
+        std::printf("%s\n", r.ok()
+                                ? ("imported '" + name + "', " +
+                                   std::to_string(r.value()->rows()) + " rows")
+                                      .c_str()
+                                : r.status().ToString().c_str());
+      } else if (cmd == ".refresh") {
+        auto r = engine.RefreshChanged();
+        std::printf("%s\n",
+                    r.ok() ? (std::to_string(r.value()) + " table(s) rebuilt")
+                                 .c_str()
+                           : r.status().ToString().c_str());
+      } else if (cmd == ".optimize") {
+        auto r = engine.OptimizeTable(arg1);
+        std::printf("%s\n",
+                    r.ok() ? (std::to_string(r.value()) +
+                              " column(s) dictionary compressed")
+                                 .c_str()
+                           : r.status().ToString().c_str());
+      } else if (cmd == ".save") {
+        const Status st = engine.SaveDatabase(arg1);
+        std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      } else if (cmd == ".open") {
+        auto r = Engine::OpenDatabase(arg1);
+        if (r.ok()) {
+          engine = r.MoveValue();
+          std::printf("opened\n");
+        } else {
+          std::printf("%s\n", r.status().ToString().c_str());
+        }
+      } else if (cmd == ".help") {
+        std::printf(
+            ".import <path> [name] | .attach <path> [name] | .refresh |\n"
+            ".optimize <table> | "
+            ".tables | .schema <table> | .save <path> | .open <path> | "
+            ".quit\nanything else is SQL (try EXPLAIN SELECT ...)\n");
+      } else {
+        std::printf("unknown command %s (try .help)\n", cmd.c_str());
+      }
+      continue;
+    }
+    auto r = engine.ExecuteSql(line);
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s(%llu rows)\n", r.value().ToString(40).c_str(),
+                static_cast<unsigned long long>(r.value().num_rows()));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef TDE_COMMON_BITUTIL_H_
+#define TDE_COMMON_BITUTIL_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace tde {
+
+/// Number of bits needed to represent the unsigned value v (0 needs 0 bits).
+inline uint8_t BitsFor(uint64_t v) {
+  uint8_t bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// Little-endian load of `width` bytes (1, 2, 4 or 8), zero-extended.
+inline uint64_t LoadUnsigned(const uint8_t* p, uint8_t width) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, width);
+  return v;
+}
+
+/// Little-endian load of `width` bytes, sign-extended to int64.
+inline int64_t LoadSigned(const uint8_t* p, uint8_t width) {
+  uint64_t v = LoadUnsigned(p, width);
+  const unsigned shift = 64 - 8u * width;
+  return static_cast<int64_t>(v << shift) >> shift;
+}
+
+/// Little-endian store of the low `width` bytes of v.
+inline void StoreBytes(uint8_t* p, uint64_t v, uint8_t width) {
+  std::memcpy(p, &v, width);
+}
+
+/// True if the signed value fits in `width` bytes.
+inline bool FitsSigned(int64_t v, uint8_t width) {
+  if (width >= 8) return true;
+  const int64_t lo = -(int64_t{1} << (8 * width - 1));
+  const int64_t hi = (int64_t{1} << (8 * width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True if the unsigned value fits in `width` bytes.
+inline bool FitsUnsigned(uint64_t v, uint8_t width) {
+  if (width >= 8) return true;
+  return v < (uint64_t{1} << (8 * width));
+}
+
+/// Round x up to the next multiple of m (m > 0).
+inline uint64_t RoundUp(uint64_t x, uint64_t m) { return (x + m - 1) / m * m; }
+
+}  // namespace tde
+
+#endif  // TDE_COMMON_BITUTIL_H_

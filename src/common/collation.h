@@ -1,0 +1,28 @@
+#ifndef TDE_COMMON_COLLATION_H_
+#define TDE_COMMON_COLLATION_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tde {
+
+/// String collations. Unlike most column stores, the TDE must implement
+/// locale-sensitive collations (Sect. 2.3.4), which are far more expensive
+/// than binary comparison — that cost is exactly what sorted heaps with
+/// directly-comparable tokens avoid. We model a locale collation with a
+/// case-insensitive, accent-folding comparison that, like ICU, walks both
+/// strings computing collation elements.
+enum class Collation : uint8_t {
+  kBinary = 0,
+  kLocale = 1,
+};
+
+/// Three-way comparison under the collation (<0, 0, >0).
+int Collate(Collation c, std::string_view a, std::string_view b);
+
+/// Collation-consistent hash: equal strings under the collation hash alike.
+uint64_t CollationHash(Collation c, std::string_view s);
+
+}  // namespace tde
+
+#endif  // TDE_COMMON_COLLATION_H_

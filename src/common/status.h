@@ -1,0 +1,115 @@
+#ifndef TDE_COMMON_STATUS_H_
+#define TDE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tde {
+
+/// Error categories used throughout the engine. Mirrors the Arrow/RocksDB
+/// convention of status-code error handling: no exceptions cross an API
+/// boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,       // value not representable in the current encoding
+  kNotFound,
+  kAlreadyExists,
+  kNotImplemented,
+  kIOError,
+  kParseError,
+  kInternal,
+  kCapacityExceeded,  // e.g. dictionary encoding past its 2^15 entry limit
+};
+
+/// A success-or-error result with an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "OutOfRange: value 70000 needs 17 bits".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(v_);
+  }
+  T& value() { return std::get<T>(v_); }
+  const T& value() const { return std::get<T>(v_); }
+  T&& MoveValue() { return std::move(std::get<T>(v_)); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace tde
+
+/// Propagate a non-OK Status to the caller.
+#define TDE_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::tde::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define TDE_CONCAT_IMPL(x, y) x##y
+#define TDE_CONCAT(x, y) TDE_CONCAT_IMPL(x, y)
+
+/// Evaluate a Result-returning expression; on success bind the value to
+/// `lhs`, otherwise propagate the error Status.
+#define TDE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto TDE_CONCAT(_res_, __LINE__) = (rexpr);                 \
+  if (!TDE_CONCAT(_res_, __LINE__).ok())                      \
+    return TDE_CONCAT(_res_, __LINE__).status();              \
+  lhs = TDE_CONCAT(_res_, __LINE__).MoveValue()
+
+#endif  // TDE_COMMON_STATUS_H_

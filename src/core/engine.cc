@@ -1,0 +1,246 @@
+#include "src/core/engine.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include "src/encoding/manipulate.h"
+#include "src/exec/sort.h"
+#include "src/sql/parser.h"
+
+namespace tde {
+
+namespace {
+Result<std::shared_ptr<Table>> BuildImport(std::unique_ptr<Operator> scan,
+                                           const std::string& table_name,
+                                           ImportOptions options) {
+  std::unique_ptr<Operator> flow = std::move(scan);
+  if (!options.sort_by.empty()) {
+    flow = std::make_unique<Sort>(std::move(flow), options.sort_by);
+  }
+  options.flow.table_name = table_name;
+  return FlowTable::Build(std::move(flow), std::move(options.flow));
+}
+}  // namespace
+
+Result<std::shared_ptr<Table>> Engine::ImportTextFile(
+    const std::string& path, const std::string& table_name,
+    ImportOptions options) {
+  TDE_ASSIGN_OR_RETURN(auto scan, TextScan::FromFile(path, options.text));
+  TDE_ASSIGN_OR_RETURN(
+      auto table,
+      BuildImport(std::move(scan), table_name, std::move(options)));
+  db_.AddTable(table);
+  return table;
+}
+
+Result<std::shared_ptr<Table>> Engine::ImportTextBuffer(
+    std::string data, const std::string& table_name, ImportOptions options) {
+  auto scan = TextScan::FromBuffer(std::move(data), options.text);
+  TDE_ASSIGN_OR_RETURN(
+      auto table,
+      BuildImport(std::move(scan), table_name, std::move(options)));
+  db_.AddTable(table);
+  return table;
+}
+
+Result<QueryResult> Engine::Execute(const Plan& plan,
+                                    const StrategicOptions& strategic) const {
+  TDE_ASSIGN_OR_RETURN(PlanNodePtr optimized,
+                       StrategicOptimize(plan.root(), strategic));
+  return ExecutePlanNode(optimized);
+}
+
+Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
+  TDE_ASSIGN_OR_RETURN(sql::ParsedQuery q, sql::ParseQuery(sql, db_));
+  if (q.explain) {
+    TDE_ASSIGN_OR_RETURN(std::string text, ExplainPlan(q.plan));
+    Schema schema({{"plan", TypeId::kString}});
+    Block b;
+    b.columns.resize(1);
+    b.columns[0].type = TypeId::kString;
+    auto heap = std::make_shared<StringHeap>();
+    // One row per line of the plan rendering.
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      b.columns[0].lanes.push_back(
+          heap->Add(std::string_view(text).substr(start, end - start)));
+      start = end + 1;
+    }
+    b.columns[0].heap = std::move(heap);
+    std::vector<Block> blocks;
+    blocks.push_back(std::move(b));
+    return QueryResult(std::move(schema), std::move(blocks));
+  }
+  return Execute(q.plan);
+}
+
+Status Engine::SaveDatabase(const std::string& path) const {
+  return WriteDatabase(db_, path);
+}
+
+Result<Engine> Engine::OpenDatabase(const std::string& path) {
+  TDE_ASSIGN_OR_RETURN(Database db, ReadDatabase(path));
+  Engine e;
+  *e.database() = std::move(db);
+  return e;
+}
+
+namespace {
+Status StatFile(const std::string& path, int64_t* mtime, int64_t* size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("cannot stat '" + path + "'");
+  }
+  *mtime = static_cast<int64_t>(st.st_mtime);
+  *size = static_cast<int64_t>(st.st_size);
+  return Status::OK();
+}
+}  // namespace
+
+Result<std::shared_ptr<Table>> Engine::AttachTextFile(
+    const std::string& path, const std::string& table_name,
+    ImportOptions options) {
+  Attachment att;
+  att.path = path;
+  att.table_name = table_name;
+  att.options = options;
+  TDE_RETURN_NOT_OK(StatFile(path, &att.mtime, &att.size));
+  TDE_ASSIGN_OR_RETURN(auto table,
+                       ImportTextFile(path, table_name, std::move(options)));
+  attachments_.push_back(std::move(att));
+  return table;
+}
+
+Result<int> Engine::RefreshChanged() {
+  int rebuilt = 0;
+  for (Attachment& att : attachments_) {
+    int64_t mtime = 0, size = 0;
+    TDE_RETURN_NOT_OK(StatFile(att.path, &mtime, &size));
+    if (mtime == att.mtime && size == att.size) continue;
+    TDE_ASSIGN_OR_RETURN(auto scan,
+                         TextScan::FromFile(att.path, att.options.text));
+    FlowTableOptions flow = att.options.flow;
+    flow.table_name = att.table_name;
+    TDE_ASSIGN_OR_RETURN(auto table,
+                         FlowTable::Build(std::move(scan), std::move(flow)));
+    TDE_RETURN_NOT_OK(db_.ReplaceTable(std::move(table)));
+    att.mtime = mtime;
+    att.size = size;
+    ++rebuilt;
+  }
+  return rebuilt;
+}
+
+Result<int> Engine::OptimizeTable(const std::string& table_name) {
+  TDE_ASSIGN_OR_RETURN(auto table, db_.GetTable(table_name));
+  int converted = 0;
+  for (size_t i = 0; i < table->num_columns(); ++i) {
+    Column* col = table->mutable_column(i);
+    if (col->compression() != CompressionKind::kNone) continue;
+    if (col->type() == TypeId::kString || col->type() == TypeId::kBool) {
+      continue;  // strings are heap-compressed; booleans gain nothing
+    }
+    const EncodingType enc = col->data()->type();
+    const bool eligible =
+        enc == EncodingType::kDictionary || enc == EncodingType::kRunLength ||
+        (enc == EncodingType::kFrameOfReference && col->data()->bits() <= 15);
+    if (!eligible) continue;
+    // Only worthwhile for genuine dimensions: small domain, many rows.
+    if (enc != EncodingType::kFrameOfReference &&
+        (!col->metadata().cardinality_known ||
+         col->metadata().cardinality * 4 > col->rows())) {
+      continue;
+    }
+    const Status st = AlterColumnToDictionary(col);
+    if (st.ok()) {
+      ++converted;
+    } else if (st.code() != StatusCode::kCapacityExceeded &&
+               st.code() != StatusCode::kNotImplemented) {
+      return st;
+    }
+  }
+  return converted;
+}
+
+Status AlterColumnToDictionary(Column* column) {
+  if (column->compression() != CompressionKind::kNone) {
+    return Status::InvalidArgument(
+        "column is already dictionary compressed");
+  }
+  EncodedStream* stream = column->mutable_data();
+  const bool signed_values = IsSignedType(column->type());
+
+  if (stream->type() == EncodingType::kDictionary) {
+    // Sect. 3.4.3: copy the encoding dictionary into a compression
+    // dictionary; the encoding entries become (sorted, narrowed) tokens.
+    TDE_ASSIGN_OR_RETURN(DictCompression dc,
+                         EncodingToCompression(*stream, signed_values));
+    auto dict = std::make_shared<ArrayDictionary>();
+    dict->type = column->type();
+    dict->values = std::move(dc.dictionary);
+    dict->sorted = true;
+    column->set_array_dict(std::move(dict));
+    column->set_data(std::move(dc.tokens));
+    column->set_compression(CompressionKind::kArrayDict);
+    column->mutable_metadata()->cardinality_known = true;
+    column->mutable_metadata()->cardinality =
+        column->array_dict()->values.size();
+    return Status::OK();
+  }
+
+  if (stream->type() == EncodingType::kRunLength) {
+    // Sect. 3.4.1/3.4.3: decompose into value and count streams, dictionary
+    // the values, rebuild -> a scalar dictionary-compressed column with a
+    // run-length encoded token stream, at O(runs) cost.
+    TDE_ASSIGN_OR_RETURN(RleDecomposition parts, DecomposeRle(*stream));
+    auto dict = std::make_shared<ArrayDictionary>();
+    dict->type = column->type();
+    dict->values = parts.values;
+    std::sort(dict->values.begin(), dict->values.end());
+    dict->values.erase(std::unique(dict->values.begin(), dict->values.end()),
+                       dict->values.end());
+    dict->sorted = true;
+    for (Lane& v : parts.values) {
+      v = static_cast<Lane>(
+          std::lower_bound(dict->values.begin(), dict->values.end(), v) -
+          dict->values.begin());
+    }
+    TDE_ASSIGN_OR_RETURN(auto tokens,
+                         RebuildRle(parts, stream->width(),
+                                    /*sign_extend=*/false));
+    TDE_RETURN_NOT_OK(tokens->Finalize());
+    column->set_array_dict(std::move(dict));
+    column->set_data(std::move(tokens));
+    column->set_compression(CompressionKind::kArrayDict);
+    column->mutable_metadata()->cardinality_known = true;
+    column->mutable_metadata()->cardinality =
+        column->array_dict()->values.size();
+    return Status::OK();
+  }
+
+  if (stream->type() == EncodingType::kFrameOfReference) {
+    // Sect. 3.4.3's frame-of-reference variant: the sorted dictionary is
+    // the frame envelope; some entries may not occur in the column.
+    TDE_ASSIGN_OR_RETURN(DictCompression dc, ForToCompression(*stream));
+    auto dict = std::make_shared<ArrayDictionary>();
+    dict->type = column->type();
+    dict->values = std::move(dc.dictionary);
+    dict->sorted = true;
+    column->set_array_dict(std::move(dict));
+    column->set_data(std::move(dc.tokens));
+    column->set_compression(CompressionKind::kArrayDict);
+    column->mutable_metadata()->cardinality_known = true;
+    column->mutable_metadata()->cardinality =
+        column->array_dict()->values.size();
+    return Status::OK();
+  }
+
+  return Status::NotImplemented(
+      "dictionary conversion requires a dictionary-, run-length- or "
+      "frame-of-reference-encoded column");
+}
+
+}  // namespace tde

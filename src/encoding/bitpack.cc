@@ -1,0 +1,60 @@
+#include "src/encoding/bitpack.h"
+
+#include <cstring>
+
+namespace tde {
+
+void PackBits(const uint64_t* values, size_t n, uint8_t bits, uint8_t* out) {
+  if (bits == 0) return;
+  if (bits == 64) {
+    std::memcpy(out, values, n * 8);
+    return;
+  }
+  std::memset(out, 0, PackedBytes(n, bits));
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = values[i] & mask;
+    size_t byte = bit_pos >> 3;
+    const unsigned shift = bit_pos & 7;
+    // Write up to 9 bytes; the value occupies bits [shift, shift + bits).
+    out[byte] |= static_cast<uint8_t>(v << shift);
+    unsigned written = 8 - shift;
+    v >>= written;
+    while (written < bits) {
+      ++byte;
+      out[byte] |= static_cast<uint8_t>(v);
+      v >>= 8;
+      written += 8;
+    }
+    bit_pos += bits;
+  }
+}
+
+void UnpackBits(const uint8_t* in, size_t n, uint8_t bits, uint64_t* out) {
+  if (bits == 0) {
+    std::memset(out, 0, n * 8);
+    return;
+  }
+  if (bits == 64) {
+    std::memcpy(out, in, n * 8);
+    return;
+  }
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t byte = bit_pos >> 3;
+    const unsigned shift = bit_pos & 7;
+    uint64_t v = static_cast<uint64_t>(in[byte]) >> shift;
+    unsigned have = 8 - shift;
+    while (have < bits) {
+      ++byte;
+      v |= static_cast<uint64_t>(in[byte]) << have;
+      have += 8;
+    }
+    out[i] = v & mask;
+    bit_pos += bits;
+  }
+}
+
+}  // namespace tde

@@ -1,0 +1,25 @@
+#ifndef TDE_ENCODING_BITPACK_H_
+#define TDE_ENCODING_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tde {
+
+/// Number of bytes occupied by n values of `bits` bits each.
+inline size_t PackedBytes(size_t n, uint8_t bits) {
+  return (n * static_cast<size_t>(bits) + 7) / 8;
+}
+
+/// Packs n unsigned values of `bits` significant bits each into `out`,
+/// little-endian bit order. `out` must have PackedBytes(n, bits) writable
+/// bytes, zeroed or about to be fully overwritten. bits may be 0 (no-op) up
+/// to 64.
+void PackBits(const uint64_t* values, size_t n, uint8_t bits, uint8_t* out);
+
+/// Inverse of PackBits.
+void UnpackBits(const uint8_t* in, size_t n, uint8_t bits, uint64_t* out);
+
+}  // namespace tde
+
+#endif  // TDE_ENCODING_BITPACK_H_

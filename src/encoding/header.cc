@@ -1,0 +1,23 @@
+#include "src/encoding/header.h"
+
+namespace tde {
+
+const char* EncodingName(EncodingType t) {
+  switch (t) {
+    case EncodingType::kUncompressed:
+      return "uncompressed";
+    case EncodingType::kFrameOfReference:
+      return "frame-of-reference";
+    case EncodingType::kDelta:
+      return "delta";
+    case EncodingType::kDictionary:
+      return "dictionary";
+    case EncodingType::kAffine:
+      return "affine";
+    case EncodingType::kRunLength:
+      return "run-length";
+  }
+  return "unknown";
+}
+
+}  // namespace tde

@@ -1,0 +1,136 @@
+#ifndef TDE_ENCODING_HEADER_H_
+#define TDE_ENCODING_HEADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitutil.h"
+
+namespace tde {
+
+/// The lightweight encodings of Sect. 3.1.
+enum class EncodingType : uint8_t {
+  kUncompressed = 0,
+  kFrameOfReference = 1,
+  kDelta = 2,
+  kDictionary = 3,
+  kAffine = 4,
+  kRunLength = 5,
+};
+
+const char* EncodingName(EncodingType t);
+
+/// Serialized bit-packed stream header, byte-exact per Fig. 1 of the paper:
+///
+///   [0,  8)  logical size — number of values in the stream (the physical
+///            size can be larger because streams only contain complete
+///            decompression blocks)
+///   [8, 16)  offset from buffer start to the bit-packed data; lets the
+///            header grow/shrink without disturbing the packing
+///   [16, 20) decompression block size (values per block, multiple of 32)
+///   [20]     encoding algorithm
+///   [21]     element width in bytes (1, 2, 4 or 8)
+///   [22]     number of packing bits
+///   [23]     reserved
+///   [24, ..) encoding-specific fields:
+///     frame-of-reference: [24,32) frame value (8 bytes even if narrower)
+///     delta:              [24,32) minimum delta value
+///     dictionary:         [24,32) entry count, then width * 2^bits bytes
+///                         of entry space (the dictionary may grow in place
+///                         up to the 2^bits limit)
+///     affine:             [24,32) base, [32,40) delta; bits == 0
+///     run-length:         [24] run-count field width, [25] value field
+///                         width; the "packed data" is length/value pairs
+///
+/// The layout is deliberately editable in place: the O(1) type-narrowing
+/// and dictionary manipulations of Sect. 3.4 are literal byte edits here.
+class HeaderView {
+ public:
+  explicit HeaderView(std::vector<uint8_t>* buf) : buf_(buf) {}
+
+  static constexpr uint64_t kLogicalSizeOffset = 0;
+  static constexpr uint64_t kDataOffsetOffset = 8;
+  static constexpr uint64_t kBlockSizeOffset = 16;
+  static constexpr uint64_t kAlgorithmOffset = 20;
+  static constexpr uint64_t kWidthOffset = 21;
+  static constexpr uint64_t kBitsOffset = 22;
+  static constexpr uint64_t kExtraOffset = 24;  // encoding-specific fields
+
+  uint64_t logical_size() const { return GetU64(kLogicalSizeOffset); }
+  void set_logical_size(uint64_t v) { SetU64(kLogicalSizeOffset, v); }
+
+  uint64_t data_offset() const { return GetU64(kDataOffsetOffset); }
+  void set_data_offset(uint64_t v) { SetU64(kDataOffsetOffset, v); }
+
+  uint32_t block_size() const {
+    return static_cast<uint32_t>(LoadUnsigned(data() + kBlockSizeOffset, 4));
+  }
+  void set_block_size(uint32_t v) { StoreBytes(mdata() + kBlockSizeOffset, v, 4); }
+
+  EncodingType algorithm() const {
+    return static_cast<EncodingType>((*buf_)[kAlgorithmOffset]);
+  }
+  void set_algorithm(EncodingType t) {
+    (*buf_)[kAlgorithmOffset] = static_cast<uint8_t>(t);
+  }
+
+  uint8_t width() const { return (*buf_)[kWidthOffset]; }
+  void set_width(uint8_t w) { (*buf_)[kWidthOffset] = w; }
+
+  uint8_t bits() const { return (*buf_)[kBitsOffset]; }
+  void set_bits(uint8_t b) { (*buf_)[kBitsOffset] = b; }
+
+  int64_t GetI64(uint64_t offset) const {
+    return LoadSigned(data() + offset, 8);
+  }
+  uint64_t GetU64(uint64_t offset) const {
+    return LoadUnsigned(data() + offset, 8);
+  }
+  void SetU64(uint64_t offset, uint64_t v) {
+    StoreBytes(mdata() + offset, v, 8);
+  }
+  void SetI64(uint64_t offset, int64_t v) {
+    StoreBytes(mdata() + offset, static_cast<uint64_t>(v), 8);
+  }
+
+  const uint8_t* data() const { return buf_->data(); }
+  uint8_t* mdata() { return buf_->data(); }
+
+ private:
+  std::vector<uint8_t>* buf_;
+};
+
+/// Read-only view over a const buffer (same layout as HeaderView).
+class ConstHeaderView {
+ public:
+  explicit ConstHeaderView(const std::vector<uint8_t>& buf) : buf_(&buf) {}
+
+  uint64_t logical_size() const {
+    return LoadUnsigned(buf_->data() + HeaderView::kLogicalSizeOffset, 8);
+  }
+  uint64_t data_offset() const {
+    return LoadUnsigned(buf_->data() + HeaderView::kDataOffsetOffset, 8);
+  }
+  uint32_t block_size() const {
+    return static_cast<uint32_t>(
+        LoadUnsigned(buf_->data() + HeaderView::kBlockSizeOffset, 4));
+  }
+  EncodingType algorithm() const {
+    return static_cast<EncodingType>((*buf_)[HeaderView::kAlgorithmOffset]);
+  }
+  uint8_t width() const { return (*buf_)[HeaderView::kWidthOffset]; }
+  uint8_t bits() const { return (*buf_)[HeaderView::kBitsOffset]; }
+  int64_t GetI64(uint64_t offset) const {
+    return LoadSigned(buf_->data() + offset, 8);
+  }
+  uint64_t GetU64(uint64_t offset) const {
+    return LoadUnsigned(buf_->data() + offset, 8);
+  }
+
+ private:
+  const std::vector<uint8_t>* buf_;
+};
+
+}  // namespace tde
+
+#endif  // TDE_ENCODING_HEADER_H_

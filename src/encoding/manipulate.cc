@@ -1,0 +1,232 @@
+#include "src/encoding/manipulate.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/bitutil.h"
+#include "src/encoding/streams_internal.h"
+
+namespace tde {
+
+namespace {
+
+int64_t ClampToI64(__int128 v) {
+  if (v > std::numeric_limits<int64_t>::max()) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  if (v < std::numeric_limits<int64_t>::min()) {
+    return std::numeric_limits<int64_t>::min();
+  }
+  return static_cast<int64_t>(v);
+}
+
+uint8_t WidthForEnvelope(int64_t lo, int64_t hi, bool signed_values) {
+  if (signed_values) return MinSignedWidth(lo, hi);
+  if (lo < 0) return 8;
+  return MinUnsignedWidth(static_cast<uint64_t>(hi));
+}
+
+}  // namespace
+
+Result<uint8_t> NarrowStreamWidth(std::vector<uint8_t>* buf,
+                                  bool signed_values) {
+  HeaderView h(buf);
+  const uint8_t old_width = h.width();
+  switch (h.algorithm()) {
+    case EncodingType::kFrameOfReference: {
+      // Envelope from the frame value and the bit width (Sect. 3.4.1):
+      // O(1), independent of the size of the column.
+      const int64_t frame = h.GetI64(internal::ForStream::kFrameOffset);
+      const uint8_t bits = h.bits();
+      const __int128 hi =
+          static_cast<__int128>(frame) +
+          (bits >= 64 ? static_cast<__int128>(
+                            std::numeric_limits<uint64_t>::max())
+                      : static_cast<__int128>((uint64_t{1} << bits) - 1));
+      const uint8_t w =
+          WidthForEnvelope(frame, ClampToI64(hi), signed_values);
+      if (w < old_width) h.set_width(w);
+      return h.width();
+    }
+    case EncodingType::kAffine: {
+      const int64_t base = h.GetI64(internal::AffineStream::kBaseOffset);
+      const int64_t delta = h.GetI64(internal::AffineStream::kDeltaOffset);
+      const uint64_t n = h.logical_size();
+      const __int128 last =
+          static_cast<__int128>(base) +
+          static_cast<__int128>(delta) * (n == 0 ? 0 : n - 1);
+      const int64_t lo = std::min<int64_t>(base, ClampToI64(last));
+      const int64_t hi = std::max<int64_t>(base, ClampToI64(last));
+      const uint8_t w = WidthForEnvelope(lo, hi, signed_values);
+      if (w < old_width) h.set_width(w);
+      return h.width();
+    }
+    case EncodingType::kDictionary: {
+      // O(2^bits): scan the actual entries and rewrite them at the new
+      // stride. The data offset stays put, so the packing never moves.
+      const uint64_t n = h.GetU64(internal::DictStream::kEntryCountOffset);
+      if (n == 0) return old_width;
+      const bool se = (*buf)[23] & internal::kSignExtendFlag;
+      int64_t lo = std::numeric_limits<int64_t>::max();
+      int64_t hi = std::numeric_limits<int64_t>::min();
+      for (uint64_t i = 0; i < n; ++i) {
+        const Lane v = internal::LoadLane(
+            buf->data() + internal::DictStream::kEntriesOffset + i * old_width,
+            old_width, se);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      const uint8_t w = WidthForEnvelope(lo, hi, signed_values);
+      if (w >= old_width) return old_width;
+      for (uint64_t i = 0; i < n; ++i) {
+        const Lane v = internal::LoadLane(
+            buf->data() + internal::DictStream::kEntriesOffset + i * old_width,
+            old_width, se);
+        StoreBytes(buf->data() + internal::DictStream::kEntriesOffset + i * w,
+                   static_cast<uint64_t>(v), w);
+      }
+      h.set_width(w);
+      return w;
+    }
+    case EncodingType::kDelta:
+    case EncodingType::kRunLength:
+      // Delta embeds running totals in each block and run-length embeds
+      // values in each pair (Sect. 3.4.1): not amenable to header edits.
+      return old_width;
+    case EncodingType::kUncompressed:
+      return old_width;
+  }
+  return Status::InvalidArgument("unknown encoding");
+}
+
+Status RemapDictEntries(std::vector<uint8_t>* buf,
+                        const std::function<Lane(Lane)>& fn) {
+  HeaderView h(buf);
+  if (h.algorithm() != EncodingType::kDictionary) {
+    return Status::InvalidArgument("not a dictionary-encoded stream");
+  }
+  const uint8_t w = h.width();
+  const bool se = (*buf)[23] & internal::kSignExtendFlag;
+  const uint64_t n = h.GetU64(internal::DictStream::kEntryCountOffset);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t* p = buf->data() + internal::DictStream::kEntriesOffset + i * w;
+    const Lane old_value = internal::LoadLane(p, w, se);
+    const Lane new_value = fn(old_value);
+    if (!internal::LaneFits(new_value, w, se)) {
+      return Status::OutOfRange("remapped entry exceeds element width");
+    }
+    StoreBytes(p, static_cast<uint64_t>(new_value), w);
+  }
+  return Status::OK();
+}
+
+Result<RleDecomposition> DecomposeRle(const EncodedStream& stream) {
+  if (stream.type() != EncodingType::kRunLength) {
+    return {Status::InvalidArgument("not a run-length stream")};
+  }
+  std::vector<RleRun> runs;
+  TDE_RETURN_NOT_OK(stream.GetRuns(&runs));
+  RleDecomposition out;
+  out.values.reserve(runs.size());
+  out.counts.reserve(runs.size());
+  for (const RleRun& r : runs) {
+    out.values.push_back(r.value);
+    out.counts.push_back(r.count);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<EncodedStream>> RebuildRle(
+    const RleDecomposition& parts, uint8_t width, bool sign_extend) {
+  if (parts.values.size() != parts.counts.size()) {
+    return {Status::InvalidArgument("value/count stream length mismatch")};
+  }
+  int64_t lo = 0, hi = 0;
+  uint64_t max_count = 1;
+  for (size_t i = 0; i < parts.values.size(); ++i) {
+    if (i == 0) {
+      lo = hi = parts.values[0];
+    } else {
+      lo = std::min(lo, parts.values[i]);
+      hi = std::max(hi, parts.values[i]);
+    }
+    max_count = std::max(max_count, parts.counts[i]);
+  }
+  const uint8_t vw = sign_extend
+                         ? MinSignedWidth(lo, hi)
+                         : MinUnsignedWidth(static_cast<uint64_t>(hi));
+  auto s = internal::RleStream::Make(width, sign_extend,
+                                     MinUnsignedWidth(max_count), vw);
+  for (size_t i = 0; i < parts.values.size(); ++i) {
+    TDE_RETURN_NOT_OK(s->AppendRun(parts.values[i], parts.counts[i]));
+  }
+  return {std::unique_ptr<EncodedStream>(std::move(s))};
+}
+
+Result<DictCompression> EncodingToCompression(const EncodedStream& stream,
+                                              bool signed_values) {
+  if (stream.type() != EncodingType::kDictionary) {
+    return {Status::InvalidArgument("not a dictionary-encoded stream")};
+  }
+  const auto* dict = static_cast<const internal::DictStream*>(&stream);
+  std::vector<Lane> entries = dict->Entries();
+
+  // Sort the (small) domain and compute each old entry's rank: the rank
+  // becomes its compression token, so tokens are distinct, comparable and
+  // minimal-width — all without touching the packed row data.
+  DictCompression out;
+  out.dictionary = entries;
+  std::sort(out.dictionary.begin(), out.dictionary.end());
+  out.dictionary.erase(
+      std::unique(out.dictionary.begin(), out.dictionary.end()),
+      out.dictionary.end());
+
+  std::vector<uint8_t> buf = stream.buffer();  // copy, then edit the header
+  TDE_RETURN_NOT_OK(RemapDictEntries(&buf, [&](Lane v) {
+    const auto it =
+        std::lower_bound(out.dictionary.begin(), out.dictionary.end(), v);
+    return static_cast<Lane>(it - out.dictionary.begin());
+  }));
+  // Tokens are unsigned ranks now; narrow them (Sect. 3.4.3 "again,
+  // narrowing them if desired").
+  buf[23] &= static_cast<uint8_t>(~internal::kSignExtendFlag);
+  TDE_ASSIGN_OR_RETURN(uint8_t unused_w,
+                       NarrowStreamWidth(&buf, /*signed_values=*/false));
+  (void)unused_w;
+  (void)signed_values;
+  TDE_ASSIGN_OR_RETURN(out.tokens, EncodedStream::Open(std::move(buf)));
+  return out;
+}
+
+Result<DictCompression> ForToCompression(const EncodedStream& stream) {
+  if (stream.type() != EncodingType::kFrameOfReference) {
+    return {Status::InvalidArgument("not a frame-of-reference stream")};
+  }
+  const ConstHeaderView h(stream.buffer());
+  const uint8_t bits = h.bits();
+  if (bits > 15) {
+    return {Status::CapacityExceeded(
+        "frame envelope exceeds the dictionary limit")};
+  }
+  const int64_t frame = h.GetI64(internal::ForStream::kFrameOffset);
+  DictCompression out;
+  const uint64_t n = uint64_t{1} << bits;
+  out.dictionary.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out.dictionary[i] = frame + static_cast<int64_t>(i);
+  }
+  // Token stream = the same packing reinterpreted: with the frame edited
+  // to zero, decoding yields the unsigned dictionary indexes directly.
+  std::vector<uint8_t> buf = stream.buffer();
+  HeaderView mh(&buf);
+  mh.SetI64(internal::ForStream::kFrameOffset, 0);
+  buf[23] &= static_cast<uint8_t>(~internal::kSignExtendFlag);
+  TDE_ASSIGN_OR_RETURN(uint8_t w,
+                       NarrowStreamWidth(&buf, /*signed_values=*/false));
+  (void)w;
+  TDE_ASSIGN_OR_RETURN(out.tokens, EncodedStream::Open(std::move(buf)));
+  return out;
+}
+
+}  // namespace tde

@@ -1,0 +1,78 @@
+#ifndef TDE_ENCODING_MANIPULATE_H_
+#define TDE_ENCODING_MANIPULATE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/encoding/stream.h"
+
+namespace tde {
+
+/// Encoding manipulations (Sect. 3.4): fast header edits that change the
+/// semantics of an entire column independent of the number of rows. The
+/// unifying principle is that lightweight compression makes it easy to
+/// transform the whole compressed data set in semantically meaningful ways.
+
+/// Type narrowing (Sect. 3.4.1). Rewrites the header of a serialized
+/// frame-of-reference, dictionary or affine stream in place so that its
+/// element width is the minimum that represents the value envelope:
+///   - frame-of-reference: envelope [frame, frame + 2^bits - 1], O(1);
+///   - affine: endpoints base and base + delta * (n - 1), O(1);
+///   - dictionary: actual entry min/max, entries rewritten at the new
+///     stride, O(2^bits) — independent of the column's row count.
+/// The data offset is left untouched (it is stored in the header, so the
+/// bit packing never moves). Delta and run-length streams are not amenable
+/// (Sect. 3.4.1) and are returned unchanged; so are streams already at
+/// minimum width. Returns the stream's (possibly new) element width.
+Result<uint8_t> NarrowStreamWidth(std::vector<uint8_t>* buf,
+                                  bool signed_values);
+
+/// Rewrites every dictionary entry through `fn`, in place, O(entries).
+/// This is the Sect. 3.4.3 primitive behind sorted heaps: replace each old
+/// heap-offset token with its offset in a rebuilt sorted heap without
+/// touching the (arbitrarily many) packed row indexes.
+Status RemapDictEntries(std::vector<uint8_t>* buf,
+                        const std::function<Lane(Lane)>& fn);
+
+/// Decomposition of a run-length stream into a value stream and a count
+/// stream (Sect. 3.4.1), so the narrowing/dictionary machinery can run on
+/// the values alone and the stream can be rebuilt with the original counts.
+struct RleDecomposition {
+  std::vector<Lane> values;
+  std::vector<uint64_t> counts;
+};
+Result<RleDecomposition> DecomposeRle(const EncodedStream& stream);
+
+/// Rebuilds a run-length stream from (possibly transformed) values and the
+/// original counts.
+Result<std::unique_ptr<EncodedStream>> RebuildRle(
+    const RleDecomposition& parts, uint8_t width, bool sign_extend);
+
+/// Encoding-becomes-compression (Sect. 3.4.3) for scalar columns: converts
+/// a dictionary-*encoded* stream into (dictionary values, token stream)
+/// where tokens are dense indexes 0..n-1 at minimal width. The returned
+/// dictionary is sorted and tokens remapped accordingly, so the resulting
+/// compressed column has comparable, distinct, minimal-width tokens.
+struct DictCompression {
+  /// The compression dictionary: sorted distinct values.
+  std::vector<Lane> dictionary;
+  /// The main column rewritten as indexes into `dictionary`.
+  std::unique_ptr<EncodedStream> tokens;
+};
+Result<DictCompression> EncodingToCompression(const EncodedStream& stream,
+                                              bool signed_values);
+
+/// The frame-of-reference variant of encoding-becomes-compression
+/// (Sect. 3.4.3, sketched as future work in the paper): the frame value
+/// and bit width define the outer envelope of values, so a *sorted* scalar
+/// dictionary {frame, frame+1, ..., frame + 2^bits - 1} can be generated
+/// directly and the packed values become its unsigned tokens — a header
+/// edit, no row data touched. Caveat (the paper's): the dictionary may
+/// contain values that are not actually present in the column. Rejected
+/// when 2^bits exceeds the dictionary limit.
+Result<DictCompression> ForToCompression(const EncodedStream& stream);
+
+}  // namespace tde
+
+#endif  // TDE_ENCODING_MANIPULATE_H_

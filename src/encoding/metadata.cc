@@ -1,0 +1,63 @@
+#include "src/encoding/metadata.h"
+
+namespace tde {
+
+int ColumnMetadata::DetectedCount() const {
+  int n = 0;
+  if (min_max_known) n += 2;  // min and max
+  if (cardinality_known) ++n;
+  if (null_known) ++n;
+  if (sorted) ++n;
+  if (dense) ++n;
+  if (unique) ++n;
+  return n;
+}
+
+std::string ColumnMetadata::ToString() const {
+  std::string s;
+  if (sorted) s += "sorted ";
+  if (dense) s += "dense ";
+  if (unique) s += "unique ";
+  if (min_max_known) {
+    s += "min=" + std::to_string(min_value) +
+         " max=" + std::to_string(max_value) + " ";
+  }
+  if (cardinality_known) {
+    s += "card=" + std::to_string(cardinality) + " ";
+  }
+  if (null_known) s += has_nulls ? "nullable " : "no-nulls ";
+  if (s.empty()) return "(none)";
+  s.pop_back();
+  return s;
+}
+
+ColumnMetadata ExtractMetadata(const EncodingStats& stats) {
+  ColumnMetadata m;
+  if (stats.empty()) return m;
+  m.min_max_known = true;
+  m.min_value = stats.min_value();
+  m.max_value = stats.max_value();
+  // The TDE uses sentinel values for NULL, so nullability falls out of the
+  // statistics for free (Sect. 3.4.2).
+  m.null_known = true;
+  m.has_nulls = stats.null_count() > 0;
+  m.sorted = stats.sorted();
+  if (stats.cardinality_known()) {
+    m.cardinality_known = true;
+    m.cardinality = stats.cardinality();
+    if (m.cardinality == stats.count()) m.unique = true;
+  }
+  if (stats.count() >= 2 && stats.constant_delta()) {
+    const __int128 d = stats.min_delta();
+    if (d != 0) m.unique = true;
+    // Affine with delta 1: not only sorted but dense and unique, which
+    // enables fetch joins downstream (Sect. 3.4.2).
+    if (d == 1) m.dense = true;
+  } else if (stats.count() == 1) {
+    m.dense = true;
+    m.unique = true;
+  }
+  return m;
+}
+
+}  // namespace tde

@@ -1,0 +1,47 @@
+#ifndef TDE_ENCODING_METADATA_H_
+#define TDE_ENCODING_METADATA_H_
+
+#include <string>
+
+#include "src/common/types.h"
+#include "src/encoding/stats.h"
+
+namespace tde {
+
+/// Column-level metadata extracted from encoding statistics (Sect. 3.4.2).
+/// These properties feed the tactical optimizer (fetch joins, hash choice,
+/// ordered aggregation) and can be reported to the visualization client.
+struct ColumnMetadata {
+  /// Values are non-decreasing (delta encoding with min delta >= 0).
+  bool sorted = false;
+  /// Values are consecutive with step 1 (affine with delta 1): sorted,
+  /// dense AND unique — the precondition of a fetch join (Sect. 2.3.5).
+  bool dense = false;
+  /// No value occurs twice (any non-zero constant delta, or cardinality
+  /// equal to the row count).
+  bool unique = false;
+
+  bool min_max_known = false;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+
+  bool cardinality_known = false;
+  uint64_t cardinality = 0;
+
+  /// NULL sentinel occurrence is known (and whether any were seen).
+  bool null_known = false;
+  bool has_nulls = false;
+
+  /// Number of detected properties, for the Fig. 7 experiment: one each
+  /// for min, max, cardinality, nullability, sorted, dense, unique.
+  int DetectedCount() const;
+
+  std::string ToString() const;
+};
+
+/// Derives metadata from the statistics the dynamic encoder gathered.
+ColumnMetadata ExtractMetadata(const EncodingStats& stats);
+
+}  // namespace tde
+
+#endif  // TDE_ENCODING_METADATA_H_

@@ -1,0 +1,28 @@
+#include "src/exec/block.h"
+
+namespace tde {
+
+void Block::Compact(const std::vector<char>& keep) {
+  for (auto& col : columns) {
+    size_t out = 0;
+    for (size_t i = 0; i < col.lanes.size(); ++i) {
+      if (keep[i]) col.lanes[out++] = col.lanes[i];
+    }
+    col.lanes.resize(out);
+  }
+}
+
+Status DrainOperator(Operator* op, std::vector<Block>* out) {
+  TDE_RETURN_NOT_OK(op->Open());
+  while (true) {
+    Block b;
+    bool eos = false;
+    TDE_RETURN_NOT_OK(op->Next(&b, &eos));
+    if (eos) break;
+    if (b.rows() > 0) out->push_back(std::move(b));
+  }
+  op->Close();
+  return Status::OK();
+}
+
+}  // namespace tde

@@ -1,0 +1,76 @@
+#include "src/exec/dictionary_table.h"
+
+#include <numeric>
+
+#include "src/exec/flow_table.h"
+
+namespace tde {
+
+Result<std::shared_ptr<Table>> BuildDictionaryTable(
+    std::shared_ptr<const Column> column) {
+  FlowTableOptions opts;
+  opts.post_process = false;  // dictionary tables are already minimal
+  opts.table_name = column->name() + "$dict";
+
+  auto table = std::make_shared<Table>(opts.table_name);
+
+  if (column->compression() == CompressionKind::kHeap) {
+    // Variable-width data: the value column shares the original heap and
+    // its data is the set of unique tokens in heap order (Fig. 2).
+    std::vector<Lane> tokens = column->heap()->AllTokens();
+
+    ColumnBuildInput token_in;
+    token_in.name = column->name() + "$token";
+    token_in.type = TypeId::kInteger;
+    token_in.lanes = tokens;
+    TDE_ASSIGN_OR_RETURN(auto token_col,
+                         BuildColumn(std::move(token_in), opts));
+    // Heap tokens ascend by construction; record it for the tactical layer.
+    token_col->mutable_metadata()->sorted = true;
+    token_col->mutable_metadata()->unique = true;
+    table->AddColumn(std::move(token_col));
+
+    ColumnBuildInput value_in;
+    value_in.name = column->name();
+    value_in.type = TypeId::kString;
+    value_in.lanes = std::move(tokens);
+    TDE_ASSIGN_OR_RETURN(auto value_col,
+                         BuildColumn(std::move(value_in), opts));
+    value_col->set_compression(CompressionKind::kHeap);
+    value_col->set_heap(column->heap_ptr());
+    table->AddColumn(std::move(value_col));
+    return table;
+  }
+
+  if (column->compression() == CompressionKind::kArrayDict) {
+    // Fixed-width data: token column (dense indexes — affine, so joins
+    // against it become fetch joins) plus a copy of the fixed-width
+    // dictionary.
+    const ArrayDictionary& dict = *column->array_dict();
+    std::vector<Lane> indexes(dict.values.size());
+    std::iota(indexes.begin(), indexes.end(), 0);
+
+    ColumnBuildInput token_in;
+    token_in.name = column->name() + "$token";
+    token_in.type = TypeId::kInteger;
+    token_in.lanes = std::move(indexes);
+    TDE_ASSIGN_OR_RETURN(auto token_col,
+                         BuildColumn(std::move(token_in), opts));
+    table->AddColumn(std::move(token_col));
+
+    ColumnBuildInput value_in;
+    value_in.name = column->name();
+    value_in.type = dict.type;
+    value_in.lanes = dict.values;
+    TDE_ASSIGN_OR_RETURN(auto value_col,
+                         BuildColumn(std::move(value_in), opts));
+    if (dict.sorted) value_col->mutable_metadata()->sorted = true;
+    table->AddColumn(std::move(value_col));
+    return table;
+  }
+
+  return {Status::InvalidArgument("column '" + column->name() +
+                                  "' is not dictionary compressed")};
+}
+
+}  // namespace tde

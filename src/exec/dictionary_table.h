@@ -1,0 +1,29 @@
+#ifndef TDE_EXEC_DICTIONARY_TABLE_H_
+#define TDE_EXEC_DICTIONARY_TABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/storage/table.h"
+
+namespace tde {
+
+/// Builds the DictionaryTable of a compressed column (Sect. 4.1.1): a
+/// pseudo-table whose rows are the column's distinct tokens in heap order,
+/// so expansion of the column becomes a foreign-key join and the strategic
+/// optimizer can push filters and computations down to it.
+///
+/// The table has two columns:
+///   "<name>$token" — the unique tokens (opaque integers: heap offsets for
+///                    string columns, dictionary indexes for array-dict
+///                    columns). The join key.
+///   "<name>"       — the value each token stands for: for variable-width
+///                    data a string column sharing the original heap; for
+///                    fixed-width data a copy of the original column's
+///                    fixed-width dictionary.
+Result<std::shared_ptr<Table>> BuildDictionaryTable(
+    std::shared_ptr<const Column> column);
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_DICTIONARY_TABLE_H_

@@ -1,0 +1,156 @@
+#include "src/exec/exchange.h"
+
+namespace tde {
+
+struct Exchange::Shared {
+  std::mutex mu;
+  std::condition_variable cv_input;
+  std::condition_variable cv_output;
+
+  // Producer -> workers.
+  std::deque<std::pair<uint64_t, Block>> input;
+  bool input_done = false;
+  // Workers -> consumer, keyed by sequence number.
+  std::map<uint64_t, Block> output;
+  std::deque<Block> unordered_output;
+  int workers_running = 0;
+  Status error;
+  bool stop = false;
+
+  static constexpr size_t kQueueLimit = 16;
+};
+
+Exchange::Exchange(std::unique_ptr<Operator> child, ExchangeOptions options)
+    : child_(std::move(child)), options_(std::move(options)) {}
+
+Exchange::~Exchange() { StopThreads(); }
+
+Status Exchange::Open() {
+  TDE_RETURN_NOT_OK(child_->Open());
+  shared_ = std::make_unique<Shared>();
+  next_to_emit_ = 0;
+  shared_->workers_running = options_.workers;
+  threads_.emplace_back([this]() { ProducerLoop(); });
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Exchange::ProducerLoop() {
+  uint64_t seq = 0;
+  while (true) {
+    Block b;
+    bool eos = false;
+    Status st = child_->Next(&b, &eos);
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    if (!st.ok()) {
+      shared_->error = st;
+      shared_->input_done = true;
+      shared_->cv_input.notify_all();
+      return;
+    }
+    if (eos) {
+      shared_->input_done = true;
+      shared_->cv_input.notify_all();
+      return;
+    }
+    shared_->cv_output.wait(lock, [this]() {
+      return shared_->input.size() < Shared::kQueueLimit || shared_->stop;
+    });
+    if (shared_->stop) return;
+    shared_->input.emplace_back(seq++, std::move(b));
+    shared_->cv_input.notify_one();
+  }
+}
+
+void Exchange::WorkerLoop() {
+  while (true) {
+    std::pair<uint64_t, Block> item;
+    {
+      std::unique_lock<std::mutex> lock(shared_->mu);
+      shared_->cv_input.wait(lock, [this]() {
+        return !shared_->input.empty() || shared_->input_done || shared_->stop;
+      });
+      if (shared_->stop ||
+          (shared_->input.empty() && shared_->input_done)) {
+        --shared_->workers_running;
+        shared_->cv_output.notify_all();
+        return;
+      }
+      item = std::move(shared_->input.front());
+      shared_->input.pop_front();
+      shared_->cv_output.notify_all();
+    }
+    Status st;
+    if (options_.transform) {
+      st = options_.transform(child_->output_schema(), &item.second);
+    }
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    if (!st.ok()) {
+      shared_->error = st;
+    } else if (options_.order_preserving) {
+      shared_->output.emplace(item.first, std::move(item.second));
+    } else {
+      shared_->unordered_output.push_back(std::move(item.second));
+    }
+    shared_->cv_output.notify_all();
+  }
+}
+
+Status Exchange::Next(Block* block, bool* eos) {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  while (true) {
+    if (!shared_->error.ok()) return shared_->error;
+    if (options_.order_preserving) {
+      auto it = shared_->output.find(next_to_emit_);
+      if (it != shared_->output.end()) {
+        *block = std::move(it->second);
+        shared_->output.erase(it);
+        ++next_to_emit_;
+        *eos = false;
+        return Status::OK();
+      }
+    } else if (!shared_->unordered_output.empty()) {
+      *block = std::move(shared_->unordered_output.front());
+      shared_->unordered_output.pop_front();
+      *eos = false;
+      return Status::OK();
+    }
+    if (shared_->workers_running == 0 && shared_->input.empty()) {
+      // Order-preserving: any remaining out-of-order blocks are complete.
+      if (options_.order_preserving && !shared_->output.empty()) {
+        auto it = shared_->output.begin();
+        *block = std::move(it->second);
+        shared_->output.erase(it);
+        *eos = false;
+        return Status::OK();
+      }
+      *eos = true;
+      return Status::OK();
+    }
+    shared_->cv_output.wait(lock);
+  }
+}
+
+void Exchange::StopThreads() {
+  if (shared_ != nullptr) {
+    {
+      std::unique_lock<std::mutex> lock(shared_->mu);
+      shared_->stop = true;
+      shared_->cv_input.notify_all();
+      shared_->cv_output.notify_all();
+    }
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+}
+
+void Exchange::Close() {
+  StopThreads();
+  child_->Close();
+}
+
+}  // namespace tde

@@ -1,0 +1,29 @@
+#include "src/exec/filter.h"
+
+namespace tde {
+
+Status Filter::Next(Block* block, bool* eos) {
+  // Pull until a non-empty filtered block or end of stream, so downstream
+  // operators are not flooded with empty blocks.
+  while (true) {
+    TDE_RETURN_NOT_OK(child_->Next(block, eos));
+    if (*eos) return Status::OK();
+    const size_t n = block->rows();
+    if (n == 0) continue;
+    TDE_ASSIGN_OR_RETURN(ColumnVector mask,
+                         predicate_->Eval(*block, output_schema()));
+    std::vector<char> keep(n);
+    size_t kept = 0;
+    for (size_t i = 0; i < n; ++i) {
+      keep[i] = mask.lanes[i] == 1;
+      kept += keep[i];
+    }
+    rows_in_ += n;
+    rows_out_ += kept;
+    if (kept == 0) continue;
+    if (kept < n) block->Compact(keep);
+    return Status::OK();
+  }
+}
+
+}  // namespace tde

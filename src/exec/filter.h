@@ -1,0 +1,39 @@
+#ifndef TDE_EXEC_FILTER_H_
+#define TDE_EXEC_FILTER_H_
+
+#include <memory>
+
+#include "src/exec/block.h"
+#include "src/exec/expression.h"
+
+namespace tde {
+
+/// Flow operator: keeps the rows for which `predicate` is true (the TDE's
+/// Select operator).
+class Filter : public Operator {
+ public:
+  Filter(std::unique_ptr<Operator> child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  Status Next(Block* block, bool* eos) override;
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  /// Rows evaluated and rows kept (selectivity observation for the
+  /// tactical layer / tests).
+  uint64_t rows_in() const { return rows_in_; }
+  uint64_t rows_out() const { return rows_out_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  ExprPtr predicate_;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+};
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_FILTER_H_

@@ -1,0 +1,224 @@
+#include "src/exec/flow_table.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+#include "src/encoding/manipulate.h"
+#include "src/storage/heap_accelerator.h"
+
+namespace tde {
+
+namespace {
+
+/// Sorts a dictionary-encoded string column's heap (Sect. 3.4.3 / 6.3):
+/// the dictionary entries are the distinct heap tokens; sort their strings
+/// (cheap — the domain is small), rebuild the heap in collation order and
+/// write the new tokens back into the dictionary header. The rows of the
+/// column — which can be arbitrarily many — are never touched.
+Status SortColumnHeap(Column* col) {
+  auto* stream = col->mutable_data();
+  if (stream->type() != EncodingType::kDictionary) return Status::OK();
+  StringHeap* heap = col->mutable_heap();
+  if (heap == nullptr || heap->sorted()) return Status::OK();
+
+  std::vector<uint8_t>* buf = stream->mutable_buffer();
+  // Collect the distinct tokens from the dictionary entries (an identity
+  // remap that records what it sees).
+  std::vector<Lane> old_tokens;
+  TDE_RETURN_NOT_OK(RemapDictEntries(buf, [&](Lane v) {
+    old_tokens.push_back(v);
+    return v;
+  }));
+
+  std::vector<size_t> order(old_tokens.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return Collate(heap->collation(), heap->Get(old_tokens[a]),
+                   heap->Get(old_tokens[b])) < 0;
+  });
+
+  auto sorted_heap = std::make_shared<StringHeap>(heap->collation());
+  std::unordered_map<Lane, Lane> remap;
+  remap.reserve(old_tokens.size());
+  for (size_t i : order) {
+    remap[old_tokens[i]] = sorted_heap->Add(heap->Get(old_tokens[i]));
+  }
+  TDE_RETURN_NOT_OK(RemapDictEntries(
+      buf, [&](Lane v) { return remap.find(v)->second; }));
+  sorted_heap->set_sorted(true);
+  col->set_heap(std::move(sorted_heap));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Column>> BuildColumn(ColumnBuildInput in,
+                                            const FlowTableOptions& options) {
+  DynamicEncoderOptions enc;
+  enc.enable_encodings = options.enable_encodings;
+  enc.allowed = options.allowed;
+  enc.width = 8;
+  enc.sign_extend = in.type != TypeId::kString && IsSignedType(in.type);
+  enc.prefer_dictionary = in.type == TypeId::kString;
+  DynamicEncoder encoder(enc);
+  const size_t n = in.lanes.size();
+  for (size_t row = 0; row < n; row += kBlockSize) {
+    const size_t take = std::min<size_t>(kBlockSize, n - row);
+    TDE_RETURN_NOT_OK(encoder.Append(in.lanes.data() + row, take));
+  }
+  TDE_ASSIGN_OR_RETURN(EncodedColumn encoded, encoder.Finalize());
+
+  auto col = std::make_shared<Column>(in.name, in.type);
+  col->set_data(std::move(encoded.stream));
+  col->set_encoding_changes(encoded.encoding_changes);
+  if (in.type == TypeId::kString) {
+    col->set_compression(CompressionKind::kHeap);
+    col->set_heap(in.heap);
+  }
+
+  ColumnMetadata meta;
+  if (options.enable_encodings) {
+    meta = ExtractMetadata(encoded.stats);
+  } else if (in.type == TypeId::kString && in.accel_active) {
+    // With encodings off, the only metadata comes from fortuitous
+    // circumstances: the accelerator's statistics (Sect. 6.4).
+    meta.cardinality_known = true;
+    meta.cardinality = in.accel_distinct;
+  }
+  if (in.type == TypeId::kString && in.accel_active &&
+      in.accel_arrived_sorted) {
+    // Strings happened to arrive in collation order, so the heap is
+    // already sorted (another fortuitous detection).
+    col->mutable_heap()->set_sorted(true);
+    meta.sorted = true;
+  }
+  *col->mutable_metadata() = meta;
+
+  if (options.enable_encodings && options.post_process) {
+    // Sect. 3.4 manipulations, applied as a post-processing step of the
+    // FlowTable build.
+    TDE_RETURN_NOT_OK(SortColumnHeap(col.get()));
+    const bool signed_values =
+        in.type != TypeId::kString && IsSignedType(in.type);
+    TDE_ASSIGN_OR_RETURN(
+        uint8_t w,
+        NarrowStreamWidth(col->mutable_data()->mutable_buffer(),
+                          signed_values));
+    (void)w;
+  }
+  return col;
+}
+
+FlowTable::FlowTable(std::unique_ptr<Operator> child, FlowTableOptions options)
+    : child_(std::move(child)), options_(std::move(options)) {}
+
+const Schema& FlowTable::output_schema() const {
+  return built_ ? scan_->output_schema() : child_->output_schema();
+}
+
+Status FlowTable::Open() {
+  if (built_) {
+    return scan_->Open();
+  }
+  TDE_RETURN_NOT_OK(child_->Open());
+  const Schema& in_schema = child_->output_schema();
+  const size_t ncols = in_schema.num_fields();
+
+  std::vector<ColumnBuildInput> inputs(ncols);
+  std::vector<std::unique_ptr<HeapAccelerator>> accels(ncols);
+  for (size_t i = 0; i < ncols; ++i) {
+    inputs[i].name = in_schema.field(i).name;
+    inputs[i].type = in_schema.field(i).type;
+    if (inputs[i].type == TypeId::kString) {
+      inputs[i].heap = std::make_shared<StringHeap>();
+      if (options_.heap_acceleration) {
+        accels[i] = std::make_unique<HeapAccelerator>(
+            inputs[i].heap.get(), options_.accelerator_threshold);
+      }
+    }
+  }
+
+  // Drain the child, accumulating lanes; string tokens are re-homed into
+  // this FlowTable's own heaps (deduplicated by the accelerator).
+  while (true) {
+    Block b;
+    bool eos = false;
+    TDE_RETURN_NOT_OK(child_->Next(&b, &eos));
+    if (eos) break;
+    const size_t rows = b.rows();
+    for (size_t i = 0; i < ncols && i < b.columns.size(); ++i) {
+      ColumnVector& cv = b.columns[i];
+      ColumnBuildInput& in = inputs[i];
+      if (in.type == TypeId::kString) {
+        for (size_t r = 0; r < rows; ++r) {
+          if (cv.lanes[r] == kNullSentinel) {
+            in.lanes.push_back(kNullSentinel);
+          } else if (accels[i] != nullptr) {
+            in.lanes.push_back(accels[i]->Add(cv.heap->Get(cv.lanes[r])));
+          } else {
+            in.lanes.push_back(in.heap->Add(cv.heap->Get(cv.lanes[r])));
+          }
+        }
+      } else {
+        in.lanes.insert(in.lanes.end(), cv.lanes.begin(), cv.lanes.end());
+      }
+    }
+  }
+  child_->Close();
+  for (size_t i = 0; i < ncols; ++i) {
+    if (accels[i] != nullptr) {
+      inputs[i].accel_active = true;
+      inputs[i].accel_distinct = accels[i]->distinct_count();
+      inputs[i].accel_arrived_sorted = accels[i]->arrived_sorted();
+    }
+  }
+
+  // Encode each column — independently, so the work can be distributed
+  // across cores (Sect. 3.3).
+  auto table = std::make_shared<Table>(options_.table_name);
+  std::vector<Result<std::shared_ptr<Column>>> results(
+      ncols, Result<std::shared_ptr<Column>>(Status::OK()));
+  if (options_.parallel_columns && ncols > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(ncols);
+    for (size_t i = 0; i < ncols; ++i) {
+      workers.emplace_back([&, i]() {
+        results[i] = BuildColumn(std::move(inputs[i]), options_);
+      });
+    }
+    for (auto& t : workers) t.join();
+  } else {
+    for (size_t i = 0; i < ncols; ++i) {
+      results[i] = BuildColumn(std::move(inputs[i]), options_);
+    }
+  }
+  for (size_t i = 0; i < ncols; ++i) {
+    TDE_RETURN_NOT_OK(results[i].status());
+    table->AddColumn(results[i].MoveValue());
+  }
+
+  table_ = std::move(table);
+  scan_ = std::make_unique<TableScan>(table_);
+  built_ = true;
+  return scan_->Open();
+}
+
+Status FlowTable::Next(Block* block, bool* eos) {
+  return scan_->Next(block, eos);
+}
+
+void FlowTable::Close() {
+  if (scan_) scan_->Close();
+}
+
+Result<std::shared_ptr<Table>> FlowTable::Build(
+    std::unique_ptr<Operator> child, FlowTableOptions options) {
+  FlowTable ft(std::move(child), std::move(options));
+  TDE_RETURN_NOT_OK(ft.Open());
+  ft.Close();
+  return ft.table();
+}
+
+}  // namespace tde

@@ -1,0 +1,314 @@
+#include "src/exec/hash_aggregate.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace tde {
+
+namespace agg_internal {
+
+namespace {
+double AsReal(Lane v) { return std::bit_cast<double>(static_cast<uint64_t>(v)); }
+Lane RealLane(double d) { return static_cast<Lane>(std::bit_cast<uint64_t>(d)); }
+}  // namespace
+
+void Update(AggKind kind, TypeId type, Lane v, AggState* s) {
+  if (kind == AggKind::kCountStar) {
+    ++s->n;
+    return;
+  }
+  if (v == kNullSentinel) return;  // aggregates ignore NULL inputs
+  switch (kind) {
+    case AggKind::kCountStar:
+      break;
+    case AggKind::kCount:
+      ++s->n;
+      break;
+    case AggKind::kSum:
+      if (type == TypeId::kReal) {
+        s->d += AsReal(v);
+      } else {
+        s->i += v;
+      }
+      ++s->n;
+      break;
+    case AggKind::kMin:
+      if (!s->seen ||
+          (type == TypeId::kReal ? AsReal(v) < AsReal(s->i) : v < s->i)) {
+        s->i = v;
+      }
+      s->seen = true;
+      break;
+    case AggKind::kMax:
+      if (!s->seen ||
+          (type == TypeId::kReal ? AsReal(v) > AsReal(s->i) : v > s->i)) {
+        s->i = v;
+      }
+      s->seen = true;
+      break;
+    case AggKind::kAvg:
+      s->d += type == TypeId::kReal ? AsReal(v) : static_cast<double>(v);
+      ++s->n;
+      break;
+    case AggKind::kCountDistinct:
+      s->distinct.insert(v);
+      break;
+    case AggKind::kMedian:
+      s->values.push_back(v);
+      break;
+  }
+}
+
+Lane Finalize(AggKind kind, TypeId type, AggState* s) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return static_cast<Lane>(s->n);
+    case AggKind::kSum:
+      if (s->n == 0) return kNullSentinel;
+      return type == TypeId::kReal ? RealLane(s->d) : s->i;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return s->seen ? s->i : kNullSentinel;
+    case AggKind::kAvg:
+      return s->n == 0 ? kNullSentinel : RealLane(s->d / static_cast<double>(s->n));
+    case AggKind::kCountDistinct:
+      return static_cast<Lane>(s->distinct.size());
+    case AggKind::kMedian: {
+      if (s->values.empty()) return kNullSentinel;
+      const size_t mid = (s->values.size() - 1) / 2;
+      if (type == TypeId::kReal) {
+        std::nth_element(s->values.begin(), s->values.begin() + mid,
+                         s->values.end(), [](Lane a, Lane b) {
+                           return AsReal(a) < AsReal(b);
+                         });
+      } else {
+        std::nth_element(s->values.begin(), s->values.begin() + mid,
+                         s->values.end());
+      }
+      return s->values[mid];
+    }
+  }
+  return kNullSentinel;
+}
+
+TypeId OutputType(AggKind kind, TypeId input_type) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+    case AggKind::kCountDistinct:
+      return TypeId::kInteger;
+    case AggKind::kAvg:
+      return TypeId::kReal;
+    case AggKind::kSum:
+      return input_type == TypeId::kReal ? TypeId::kReal : TypeId::kInteger;
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kMedian:
+      return input_type;
+  }
+  return TypeId::kInteger;
+}
+
+}  // namespace agg_internal
+
+HashAggregate::HashAggregate(std::unique_ptr<Operator> child,
+                             AggregateOptions options)
+    : child_(std::move(child)), options_(std::move(options)) {}
+
+Status HashAggregate::BuildSchema() {
+  schema_ = Schema();
+  const Schema& in = child_->output_schema();
+  key_types_.clear();
+  agg_types_.clear();
+  for (const std::string& k : options_.group_by) {
+    TDE_ASSIGN_OR_RETURN(size_t i, in.FieldIndex(k));
+    key_types_.push_back(in.field(i).type);
+    schema_.AddField({k, in.field(i).type});
+  }
+  for (const AggSpec& a : options_.aggs) {
+    TypeId input_type = TypeId::kInteger;
+    if (a.kind != AggKind::kCountStar) {
+      TDE_ASSIGN_OR_RETURN(size_t i, in.FieldIndex(a.input));
+      input_type = in.field(i).type;
+    }
+    const TypeId out = agg_internal::OutputType(a.kind, input_type);
+    agg_types_.push_back(input_type);
+    schema_.AddField({a.output, out});
+  }
+  return Status::OK();
+}
+
+Status HashAggregate::Open() {
+  TDE_RETURN_NOT_OK(child_->Open());
+  TDE_RETURN_NOT_OK(BuildSchema());
+  const Schema& in = child_->output_schema();
+
+  std::vector<size_t> key_idx;
+  for (const std::string& k : options_.group_by) {
+    TDE_ASSIGN_OR_RETURN(size_t i, in.FieldIndex(k));
+    key_idx.push_back(i);
+  }
+  std::vector<size_t> agg_idx;
+  for (const AggSpec& a : options_.aggs) {
+    size_t i = 0;
+    if (a.kind != AggKind::kCountStar) {
+      TDE_ASSIGN_OR_RETURN(i, in.FieldIndex(a.input));
+    }
+    agg_idx.push_back(i);
+  }
+
+  const size_t nkeys = key_idx.size();
+  const size_t naggs = agg_idx.size();
+  out_keys_.assign(nkeys, {});
+  out_aggs_.assign(naggs, {});
+  key_heaps_.assign(nkeys, nullptr);
+  agg_heaps_.assign(naggs, nullptr);
+
+  // Tactical single-key path: GroupMap with the hinted algorithm.
+  std::unique_ptr<GroupMap> single;
+  algorithm_used_ = options_.hash_algorithm.value_or(HashAlgorithm::kCollision);
+  if (nkeys == 1) {
+    single = std::make_unique<GroupMap>(algorithm_used_, options_.key_min,
+                                        options_.key_max);
+  }
+  // Multi-key path: open-addressed map over mixed hashes of the tuple.
+  std::vector<uint64_t> mk_slots;   // group id + 1, 0 = empty
+  uint64_t mk_mask = 0;
+  if (nkeys > 1) {
+    mk_slots.assign(1u << 12, 0);
+    mk_mask = mk_slots.size() - 1;
+    algorithm_used_ = HashAlgorithm::kCollision;
+  }
+
+  // One state per (group, aggregate) pair, stride naggs.
+  uint64_t ngroups = nkeys == 0 ? 1 : 0;
+  std::vector<AggState> states(ngroups * naggs);
+
+  while (true) {
+    Block b;
+    bool eos = false;
+    TDE_RETURN_NOT_OK(child_->Next(&b, &eos));
+    if (eos) break;
+    const size_t n = b.rows();
+    for (size_t k = 0; k < nkeys; ++k) {
+      if (key_heaps_[k] == nullptr) key_heaps_[k] = b.columns[key_idx[k]].heap;
+    }
+    for (size_t a = 0; a < naggs; ++a) {
+      if (agg_heaps_[a] == nullptr &&
+          options_.aggs[a].kind != AggKind::kCountStar) {
+        agg_heaps_[a] = b.columns[agg_idx[a]].heap;
+      }
+    }
+    for (size_t r = 0; r < n; ++r) {
+      uint32_t g;
+      if (nkeys == 0) {
+        g = 0;
+      } else if (nkeys == 1) {
+        g = single->GetOrInsert(b.columns[key_idx[0]].lanes[r]);
+        if (g >= ngroups) {
+          ngroups = g + 1;
+          states.resize(ngroups * naggs);
+          out_keys_[0].push_back(b.columns[key_idx[0]].lanes[r]);
+        }
+      } else {
+        uint64_t h = 0xcbf29ce484222325ULL;
+        for (size_t k = 0; k < nkeys; ++k) {
+          h = Mix64(h ^ static_cast<uint64_t>(b.columns[key_idx[k]].lanes[r]));
+        }
+        uint64_t idx = h & mk_mask;
+        while (true) {
+          if (mk_slots[idx] == 0) {
+            // New group.
+            g = static_cast<uint32_t>(ngroups);
+            mk_slots[idx] = g + 1;
+            ++ngroups;
+            states.resize(ngroups * naggs);
+            for (size_t k = 0; k < nkeys; ++k) {
+              out_keys_[k].push_back(b.columns[key_idx[k]].lanes[r]);
+            }
+            // Grow when half full.
+            if (ngroups * 2 > mk_slots.size()) {
+              std::vector<uint64_t> old = std::move(mk_slots);
+              mk_slots.assign(old.size() * 2, 0);
+              mk_mask = mk_slots.size() - 1;
+              for (uint64_t gid = 0; gid < ngroups; ++gid) {
+                uint64_t h2 = 0xcbf29ce484222325ULL;
+                for (size_t k = 0; k < nkeys; ++k) {
+                  h2 = Mix64(h2 ^ static_cast<uint64_t>(out_keys_[k][gid]));
+                }
+                uint64_t i2 = h2 & mk_mask;
+                while (mk_slots[i2] != 0) i2 = (i2 + 1) & mk_mask;
+                mk_slots[i2] = gid + 1;
+              }
+            }
+            break;
+          }
+          const uint32_t cand = static_cast<uint32_t>(mk_slots[idx] - 1);
+          bool same = true;
+          for (size_t k = 0; k < nkeys; ++k) {
+            if (out_keys_[k][cand] != b.columns[key_idx[k]].lanes[r]) {
+              same = false;
+              break;
+            }
+          }
+          if (same) {
+            g = cand;
+            break;
+          }
+          idx = (idx + 1) & mk_mask;
+        }
+      }
+      for (size_t a = 0; a < naggs; ++a) {
+        const Lane v = options_.aggs[a].kind == AggKind::kCountStar
+                           ? 0
+                           : b.columns[agg_idx[a]].lanes[r];
+        agg_internal::Update(options_.aggs[a].kind, agg_types_[a], v,
+                             &states[g * naggs + a]);
+      }
+    }
+  }
+  child_->Close();
+
+  groups_ = ngroups;
+  for (size_t a = 0; a < naggs; ++a) {
+    out_aggs_[a].resize(groups_);
+    for (uint64_t g = 0; g < groups_; ++g) {
+      out_aggs_[a][g] = agg_internal::Finalize(
+          options_.aggs[a].kind, agg_types_[a], &states[g * naggs + a]);
+    }
+  }
+  emit_ = 0;
+  return Status::OK();
+}
+
+Status HashAggregate::Next(Block* block, bool* eos) {
+  block->columns.clear();
+  if (emit_ >= groups_) {
+    *eos = true;
+    return Status::OK();
+  }
+  const size_t take =
+      static_cast<size_t>(std::min<uint64_t>(kBlockSize, groups_ - emit_));
+  for (size_t k = 0; k < out_keys_.size(); ++k) {
+    ColumnVector cv;
+    cv.type = key_types_[k];
+    cv.heap = key_heaps_[k];
+    cv.lanes.assign(out_keys_[k].begin() + static_cast<ptrdiff_t>(emit_),
+                    out_keys_[k].begin() + static_cast<ptrdiff_t>(emit_ + take));
+    block->columns.push_back(std::move(cv));
+  }
+  for (size_t a = 0; a < out_aggs_.size(); ++a) {
+    ColumnVector cv;
+    cv.type = schema_.field(out_keys_.size() + a).type;
+    if (cv.type == TypeId::kString) cv.heap = agg_heaps_[a];
+    cv.lanes.assign(out_aggs_[a].begin() + static_cast<ptrdiff_t>(emit_),
+                    out_aggs_[a].begin() + static_cast<ptrdiff_t>(emit_ + take));
+    block->columns.push_back(std::move(cv));
+  }
+  emit_ += take;
+  *eos = false;
+  return Status::OK();
+}
+
+}  // namespace tde

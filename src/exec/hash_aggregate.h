@@ -1,0 +1,96 @@
+#ifndef TDE_EXEC_HASH_AGGREGATE_H_
+#define TDE_EXEC_HASH_AGGREGATE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/exec/block.h"
+
+namespace tde {
+
+/// Aggregate functions. COUNTD and MEDIAN are the functions Tableau
+/// extracts exist to supplement (Sect. 2.2).
+enum class AggKind {
+  kCountStar,
+  kCount,   // non-NULL inputs
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kCountDistinct,
+  kMedian,
+};
+
+struct AggSpec {
+  AggKind kind;
+  std::string input;   // ignored for kCountStar
+  std::string output;
+};
+
+struct AggregateOptions {
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggs;
+  /// Tactical hint for single-key grouping: the hash algorithm chosen from
+  /// the key column's width and range metadata (Sect. 2.3.4). Unset =
+  /// collision hashing.
+  std::optional<HashAlgorithm> hash_algorithm;
+  int64_t key_min = 0;
+  int64_t key_max = 0;
+};
+
+/// Per-group aggregate state shared by the hash and ordered variants.
+struct AggState {
+  int64_t i = 0;            // sum / min / max / count
+  double d = 0;             // real sum
+  uint64_t n = 0;           // non-null inputs (avg / count)
+  bool seen = false;
+  std::unordered_set<Lane> distinct;   // COUNTD
+  std::vector<Lane> values;            // MEDIAN
+};
+
+/// Folds one input lane into the state and finalizes it; shared kernels.
+namespace agg_internal {
+void Update(AggKind kind, TypeId type, Lane v, AggState* s);
+Lane Finalize(AggKind kind, TypeId type, AggState* s);
+TypeId OutputType(AggKind kind, TypeId input_type);
+}  // namespace agg_internal
+
+/// Stop-and-go hash aggregation. The group map for single-key grouping is
+/// chosen tactically: direct table for narrow keys, perfect hash when the
+/// key range is known and small, collision hashing otherwise.
+class HashAggregate : public Operator {
+ public:
+  HashAggregate(std::unique_ptr<Operator> child, AggregateOptions options);
+
+  Status Open() override;
+  Status Next(Block* block, bool* eos) override;
+  const Schema& output_schema() const override { return schema_; }
+
+  HashAlgorithm algorithm_used() const { return algorithm_used_; }
+
+ private:
+  Status BuildSchema();
+
+  std::unique_ptr<Operator> child_;
+  AggregateOptions options_;
+  Schema schema_;
+  HashAlgorithm algorithm_used_ = HashAlgorithm::kCollision;
+
+  // Results, emitted in group order after the build.
+  std::vector<std::vector<Lane>> out_keys_;     // [key][group]
+  std::vector<std::vector<Lane>> out_aggs_;     // [agg][group]
+  std::vector<std::shared_ptr<const StringHeap>> key_heaps_;
+  std::vector<std::shared_ptr<const StringHeap>> agg_heaps_;
+  std::vector<TypeId> key_types_;
+  std::vector<TypeId> agg_types_;
+  uint64_t emit_ = 0;
+  uint64_t groups_ = 0;
+};
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_HASH_AGGREGATE_H_

@@ -1,0 +1,225 @@
+#include "src/exec/hash_join.h"
+
+#include <limits>
+
+#include "src/encoding/header.h"
+
+namespace tde {
+
+namespace {
+constexpr uint32_t kNoGroup = std::numeric_limits<uint32_t>::max();
+}
+
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kFetch:
+      return "fetch";
+    case JoinStrategy::kHashDirect:
+      return "hash-direct";
+    case JoinStrategy::kHashPerfect:
+      return "hash-perfect";
+    case JoinStrategy::kHashCollision:
+      return "hash-collision";
+  }
+  return "unknown";
+}
+
+HashJoin::HashJoin(std::unique_ptr<Operator> outer,
+                   std::shared_ptr<const Table> inner, HashJoinOptions options)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      options_(std::move(options)) {}
+
+Result<JoinStrategyChoice> ChooseJoinStrategy(const Table& inner,
+                                              const std::string& inner_key) {
+  TDE_ASSIGN_OR_RETURN(auto key_col, inner.ColumnByName(inner_key));
+  const ColumnMetadata& meta = key_col->metadata();
+  JoinStrategyChoice c;
+
+  // Tactical rule 1 (Sect. 2.3.5, 3.4.2): if the row id of the inner table
+  // is an affine transformation of the key value — detected either from
+  // the affine encoding itself or from dense/unique/sorted metadata — use
+  // a fetch join: no lookup table at all.
+  if (key_col->data() != nullptr &&
+      key_col->data()->type() == EncodingType::kAffine) {
+    const ConstHeaderView h(key_col->data()->buffer());
+    c.fetch_base = h.GetI64(24);
+    c.fetch_delta = h.GetI64(32);
+    if (c.fetch_delta != 0) {
+      c.strategy = JoinStrategy::kFetch;
+      return c;
+    }
+    c.fetch_delta = 1;
+  } else if (meta.dense && meta.unique && meta.sorted && meta.min_max_known) {
+    c.fetch_base = meta.min_value;
+    c.fetch_delta = 1;
+    c.strategy = JoinStrategy::kFetch;
+    return c;
+  }
+  // Tactical rule 2 (Sect. 2.3.4): hash algorithm from key width/range.
+  // The width that matters is the width of the key *values* flowing
+  // through the join, derived from the extracted min/max metadata.
+  const uint8_t value_width =
+      meta.min_max_known ? MinSignedWidth(meta.min_value, meta.max_value) : 8;
+  switch (ChooseHashAlgorithm(value_width, meta.min_max_known, meta.min_value,
+                              meta.max_value)) {
+    case HashAlgorithm::kDirect:
+      c.strategy = JoinStrategy::kHashDirect;
+      break;
+    case HashAlgorithm::kPerfect:
+      c.strategy = JoinStrategy::kHashPerfect;
+      break;
+    case HashAlgorithm::kCollision:
+      c.strategy = JoinStrategy::kHashCollision;
+      break;
+  }
+  return c;
+}
+
+Status HashJoin::ChooseStrategy() {
+  TDE_ASSIGN_OR_RETURN(auto key_col, inner_->ColumnByName(options_.inner_key));
+  const ColumnMetadata& meta = key_col->metadata();
+  inner_rows_ = inner_->rows();
+
+  TDE_ASSIGN_OR_RETURN(JoinStrategyChoice choice,
+                       ChooseJoinStrategy(*inner_, options_.inner_key));
+  fetch_base_ = choice.fetch_base;
+  fetch_delta_ = choice.fetch_delta;
+  if (options_.force_strategy.has_value()) {
+    strategy_ = *options_.force_strategy;
+    if (strategy_ == JoinStrategy::kFetch &&
+        choice.strategy != JoinStrategy::kFetch) {
+      return Status::InvalidArgument(
+          "fetch join forced but inner key is not an affine function of the "
+          "row id");
+    }
+  } else {
+    strategy_ = choice.strategy;
+  }
+
+  if (strategy_ != JoinStrategy::kFetch) {
+    HashAlgorithm algo = HashAlgorithm::kCollision;
+    if (strategy_ == JoinStrategy::kHashDirect) algo = HashAlgorithm::kDirect;
+    if (strategy_ == JoinStrategy::kHashPerfect) {
+      algo = HashAlgorithm::kPerfect;
+    }
+    map_ = std::make_unique<GroupMap>(algo, meta.min_value, meta.max_value);
+    std::vector<Lane> keys(inner_rows_);
+    TDE_RETURN_NOT_OK(key_col->GetLanes(0, inner_rows_, keys.data()));
+    group_to_row_.resize(inner_rows_);
+    for (uint64_t r = 0; r < inner_rows_; ++r) {
+      const uint32_t before = map_->group_count();
+      const uint32_t g = map_->GetOrInsert(keys[r]);
+      if (map_->group_count() == before) {
+        return Status::InvalidArgument(
+            "inner join key is not unique (many-to-one join required)");
+      }
+      group_to_row_[g] = static_cast<uint32_t>(r);
+    }
+  }
+  return Status::OK();
+}
+
+Status HashJoin::Open() {
+  TDE_RETURN_NOT_OK(outer_->Open());
+  TDE_RETURN_NOT_OK(ChooseStrategy());
+
+  // Materialize the requested inner payload columns (inner tables are
+  // small — dictionaries, filtered dimension tables).
+  payload_.clear();
+  for (const std::string& name : options_.inner_payload) {
+    TDE_ASSIGN_OR_RETURN(auto col, inner_->ColumnByName(name));
+    InnerColumn ic;
+    ic.type = col->type();
+    ic.lanes.resize(inner_rows_);
+    if (inner_rows_ > 0) {
+      TDE_RETURN_NOT_OK(col->GetLanes(0, inner_rows_, ic.lanes.data()));
+    }
+    if (col->compression() == CompressionKind::kHeap) {
+      ic.heap = std::shared_ptr<const StringHeap>(col, col->heap());
+    } else if (col->compression() == CompressionKind::kArrayDict) {
+      // Decode dictionary tokens for payload delivery.
+      for (Lane& v : ic.lanes) v = col->array_dict()->values[static_cast<size_t>(v)];
+    }
+    payload_.push_back(std::move(ic));
+  }
+
+  schema_ = Schema();
+  const Schema& outer_schema = outer_->output_schema();
+  for (const Field& f : outer_schema.fields()) schema_.AddField(f);
+  for (size_t i = 0; i < options_.inner_payload.size(); ++i) {
+    schema_.AddField({options_.inner_payload[i], payload_[i].type});
+  }
+  TDE_ASSIGN_OR_RETURN(outer_key_idx_,
+                       outer_schema.FieldIndex(options_.outer_key));
+  return Status::OK();
+}
+
+Status HashJoin::Next(Block* block, bool* eos) {
+  while (true) {
+    Block in;
+    TDE_RETURN_NOT_OK(outer_->Next(&in, eos));
+    block->columns.clear();
+    if (*eos) return Status::OK();
+    const size_t n = in.rows();
+    if (n == 0) continue;
+
+    // Resolve each outer row's inner row id; misses drop the row.
+    std::vector<uint32_t> inner_row(n);
+    std::vector<char> keep(n, 0);
+    size_t kept = 0;
+    const std::vector<Lane>& keys = in.columns[outer_key_idx_].lanes;
+    const bool unit_fetch =
+        strategy_ == JoinStrategy::kFetch && fetch_delta_ == 1;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = kNoGroup;
+      if (unit_fetch) {
+        // The fastest join available (Sect. 2.3.5): row id = key - base.
+        const uint64_t r = static_cast<uint64_t>(keys[i] - fetch_base_);
+        if (r < inner_rows_) row = static_cast<uint32_t>(r);
+      } else if (strategy_ == JoinStrategy::kFetch) {
+        const int64_t num = keys[i] - fetch_base_;
+        if (num % fetch_delta_ == 0) {
+          const int64_t r = num / fetch_delta_;
+          if (r >= 0 && static_cast<uint64_t>(r) < inner_rows_) {
+            row = static_cast<uint32_t>(r);
+          }
+        }
+      } else {
+        const uint32_t g = map_->Find(keys[i]);
+        if (g != kNoGroup) row = group_to_row_[g];
+      }
+      if (row != kNoGroup) {
+        inner_row[i] = row;
+        keep[i] = 1;
+        ++kept;
+      }
+    }
+    if (kept == 0) continue;
+
+    *block = std::move(in);
+    // Attach payload columns before compaction (gather by inner row).
+    for (size_t p = 0; p < payload_.size(); ++p) {
+      ColumnVector cv;
+      cv.type = payload_[p].type;
+      cv.heap = payload_[p].heap;
+      cv.lanes.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        cv.lanes[i] = keep[i] ? payload_[p].lanes[inner_row[i]] : 0;
+      }
+      block->columns.push_back(std::move(cv));
+    }
+    if (kept < n) block->Compact(keep);
+    return Status::OK();
+  }
+}
+
+std::unique_ptr<HashJoin> MakeFetchJoin(std::unique_ptr<Operator> outer,
+                                        std::shared_ptr<const Table> inner,
+                                        HashJoinOptions options) {
+  options.force_strategy = JoinStrategy::kFetch;
+  return std::make_unique<HashJoin>(std::move(outer), std::move(inner),
+                                    std::move(options));
+}
+
+}  // namespace tde

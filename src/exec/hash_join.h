@@ -1,0 +1,107 @@
+#ifndef TDE_EXEC_HASH_JOIN_H_
+#define TDE_EXEC_HASH_JOIN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/exec/block.h"
+#include "src/storage/table.h"
+
+namespace tde {
+
+/// The join implementation the tactical optimizer picks at Open() time
+/// (Sect. 2.3.4-2.3.5): a fetch join when the inner key is an affine
+/// function of the row id (dense/unique metadata), otherwise a hash join
+/// whose hash algorithm depends on the key width and range.
+enum class JoinStrategy : uint8_t {
+  kFetch = 0,
+  kHashDirect = 1,
+  kHashPerfect = 2,
+  kHashCollision = 3,
+};
+
+const char* JoinStrategyName(JoinStrategy s);
+
+/// The tactical choice for joining against `inner_key` of `inner`, plus
+/// the affine parameters when a fetch join applies. Exposed so EXPLAIN can
+/// report the decision without executing.
+struct JoinStrategyChoice {
+  JoinStrategy strategy = JoinStrategy::kHashCollision;
+  int64_t fetch_base = 0;
+  int64_t fetch_delta = 1;
+};
+Result<JoinStrategyChoice> ChooseJoinStrategy(const Table& inner,
+                                              const std::string& inner_key);
+
+struct HashJoinOptions {
+  /// Join key column in the outer (flow) input.
+  std::string outer_key;
+  /// Join key column in the inner (stop-and-go) table; must be unique —
+  /// the TDE uses these joins for many-to-one expansion.
+  std::string inner_key;
+  /// Inner columns attached to matching rows (empty = none: pure
+  /// semi-join filtering, as in pushed-down predicates).
+  std::vector<std::string> inner_payload;
+  /// Force a strategy (tests/benchmarks); otherwise tactical choice.
+  std::optional<JoinStrategy> force_strategy;
+};
+
+/// Many-to-one join: outer rows joined against a unique-keyed inner table.
+/// Outer rows with no match are dropped, which is exactly how predicates
+/// pushed down to a DictionaryTable take effect on the main table
+/// (Sect. 4.1.1). The inner relation is a materialized table — the TDE
+/// Join operator takes a stop-and-go operator (usually a FlowTable) as its
+/// inner input (Sect. 4.1.2).
+class HashJoin : public Operator {
+ public:
+  HashJoin(std::unique_ptr<Operator> outer, std::shared_ptr<const Table> inner,
+           HashJoinOptions options);
+
+  Status Open() override;
+  Status Next(Block* block, bool* eos) override;
+  void Close() override { outer_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+
+  /// The strategy the tactical optimizer chose (valid after Open).
+  JoinStrategy strategy() const { return strategy_; }
+
+ private:
+  Status ChooseStrategy();
+
+  std::unique_ptr<Operator> outer_;
+  std::shared_ptr<const Table> inner_;
+  HashJoinOptions options_;
+  Schema schema_;
+  size_t outer_key_idx_ = 0;
+
+  JoinStrategy strategy_ = JoinStrategy::kHashCollision;
+  // Fetch strategy: row = (key - base) / delta.
+  int64_t fetch_base_ = 0;
+  int64_t fetch_delta_ = 1;
+  uint64_t inner_rows_ = 0;
+  // Hash strategies.
+  std::unique_ptr<GroupMap> map_;
+  std::vector<uint32_t> group_to_row_;
+  // Materialized inner payload columns.
+  struct InnerColumn {
+    std::vector<Lane> lanes;
+    TypeId type;
+    std::shared_ptr<const StringHeap> heap;
+    std::shared_ptr<const ArrayDictionary> dict;
+  };
+  std::vector<InnerColumn> payload_;
+};
+
+/// Convenience wrapper that forces the fetch-join strategy (Sect. 2.3.5):
+/// fails at Open() if the inner key is not an affine transformation of the
+/// row id.
+std::unique_ptr<HashJoin> MakeFetchJoin(std::unique_ptr<Operator> outer,
+                                        std::shared_ptr<const Table> inner,
+                                        HashJoinOptions options);
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_HASH_JOIN_H_

@@ -1,0 +1,55 @@
+#ifndef TDE_EXEC_LIMIT_H_
+#define TDE_EXEC_LIMIT_H_
+
+#include <algorithm>
+#include <memory>
+
+#include "src/exec/block.h"
+
+namespace tde {
+
+/// Flow operator: passes through the first `limit` rows (Tableau's "top N"
+/// views after an ORDER BY).
+class Limit : public Operator {
+ public:
+  Limit(std::unique_ptr<Operator> child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    produced_ = 0;
+    return child_->Open();
+  }
+
+  Status Next(Block* block, bool* eos) override {
+    if (produced_ >= limit_) {
+      block->columns.clear();
+      *eos = true;
+      return Status::OK();
+    }
+    TDE_RETURN_NOT_OK(child_->Next(block, eos));
+    if (*eos) return Status::OK();
+    const uint64_t n = block->rows();
+    if (produced_ + n > limit_) {
+      const size_t keep_n = static_cast<size_t>(limit_ - produced_);
+      for (auto& col : block->columns) col.lanes.resize(keep_n);
+      produced_ = limit_;
+    } else {
+      produced_ += n;
+    }
+    return Status::OK();
+  }
+
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  uint64_t limit_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_LIMIT_H_

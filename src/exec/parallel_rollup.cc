@@ -1,0 +1,109 @@
+#include "src/exec/parallel_rollup.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/exec/ordered_aggregate.h"
+
+namespace tde {
+
+Result<std::vector<IndexEntry>> RollUpIndex(
+    const std::vector<IndexEntry>& index,
+    const std::function<Lane(Lane)>& fn) {
+  std::vector<IndexEntry> out;
+  for (const IndexEntry& e : index) {
+    const Lane rolled = fn(e.value);
+    if (!out.empty() && out.back().value == rolled) {
+      // Re-aggregate: MIN(start), SUM(count). Contiguity of the rolled
+      // range is what makes the converted index valid.
+      if (out.back().start + out.back().count != e.start) {
+        return {Status::InvalidArgument(
+            "roll-up function is not order-preserving over this index")};
+      }
+      out.back().count += e.count;
+      out.back().start = std::min(out.back().start, e.start);
+    } else {
+      if (!out.empty() && fn(out.back().value) == rolled) {
+        return {Status::InvalidArgument("roll-up produced a repeated group")};
+      }
+      out.push_back({rolled, e.count, e.start});
+    }
+  }
+  return out;
+}
+
+Result<ParallelRollupResult> ParallelIndexedAggregate(
+    std::shared_ptr<const Table> table, std::vector<IndexEntry> index,
+    const ParallelRollupOptions& options) {
+  // Partition the index range at group boundaries so each worker owns
+  // whole groups and partition outputs concatenate in order.
+  const int workers = std::max(1, options.workers);
+  std::vector<std::pair<size_t, size_t>> parts;  // [begin, end) into index
+  const size_t per = std::max<size_t>(1, index.size() / workers);
+  size_t begin = 0;
+  while (begin < index.size()) {
+    size_t end = std::min(index.size(), begin + per);
+    while (end < index.size() && index[end].value == index[end - 1].value) {
+      ++end;
+    }
+    parts.emplace_back(begin, end);
+    begin = end;
+  }
+
+  auto run_partition = [&](size_t b, size_t e,
+                           std::vector<Block>* out) -> Status {
+    std::vector<IndexEntry> slice(index.begin() + static_cast<ptrdiff_t>(b),
+                                  index.begin() + static_cast<ptrdiff_t>(e));
+    IndexedScanOptions scan;
+    scan.value_name = options.value_name;
+    scan.value_type = options.value_type;
+    scan.payload = options.payload;
+    auto iscan =
+        std::make_unique<IndexedScan>(table, std::move(slice), scan);
+    AggregateOptions agg;
+    agg.group_by = {options.value_name};
+    agg.aggs = options.aggs;
+    OrderedAggregate oagg(std::move(iscan), agg);
+    return DrainOperator(&oagg, out);
+  };
+
+  std::vector<std::vector<Block>> results(parts.size());
+  std::vector<Status> statuses(parts.size());
+  if (parts.size() > 1) {
+    std::vector<std::thread> pool;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      pool.emplace_back([&, i]() {
+        statuses[i] =
+            run_partition(parts[i].first, parts[i].second, &results[i]);
+      });
+    }
+    for (auto& t : pool) t.join();
+  } else if (parts.size() == 1) {
+    statuses[0] = run_partition(parts[0].first, parts[0].second, &results[0]);
+  }
+  for (const Status& st : statuses) TDE_RETURN_NOT_OK(st);
+
+  ParallelRollupResult out;
+  // Schema: value column + aggregate outputs (derive via a throwaway
+  // operator over an empty partition).
+  {
+    IndexedScanOptions scan;
+    scan.value_name = options.value_name;
+    scan.value_type = options.value_type;
+    scan.payload = options.payload;
+    auto iscan = std::make_unique<IndexedScan>(table,
+                                               std::vector<IndexEntry>{}, scan);
+    AggregateOptions agg;
+    agg.group_by = {options.value_name};
+    agg.aggs = options.aggs;
+    OrderedAggregate oagg(std::move(iscan), agg);
+    TDE_RETURN_NOT_OK(oagg.Open());
+    out.schema = oagg.output_schema();
+  }
+  for (auto& blocks : results) {
+    for (auto& b : blocks) out.blocks.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace tde

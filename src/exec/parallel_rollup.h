@@ -1,0 +1,49 @@
+#ifndef TDE_EXEC_PARALLEL_ROLLUP_H_
+#define TDE_EXEC_PARALLEL_ROLLUP_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/exec/hash_aggregate.h"
+#include "src/exec/indexed_scan.h"
+
+namespace tde {
+
+/// Index roll-up (Sect. 8): applies an order-preserving calculation (e.g.
+/// truncating a date to the start of its month) to the *index* of a sorted
+/// run-length column, then re-aggregates the ranges with MIN(start) and
+/// SUM(count). This converts an index on raw values into an index on the
+/// rolled-up values without touching the raw rows.
+///
+/// Requires the index to be sorted by value and `fn` to be
+/// order-preserving; the resulting ranges must stay contiguous per rolled
+/// value or an error is returned.
+Result<std::vector<IndexEntry>> RollUpIndex(
+    const std::vector<IndexEntry>& index,
+    const std::function<Lane(Lane)>& fn);
+
+/// Parallel ordered aggregation over an index (Sect. 8): partitions the
+/// value-sorted index across `workers` at group boundaries, runs
+/// IndexedScan + OrderedAggregate per partition on its own thread, and
+/// concatenates the partition results — which are globally ordered because
+/// the partitions are value-disjoint.
+struct ParallelRollupOptions {
+  std::string value_name;
+  TypeId value_type = TypeId::kInteger;
+  std::vector<AggSpec> aggs;  // inputs resolved against payload columns
+  std::vector<std::string> payload;
+  int workers = 2;
+};
+
+struct ParallelRollupResult {
+  Schema schema;
+  std::vector<Block> blocks;
+};
+
+Result<ParallelRollupResult> ParallelIndexedAggregate(
+    std::shared_ptr<const Table> table, std::vector<IndexEntry> index,
+    const ParallelRollupOptions& options);
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_PARALLEL_ROLLUP_H_

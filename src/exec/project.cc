@@ -1,0 +1,34 @@
+#include "src/exec/project.h"
+
+namespace tde {
+
+Project::Project(std::unique_ptr<Operator> child,
+                 std::vector<ProjectedColumn> cols)
+    : child_(std::move(child)), cols_(std::move(cols)) {}
+
+Status Project::Open() {
+  TDE_RETURN_NOT_OK(child_->Open());
+  schema_ = Schema();
+  for (const auto& pc : cols_) {
+    TDE_ASSIGN_OR_RETURN(TypeId t,
+                         pc.expr->ResultType(child_->output_schema()));
+    schema_.AddField({pc.name, t});
+  }
+  return Status::OK();
+}
+
+Status Project::Next(Block* block, bool* eos) {
+  Block in;
+  TDE_RETURN_NOT_OK(child_->Next(&in, eos));
+  block->columns.clear();
+  if (*eos) return Status::OK();
+  block->columns.reserve(cols_.size());
+  for (const auto& pc : cols_) {
+    TDE_ASSIGN_OR_RETURN(ColumnVector v,
+                         pc.expr->Eval(in, child_->output_schema()));
+    block->columns.push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace tde

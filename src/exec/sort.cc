@@ -1,0 +1,89 @@
+#include "src/exec/sort.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace tde {
+
+Sort::Sort(std::unique_ptr<Operator> child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status Sort::Open() {
+  TDE_RETURN_NOT_OK(child_->Open());
+  const Schema& schema = child_->output_schema();
+  cols_.assign(schema.num_fields(), ColumnVector{});
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    cols_[i].type = schema.field(i).type;
+  }
+  while (true) {
+    Block b;
+    bool eos = false;
+    TDE_RETURN_NOT_OK(child_->Next(&b, &eos));
+    if (eos) break;
+    for (size_t i = 0; i < b.columns.size(); ++i) {
+      if (cols_[i].heap == nullptr) cols_[i].heap = b.columns[i].heap;
+      cols_[i].lanes.insert(cols_[i].lanes.end(), b.columns[i].lanes.begin(),
+                            b.columns[i].lanes.end());
+    }
+  }
+  child_->Close();
+
+  std::vector<size_t> key_idx;
+  for (const SortKey& k : keys_) {
+    TDE_ASSIGN_OR_RETURN(size_t i, schema.FieldIndex(k.column));
+    key_idx.push_back(i);
+  }
+
+  const uint64_t n = cols_.empty() ? 0 : cols_[0].lanes.size();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [&](uint64_t a, uint64_t b) {
+    for (size_t k = 0; k < key_idx.size(); ++k) {
+      const ColumnVector& col = cols_[key_idx[k]];
+      const Lane va = col.lanes[a];
+      const Lane vb = col.lanes[b];
+      int cmp;
+      if (col.type == TypeId::kString && col.heap != nullptr) {
+        cmp = col.heap->CompareTokens(va, vb);
+      } else if (col.type == TypeId::kReal) {
+        const double da = std::bit_cast<double>(static_cast<uint64_t>(va));
+        const double db = std::bit_cast<double>(static_cast<uint64_t>(vb));
+        cmp = da < db ? -1 : (da > db ? 1 : 0);
+      } else {
+        cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+      }
+      if (cmp != 0) return keys_[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  emit_ = 0;
+  return Status::OK();
+}
+
+Status Sort::Next(Block* block, bool* eos) {
+  block->columns.clear();
+  const uint64_t n = order_.size();
+  if (emit_ >= n) {
+    *eos = true;
+    return Status::OK();
+  }
+  const size_t take = static_cast<size_t>(std::min<uint64_t>(kBlockSize, n - emit_));
+  block->columns.reserve(cols_.size());
+  for (const ColumnVector& col : cols_) {
+    ColumnVector out;
+    out.type = col.type;
+    out.heap = col.heap;
+    out.dict = col.dict;
+    out.lanes.resize(take);
+    for (size_t i = 0; i < take; ++i) {
+      out.lanes[i] = col.lanes[order_[emit_ + i]];
+    }
+    block->columns.push_back(std::move(out));
+  }
+  emit_ += take;
+  *eos = false;
+  return Status::OK();
+}
+
+}  // namespace tde

@@ -1,0 +1,41 @@
+#ifndef TDE_EXEC_SORT_H_
+#define TDE_EXEC_SORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/block.h"
+
+namespace tde {
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Stop-and-go sort. String keys compare through the heap: an integer
+/// comparison when the heap is sorted, a locale collation otherwise —
+/// which is why FlowTable's heap sorting (Sect. 6.3) speeds up downstream
+/// sorts.
+class Sort : public Operator {
+ public:
+  Sort(std::unique_ptr<Operator> child, std::vector<SortKey> keys);
+
+  Status Open() override;
+  Status Next(Block* block, bool* eos) override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<SortKey> keys_;
+  std::vector<ColumnVector> cols_;  // materialized input
+  std::vector<uint64_t> order_;
+  uint64_t emit_ = 0;
+};
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_SORT_H_

@@ -1,0 +1,86 @@
+#include "src/exec/table_scan.h"
+
+#include <algorithm>
+
+namespace tde {
+
+TableScan::TableScan(std::shared_ptr<const Table> table,
+                     TableScanOptions options)
+    : table_(std::move(table)), options_(std::move(options)) {
+  if (options_.columns.empty()) {
+    for (size_t i = 0; i < table_->num_columns(); ++i) {
+      cols_.push_back(table_->column_ptr(i));
+    }
+  } else {
+    for (const std::string& name : options_.columns) {
+      auto r = table_->ColumnByName(name);
+      if (!r.ok()) {
+        init_error_ = r.status();
+        return;
+      }
+      cols_.push_back(r.MoveValue());
+    }
+  }
+  const size_t named = cols_.size();
+  for (const std::string& name : options_.token_columns) {
+    auto r = table_->ColumnByName(name);
+    if (!r.ok()) {
+      init_error_ = r.status();
+      return;
+    }
+    cols_.push_back(r.MoveValue());
+  }
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i < named) {
+      schema_.AddField({cols_[i]->name(), cols_[i]->type()});
+    } else {
+      // Token columns are opaque integers: join keys, never decoded.
+      schema_.AddField({cols_[i]->name() + "$token", TypeId::kInteger});
+    }
+  }
+  first_token_col_ = named;
+}
+
+Status TableScan::Open() {
+  row_ = 0;
+  return init_error_;
+}
+
+Status TableScan::Next(Block* block, bool* eos) {
+  block->columns.assign(cols_.size(), ColumnVector{});
+  const uint64_t total = table_->rows();
+  if (row_ >= total) {
+    *eos = true;
+    return Status::OK();
+  }
+  const size_t take =
+      static_cast<size_t>(std::min<uint64_t>(kBlockSize, total - row_));
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    const Column& col = *cols_[i];
+    ColumnVector& out = block->columns[i];
+    out.type = col.type();
+    out.lanes.resize(take);
+    TDE_RETURN_NOT_OK(col.GetLanes(row_, take, out.lanes.data()));
+    if (i >= first_token_col_) {
+      // Emit the raw token lanes (heap offsets or dictionary indexes).
+      out.type = TypeId::kInteger;
+      continue;
+    }
+    if (col.compression() == CompressionKind::kHeap) {
+      out.heap = std::shared_ptr<const StringHeap>(cols_[i], col.heap());
+    } else if (col.compression() == CompressionKind::kArrayDict) {
+      if (options_.decode_dictionaries) {
+        const auto& values = col.array_dict()->values;
+        for (Lane& v : out.lanes) v = values[static_cast<size_t>(v)];
+      } else {
+        out.dict =
+            std::shared_ptr<const ArrayDictionary>(cols_[i], col.array_dict());
+      }
+    }
+  }
+  row_ += take;
+  *eos = false;
+  return Status::OK();
+}
+
+}  // namespace tde

@@ -1,0 +1,49 @@
+#ifndef TDE_EXEC_TABLE_SCAN_H_
+#define TDE_EXEC_TABLE_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/block.h"
+#include "src/storage/table.h"
+
+namespace tde {
+
+struct TableScanOptions {
+  /// Columns to scan (empty = all), in output order.
+  std::vector<std::string> columns;
+  /// Resolve array-dictionary tokens to values while scanning. The
+  /// strategic optimizer turns this off when it expands the column through
+  /// an invisible join instead (Sect. 4.1.1).
+  bool decode_dictionaries = true;
+  /// Compressed columns to emit as opaque integer token lanes named
+  /// "<name>$token" (appended after `columns`). These are the outer join
+  /// keys of invisible joins against a DictionaryTable.
+  std::vector<std::string> token_columns;
+};
+
+/// Scans a stored table block by block, decoding each column's encoded
+/// stream one decompression block per iteration block (they are the same
+/// size by design, Sect. 3.1).
+class TableScan : public Operator {
+ public:
+  TableScan(std::shared_ptr<const Table> table, TableScanOptions options = {});
+
+  Status Open() override;
+  Status Next(Block* block, bool* eos) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  TableScanOptions options_;
+  std::vector<std::shared_ptr<Column>> cols_;
+  Schema schema_;
+  size_t first_token_col_ = 0;
+  uint64_t row_ = 0;
+  Status init_error_;
+};
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_TABLE_SCAN_H_

@@ -1,0 +1,491 @@
+#include "src/plan/executor.h"
+
+#include <algorithm>
+
+#include "src/exec/dictionary_table.h"
+#include "src/exec/filter.h"
+#include "src/exec/limit.h"
+#include "src/exec/ordered_aggregate.h"
+#include "src/exec/table_scan.h"
+#include "src/plan/strategic.h"
+
+namespace tde {
+
+namespace {
+
+ColumnProps PropsOf(const Column& col) {
+  ColumnProps p;
+  p.meta = col.metadata();
+  p.width = col.TokenWidth();
+  return p;
+}
+
+Result<BuiltPlan> BuildScan(const PlanNode& node) {
+  TableScanOptions opts;
+  opts.columns = node.columns;
+  opts.token_columns = node.token_columns;
+  BuiltPlan out;
+  out.op = std::make_unique<TableScan>(node.table, std::move(opts));
+  const auto& names =
+      node.columns.empty() ? std::vector<std::string>{} : node.columns;
+  if (names.empty()) {
+    for (size_t i = 0; i < node.table->num_columns(); ++i) {
+      const Column& c = node.table->column(i);
+      out.props[c.name()] = PropsOf(c);
+    }
+  } else {
+    for (const std::string& n : names) {
+      TDE_ASSIGN_OR_RETURN(auto c, node.table->ColumnByName(n));
+      out.props[n] = PropsOf(*c);
+    }
+  }
+  for (const std::string& n : node.token_columns) {
+    TDE_ASSIGN_OR_RETURN(auto c, node.table->ColumnByName(n));
+    out.props[n + "$token"] = PropsOf(*c);
+  }
+  return out;
+}
+
+Result<BuiltPlan> BuildFilter(const PlanNode& node, BuiltPlan child) {
+  BuiltPlan out;
+  out.notes = std::move(child.notes);
+  out.op = std::make_unique<Filter>(std::move(child.op), node.predicate);
+  // Filtering keeps value bounds and order but can destroy density
+  // (Sect. 3.4.2: "the filter will remove an existing dense attribute").
+  out.props = std::move(child.props);
+  for (auto& [name, p] : out.props) p.meta.dense = false;
+  out.grouped_on = child.grouped_on;
+  return out;
+}
+
+Result<BuiltPlan> BuildProject(const PlanNode& node, BuiltPlan child) {
+  BuiltPlan out;
+  out.notes = std::move(child.notes);
+  for (const ProjectedColumn& pc : node.projections) {
+    if (const std::string* ref = pc.expr->AsColumnRef()) {
+      auto it = child.props.find(*ref);
+      if (it != child.props.end()) out.props[pc.name] = it->second;
+      if (child.grouped_on == *ref) out.grouped_on = pc.name;
+    }
+  }
+  out.op = std::make_unique<Project>(std::move(child.op), node.projections);
+  return out;
+}
+
+Result<BuiltPlan> BuildAggregate(const PlanNode& node, BuiltPlan child) {
+  AggregateOptions agg = node.agg;
+  BuiltPlan out;
+  out.notes = std::move(child.notes);
+  const bool ordered =
+      !node.force_hash_agg &&
+      (node.grouped_input ||
+       (agg.group_by.size() == 1 && child.grouped_on == agg.group_by[0]));
+  if (ordered) {
+    if (!agg.group_by.empty()) {
+      out.notes.push_back("aggregate(" + agg.group_by[0] +
+                          "): ordered (grouped input)");
+    }
+    out.op =
+        std::make_unique<OrderedAggregate>(std::move(child.op), std::move(agg));
+  } else {
+    if (agg.group_by.size() == 1 && !agg.hash_algorithm.has_value()) {
+      auto it = child.props.find(agg.group_by[0]);
+      if (it != child.props.end()) {
+        const GroupingChoice gc = ChooseGrouping(it->second);
+        agg.hash_algorithm = gc.algorithm;
+        agg.key_min = gc.key_min;
+        agg.key_max = gc.key_max;
+      }
+    }
+    if (!agg.group_by.empty()) {
+      out.notes.push_back(
+          "aggregate(" + agg.group_by[0] + "): " +
+          HashAlgorithmName(
+              agg.hash_algorithm.value_or(HashAlgorithm::kCollision)) +
+          " hash");
+    }
+    out.op =
+        std::make_unique<HashAggregate>(std::move(child.op), std::move(agg));
+  }
+  for (const std::string& k : node.agg.group_by) {
+    auto it = child.props.find(k);
+    if (it != child.props.end()) out.props[k] = it->second;
+  }
+  return out;
+}
+
+Result<BuiltPlan> BuildJoinTable(const PlanNode& node, BuiltPlan child) {
+  BuiltPlan out;
+  out.notes = std::move(child.notes);
+  {
+    auto choice = ChooseJoinStrategy(*node.inner_table, node.join.inner_key);
+    if (choice.ok()) {
+      out.notes.push_back("join(" + node.join.inner_key + "): " +
+                          JoinStrategyName(choice.value().strategy));
+    }
+  }
+  for (const std::string& p : node.join.inner_payload) {
+    TDE_ASSIGN_OR_RETURN(auto c, node.inner_table->ColumnByName(p));
+    out.props[p] = PropsOf(*c);
+  }
+  out.props.insert(child.props.begin(), child.props.end());
+  out.op = std::make_unique<HashJoin>(std::move(child.op), node.inner_table,
+                                      node.join);
+  return out;
+}
+
+Result<BuiltPlan> BuildInvisibleJoin(const PlanNode& node) {
+  const PlanNode& scan = *node.children[0];
+  if (scan.kind != PlanNodeKind::kScan) {
+    return {Status::Internal("invisible join child must be a scan")};
+  }
+  const std::string& c = node.dict_column;
+  TDE_ASSIGN_OR_RETURN(auto col, scan.table->ColumnByName(c));
+
+  // Outer side: the main table with the compressed column as raw tokens.
+  TableScanOptions outer_opts;
+  if (scan.columns.empty()) {
+    for (size_t i = 0; i < scan.table->num_columns(); ++i) {
+      const std::string& n = scan.table->column(i).name();
+      if (n != c) outer_opts.columns.push_back(n);
+    }
+  } else {
+    for (const std::string& n : scan.columns) {
+      if (n != c) outer_opts.columns.push_back(n);
+    }
+  }
+  outer_opts.token_columns = {c};
+  auto outer = std::make_unique<TableScan>(scan.table, outer_opts);
+
+  // Inner side: DictionaryTable -> pushed-down filter/computations ->
+  // FlowTable (restricted to random-access encodings, Sect. 4.3).
+  TDE_ASSIGN_OR_RETURN(auto dict_table, BuildDictionaryTable(col));
+  std::unique_ptr<Operator> inner_flow =
+      std::make_unique<TableScan>(dict_table);
+  if (node.inner_predicate != nullptr) {
+    inner_flow = std::make_unique<Filter>(std::move(inner_flow),
+                                          node.inner_predicate);
+  }
+  std::vector<std::string> payload = {c};
+  if (!node.inner_projections.empty()) {
+    std::vector<ProjectedColumn> projections;
+    projections.push_back({expr::Col(c + "$token"), c + "$token"});
+    projections.push_back({expr::Col(c), c});
+    for (const ProjectedColumn& pc : node.inner_projections) {
+      projections.push_back(pc);
+      payload.push_back(pc.name);
+    }
+    inner_flow =
+        std::make_unique<Project>(std::move(inner_flow), projections);
+  }
+  FlowTableOptions ft;
+  ft.allowed = kAllowRandomAccess;
+  ft.table_name = c + "$inner";
+  TDE_ASSIGN_OR_RETURN(auto inner_table,
+                       FlowTable::Build(std::move(inner_flow), ft));
+
+  HashJoinOptions join;
+  join.outer_key = c + "$token";
+  join.inner_key = c + "$token";
+  join.inner_payload = payload;
+  auto joined =
+      std::make_unique<HashJoin>(std::move(outer), inner_table, join);
+  std::string note = "invisible join(" + c + "): " +
+                     std::to_string(inner_table->rows()) +
+                     " dictionary rows";
+  if (auto choice = ChooseJoinStrategy(*inner_table, c + "$token");
+      choice.ok()) {
+    note += std::string(", ") + JoinStrategyName(choice.value().strategy);
+  }
+
+  // Drop the token column from the output.
+  std::vector<ProjectedColumn> keep;
+  for (const std::string& n : outer_opts.columns) {
+    keep.push_back({expr::Col(n), n});
+  }
+  for (const std::string& n : payload) {
+    keep.push_back({expr::Col(n), n});
+  }
+  BuiltPlan out;
+  out.notes.push_back(std::move(note));
+  for (const std::string& n : outer_opts.columns) {
+    TDE_ASSIGN_OR_RETURN(auto oc, scan.table->ColumnByName(n));
+    out.props[n] = PropsOf(*oc);
+  }
+  for (const std::string& n : payload) {
+    auto ic = inner_table->ColumnByName(n);
+    if (ic.ok()) out.props[n] = PropsOf(*ic.value());
+  }
+  out.op = std::make_unique<Project>(std::move(joined), std::move(keep));
+  return out;
+}
+
+Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
+  TDE_ASSIGN_OR_RETURN(auto col, node.table->ColumnByName(node.index_column));
+  TDE_ASSIGN_OR_RETURN(std::vector<IndexEntry> index, BuildIndexTable(*col));
+
+  // Push the predicate down to the (tiny) index side: evaluate it over the
+  // entry values and keep qualifying ranges.
+  if (node.index_predicate != nullptr) {
+    Schema index_schema;
+    index_schema.AddField({node.index_column, col->type()});
+    Block b;
+    b.columns.resize(1);
+    b.columns[0].type = col->type();
+    b.columns[0].lanes.reserve(index.size());
+    for (const IndexEntry& e : index) b.columns[0].lanes.push_back(e.value);
+    TDE_ASSIGN_OR_RETURN(ColumnVector mask,
+                         node.index_predicate->Eval(b, index_schema));
+    std::vector<IndexEntry> kept;
+    kept.reserve(index.size());
+    for (size_t i = 0; i < index.size(); ++i) {
+      if (mask.lanes[i] == 1) kept.push_back(index[i]);
+    }
+    index = std::move(kept);
+  }
+
+  // Tactical decision (Sect. 4.2.2): sort the index for ordered retrieval
+  // when the runs are long enough to pay for it.
+  const bool value_ordered = col->metadata().sorted;
+  IndexedAggChoice choice = ChooseIndexedAggregation(index, value_ordered);
+  if (node.sort_index_by_value.has_value()) {
+    choice.sort_index = *node.sort_index_by_value && !value_ordered;
+    choice.ordered_aggregation = *node.sort_index_by_value || value_ordered;
+  }
+  if (choice.sort_index) SortIndexByValue(&index);
+  *grouped = choice.ordered_aggregation;
+
+  IndexedScanOptions opts;
+  opts.value_name = node.index_column;
+  opts.value_type = col->type();
+  if (col->compression() == CompressionKind::kHeap) {
+    opts.value_heap = std::shared_ptr<const StringHeap>(col, col->heap());
+  }
+  opts.payload = node.payload;
+  BuiltPlan out;
+  out.notes.push_back(
+      "indexed scan(" + node.index_column + "): " +
+      std::to_string(index.size()) + " qualifying entries" +
+      (choice.sort_index ? ", sorted by value" : "") +
+      (choice.ordered_aggregation ? ", enables ordered aggregation" : ""));
+  out.props[node.index_column] = PropsOf(*col);
+  for (const std::string& p : node.payload) {
+    TDE_ASSIGN_OR_RETURN(auto pc, node.table->ColumnByName(p));
+    out.props[p] = PropsOf(*pc);
+  }
+  if (choice.ordered_aggregation) out.grouped_on = node.index_column;
+  out.op = std::make_unique<IndexedScan>(node.table, std::move(index),
+                                         std::move(opts));
+  return out;
+}
+
+Result<BuiltPlan> BuildExchange(const PlanNode& node) {
+  // If the exchange sits directly above a filter, route the filter into
+  // the workers (that is the parallelized segment).
+  const PlanNodePtr& child = node.children[0];
+  ExchangeOptions opts;
+  opts.workers = node.exchange_workers;
+  opts.order_preserving = node.order_preserving;
+  BuiltPlan built_child;
+  if (child->kind == PlanNodeKind::kFilter) {
+    ExprPtr pred = child->predicate;
+    TDE_ASSIGN_OR_RETURN(built_child, BuildExecutable(child->children[0]));
+    opts.transform = [pred](const Schema& schema, Block* block) -> Status {
+      TDE_ASSIGN_OR_RETURN(ColumnVector mask, pred->Eval(*block, schema));
+      std::vector<char> keep(block->rows());
+      for (size_t i = 0; i < keep.size(); ++i) keep[i] = mask.lanes[i] == 1;
+      block->Compact(keep);
+      return Status::OK();
+    };
+    for (auto& [name, p] : built_child.props) p.meta.dense = false;
+  } else {
+    TDE_ASSIGN_OR_RETURN(built_child, BuildExecutable(child));
+  }
+  BuiltPlan out;
+  out.notes = std::move(built_child.notes);
+  out.notes.push_back(std::string("exchange: ") +
+                      (opts.order_preserving ? "order-preserving"
+                                             : "unordered") +
+                      " routing, " + std::to_string(opts.workers) +
+                      " workers");
+  out.props = std::move(built_child.props);
+  out.op = std::make_unique<Exchange>(std::move(built_child.op), opts);
+  if (opts.order_preserving) out.grouped_on = built_child.grouped_on;
+  return out;
+}
+
+}  // namespace
+
+Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
+  switch (node->kind) {
+    case PlanNodeKind::kScan:
+      return BuildScan(*node);
+    case PlanNodeKind::kFilter: {
+      TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
+      return BuildFilter(*node, std::move(child));
+    }
+    case PlanNodeKind::kProject: {
+      TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
+      return BuildProject(*node, std::move(child));
+    }
+    case PlanNodeKind::kAggregate: {
+      TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
+      return BuildAggregate(*node, std::move(child));
+    }
+    case PlanNodeKind::kSort: {
+      TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
+      BuiltPlan out;
+      out.notes = std::move(child.notes);
+      out.props = std::move(child.props);
+      if (!node->sort_keys.empty()) {
+        out.grouped_on = node->sort_keys[0].column;
+        auto it = out.props.find(node->sort_keys[0].column);
+        if (it != out.props.end()) it->second.meta.sorted = true;
+      }
+      out.op = std::make_unique<Sort>(std::move(child.op), node->sort_keys);
+      return out;
+    }
+    case PlanNodeKind::kJoinTable: {
+      TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
+      return BuildJoinTable(*node, std::move(child));
+    }
+    case PlanNodeKind::kInvisibleJoin:
+      return BuildInvisibleJoin(*node);
+    case PlanNodeKind::kIndexedScan: {
+      bool grouped = false;
+      return BuildIndexedScan(*node, &grouped);
+    }
+    case PlanNodeKind::kLimit: {
+      TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
+      BuiltPlan out;
+      out.notes = std::move(child.notes);
+      out.props = std::move(child.props);
+      out.grouped_on = child.grouped_on;
+      out.op = std::make_unique<Limit>(std::move(child.op), node->limit);
+      return out;
+    }
+    case PlanNodeKind::kExchange:
+      return BuildExchange(*node);
+    case PlanNodeKind::kMaterialize: {
+      TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
+      BuiltPlan out;
+      out.notes = std::move(child.notes);
+      out.op = std::make_unique<FlowTable>(std::move(child.op), node->flow);
+      return out;
+    }
+  }
+  return {Status::Internal("unknown plan node kind")};
+}
+
+QueryResult::QueryResult(Schema schema, std::vector<Block> blocks)
+    : schema_(std::move(schema)), blocks_(std::move(blocks)) {
+  for (const Block& b : blocks_) rows_ += b.rows();
+}
+
+const ColumnVector* QueryResult::Locate(uint64_t row, size_t col,
+                                        size_t* offset) const {
+  for (const Block& b : blocks_) {
+    if (row < b.rows()) {
+      *offset = static_cast<size_t>(row);
+      return &b.columns[col];
+    }
+    row -= b.rows();
+  }
+  return nullptr;
+}
+
+Lane QueryResult::Value(uint64_t row, size_t col) const {
+  size_t off = 0;
+  const ColumnVector* cv = Locate(row, col, &off);
+  return cv == nullptr ? kNullSentinel : cv->lanes[off];
+}
+
+std::string QueryResult::ValueString(uint64_t row, size_t col) const {
+  size_t off = 0;
+  const ColumnVector* cv = Locate(row, col, &off);
+  if (cv == nullptr) return "NULL";
+  const Lane v = cv->lanes[off];
+  if (v == kNullSentinel) return "NULL";
+  if (cv->type == TypeId::kString && cv->heap != nullptr) {
+    return std::string(cv->heap->Get(v));
+  }
+  return FormatLane(cv->type, v);
+}
+
+std::string QueryResult::ToString(uint64_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema_.field(c).name;
+  }
+  out += "\n";
+  const uint64_t n = std::min<uint64_t>(max_rows, rows_);
+  for (uint64_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      if (c > 0) out += " | ";
+      out += ValueString(r, c);
+    }
+    out += "\n";
+  }
+  if (n < rows_) {
+    out += "... (" + std::to_string(rows_ - n) + " more rows)\n";
+  }
+  return out;
+}
+
+Result<QueryResult> ExecutePlanNode(const PlanNodePtr& root) {
+  TDE_ASSIGN_OR_RETURN(BuiltPlan built, BuildExecutable(root));
+  std::vector<Block> blocks;
+  TDE_RETURN_NOT_OK(DrainOperator(built.op.get(), &blocks));
+  return QueryResult(built.op->output_schema(), std::move(blocks));
+}
+
+std::string QueryResult::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    if (c > 0) out += ",";
+    out += schema_.field(c).name;
+  }
+  out += "\n";
+  for (uint64_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      if (c > 0) out += ",";
+      std::string v = ValueString(r, c);
+      if (schema_.field(c).type == TypeId::kString &&
+          (v.find(',') != std::string::npos ||
+           v.find('"') != std::string::npos ||
+           v.find('\n') != std::string::npos)) {
+        std::string quoted = "\"";
+        for (char ch : v) {
+          if (ch == '"') quoted += '"';
+          quoted += ch;
+        }
+        quoted += "\"";
+        v = std::move(quoted);
+      }
+      out += v;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::string> ExplainPlan(const Plan& plan) {
+  TDE_ASSIGN_OR_RETURN(PlanNodePtr optimized, StrategicOptimize(plan.root()));
+  TDE_ASSIGN_OR_RETURN(BuiltPlan built, BuildExecutable(optimized));
+  std::string out = PlanToString(optimized);
+  if (!built.notes.empty()) {
+    out += "tactical decisions:\n";
+    for (const std::string& n : built.notes) {
+      out += "  " + n + "\n";
+    }
+  }
+  return out;
+}
+
+Result<QueryResult> ExecutePlan(const Plan& plan) {
+  TDE_ASSIGN_OR_RETURN(PlanNodePtr optimized, StrategicOptimize(plan.root()));
+  return ExecutePlanNode(optimized);
+}
+
+}  // namespace tde

@@ -1,0 +1,74 @@
+#ifndef TDE_PLAN_EXECUTOR_H_
+#define TDE_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/plan/plan.h"
+#include "src/plan/tactical.h"
+
+namespace tde {
+
+/// A lowered plan: the operator tree plus the column properties derived
+/// while lowering (which the tactical optimizer consumed along the way).
+struct BuiltPlan {
+  std::unique_ptr<Operator> op;
+  PropMap props;
+  /// Non-empty when the operator's output is known to arrive grouped on
+  /// this column (contiguous key runs) — enables ordered aggregation.
+  std::string grouped_on;
+  /// Human-readable record of the tactical decisions made while lowering
+  /// (join strategy, hash algorithm, index sorting), for EXPLAIN output.
+  std::vector<std::string> notes;
+};
+
+/// Lowers a logical plan to an executable operator tree, making tactical
+/// decisions (join strategy, hash algorithm, ordered aggregation, index
+/// sorting) from derived metadata.
+Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node);
+
+/// A fully materialized query result.
+class QueryResult {
+ public:
+  QueryResult() = default;
+  QueryResult(Schema schema, std::vector<Block> blocks);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return rows_; }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Lane at (row, col).
+  Lane Value(uint64_t row, size_t col) const;
+  /// Formatted value at (row, col) — strings resolved through their heap.
+  std::string ValueString(uint64_t row, size_t col) const;
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Renders the first `max_rows` rows as an aligned text table.
+  std::string ToString(uint64_t max_rows = 20) const;
+
+  /// Renders the whole result as CSV (header row, quoted strings).
+  std::string ToCsv() const;
+
+ private:
+  const ColumnVector* Locate(uint64_t row, size_t col, size_t* offset) const;
+
+  Schema schema_;
+  std::vector<Block> blocks_;
+  uint64_t rows_ = 0;
+};
+
+/// Optimizes (strategic), lowers (tactical) and runs a plan.
+Result<QueryResult> ExecutePlan(const Plan& plan);
+/// Runs an already-optimized plan tree.
+Result<QueryResult> ExecutePlanNode(const PlanNodePtr& root);
+
+/// EXPLAIN: the strategically optimized plan tree plus the tactical
+/// decisions the executor would make (join strategy, hash algorithm,
+/// index ordering). Lowers the plan — building inner dictionary tables
+/// and indexes — but does not run it.
+Result<std::string> ExplainPlan(const Plan& plan);
+
+}  // namespace tde
+
+#endif  // TDE_PLAN_EXECUTOR_H_

@@ -1,0 +1,120 @@
+#ifndef TDE_PLAN_PLAN_H_
+#define TDE_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/exchange.h"
+#include "src/exec/flow_table.h"
+#include "src/exec/hash_aggregate.h"
+#include "src/exec/hash_join.h"
+#include "src/exec/project.h"
+#include "src/exec/sort.h"
+#include "src/storage/table.h"
+
+namespace tde {
+
+enum class PlanNodeKind {
+  kScan,
+  kFilter,
+  kProject,
+  kAggregate,
+  kSort,
+  kJoinTable,      // explicit many-to-one join against a stored table
+  kInvisibleJoin,  // decompression join against a DictionaryTable (4.1)
+  kIndexedScan,    // rank join against an IndexTable (4.2)
+  kExchange,
+  kMaterialize,    // FlowTable sink
+  kLimit,
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// A logical plan node. The strategic optimizer rewrites trees of these;
+/// the executor lowers them to operators, making tactical choices from
+/// derived metadata as it goes.
+struct PlanNode {
+  PlanNodeKind kind;
+  std::vector<PlanNodePtr> children;
+
+  // kScan
+  std::shared_ptr<const Table> table;
+  std::vector<std::string> columns;        // empty = all
+  std::vector<std::string> token_columns;  // emitted as "<c>$token"
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ProjectedColumn> projections;
+
+  // kAggregate
+  AggregateOptions agg;
+  /// Input is known grouped on the key: use ordered aggregation.
+  bool grouped_input = false;
+  /// Force hash aggregation even over grouped input (benchmark control).
+  bool force_hash_agg = false;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kJoinTable
+  std::shared_ptr<const Table> inner_table;
+  HashJoinOptions join;
+
+  // kInvisibleJoin: expand dictionary-compressed column `dict_column` of
+  // the child scan through a DictionaryTable; `inner_predicate` and
+  // `inner_projections` were pushed down to the dictionary side.
+  std::string dict_column;
+  ExprPtr inner_predicate;
+  std::vector<ProjectedColumn> inner_projections;
+
+  // kIndexedScan: rank-join the RLE column `index_column` of `table`.
+  std::string index_column;
+  ExprPtr index_predicate;
+  /// Sort the index by value before scanning (ordered retrieval, 4.2.2);
+  /// when unset the executor decides tactically.
+  std::optional<bool> sort_index_by_value;
+  std::vector<std::string> payload;
+
+  // kExchange
+  int exchange_workers = 2;
+  bool order_preserving = false;
+
+  // kMaterialize
+  FlowTableOptions flow;
+
+  // kLimit
+  uint64_t limit = 0;
+};
+
+/// Fluent builder for logical plans.
+class Plan {
+ public:
+  static Plan Scan(std::shared_ptr<const Table> table,
+                   std::vector<std::string> columns = {});
+
+  Plan Filter(ExprPtr predicate) &&;
+  Plan Project(std::vector<ProjectedColumn> projections) &&;
+  Plan Aggregate(std::vector<std::string> group_by,
+                 std::vector<AggSpec> aggs) &&;
+  Plan OrderBy(std::vector<SortKey> keys) &&;
+  Plan Join(std::shared_ptr<const Table> inner, HashJoinOptions join) &&;
+  Plan ExchangeBy(int workers, bool order_preserving = false) &&;
+  Plan Limit(uint64_t n) &&;
+  Plan Materialize(FlowTableOptions options = {}) &&;
+
+  const PlanNodePtr& root() const { return root_; }
+
+ private:
+  PlanNodePtr root_;
+};
+
+/// Pretty-prints a plan tree (one node per line, indented).
+std::string PlanToString(const PlanNodePtr& node);
+
+}  // namespace tde
+
+#endif  // TDE_PLAN_PLAN_H_

@@ -1,0 +1,267 @@
+#include "src/plan/strategic.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/encoding/header.h"
+
+namespace tde {
+
+namespace {
+
+/// True if `pred` references exactly one column, and that column is `name`.
+bool PredicateOnlyOn(const ExprPtr& pred, const std::string& name) {
+  std::vector<std::string> cols;
+  pred->CollectColumns(&cols);
+  if (cols.empty()) return false;
+  return std::all_of(cols.begin(), cols.end(),
+                     [&](const std::string& c) { return c == name; });
+}
+
+/// The single column a predicate references, if exactly one.
+bool SingleColumn(const ExprPtr& pred, std::string* name) {
+  std::vector<std::string> cols;
+  pred->CollectColumns(&cols);
+  if (cols.empty()) return false;
+  for (const auto& c : cols) {
+    if (c != cols[0]) return false;
+  }
+  *name = cols[0];
+  return true;
+}
+
+/// Rule 1 (Sect. 4.1): Filter over Scan, predicate on one
+/// dictionary-compressed column -> InvisibleJoin with the filter pushed to
+/// the dictionary side.
+PlanNodePtr TryInvisibleJoin(const PlanNodePtr& filter) {
+  if (filter->kind != PlanNodeKind::kFilter) return nullptr;
+  const PlanNodePtr& scan = filter->children[0];
+  if (scan->kind != PlanNodeKind::kScan) return nullptr;
+  std::string col_name;
+  if (!SingleColumn(filter->predicate, &col_name)) return nullptr;
+  auto col_r = scan->table->ColumnByName(col_name);
+  if (!col_r.ok()) return nullptr;
+  const auto& col = col_r.value();
+  if (col->compression() == CompressionKind::kNone) return nullptr;
+  // A dictionary table only pays when the domain is small.
+  if (!col->metadata().cardinality_known &&
+      col->data()->type() != EncodingType::kDictionary) {
+    return nullptr;
+  }
+
+  auto join = std::make_shared<PlanNode>();
+  join->kind = PlanNodeKind::kInvisibleJoin;
+  join->dict_column = col_name;
+  join->inner_predicate = filter->predicate;
+  join->children.push_back(scan);
+  return join;
+}
+
+/// Rule 2 (Sect. 4.2): Aggregate(group by c) over Filter(pred on c) over
+/// Scan, with c run-length encoded -> IndexedScan + aggregation. Whether
+/// the index is additionally sorted for ordered aggregation is a tactical
+/// decision made at execution time from the actual run lengths.
+PlanNodePtr TryRankJoin(const PlanNodePtr& agg) {
+  if (agg->kind != PlanNodeKind::kAggregate) return nullptr;
+  if (agg->agg.group_by.size() != 1) return nullptr;
+  const PlanNodePtr& filter = agg->children[0];
+  if (filter->kind != PlanNodeKind::kFilter) return nullptr;
+  const PlanNodePtr& scan = filter->children[0];
+  if (scan->kind != PlanNodeKind::kScan) return nullptr;
+  const std::string& key = agg->agg.group_by[0];
+  if (!PredicateOnlyOn(filter->predicate, key)) return nullptr;
+  auto col_r = scan->table->ColumnByName(key);
+  if (!col_r.ok()) return nullptr;
+  if (col_r.value()->data()->type() != EncodingType::kRunLength) {
+    return nullptr;
+  }
+
+  auto iscan = std::make_shared<PlanNode>();
+  iscan->kind = PlanNodeKind::kIndexedScan;
+  iscan->table = scan->table;
+  iscan->index_column = key;
+  iscan->index_predicate = filter->predicate;
+  for (const AggSpec& a : agg->agg.aggs) {
+    if (a.kind != AggKind::kCountStar && a.input != key) {
+      iscan->payload.push_back(a.input);
+    }
+  }
+  // Deduplicate payload names.
+  std::sort(iscan->payload.begin(), iscan->payload.end());
+  iscan->payload.erase(
+      std::unique(iscan->payload.begin(), iscan->payload.end()),
+      iscan->payload.end());
+
+  auto new_agg = std::make_shared<PlanNode>(*agg);
+  new_agg->children = {iscan};
+  return new_agg;
+}
+
+/// Rule 3 (Sect. 4.3): encodings are sensitive to data order, so any
+/// exchange feeding an encoding sink must use order-preserving routing.
+void EnforceOrderedExchange(const PlanNodePtr& node, bool under_encoder) {
+  if (node->kind == PlanNodeKind::kMaterialize) under_encoder = true;
+  if (node->kind == PlanNodeKind::kExchange && under_encoder) {
+    node->order_preserving = true;
+  }
+  for (const auto& c : node->children) {
+    EnforceOrderedExchange(c, under_encoder);
+  }
+}
+
+/// Expression simplification (Sect. 2.3.1) over a node's expressions.
+/// Returns a replacement node when the node itself dissolves (a filter
+/// whose predicate folded to TRUE).
+PlanNodePtr SimplifyNode(const PlanNodePtr& node) {
+  if (node->predicate != nullptr) {
+    node->predicate = expr::Simplify(node->predicate);
+  }
+  if (node->inner_predicate != nullptr) {
+    node->inner_predicate = expr::Simplify(node->inner_predicate);
+  }
+  if (node->index_predicate != nullptr) {
+    node->index_predicate = expr::Simplify(node->index_predicate);
+  }
+  for (auto& pc : node->projections) pc.expr = expr::Simplify(pc.expr);
+  for (auto& pc : node->inner_projections) pc.expr = expr::Simplify(pc.expr);
+  if (node->kind == PlanNodeKind::kFilter) {
+    TypeId t;
+    Lane v;
+    if (node->predicate->AsLiteral(&t, &v) && t == TypeId::kBool && v == 1) {
+      return node->children[0];  // WHERE TRUE dissolves
+    }
+  }
+  return nullptr;
+}
+
+/// Computation move-around (Sect. 2.3.1 / 4.1.2): a Project over a Scan
+/// whose computed expressions all read one dictionary-compressed column
+/// becomes an InvisibleJoin with the computations pushed to the dictionary
+/// side — the Sect. 4.1.2 scenario, where EXTENSION(url) runs once per
+/// distinct URL instead of once per row.
+PlanNodePtr TryComputePushdown(const PlanNodePtr& project) {
+  if (project->kind != PlanNodeKind::kProject) return nullptr;
+  const PlanNodePtr& scan = project->children[0];
+  if (scan->kind != PlanNodeKind::kScan) return nullptr;
+
+  std::string dict_col;
+  std::vector<ProjectedColumn> pushed;
+  for (const ProjectedColumn& pc : project->projections) {
+    if (pc.expr->AsColumnRef() != nullptr) continue;  // pass-through
+    std::vector<std::string> cols;
+    pc.expr->CollectColumns(&cols);
+    if (cols.empty()) continue;  // constant, stays above
+    for (const auto& c : cols) {
+      if (c != cols[0]) return nullptr;  // multi-column computation
+    }
+    if (!dict_col.empty() && cols[0] != dict_col) return nullptr;
+    dict_col = cols[0];
+    pushed.push_back(pc);
+  }
+  if (pushed.empty()) return nullptr;
+  auto col_r = scan->table->ColumnByName(dict_col);
+  if (!col_r.ok()) return nullptr;
+  const auto& col = col_r.value();
+  if (col->compression() == CompressionKind::kNone) return nullptr;
+  // Worth it only when the domain is materially smaller than the rows.
+  if (!col->metadata().cardinality_known ||
+      col->metadata().cardinality * 2 > scan->table->rows()) {
+    return nullptr;
+  }
+
+  auto join = std::make_shared<PlanNode>();
+  join->kind = PlanNodeKind::kInvisibleJoin;
+  join->dict_column = dict_col;
+  join->inner_projections = pushed;
+  join->children.push_back(scan);
+
+  // The projection above keeps its shape; pushed expressions become plain
+  // references to the joined-in computed columns.
+  auto new_project = std::make_shared<PlanNode>(*project);
+  for (ProjectedColumn& pc : new_project->projections) {
+    if (pc.expr->AsColumnRef() != nullptr) continue;
+    for (const ProjectedColumn& p : pushed) {
+      if (p.name == pc.name) {
+        pc.expr = expr::Col(pc.name);
+        break;
+      }
+    }
+  }
+  new_project->children = {join};
+  return new_project;
+}
+
+/// Filtering move-around (Sect. 2.3.1): Filter over Project commutes when
+/// every referenced column is a pass-through column reference.
+PlanNodePtr TryPushFilterThroughProject(const PlanNodePtr& filter) {
+  if (filter->kind != PlanNodeKind::kFilter) return nullptr;
+  const PlanNodePtr& project = filter->children[0];
+  if (project->kind != PlanNodeKind::kProject) return nullptr;
+  std::vector<std::string> cols;
+  filter->predicate->CollectColumns(&cols);
+  std::map<std::string, std::string> rename;  // output name -> input name
+  for (const std::string& c : cols) {
+    bool mapped = false;
+    for (const ProjectedColumn& pc : project->projections) {
+      if (pc.name != c) continue;
+      if (const std::string* ref = pc.expr->AsColumnRef()) {
+        rename[c] = *ref;
+        mapped = true;
+      }
+      break;
+    }
+    if (!mapped) return nullptr;
+  }
+  auto pushed = std::make_shared<PlanNode>();
+  pushed->kind = PlanNodeKind::kFilter;
+  pushed->predicate = expr::RenameColumns(filter->predicate, rename);
+  pushed->children = {project->children[0]};
+  auto new_project = std::make_shared<PlanNode>(*project);
+  new_project->children = {pushed};
+  return new_project;
+}
+
+PlanNodePtr Rewrite(PlanNodePtr node, const StrategicOptions& options) {
+  for (auto& c : node->children) c = Rewrite(c, options);
+  // Bounded fixpoint: a successful rewrite may expose another (e.g. a
+  // filter pushed through a projection lands on a scan and becomes an
+  // invisible join).
+  for (int round = 0; round < 4; ++round) {
+    PlanNodePtr next;
+    if (options.enable_simplification && next == nullptr) {
+      next = SimplifyNode(node);
+    }
+    if (options.enable_filter_pushdown && next == nullptr) {
+      next = TryPushFilterThroughProject(node);
+    }
+    if (options.enable_rank_join && next == nullptr) {
+      next = TryRankJoin(node);
+    }
+    if (options.enable_invisible_join && next == nullptr) {
+      next = TryInvisibleJoin(node);
+    }
+    if (options.enable_invisible_join && next == nullptr) {
+      next = TryComputePushdown(node);
+    }
+    if (next == nullptr) break;
+    node = std::move(next);
+    for (auto& c : node->children) c = Rewrite(c, options);
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
+                                      const StrategicOptions& options) {
+  if (root == nullptr) {
+    return {Status::InvalidArgument("empty plan")};
+  }
+  root = Rewrite(std::move(root), options);
+  if (options.enforce_order_preserving_exchange) {
+    EnforceOrderedExchange(root, /*under_encoder=*/false);
+  }
+  return root;
+}
+
+}  // namespace tde

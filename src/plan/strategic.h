@@ -1,0 +1,37 @@
+#ifndef TDE_PLAN_STRATEGIC_H_
+#define TDE_PLAN_STRATEGIC_H_
+
+#include "src/plan/plan.h"
+
+namespace tde {
+
+struct StrategicOptions {
+  /// Rewrite filters over dictionary-compressed columns into invisible
+  /// joins with predicate push-down (Sect. 4.1).
+  bool enable_invisible_join = true;
+  /// Rewrite filter+aggregate over run-length columns into IndexTable rank
+  /// joins (Sect. 4.2).
+  bool enable_rank_join = true;
+  /// Force order-preserving routing on exchanges whose output is encoded
+  /// downstream (Sect. 4.3).
+  bool enforce_order_preserving_exchange = true;
+  /// Expression simplification: constant folding and boolean identities
+  /// over every predicate and projection (Sect. 2.3.1). Filters whose
+  /// predicate folds to TRUE are removed.
+  bool enable_simplification = true;
+  /// Filtering move-around (Sect. 2.3.1): push filters through projections
+  /// when the predicate only touches pass-through columns, so they can
+  /// reach scans and become decompression-join rewrites.
+  bool enable_filter_pushdown = true;
+};
+
+/// The strategic (compile-time) optimizer: rule-based rewrites over the
+/// logical plan, driven by storage-level properties the decompression-join
+/// model exposes to it (Sect. 4). The arrangement of operators is decided
+/// here; their implementations are chosen tactically at run time.
+Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
+                                      const StrategicOptions& options = {});
+
+}  // namespace tde
+
+#endif  // TDE_PLAN_STRATEGIC_H_

@@ -1,0 +1,42 @@
+#include "src/plan/tactical.h"
+
+namespace tde {
+
+GroupingChoice ChooseGrouping(const ColumnProps& key) {
+  GroupingChoice c;
+  // The hash sees decoded lanes, so the deciding width is that of the
+  // value range, not of the stored (possibly dictionary-packed) tokens.
+  const uint8_t value_width =
+      key.meta.min_max_known
+          ? MinSignedWidth(key.meta.min_value, key.meta.max_value)
+          : key.width;
+  c.algorithm = ChooseHashAlgorithm(value_width, key.meta.min_max_known,
+                                    key.meta.min_value, key.meta.max_value);
+  c.key_min = key.meta.min_value;
+  c.key_max = key.meta.max_value;
+  return c;
+}
+
+IndexedAggChoice ChooseIndexedAggregation(
+    const std::vector<IndexEntry>& entries, bool already_value_ordered) {
+  IndexedAggChoice c;
+  if (already_value_ordered) {
+    // Primary sort key: the index is in value order for free.
+    c.ordered_aggregation = true;
+    return c;
+  }
+  if (entries.empty()) return c;
+  uint64_t total = 0;
+  for (const IndexEntry& e : entries) total += e.count;
+  const uint64_t avg_run = total / entries.size();
+  // Runs shorter than the block iteration size make the system process
+  // many more small blocks, degrading past what ordered aggregation can
+  // compensate (Sect. 6.6).
+  if (avg_run >= kBlockSize) {
+    c.sort_index = true;
+    c.ordered_aggregation = true;
+  }
+  return c;
+}
+
+}  // namespace tde

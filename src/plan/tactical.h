@@ -1,0 +1,46 @@
+#ifndef TDE_PLAN_TACTICAL_H_
+#define TDE_PLAN_TACTICAL_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/hash.h"
+#include "src/encoding/metadata.h"
+#include "src/exec/indexed_scan.h"
+
+namespace tde {
+
+/// Per-column properties derived on the go during plan lowering
+/// (Sect. 2.3.1's "this time property derivation happens on-the-go and can
+/// be more accurate"). Width matters because hash algorithm choice is a
+/// function of key width (Sect. 2.3.4).
+struct ColumnProps {
+  ColumnMetadata meta;
+  uint8_t width = 8;
+};
+
+using PropMap = std::map<std::string, ColumnProps>;
+
+/// Tactical choice of grouping algorithm for a single aggregation key.
+struct GroupingChoice {
+  HashAlgorithm algorithm = HashAlgorithm::kCollision;
+  int64_t key_min = 0;
+  int64_t key_max = 0;
+};
+GroupingChoice ChooseGrouping(const ColumnProps& key);
+
+/// Tactical choice for an IndexedScan feeding an aggregation
+/// (Sect. 4.2.2/6.6): sorting the index by value enables ordered
+/// aggregation, but if the runs are small the many small blocks cost more
+/// than the ordered aggregation saves. The threshold is the block
+/// iteration size, per the paper's conclusion.
+struct IndexedAggChoice {
+  bool sort_index = false;
+  bool ordered_aggregation = false;
+};
+IndexedAggChoice ChooseIndexedAggregation(
+    const std::vector<IndexEntry>& entries, bool already_value_ordered);
+
+}  // namespace tde
+
+#endif  // TDE_PLAN_TACTICAL_H_

@@ -1,0 +1,145 @@
+#include "src/sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace tde {
+namespace sql {
+
+namespace {
+
+constexpr std::array<const char*, 33> kKeywords = {
+    "SELECT", "FROM",  "WHERE", "GROUP",  "BY",      "ORDER",   "LIMIT",
+    "AS",     "AND",   "OR",    "NOT",    "IS",      "NULL",    "TRUE",
+    "FALSE",  "ASC",   "DESC",  "DATE",   "BETWEEN", "EXPLAIN", "IN",
+    "LIKE",   "HAVING", "DISTINCT", "JOIN", "ON",    "INNER",   "USING",
+    "CASE",   "WHEN",  "THEN",  "ELSE",   "END"};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < in.size()) {
+    const char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < in.size() && IsIdentChar(in[i])) ++i;
+      std::string word = in.substr(start, i - start);
+      const std::string upper = Upper(word);
+      bool is_kw = false;
+      for (const char* kw : kKeywords) {
+        if (upper == kw) {
+          is_kw = true;
+          break;
+        }
+      }
+      out.push_back({is_kw ? TokenKind::kKeyword : TokenKind::kIdent,
+                     is_kw ? upper : std::move(word), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      bool real = false;
+      while (i < in.size() &&
+             (std::isdigit(static_cast<unsigned char>(in[i])) ||
+              in[i] == '.' || in[i] == 'e' || in[i] == 'E' ||
+              ((in[i] == '+' || in[i] == '-') && i > start &&
+               (in[i - 1] == 'e' || in[i - 1] == 'E')))) {
+        if (in[i] == '.' || in[i] == 'e' || in[i] == 'E') real = true;
+        ++i;
+      }
+      out.push_back({real ? TokenKind::kReal : TokenKind::kInteger,
+                     in.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < in.size()) {
+        if (in[i] == '\'') {
+          if (i + 1 < in.size() && in[i + 1] == '\'') {
+            text.push_back('\'');  // '' escapes a quote
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(in[i]);
+        ++i;
+      }
+      if (!closed) {
+        return {Status::ParseError("unterminated string literal at offset " +
+                                   std::to_string(start))};
+      }
+      out.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < in.size()) {
+        if (in[i] == '"') {
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(in[i]);
+        ++i;
+      }
+      if (!closed) {
+        return {Status::ParseError(
+            "unterminated quoted identifier at offset " +
+            std::to_string(start))};
+      }
+      out.push_back({TokenKind::kIdent, std::move(text), start});
+      continue;
+    }
+    // Multi-character operators first.
+    static const char* kTwo[] = {"<=", ">=", "<>", "!=", "=="};
+    bool matched = false;
+    for (const char* op : kTwo) {
+      if (in.compare(i, 2, op) == 0) {
+        out.push_back({TokenKind::kSymbol, op, start});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingles = "+-*/%(),=<>.;";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return {Status::ParseError("unexpected character '" + std::string(1, c) +
+                               "' at offset " + std::to_string(start))};
+  }
+  out.push_back({TokenKind::kEnd, "", in.size()});
+  return out;
+}
+
+}  // namespace sql
+}  // namespace tde

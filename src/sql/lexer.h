@@ -1,0 +1,44 @@
+#ifndef TDE_SQL_LEXER_H_
+#define TDE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tde {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,    // bare identifier (case preserved) or "quoted"
+  kKeyword,  // recognized keyword, upper-cased in `text`
+  kInteger,
+  kReal,
+  kString,   // single-quoted literal, unescaped in `text`
+  kSymbol,   // operators and punctuation, e.g. "<=", ",", "("
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t pos;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their spelling. Returns a
+/// ParseError with the offending position on bad input.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+/// True if `t` is the given keyword (already upper-cased by the lexer).
+inline bool IsKeyword(const Token& t, const char* kw) {
+  return t.kind == TokenKind::kKeyword && t.text == kw;
+}
+inline bool IsSymbol(const Token& t, const char* s) {
+  return t.kind == TokenKind::kSymbol && t.text == s;
+}
+
+}  // namespace sql
+}  // namespace tde
+
+#endif  // TDE_SQL_LEXER_H_

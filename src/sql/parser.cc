@@ -1,0 +1,718 @@
+#include "src/sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "src/sql/lexer.h"
+#include "src/textscan/parsers.h"
+
+namespace tde {
+namespace sql {
+
+namespace {
+
+using expr::Col;
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::optional<AggKind> AggByName(const std::string& upper) {
+  if (upper == "COUNT") return AggKind::kCount;
+  if (upper == "COUNTD") return AggKind::kCountDistinct;
+  if (upper == "SUM") return AggKind::kSum;
+  if (upper == "MIN") return AggKind::kMin;
+  if (upper == "MAX") return AggKind::kMax;
+  if (upper == "AVG") return AggKind::kAvg;
+  if (upper == "MEDIAN") return AggKind::kMedian;
+  return std::nullopt;
+}
+
+std::optional<DateFunc> DateFuncByName(const std::string& upper) {
+  if (upper == "YEAR") return DateFunc::kYear;
+  if (upper == "MONTH") return DateFunc::kMonth;
+  if (upper == "DAY") return DateFunc::kDay;
+  if (upper == "TRUNC_MONTH") return DateFunc::kTruncMonth;
+  if (upper == "TRUNC_YEAR") return DateFunc::kTruncYear;
+  return std::nullopt;
+}
+
+std::optional<StrFunc> StrFuncByName(const std::string& upper) {
+  if (upper == "UPPER") return StrFunc::kUpper;
+  if (upper == "LOWER") return StrFunc::kLower;
+  if (upper == "LENGTH") return StrFunc::kLength;
+  if (upper == "EXTENSION") return StrFunc::kExtension;
+  return std::nullopt;
+}
+
+/// One SELECT output: either a scalar expression or a top-level aggregate.
+struct SelectItem {
+  bool star = false;
+  bool is_agg = false;
+  AggKind agg_kind = AggKind::kCountStar;
+  ExprPtr expr;  // scalar expression, or the aggregate's input (may be null
+                 // for COUNT(*))
+  std::string alias;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Query(const Database& db);
+  Result<ExprPtr> Expression() { return OrExpr(); }
+  Status ExpectEnd() {
+    if (AcceptSym(";")) {
+    }
+    if (Cur().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Cur() const { return toks_[i_]; }
+  void Advance() {
+    if (i_ + 1 < toks_.size()) ++i_;
+  }
+  bool AcceptKw(const char* kw) {
+    if (IsKeyword(Cur(), kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSym(const char* s) {
+    if (IsSymbol(Cur(), s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Cur().pos) +
+                              (Cur().text.empty() ? "" : " near '" +
+                                                            Cur().text + "'"));
+  }
+  Status ExpectSym(const char* s) {
+    if (!AcceptSym(s)) return Error(std::string("expected '") + s + "'");
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseSelectItem();
+  Result<ExprPtr> OrExpr();
+  Result<ExprPtr> AndExpr();
+  Result<ExprPtr> NotExprP();
+  Result<ExprPtr> Comparison();
+  Result<ExprPtr> Additive();
+  Result<ExprPtr> Multiplicative();
+  Result<ExprPtr> Unary();
+  Result<ExprPtr> Primary();
+
+  struct JoinClause {
+    std::string table;
+    std::string outer_key;
+    std::string inner_key;
+  };
+
+  Result<JoinClause> ParseJoinClause();
+  Result<Plan> BuildPlan(const Database& db, const std::string& table_name,
+                         std::vector<JoinClause> joins,
+                         std::vector<SelectItem> items, ExprPtr where,
+                         std::vector<std::string> group_by, ExprPtr having,
+                         std::vector<SortKey> order_by,
+                         std::optional<uint64_t> limit);
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+Result<ExprPtr> Parser::OrExpr() {
+  TDE_ASSIGN_OR_RETURN(ExprPtr left, AndExpr());
+  while (AcceptKw("OR")) {
+    TDE_ASSIGN_OR_RETURN(ExprPtr right, AndExpr());
+    left = expr::Or(left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::AndExpr() {
+  TDE_ASSIGN_OR_RETURN(ExprPtr left, NotExprP());
+  while (AcceptKw("AND")) {
+    TDE_ASSIGN_OR_RETURN(ExprPtr right, NotExprP());
+    left = expr::And(left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::NotExprP() {
+  if (AcceptKw("NOT")) {
+    TDE_ASSIGN_OR_RETURN(ExprPtr inner, NotExprP());
+    return expr::Not(inner);
+  }
+  return Comparison();
+}
+
+Result<ExprPtr> Parser::Comparison() {
+  TDE_ASSIGN_OR_RETURN(ExprPtr left, Additive());
+  if (AcceptKw("IS")) {
+    const bool negated = AcceptKw("NOT");
+    if (!AcceptKw("NULL")) return {Error("expected NULL after IS")};
+    ExprPtr e = expr::IsNull(left);
+    return negated ? expr::Not(e) : e;
+  }
+  if (AcceptKw("LIKE")) {
+    if (Cur().kind != TokenKind::kString) {
+      return {Error("expected pattern string after LIKE")};
+    }
+    const std::string pattern = Cur().text;
+    Advance();
+    return expr::Like(left, pattern);
+  }
+  const bool negated_in = IsKeyword(Cur(), "NOT") &&
+                          i_ + 1 < toks_.size() &&
+                          IsKeyword(toks_[i_ + 1], "IN");
+  if (negated_in) Advance();
+  if (AcceptKw("IN")) {
+    TDE_RETURN_NOT_OK(ExpectSym("("));
+    ExprPtr any;
+    do {
+      TDE_ASSIGN_OR_RETURN(ExprPtr option, Additive());
+      ExprPtr eq = expr::Eq(left, option);
+      any = any == nullptr ? eq : expr::Or(any, eq);
+    } while (AcceptSym(","));
+    TDE_RETURN_NOT_OK(ExpectSym(")"));
+    return negated_in ? expr::Not(any) : any;
+  }
+  if (negated_in) return {Error("expected IN after NOT")};
+  if (AcceptKw("BETWEEN")) {
+    TDE_ASSIGN_OR_RETURN(ExprPtr lo, Additive());
+    if (!AcceptKw("AND")) return {Error("expected AND in BETWEEN")};
+    TDE_ASSIGN_OR_RETURN(ExprPtr hi, Additive());
+    return expr::And(expr::Ge(left, lo), expr::Le(left, hi));
+  }
+  struct OpMap {
+    const char* sym;
+    CompareOp op;
+  };
+  static const OpMap kOps[] = {{"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+                               {"<>", CompareOp::kNe}, {"!=", CompareOp::kNe},
+                               {"==", CompareOp::kEq}, {"=", CompareOp::kEq},
+                               {"<", CompareOp::kLt},  {">", CompareOp::kGt}};
+  for (const OpMap& m : kOps) {
+    if (AcceptSym(m.sym)) {
+      TDE_ASSIGN_OR_RETURN(ExprPtr right, Additive());
+      return expr::Cmp(m.op, left, right);
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::Additive() {
+  TDE_ASSIGN_OR_RETURN(ExprPtr left, Multiplicative());
+  while (true) {
+    if (AcceptSym("+")) {
+      TDE_ASSIGN_OR_RETURN(ExprPtr r, Multiplicative());
+      left = expr::Add(left, r);
+    } else if (AcceptSym("-")) {
+      TDE_ASSIGN_OR_RETURN(ExprPtr r, Multiplicative());
+      left = expr::Sub(left, r);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::Multiplicative() {
+  TDE_ASSIGN_OR_RETURN(ExprPtr left, Unary());
+  while (true) {
+    if (AcceptSym("*")) {
+      TDE_ASSIGN_OR_RETURN(ExprPtr r, Unary());
+      left = expr::Mul(left, r);
+    } else if (AcceptSym("/")) {
+      TDE_ASSIGN_OR_RETURN(ExprPtr r, Unary());
+      left = expr::Div(left, r);
+    } else if (AcceptSym("%")) {
+      TDE_ASSIGN_OR_RETURN(ExprPtr r, Unary());
+      left = expr::Arith(ArithOp::kMod, left, r);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::Unary() {
+  if (AcceptSym("-")) {
+    TDE_ASSIGN_OR_RETURN(ExprPtr inner, Unary());
+    return expr::Simplify(expr::Sub(expr::Int(0), inner));
+  }
+  return Primary();
+}
+
+Result<ExprPtr> Parser::Primary() {
+  const Token t = Cur();
+  switch (t.kind) {
+    case TokenKind::kInteger: {
+      Advance();
+      int64_t v = 0;
+      if (!ParseInt64(t.text, &v)) return {Error("bad integer literal")};
+      return expr::Int(v);
+    }
+    case TokenKind::kReal: {
+      Advance();
+      double d = 0;
+      if (!ParseDouble(t.text, &d)) return {Error("bad real literal")};
+      return expr::Real(d);
+    }
+    case TokenKind::kString:
+      Advance();
+      return expr::Str(t.text);
+    case TokenKind::kKeyword:
+      if (AcceptKw("TRUE")) return expr::Bool(true);
+      if (AcceptKw("FALSE")) return expr::Bool(false);
+      if (AcceptKw("NULL")) return expr::Null(TypeId::kInteger);
+      if (AcceptKw("CASE")) {
+        std::vector<expr::CaseBranch> branches;
+        while (AcceptKw("WHEN")) {
+          expr::CaseBranch b;
+          TDE_ASSIGN_OR_RETURN(b.condition, OrExpr());
+          if (!AcceptKw("THEN")) return {Error("expected THEN")};
+          TDE_ASSIGN_OR_RETURN(b.value, OrExpr());
+          branches.push_back(std::move(b));
+        }
+        if (branches.empty()) {
+          return {Error("CASE requires at least one WHEN branch")};
+        }
+        ExprPtr otherwise;
+        if (AcceptKw("ELSE")) {
+          TDE_ASSIGN_OR_RETURN(otherwise, OrExpr());
+        }
+        if (!AcceptKw("END")) return {Error("expected END")};
+        return expr::Case(std::move(branches), std::move(otherwise));
+      }
+      if (AcceptKw("DATE")) {
+        const Token lit = Cur();
+        if (lit.kind != TokenKind::kString) {
+          return {Error("expected date string after DATE")};
+        }
+        Advance();
+        int64_t days = 0;
+        if (!ParseDate(lit.text, &days)) {
+          return {Error("bad date literal '" + lit.text + "'")};
+        }
+        int y;
+        unsigned m, d;
+        CivilFromDays(days, &y, &m, &d);
+        return expr::Date(y, m, d);
+      }
+      return {Error("unexpected keyword")};
+    case TokenKind::kIdent: {
+      Advance();
+      if (AcceptSym(".")) {
+        // Qualified reference `table.column`: the engine's plans bind by
+        // column name, so the qualifier is only checked syntactically.
+        if (Cur().kind != TokenKind::kIdent) {
+          return {Error("expected column after '.'")};
+        }
+        const std::string col = Cur().text;
+        Advance();
+        return Col(col);
+      }
+      if (!IsSymbol(Cur(), "(")) return Col(t.text);
+      // Function call.
+      Advance();
+      const std::string upper = [&] {
+        std::string u = t.text;
+        for (char& c : u) {
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+        return u;
+      }();
+      if (AggByName(upper).has_value()) {
+        return {Error("aggregate '" + t.text +
+                      "' is only allowed at the top of a SELECT item")};
+      }
+      TDE_ASSIGN_OR_RETURN(ExprPtr arg, OrExpr());
+      TDE_RETURN_NOT_OK(ExpectSym(")"));
+      if (auto df = DateFuncByName(upper)) return expr::DateF(*df, arg);
+      if (auto sf = StrFuncByName(upper)) return expr::StrF(*sf, arg);
+      return {Error("unknown function '" + t.text + "'")};
+    }
+    case TokenKind::kSymbol:
+      if (AcceptSym("(")) {
+        TDE_ASSIGN_OR_RETURN(ExprPtr inner, OrExpr());
+        TDE_RETURN_NOT_OK(ExpectSym(")"));
+        return inner;
+      }
+      return {Error("unexpected symbol")};
+    case TokenKind::kEnd:
+      return {Error("unexpected end of input")};
+  }
+  return {Error("unexpected token")};
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  if (AcceptSym("*")) {
+    item.star = true;
+    return item;
+  }
+  // Top-level aggregate?
+  if (Cur().kind == TokenKind::kIdent && i_ + 1 < toks_.size() &&
+      IsSymbol(toks_[i_ + 1], "(")) {
+    std::string upper = Cur().text;
+    for (char& c : upper) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (auto kind = AggByName(upper)) {
+      Advance();  // name
+      Advance();  // (
+      item.is_agg = true;
+      if (*kind == AggKind::kCount && AcceptSym("*")) {
+        item.agg_kind = AggKind::kCountStar;
+      } else {
+        item.agg_kind = *kind;
+        TDE_ASSIGN_OR_RETURN(item.expr, OrExpr());
+      }
+      TDE_RETURN_NOT_OK(ExpectSym(")"));
+      if (AcceptKw("AS")) {
+        if (Cur().kind != TokenKind::kIdent) {
+          return {Error("expected alias after AS")};
+        }
+        item.alias = Cur().text;
+        Advance();
+      }
+      return item;
+    }
+  }
+  TDE_ASSIGN_OR_RETURN(item.expr, OrExpr());
+  if (AcceptKw("AS")) {
+    if (Cur().kind != TokenKind::kIdent) {
+      return {Error("expected alias after AS")};
+    }
+    item.alias = Cur().text;
+    Advance();
+  }
+  return item;
+}
+
+Result<ParsedQuery> Parser::Query(const Database& db) {
+  ParsedQuery out;
+  out.explain = AcceptKw("EXPLAIN");
+  if (!AcceptKw("SELECT")) return {Error("expected SELECT")};
+
+  std::vector<SelectItem> items;
+  do {
+    TDE_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    items.push_back(std::move(item));
+  } while (AcceptSym(","));
+
+  if (!AcceptKw("FROM")) return {Error("expected FROM")};
+  if (Cur().kind != TokenKind::kIdent) return {Error("expected table name")};
+  const std::string table_name = Cur().text;
+  Advance();
+
+  std::vector<JoinClause> joins;
+  while (IsKeyword(Cur(), "JOIN") || IsKeyword(Cur(), "INNER")) {
+    AcceptKw("INNER");
+    if (!AcceptKw("JOIN")) return {Error("expected JOIN")};
+    TDE_ASSIGN_OR_RETURN(JoinClause jc, ParseJoinClause());
+    joins.push_back(std::move(jc));
+  }
+
+  ExprPtr where;
+  if (AcceptKw("WHERE")) {
+    TDE_ASSIGN_OR_RETURN(where, OrExpr());
+  }
+  std::vector<std::string> group_by;
+  if (AcceptKw("GROUP")) {
+    if (!AcceptKw("BY")) return {Error("expected BY after GROUP")};
+    do {
+      if (Cur().kind != TokenKind::kIdent) {
+        return {Error("expected column in GROUP BY")};
+      }
+      group_by.push_back(Cur().text);
+      Advance();
+    } while (AcceptSym(","));
+  }
+  ExprPtr having;
+  if (AcceptKw("HAVING")) {
+    TDE_ASSIGN_OR_RETURN(having, OrExpr());
+  }
+  std::vector<SortKey> order_by;
+  if (AcceptKw("ORDER")) {
+    if (!AcceptKw("BY")) return {Error("expected BY after ORDER")};
+    do {
+      if (Cur().kind != TokenKind::kIdent) {
+        return {Error("expected column in ORDER BY")};
+      }
+      SortKey key{Cur().text, true};
+      Advance();
+      if (AcceptKw("DESC")) {
+        key.ascending = false;
+      } else {
+        AcceptKw("ASC");
+      }
+      order_by.push_back(std::move(key));
+    } while (AcceptSym(","));
+  }
+  std::optional<uint64_t> limit;
+  if (AcceptKw("LIMIT")) {
+    if (Cur().kind != TokenKind::kInteger) {
+      return {Error("expected integer after LIMIT")};
+    }
+    int64_t n = 0;
+    if (!ParseInt64(Cur().text, &n) || n < 0) {
+      return {Error("bad LIMIT value")};
+    }
+    Advance();
+    limit = static_cast<uint64_t>(n);
+  }
+  TDE_RETURN_NOT_OK(ExpectEnd());
+  TDE_ASSIGN_OR_RETURN(
+      out.plan, BuildPlan(db, table_name, std::move(joins), std::move(items),
+                          where, std::move(group_by), having,
+                          std::move(order_by), limit));
+  return out;
+}
+
+Result<Parser::JoinClause> Parser::ParseJoinClause() {
+  JoinClause jc;
+  if (Cur().kind != TokenKind::kIdent) return {Error("expected table name")};
+  jc.table = Cur().text;
+  Advance();
+  if (AcceptKw("USING")) {
+    TDE_RETURN_NOT_OK(ExpectSym("("));
+    if (Cur().kind != TokenKind::kIdent) {
+      return {Error("expected column in USING")};
+    }
+    jc.outer_key = jc.inner_key = Cur().text;
+    Advance();
+    TDE_RETURN_NOT_OK(ExpectSym(")"));
+    return jc;
+  }
+  if (!AcceptKw("ON")) return {Error("expected ON or USING after JOIN")};
+  // ON [qual.]a = [qual.]b — the side naming the joined table is the inner
+  // key; resolved against the tables in BuildPlan.
+  auto parse_side = [&]() -> Result<std::pair<std::string, std::string>> {
+    if (Cur().kind != TokenKind::kIdent) {
+      return {Error("expected column in ON")};
+    }
+    std::string first = Cur().text;
+    Advance();
+    std::string qualifier;
+    if (AcceptSym(".")) {
+      if (Cur().kind != TokenKind::kIdent) {
+        return {Error("expected column after '.'")};
+      }
+      qualifier = first;
+      first = Cur().text;
+      Advance();
+    }
+    return std::make_pair(qualifier, first);
+  };
+  TDE_ASSIGN_OR_RETURN(auto lhs, parse_side());
+  TDE_RETURN_NOT_OK(ExpectSym("="));
+  TDE_ASSIGN_OR_RETURN(auto rhs, parse_side());
+  if (lhs.first == jc.table) {
+    jc.inner_key = lhs.second;
+    jc.outer_key = rhs.second;
+  } else {
+    jc.outer_key = lhs.second;
+    jc.inner_key = rhs.second;
+  }
+  return jc;
+}
+
+Result<Plan> Parser::BuildPlan(const Database& db,
+                               const std::string& table_name,
+                               std::vector<JoinClause> joins,
+                               std::vector<SelectItem> items, ExprPtr where,
+                               std::vector<std::string> group_by,
+                               ExprPtr having,
+                               std::vector<SortKey> order_by,
+                               std::optional<uint64_t> limit) {
+  TDE_ASSIGN_OR_RETURN(auto table, db.GetTable(table_name));
+  Plan plan = Plan::Scan(table);
+  // Many-to-one joins: the joined table is the (unique-keyed) inner side;
+  // all its other columns come along as payload unless the name is taken.
+  std::vector<std::string> taken;
+  for (size_t i = 0; i < table->num_columns(); ++i) {
+    taken.push_back(table->column(i).name());
+  }
+  for (JoinClause& jc : joins) {
+    TDE_ASSIGN_OR_RETURN(auto inner, db.GetTable(jc.table));
+    HashJoinOptions opts;
+    opts.outer_key = jc.outer_key;
+    opts.inner_key = jc.inner_key;
+    for (size_t i = 0; i < inner->num_columns(); ++i) {
+      const std::string& n = inner->column(i).name();
+      if (n == jc.inner_key) continue;
+      if (std::find(taken.begin(), taken.end(), n) != taken.end()) continue;
+      opts.inner_payload.push_back(n);
+      taken.push_back(n);
+    }
+    plan = std::move(plan).Join(inner, std::move(opts));
+  }
+  if (where != nullptr) plan = std::move(plan).Filter(where);
+
+  const bool has_aggs =
+      std::any_of(items.begin(), items.end(),
+                  [](const SelectItem& s) { return s.is_agg; });
+  if (!has_aggs && group_by.empty()) {
+    if (having != nullptr) {
+      return {Status::ParseError("HAVING requires GROUP BY or aggregates")};
+    }
+    // Pure selection. '*' anywhere means all columns.
+    const bool star = std::any_of(items.begin(), items.end(),
+                                  [](const SelectItem& s) { return s.star; });
+    if (!star) {
+      std::vector<ProjectedColumn> cols;
+      int anon = 0;
+      for (SelectItem& s : items) {
+        std::string name = s.alias;
+        if (name.empty()) {
+          if (const std::string* ref = s.expr->AsColumnRef()) {
+            name = *ref;
+          } else {
+            name = "expr" + std::to_string(anon++);
+          }
+        }
+        cols.push_back({std::move(s.expr), std::move(name)});
+      }
+      plan = std::move(plan).Project(std::move(cols));
+    }
+  } else {
+    // Aggregate query. Resolve names, insert a pre-projection when keys or
+    // aggregate inputs are computed.
+    if (std::any_of(items.begin(), items.end(),
+                    [](const SelectItem& s) { return s.star; })) {
+      return {Status::ParseError("SELECT * cannot be combined with "
+                                 "aggregates")};
+    }
+    // Output name for every item.
+    int anon = 0;
+    std::vector<std::string> out_names(items.size());
+    for (size_t k = 0; k < items.size(); ++k) {
+      SelectItem& s = items[k];
+      if (!s.alias.empty()) {
+        out_names[k] = s.alias;
+      } else if (!s.is_agg && s.expr->AsColumnRef() != nullptr) {
+        out_names[k] = *s.expr->AsColumnRef();
+      } else if (s.is_agg) {
+        std::string base = [&] {
+          switch (s.agg_kind) {
+            case AggKind::kCountStar:
+            case AggKind::kCount: return std::string("count");
+            case AggKind::kCountDistinct: return std::string("countd");
+            case AggKind::kSum: return std::string("sum");
+            case AggKind::kMin: return std::string("min");
+            case AggKind::kMax: return std::string("max");
+            case AggKind::kAvg: return std::string("avg");
+            case AggKind::kMedian: return std::string("median");
+          }
+          return std::string("agg");
+        }();
+        if (s.expr != nullptr && s.expr->AsColumnRef() != nullptr) {
+          base += "_" + *s.expr->AsColumnRef();
+        }
+        out_names[k] = base;
+      } else {
+        out_names[k] = "expr" + std::to_string(anon++);
+      }
+    }
+    // GROUP BY keys default to the non-aggregate select items.
+    if (group_by.empty()) {
+      for (size_t k = 0; k < items.size(); ++k) {
+        if (!items[k].is_agg) group_by.push_back(out_names[k]);
+      }
+    }
+    // Key name -> expression (from select aliases, else a column ref).
+    std::vector<ProjectedColumn> pre;
+    bool pre_needed = false;
+    for (const std::string& key : group_by) {
+      ExprPtr e;
+      for (size_t k = 0; k < items.size(); ++k) {
+        if (!items[k].is_agg && out_names[k] == key) {
+          e = items[k].expr;
+          break;
+        }
+      }
+      if (e == nullptr) e = Col(key);
+      if (e->AsColumnRef() == nullptr || *e->AsColumnRef() != key) {
+        pre_needed = true;
+      }
+      pre.push_back({std::move(e), key});
+    }
+    // Every non-aggregate select item must be a grouping key.
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (items[k].is_agg) continue;
+      if (std::find(group_by.begin(), group_by.end(), out_names[k]) ==
+          group_by.end()) {
+        return {Status::ParseError("non-aggregate select item '" +
+                                   out_names[k] +
+                                   "' must appear in GROUP BY")};
+      }
+    }
+    // Aggregate inputs.
+    std::vector<AggSpec> aggs;
+    int synth = 0;
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (!items[k].is_agg) continue;
+      AggSpec spec;
+      spec.kind = items[k].agg_kind;
+      spec.output = out_names[k];
+      if (spec.kind != AggKind::kCountStar) {
+        if (const std::string* ref = items[k].expr->AsColumnRef()) {
+          spec.input = *ref;
+          pre.push_back({items[k].expr, *ref});
+        } else {
+          spec.input = "$agg" + std::to_string(synth++);
+          pre.push_back({items[k].expr, spec.input});
+          pre_needed = true;
+        }
+      }
+      aggs.push_back(std::move(spec));
+    }
+    if (pre_needed) {
+      plan = std::move(plan).Project(std::move(pre));
+    }
+    plan = std::move(plan).Aggregate(group_by, std::move(aggs));
+    if (having != nullptr) plan = std::move(plan).Filter(having);
+    // Final projection restores the SELECT order (and drops unselected
+    // keys).
+    std::vector<ProjectedColumn> post;
+    for (size_t k = 0; k < items.size(); ++k) {
+      post.push_back({Col(out_names[k]), out_names[k]});
+    }
+    plan = std::move(plan).Project(std::move(post));
+  }
+
+  if (!order_by.empty()) plan = std::move(plan).OrderBy(std::move(order_by));
+  if (limit.has_value()) plan = std::move(plan).Limit(*limit);
+  return plan;
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text, const Database& db) {
+  TDE_ASSIGN_OR_RETURN(auto tokens, Lex(text));
+  Parser p(std::move(tokens));
+  return p.Query(db);
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  TDE_ASSIGN_OR_RETURN(auto tokens, Lex(text));
+  Parser p(std::move(tokens));
+  TDE_ASSIGN_OR_RETURN(ExprPtr e, p.Expression());
+  TDE_RETURN_NOT_OK(p.ExpectEnd());
+  return e;
+}
+
+}  // namespace sql
+}  // namespace tde

@@ -1,0 +1,47 @@
+#ifndef TDE_SQL_PARSER_H_
+#define TDE_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/plan/plan.h"
+#include "src/storage/database_file.h"
+
+namespace tde {
+namespace sql {
+
+/// Parses a SQL query against the tables of `db` and builds a logical plan
+/// (which the usual strategic/tactical machinery then optimizes and runs).
+///
+/// Supported grammar — the Tableau-shaped analytic subset:
+///
+///   [EXPLAIN] SELECT select_item [, ...] FROM table
+///     [WHERE expr]
+///     [GROUP BY name [, ...]]
+///     [ORDER BY name [ASC|DESC] [, ...]]
+///     [LIMIT n]
+///
+///   select_item := * | expr [AS alias]
+///   expr        := literals (42, 1.5, 'text', DATE '1994-01-01',
+///                  TRUE/FALSE/NULL), column refs, + - * / %, comparisons,
+///                  AND/OR/NOT, BETWEEN, IS [NOT] NULL, scalar functions
+///                  (YEAR MONTH DAY TRUNC_MONTH TRUNC_YEAR UPPER LOWER
+///                  LENGTH EXTENSION) and aggregates (COUNT(*), COUNT,
+///                  COUNTD, SUM, MIN, MAX, AVG, MEDIAN).
+///
+/// Aggregate queries: every non-aggregate select item must be (an alias
+/// of) a GROUP BY key; computed keys and computed aggregate inputs get a
+/// projection inserted beneath the aggregation.
+struct ParsedQuery {
+  Plan plan;
+  bool explain = false;
+};
+
+Result<ParsedQuery> ParseQuery(const std::string& text, const Database& db);
+
+/// Parses a standalone scalar expression (tests, REPL conveniences).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace sql
+}  // namespace tde
+
+#endif  // TDE_SQL_PARSER_H_

@@ -1,0 +1,40 @@
+#include "src/storage/column.h"
+
+#include "src/encoding/streams_internal.h"
+
+namespace tde {
+
+uint8_t Column::TokenWidth() const {
+  if (data_ == nullptr) return 8;
+  switch (data_->type()) {
+    case EncodingType::kDictionary:
+      // The per-row data of a dictionary-encoded stream is its packed index.
+      return static_cast<uint8_t>((data_->bits() + 7) / 8);
+    case EncodingType::kRunLength:
+      // Per-row values occupy the run value field width.
+      return data_->buffer()[internal::RleStream::kValueWidthOffset];
+    default:
+      return data_->width();
+  }
+}
+
+uint64_t Column::PhysicalSize() const {
+  uint64_t n = data_ ? data_->PhysicalSize() : 0;
+  if (heap_) n += heap_->byte_size();
+  if (array_dict_) n += array_dict_->values.size() * 8;
+  return n;
+}
+
+uint64_t Column::LogicalSize() const {
+  uint64_t n = rows() * 8;  // values are parsed at the default 8-byte width
+  if (heap_) n += heap_->byte_size();
+  if (array_dict_) n += array_dict_->values.size() * 8;
+  return n;
+}
+
+Status Column::GetLanes(uint64_t row, size_t count, Lane* out) const {
+  if (data_ == nullptr) return Status::Internal("column has no data stream");
+  return data_->Get(row, count, out);
+}
+
+}  // namespace tde

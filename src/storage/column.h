@@ -1,0 +1,96 @@
+#ifndef TDE_STORAGE_COLUMN_H_
+#define TDE_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <string>
+
+#include "src/encoding/dynamic_encoder.h"
+#include "src/encoding/metadata.h"
+#include "src/encoding/stream.h"
+#include "src/storage/dictionary.h"
+#include "src/storage/string_heap.h"
+
+namespace tde {
+
+/// Column compression (Sect. 2.3.2) — distinct from *encoding*: traditional
+/// dictionary compression with a per-column dictionary of fixed width
+/// (array) or variable width (heap) data. The main data column is always
+/// fixed width: uncompressed scalars, indexes into the array dictionary, or
+/// offsets into the heap.
+enum class CompressionKind : uint8_t {
+  kNone = 0,       // lanes are the values
+  kHeap = 1,       // lanes are byte offsets into a StringHeap
+  kArrayDict = 2,  // lanes are indexes into an ArrayDictionary
+};
+
+/// A stored column: a fixed-width encoded stream, optional dictionary
+/// (array or heap), and the metadata extracted while it was built.
+class Column {
+ public:
+  Column(std::string name, TypeId type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  TypeId type() const { return type_; }
+
+  CompressionKind compression() const { return compression_; }
+  void set_compression(CompressionKind k) { compression_ = k; }
+
+  const EncodedStream* data() const { return data_.get(); }
+  EncodedStream* mutable_data() { return data_.get(); }
+  void set_data(std::unique_ptr<EncodedStream> s) { data_ = std::move(s); }
+
+  const StringHeap* heap() const { return heap_.get(); }
+  StringHeap* mutable_heap() { return heap_.get(); }
+  std::shared_ptr<StringHeap> heap_ptr() const { return heap_; }
+  void set_heap(std::shared_ptr<StringHeap> h) { heap_ = std::move(h); }
+
+  const ArrayDictionary* array_dict() const { return array_dict_.get(); }
+  void set_array_dict(std::shared_ptr<ArrayDictionary> d) {
+    array_dict_ = std::move(d);
+  }
+
+  const ColumnMetadata& metadata() const { return meta_; }
+  ColumnMetadata* mutable_metadata() { return &meta_; }
+
+  uint64_t rows() const { return data_ ? data_->size() : 0; }
+
+  /// Physical element width of the main stream.
+  uint8_t width() const { return data_ ? data_->width() : 8; }
+
+  /// Effective per-row token width in bytes: for dictionary-encoded
+  /// streams the packed index width (what Fig. 8/9 report), otherwise the
+  /// element width.
+  uint8_t TokenWidth() const;
+
+  /// On-disk bytes: stream + heap + array dictionary.
+  uint64_t PhysicalSize() const;
+  /// Un-encoded bytes: rows * width (+ heap bytes for string columns).
+  uint64_t LogicalSize() const;
+
+  /// Decodes lanes [row, row+count). For string columns, lanes are heap
+  /// tokens; for array-dict columns, dictionary indexes.
+  Status GetLanes(uint64_t row, size_t count, Lane* out) const;
+
+  /// Resolves a heap token (compression() must be kHeap).
+  std::string_view GetString(Lane token) const { return heap_->Get(token); }
+
+  /// Number of mid-stream encoding changes during the build (Sect. 3.2).
+  int encoding_changes() const { return encoding_changes_; }
+  void set_encoding_changes(int n) { encoding_changes_ = n; }
+
+ private:
+  std::string name_;
+  TypeId type_;
+  CompressionKind compression_ = CompressionKind::kNone;
+  std::unique_ptr<EncodedStream> data_;
+  std::shared_ptr<StringHeap> heap_;
+  std::shared_ptr<ArrayDictionary> array_dict_;
+  ColumnMetadata meta_;
+  int encoding_changes_ = 0;
+};
+
+}  // namespace tde
+
+#endif  // TDE_STORAGE_COLUMN_H_

@@ -1,0 +1,46 @@
+#ifndef TDE_STORAGE_DATABASE_FILE_H_
+#define TDE_STORAGE_DATABASE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace tde {
+
+/// An in-memory database: a set of named tables.
+class Database {
+ public:
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<std::shared_ptr<Table>>& tables() const { return tables_; }
+  void AddTable(std::shared_ptr<Table> t) { tables_.push_back(std::move(t)); }
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+  /// Replaces the table with the same name (error if absent).
+  Status ReplaceTable(std::shared_ptr<Table> t);
+
+  uint64_t PhysicalSize() const;
+  uint64_t LogicalSize() const;
+
+ private:
+  std::vector<std::shared_ptr<Table>> tables_;
+};
+
+/// Single-file database format (Sect. 2.3.3): a TDE database must be
+/// choosable in a file dialog, i.e. one file. Column-level compression
+/// directly reduces the unavoidable cost of producing this copy.
+///
+/// Layout: magic, table directory, then per-column blobs (serialized
+/// encoded stream, heap bytes, array dictionary, metadata) — all
+/// little-endian.
+Status WriteDatabase(const Database& db, const std::string& path);
+Result<Database> ReadDatabase(const std::string& path);
+
+/// Serializes to / restores from a byte buffer (the file format without the
+/// file), used by tests and by WriteDatabase itself.
+void SerializeDatabase(const Database& db, std::vector<uint8_t>* out);
+Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes);
+
+}  // namespace tde
+
+#endif  // TDE_STORAGE_DATABASE_FILE_H_

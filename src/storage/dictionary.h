@@ -1,0 +1,24 @@
+#ifndef TDE_STORAGE_DICTIONARY_H_
+#define TDE_STORAGE_DICTIONARY_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tde {
+
+/// A fixed-width compression dictionary (the TDE's "array" compression,
+/// Sect. 2.3.2): the main column stores indexes into `values`. Produced by
+/// the encoding-becomes-compression manipulation (Sect. 3.4.3), e.g. for
+/// date columns whose expensive calculations should run once per domain
+/// value and be joined back invisibly.
+struct ArrayDictionary {
+  TypeId type = TypeId::kInteger;
+  std::vector<Lane> values;
+  /// Index order equals value order (tokens are comparable).
+  bool sorted = false;
+};
+
+}  // namespace tde
+
+#endif  // TDE_STORAGE_DICTIONARY_H_

@@ -1,0 +1,24 @@
+#include "src/storage/schema.h"
+
+namespace tde {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return {Status::NotFound("no field named '" + name + "'")};
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += fields_[i].name;
+    s += ": ";
+    s += TypeName(fields_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace tde

@@ -1,0 +1,41 @@
+#ifndef TDE_STORAGE_SCHEMA_H_
+#define TDE_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace tde {
+
+/// A named, typed field.
+struct Field {
+  std::string name;
+  TypeId type;
+};
+
+/// An ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the field named `name`, or an error.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace tde
+
+#endif  // TDE_STORAGE_SCHEMA_H_

@@ -1,0 +1,39 @@
+#include "src/storage/table.h"
+
+namespace tde {
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->name() == name) return i;
+  }
+  return {Status::NotFound("table '" + name_ + "' has no column '" + name +
+                           "'")};
+}
+
+Result<std::shared_ptr<Column>> Table::ColumnByName(
+    const std::string& name) const {
+  TDE_ASSIGN_OR_RETURN(size_t i, ColumnIndex(name));
+  return columns_[i];
+}
+
+Schema Table::GetSchema() const {
+  Schema s;
+  for (const auto& c : columns_) {
+    s.AddField({c->name(), c->type()});
+  }
+  return s;
+}
+
+uint64_t Table::PhysicalSize() const {
+  uint64_t n = 0;
+  for (const auto& c : columns_) n += c->PhysicalSize();
+  return n;
+}
+
+uint64_t Table::LogicalSize() const {
+  uint64_t n = 0;
+  for (const auto& c : columns_) n += c->LogicalSize();
+  return n;
+}
+
+}  // namespace tde

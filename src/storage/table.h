@@ -1,0 +1,50 @@
+#ifndef TDE_STORAGE_TABLE_H_
+#define TDE_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/column.h"
+#include "src/storage/schema.h"
+
+namespace tde {
+
+/// A read-only table: a set of independently compressed/encoded columns of
+/// equal row count.
+class Table {
+ public:
+  explicit Table(std::string name = "") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  size_t num_columns() const { return columns_.size(); }
+  uint64_t rows() const {
+    return columns_.empty() ? 0 : columns_[0]->rows();
+  }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column* mutable_column(size_t i) { return columns_[i].get(); }
+  std::shared_ptr<Column> column_ptr(size_t i) const { return columns_[i]; }
+
+  void AddColumn(std::shared_ptr<Column> c) { columns_.push_back(std::move(c)); }
+
+  Result<size_t> ColumnIndex(const std::string& name) const;
+  Result<std::shared_ptr<Column>> ColumnByName(const std::string& name) const;
+
+  Schema GetSchema() const;
+
+  /// Total serialized bytes of all columns.
+  uint64_t PhysicalSize() const;
+  /// Total un-encoded bytes of all columns.
+  uint64_t LogicalSize() const;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<Column>> columns_;
+};
+
+}  // namespace tde
+
+#endif  // TDE_STORAGE_TABLE_H_

@@ -1,0 +1,232 @@
+#include "src/textscan/parsers.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace tde {
+
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+         c == '\f';
+}
+
+bool ParseUnsignedDigits(std::string_view s, size_t* pos, uint64_t* out,
+                         int* digits) {
+  uint64_t v = 0;
+  int n = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    const uint64_t d = static_cast<uint64_t>(s[*pos] - '0');
+    if (v > (std::numeric_limits<uint64_t>::max() - d) / 10) return false;
+    v = v * 10 + d;
+    ++*pos;
+    ++n;
+  }
+  *out = v;
+  *digits = n;
+  return n > 0;
+}
+
+}  // namespace
+
+std::string_view TrimField(std::string_view s) {
+  while (!s.empty() && IsSpace(s.front())) s.remove_prefix(1);
+  while (!s.empty() && IsSpace(s.back())) s.remove_suffix(1);
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    s = s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  s = TrimField(s);
+  if (s.empty()) return false;
+  size_t pos = 0;
+  bool neg = false;
+  if (s[0] == '+' || s[0] == '-') {
+    neg = s[0] == '-';
+    pos = 1;
+  }
+  uint64_t v;
+  int digits;
+  if (!ParseUnsignedDigits(s, &pos, &v, &digits) || pos != s.size()) {
+    return false;
+  }
+  if (neg) {
+    if (v > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1) {
+      return false;
+    }
+    *out = static_cast<int64_t>(~v + 1);
+  } else {
+    if (v > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return false;
+    }
+    *out = static_cast<int64_t>(v);
+  }
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = TrimField(s);
+  if (s.empty()) return false;
+  size_t pos = 0;
+  bool neg = false;
+  if (s[0] == '+' || s[0] == '-') {
+    neg = s[0] == '-';
+    pos = 1;
+  }
+  // Mantissa: digits [. digits]
+  double v = 0;
+  int int_digits = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+    v = v * 10 + (s[pos] - '0');
+    ++pos;
+    ++int_digits;
+  }
+  int frac_digits = 0;
+  if (pos < s.size() && s[pos] == '.') {
+    ++pos;
+    double scale = 0.1;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      v += (s[pos] - '0') * scale;
+      scale *= 0.1;
+      ++pos;
+      ++frac_digits;
+    }
+  }
+  if (int_digits + frac_digits == 0) return false;
+  // Optional exponent.
+  if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+    ++pos;
+    bool eneg = false;
+    if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) {
+      eneg = s[pos] == '-';
+      ++pos;
+    }
+    uint64_t e;
+    int ed;
+    if (!ParseUnsignedDigits(s, &pos, &e, &ed) || e > 400) return false;
+    v *= std::pow(10.0, eneg ? -static_cast<double>(e)
+                             : static_cast<double>(e));
+  }
+  if (pos != s.size()) return false;
+  *out = neg ? -v : v;
+  return true;
+}
+
+bool ParseBool(std::string_view s, bool* out) {
+  s = TrimField(s);
+  if (s == "true" || s == "TRUE" || s == "True" || s == "1") {
+    *out = true;
+    return true;
+  }
+  if (s == "false" || s == "FALSE" || s == "False" || s == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool ParseDate(std::string_view s, int64_t* out) {
+  s = TrimField(s);
+  // YYYY-MM-DD (also Y/M/D).
+  size_t pos = 0;
+  uint64_t y, m, d;
+  int dg;
+  if (!ParseUnsignedDigits(s, &pos, &y, &dg) || dg != 4) return false;
+  if (pos >= s.size() || (s[pos] != '-' && s[pos] != '/')) return false;
+  const char sep = s[pos];
+  ++pos;
+  if (!ParseUnsignedDigits(s, &pos, &m, &dg) || dg > 2 || m < 1 || m > 12) {
+    return false;
+  }
+  if (pos >= s.size() || s[pos] != sep) return false;
+  ++pos;
+  if (!ParseUnsignedDigits(s, &pos, &d, &dg) || dg > 2 || d < 1 || d > 31) {
+    return false;
+  }
+  if (pos != s.size()) return false;
+  *out = DaysFromCivil(static_cast<int>(y), static_cast<unsigned>(m),
+                       static_cast<unsigned>(d));
+  return true;
+}
+
+bool ParseDateTime(std::string_view s, int64_t* out) {
+  s = TrimField(s);
+  // Split on ' ' or 'T'.
+  size_t split = s.find(' ');
+  if (split == std::string_view::npos) split = s.find('T');
+  if (split == std::string_view::npos) return false;
+  int64_t days;
+  if (!ParseDate(s.substr(0, split), &days)) return false;
+  std::string_view t = s.substr(split + 1);
+  size_t pos = 0;
+  uint64_t hh, mm, ss = 0;
+  int dg;
+  if (!ParseUnsignedDigits(t, &pos, &hh, &dg) || dg > 2 || hh > 23) {
+    return false;
+  }
+  if (pos >= t.size() || t[pos] != ':') return false;
+  ++pos;
+  if (!ParseUnsignedDigits(t, &pos, &mm, &dg) || dg > 2 || mm > 59) {
+    return false;
+  }
+  if (pos < t.size()) {
+    if (t[pos] != ':') return false;
+    ++pos;
+    if (!ParseUnsignedDigits(t, &pos, &ss, &dg) || dg > 2 || ss > 59) {
+      return false;
+    }
+  }
+  if (pos != t.size()) return false;
+  *out = days * 86400 + static_cast<int64_t>(hh * 3600 + mm * 60 + ss);
+  return true;
+}
+
+bool ParseField(TypeId type, std::string_view s, Lane* out) {
+  const std::string_view t = TrimField(s);
+  if (t.empty()) {
+    *out = kNullSentinel;
+    return true;
+  }
+  switch (type) {
+    case TypeId::kBool: {
+      bool b;
+      if (!ParseBool(t, &b)) return false;
+      *out = b ? 1 : 0;
+      return true;
+    }
+    case TypeId::kInteger: {
+      int64_t v;
+      if (!ParseInt64(t, &v)) return false;
+      *out = v;
+      return true;
+    }
+    case TypeId::kReal: {
+      double d;
+      if (!ParseDouble(t, &d)) return false;
+      *out = static_cast<Lane>(std::bit_cast<uint64_t>(d));
+      return true;
+    }
+    case TypeId::kDate: {
+      int64_t v;
+      if (!ParseDate(t, &v)) return false;
+      *out = v;
+      return true;
+    }
+    case TypeId::kDateTime: {
+      int64_t v;
+      if (!ParseDateTime(t, &v)) return false;
+      *out = v;
+      return true;
+    }
+    case TypeId::kString:
+      return false;  // strings are sliced, not parsed
+  }
+  return false;
+}
+
+}  // namespace tde

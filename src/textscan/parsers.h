@@ -1,0 +1,35 @@
+#ifndef TDE_TEXTSCAN_PARSERS_H_
+#define TDE_TEXTSCAN_PARSERS_H_
+
+#include <string_view>
+
+#include "src/common/types.h"
+
+namespace tde {
+
+/// Buffer-oriented, locale-free field parsers (Sect. 5.1.3). The first
+/// TextScan used the C++ standard library, whose locale-sensitive parsing
+/// serializes on a singleton locale lock and made parallel parsing an
+/// order of magnitude *slower* (Sect. 5.1.2); these parsers are tightly
+/// written, rely on no external state, and parse at disk bandwidth.
+///
+/// Each returns true on success. Leading/trailing ASCII whitespace is
+/// tolerated; an empty field is not a parse (use ParseField for NULLs).
+
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+bool ParseBool(std::string_view s, bool* out);          // true/false/0/1
+bool ParseDate(std::string_view s, int64_t* out);       // YYYY-MM-DD
+bool ParseDateTime(std::string_view s, int64_t* out);   // date[ T]HH:MM[:SS]
+
+/// Parses one field as `type` into a lane. Empty fields become NULL
+/// sentinels (returns true); unparseable fields return false. Strings are
+/// not handled here — slicing a string needs no parsing.
+bool ParseField(TypeId type, std::string_view s, Lane* out);
+
+/// Strips ASCII whitespace and one level of double quotes.
+std::string_view TrimField(std::string_view s);
+
+}  // namespace tde
+
+#endif  // TDE_TEXTSCAN_PARSERS_H_

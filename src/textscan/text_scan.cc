@@ -1,0 +1,193 @@
+#include "src/textscan/text_scan.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "src/textscan/parsers.h"
+
+namespace tde {
+
+namespace {
+/// Rows parsed per batch: large enough to amortize worker startup when
+/// parallel column parsing is on.
+constexpr size_t kBatchRows = 16 * kBlockSize;
+}  // namespace
+
+Result<std::unique_ptr<TextScan>> TextScan::FromFile(const std::string& path,
+                                                     TextScanOptions options) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {Status::IOError("cannot open '" + path + "'")};
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(static_cast<size_t>(size), '\0');
+  const size_t got = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) {
+    return {Status::IOError("short read from '" + path + "'")};
+  }
+  return std::unique_ptr<TextScan>(
+      new TextScan(std::move(data), std::move(options)));
+}
+
+std::unique_ptr<TextScan> TextScan::FromBuffer(std::string data,
+                                               TextScanOptions options) {
+  return std::unique_ptr<TextScan>(
+      new TextScan(std::move(data), std::move(options)));
+}
+
+Status TextScan::Open() {
+  pos_ = 0;
+  parse_errors_ = 0;
+  pending_.clear();
+  input_done_ = false;
+
+  if (options_.schema.has_value()) {
+    format_.schema = *options_.schema;
+    format_.has_header = options_.has_header.value_or(false);
+    format_.field_separator =
+        options_.field_separator != 0 ? options_.field_separator : ',';
+  } else {
+    InferenceOptions inf;
+    inf.sample_rows = options_.sample_rows;
+    inf.field_separator = options_.field_separator;
+    TDE_ASSIGN_OR_RETURN(format_, InferFormat(data_, inf));
+    if (options_.has_header.has_value()) {
+      format_.has_header = *options_.has_header;
+    }
+  }
+
+  schema_ = Schema();
+  col_map_.clear();
+  if (options_.columns.empty()) {
+    for (size_t i = 0; i < format_.schema.num_fields(); ++i) {
+      schema_.AddField(format_.schema.field(i));
+      col_map_.push_back(i);
+    }
+  } else {
+    for (const std::string& name : options_.columns) {
+      TDE_ASSIGN_OR_RETURN(size_t i, format_.schema.FieldIndex(name));
+      schema_.AddField(format_.schema.field(i));
+      col_map_.push_back(i);
+    }
+  }
+
+  // Skip the header record.
+  if (format_.has_header) {
+    std::string_view rec;
+    NextRecord(data_, &pos_, &rec);
+  }
+  return Status::OK();
+}
+
+Status TextScan::FillBatch() {
+  // Tokenize a batch of records into per-row field slices (shared
+  // read-only state for the column parsers).
+  std::vector<std::vector<std::string_view>> rows;
+  rows.reserve(kBatchRows);
+  std::string_view rec;
+  std::vector<std::string_view> fields;
+  while (rows.size() < kBatchRows && NextRecord(data_, &pos_, &rec)) {
+    if (rec.empty()) continue;
+    SplitRecord(rec, format_.field_separator, &fields);
+    rows.push_back(fields);
+  }
+  if (rows.empty()) {
+    input_done_ = true;
+    return Status::OK();
+  }
+  const size_t nrows = rows.size();
+  const size_t ncols = col_map_.size();
+
+  // Parse each output column over the whole batch — independently, so the
+  // columns can go to separate workers (Sect. 5.1.3).
+  std::vector<std::vector<Lane>> lanes(ncols);
+  std::vector<std::shared_ptr<StringHeap>> heaps(ncols);
+  std::atomic<uint64_t> errors{0};
+
+  auto parse_column = [&](size_t c) {
+    const size_t file_col = col_map_[c];
+    const TypeId type = schema_.field(c).type;
+    std::vector<Lane>& out = lanes[c];
+    out.resize(nrows);
+    if (type == TypeId::kString) {
+      auto heap = std::make_shared<StringHeap>();
+      for (size_t r = 0; r < nrows; ++r) {
+        if (file_col >= rows[r].size()) {
+          out[r] = kNullSentinel;
+          continue;
+        }
+        const std::string_view f = TrimField(rows[r][file_col]);
+        out[r] = f.empty() ? kNullSentinel : heap->Add(f);
+      }
+      heaps[c] = std::move(heap);
+      return;
+    }
+    uint64_t local_errors = 0;
+    for (size_t r = 0; r < nrows; ++r) {
+      if (file_col >= rows[r].size()) {
+        out[r] = kNullSentinel;
+        continue;
+      }
+      if (!ParseField(type, rows[r][file_col], &out[r])) {
+        out[r] = kNullSentinel;
+        ++local_errors;
+      }
+    }
+    errors += local_errors;
+  };
+
+  if (options_.parallel && ncols > 1) {
+    const int workers =
+        std::min<int>(options_.workers, static_cast<int>(ncols));
+    std::vector<std::thread> pool;
+    std::atomic<size_t> next{0};
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        while (true) {
+          const size_t c = next.fetch_add(1);
+          if (c >= ncols) return;
+          parse_column(c);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  } else {
+    for (size_t c = 0; c < ncols; ++c) parse_column(c);
+  }
+  parse_errors_ += errors.load();
+
+  // Slice the batch into iteration blocks.
+  for (size_t start = 0; start < nrows; start += kBlockSize) {
+    const size_t take = std::min<size_t>(kBlockSize, nrows - start);
+    Block b;
+    b.columns.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      ColumnVector& cv = b.columns[c];
+      cv.type = schema_.field(c).type;
+      cv.heap = heaps[c];
+      cv.lanes.assign(lanes[c].begin() + static_cast<ptrdiff_t>(start),
+                      lanes[c].begin() + static_cast<ptrdiff_t>(start + take));
+    }
+    pending_.push_back(std::move(b));
+  }
+  return Status::OK();
+}
+
+Status TextScan::Next(Block* block, bool* eos) {
+  if (pending_.empty() && !input_done_) {
+    TDE_RETURN_NOT_OK(FillBatch());
+  }
+  if (pending_.empty()) {
+    block->columns.clear();
+    *eos = true;
+    return Status::OK();
+  }
+  *block = std::move(pending_.front());
+  pending_.pop_front();
+  *eos = false;
+  return Status::OK();
+}
+
+}  // namespace tde

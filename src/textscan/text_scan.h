@@ -1,0 +1,71 @@
+#ifndef TDE_TEXTSCAN_TEXT_SCAN_H_
+#define TDE_TEXTSCAN_TEXT_SCAN_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/exec/block.h"
+#include "src/textscan/inference.h"
+
+namespace tde {
+
+struct TextScanOptions {
+  /// Provide to skip type/name inference.
+  std::optional<Schema> schema;
+  std::optional<bool> has_header;
+  /// 0 = infer.
+  char field_separator = 0;
+  size_t sample_rows = 100;
+  /// Parse columns on separate threads (Sect. 5.1.2-5.1.3): the column
+  /// parsers produce independent output from shared read-only state, and
+  /// the buffer-oriented parsers hold no locale lock, so this is safe.
+  bool parallel = false;
+  int workers = 4;
+  /// Columns to emit (empty = all) — e.g. only the scalar columns for the
+  /// Fig. 4 "Scalars" configuration.
+  std::vector<std::string> columns;
+};
+
+/// TextScan (Sect. 5.1): a flow operator that reads a memory-mapped byte
+/// stream and produces blocks of typed data, inferring separator, types
+/// and header if no schema is given. Unparseable fields become NULLs and
+/// are counted.
+class TextScan : public Operator {
+ public:
+  static Result<std::unique_ptr<TextScan>> FromFile(const std::string& path,
+                                                    TextScanOptions options = {});
+  static std::unique_ptr<TextScan> FromBuffer(std::string data,
+                                              TextScanOptions options = {});
+
+  Status Open() override;
+  Status Next(Block* block, bool* eos) override;
+  const Schema& output_schema() const override { return schema_; }
+
+  uint64_t parse_errors() const { return parse_errors_; }
+  char field_separator() const { return format_.field_separator; }
+  bool has_header() const { return format_.has_header; }
+  /// The full inferred schema (before column projection).
+  const Schema& file_schema() const { return format_.schema; }
+
+ private:
+  explicit TextScan(std::string data, TextScanOptions options)
+      : data_(std::move(data)), options_(std::move(options)) {}
+
+  Status FillBatch();
+
+  std::string data_;
+  TextScanOptions options_;
+  InferredFormat format_;
+  Schema schema_;                  // projected output schema
+  std::vector<size_t> col_map_;    // output column -> file column
+  size_t pos_ = 0;
+  uint64_t parse_errors_ = 0;
+  std::deque<Block> pending_;
+  bool input_done_ = false;
+};
+
+}  // namespace tde
+
+#endif  // TDE_TEXTSCAN_TEXT_SCAN_H_

@@ -1,0 +1,110 @@
+#include "src/workload/flights.h"
+
+#include <array>
+#include <cstdio>
+
+#include "src/common/types.h"
+
+namespace tde {
+
+namespace {
+
+constexpr std::array<const char*, 20> kCarriers = {
+    "AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA", "MQ",
+    "NW", "OH", "OO", "TZ", "UA", "US", "WN", "XE", "YV", "9E"};
+
+std::string Airport(uint64_t i) {
+  // 300 synthetic three-letter codes.
+  std::string s(3, 'A');
+  s[0] = static_cast<char>('A' + (i / 100) % 26);
+  s[1] = static_cast<char>('A' + (i / 10) % 10 + 3);
+  s[2] = static_cast<char>('A' + i % 10 + 7);
+  return s;
+}
+
+uint64_t Splitmix(uint64_t* s) {
+  *s += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = *s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Schema FlightsSchema() {
+  using T = TypeId;
+  return Schema({{"flight_date", T::kDate},
+                 {"carrier", T::kString},
+                 {"flight_num", T::kInteger},
+                 {"origin", T::kString},
+                 {"dest", T::kString},
+                 {"crs_dep_time", T::kInteger},
+                 {"dep_delay", T::kInteger},
+                 {"arr_delay", T::kInteger},
+                 {"distance", T::kInteger},
+                 {"cancelled", T::kBool},
+                 {"taxi_in", T::kInteger},
+                 {"taxi_out", T::kInteger}});
+}
+
+std::string GenerateFlights(uint64_t rows, uint64_t seed) {
+  std::string out;
+  const Schema schema = FlightsSchema();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(schema.field(i).name);
+  }
+  out.push_back('\n');
+
+  const int64_t start = DaysFromCivil(1998, 1, 1);
+  const int64_t days = 3652;  // ten years
+  uint64_t s = seed;
+  // Flights per day so dates ascend across the file.
+  const uint64_t per_day = std::max<uint64_t>(1, rows / static_cast<uint64_t>(days));
+  uint64_t emitted = 0;
+  for (int64_t d = 0; d < days && emitted < rows; ++d) {
+    const uint64_t today =
+        d + 1 == days ? rows - emitted : std::min(per_day, rows - emitted);
+    for (uint64_t i = 0; i < today; ++i, ++emitted) {
+      const uint64_t r = Splitmix(&s);
+      const uint64_t origin = r % 300;
+      uint64_t dest = (r >> 16) % 300;
+      if (dest == origin) dest = (dest + 1) % 300;
+      const int64_t dep_delay =
+          static_cast<int64_t>((r >> 24) % 90) - 15;  // [-15, 74]
+      const int64_t arr_delay = dep_delay + static_cast<int64_t>((r >> 32) % 31) - 15;
+      const bool cancelled = (r % 997) == 0;
+      char buf[160];
+      std::snprintf(
+          buf, sizeof(buf), "%s,%s,%lld,%s,%s,%lld,%lld,%lld,%lld,%s,%lld,%lld\n",
+          FormatLane(TypeId::kDate, start + d).c_str(),
+          kCarriers[(r >> 8) % kCarriers.size()],
+          static_cast<long long>(r % 7000 + 1), Airport(origin).c_str(),
+          Airport(dest).c_str(),
+          static_cast<long long>((r >> 40) % 24 * 100 + (r >> 48) % 60),
+          static_cast<long long>(dep_delay),
+          static_cast<long long>(arr_delay),
+          static_cast<long long>((origin * 37 + dest * 59) % 2500 + 100),
+          cancelled ? "true" : "false",
+          static_cast<long long>((r >> 52) % 30 + 1),
+          static_cast<long long>((r >> 56) % 40 + 5));
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+Status WriteFlights(uint64_t rows, const std::string& path, uint64_t seed) {
+  const std::string data = GenerateFlights(rows, seed);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open '" + path + "'");
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace tde

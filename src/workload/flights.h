@@ -1,0 +1,30 @@
+#ifndef TDE_WORKLOAD_FLIGHTS_H_
+#define TDE_WORKLOAD_FLIGHTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/storage/schema.h"
+
+namespace tde {
+
+/// Synthetic substitute for the paper's proprietary 67M-row FAA on-time
+/// "Flights" database (Sect. 5.2). The property the paper leans on is that
+/// Flights — unlike lineitem — has *no* large random string column: every
+/// string column has a small domain (carriers, airports), which is typical
+/// of the data sets customers actually analyse. The generator reproduces
+/// exactly that shape: ten years of sorted dates, ~20 carriers, ~300
+/// airports, small-range delay/taxi integers, a boolean.
+Schema FlightsSchema();
+
+/// Generates `rows` flight records as comma-separated text with a header,
+/// dates ascending (the natural arrival order of an on-time database).
+std::string GenerateFlights(uint64_t rows, uint64_t seed = 20140622);
+
+Status WriteFlights(uint64_t rows, const std::string& path,
+                    uint64_t seed = 20140622);
+
+}  // namespace tde
+
+#endif  // TDE_WORKLOAD_FLIGHTS_H_

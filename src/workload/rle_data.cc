@@ -1,0 +1,83 @@
+#include "src/workload/rle_data.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/exec/flow_table.h"
+
+namespace tde {
+
+namespace {
+
+/// Streams the sorted (primary, secondary) rows without materializing the
+/// unsorted input: uniform sampling into 100x100 cell counts, then emission
+/// in cell order — equivalent to generating and sorting.
+class RleRowSource : public Operator {
+ public:
+  RleRowSource(uint64_t rows, uint64_t seed) {
+    schema_.AddField({"primary", TypeId::kInteger});
+    schema_.AddField({"secondary", TypeId::kInteger});
+    counts_.fill(0);
+    uint64_t s = seed;
+    for (uint64_t i = 0; i < rows; ++i) {
+      s += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      ++counts_[z % 10000];
+    }
+  }
+
+  Status Open() override {
+    cell_ = 0;
+    emitted_in_cell_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(Block* block, bool* eos) override {
+    block->columns.assign(2, ColumnVector{});
+    block->columns[0].type = TypeId::kInteger;
+    block->columns[1].type = TypeId::kInteger;
+    while (cell_ < counts_.size() && counts_[cell_] == emitted_in_cell_) {
+      ++cell_;
+      emitted_in_cell_ = 0;
+    }
+    if (cell_ >= counts_.size()) {
+      *eos = true;
+      return Status::OK();
+    }
+    auto& p = block->columns[0].lanes;
+    auto& q = block->columns[1].lanes;
+    while (p.size() < kBlockSize && cell_ < counts_.size()) {
+      if (emitted_in_cell_ == counts_[cell_]) {
+        ++cell_;
+        emitted_in_cell_ = 0;
+        continue;
+      }
+      p.push_back(static_cast<Lane>(cell_ / 100));
+      q.push_back(static_cast<Lane>(cell_ % 100));
+      ++emitted_in_cell_;
+    }
+    *eos = false;
+    return Status::OK();
+  }
+
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::array<uint64_t, 10000> counts_;
+  size_t cell_ = 0;
+  uint64_t emitted_in_cell_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> MakeRleTable(uint64_t rows, uint64_t seed) {
+  FlowTableOptions opts;
+  opts.table_name = "rle_" + std::to_string(rows);
+  return FlowTable::Build(std::make_unique<RleRowSource>(rows, seed), opts);
+}
+
+}  // namespace tde

@@ -1,0 +1,27 @@
+#ifndef TDE_WORKLOAD_RLE_DATA_H_
+#define TDE_WORKLOAD_RLE_DATA_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/storage/table.h"
+
+namespace tde {
+
+/// The artificial run-length data set of Sect. 5.3: two columns "primary"
+/// and "secondary" of uniformly distributed values in [0, 100), with the
+/// table sorted ascending on (primary, secondary) — so both columns
+/// run-length encode, primary with runs of ~rows/100 and secondary with
+/// runs of ~rows/10000. The paper used 1M- and 1B-row instances; we scale
+/// the large one down (see DESIGN.md) because the crossover depends on the
+/// secondary run length relative to the block size, not on absolute rows.
+///
+/// The returned table also carries an "other" value usable as the
+/// non-filtered aggregation input (the paper aggregates whichever of the
+/// two columns it is not filtering).
+Result<std::shared_ptr<Table>> MakeRleTable(uint64_t rows,
+                                            uint64_t seed = 51094);
+
+}  // namespace tde
+
+#endif  // TDE_WORKLOAD_RLE_DATA_H_

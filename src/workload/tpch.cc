@@ -1,0 +1,474 @@
+#include "src/workload/tpch.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/types.h"
+
+namespace tde {
+
+namespace {
+
+/// Deterministic 64-bit generator (splitmix64 stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+  double Real(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(Next() >> 11) /
+                             9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+constexpr std::array<const char*, 64> kWords = {
+    "furiously",  "quickly",  "slyly",     "carefully", "blithely",
+    "ironic",     "final",    "express",   "regular",   "special",
+    "pending",    "bold",     "even",      "silent",    "unusual",
+    "accounts",   "packages", "deposits",  "requests",  "instructions",
+    "theodolites", "pinto",   "beans",     "foxes",     "dependencies",
+    "platelets",  "asymptotes", "ideas",   "dolphins",  "sauternes",
+    "warhorses",  "sheaves",  "excuses",   "dugouts",   "courts",
+    "realms",     "pearls",   "sentiments", "braids",   "frets",
+    "across",     "above",    "against",   "along",     "among",
+    "beneath",    "beside",   "between",   "sleep",     "wake",
+    "haggle",     "nag",      "cajole",    "detect",    "integrate",
+    "use",        "boost",    "engage",    "affix",     "doze",
+    "the",        "of",       "to",        "are"};
+
+constexpr std::array<const char*, 5> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+constexpr std::array<const char*, 5> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+constexpr std::array<const char*, 4> kInstructions = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+constexpr std::array<const char*, 7> kModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+constexpr std::array<const char*, 5> kMfgrs = {
+    "Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4",
+    "Manufacturer#5"};
+constexpr std::array<const char*, 25> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",     "CANADA",  "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY",    "INDIA",   "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",      "JORDAN",  "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",     "CHINA",   "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA",  "UNITED KINGDOM",
+    "UNITED STATES"};
+constexpr std::array<const char*, 5> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+constexpr std::array<const char*, 6> kTypes1 = {"STANDARD", "SMALL", "MEDIUM",
+                                                "LARGE", "ECONOMY", "PROMO"};
+constexpr std::array<const char*, 5> kTypes2 = {"ANODIZED", "BURNISHED",
+                                                "PLATED", "POLISHED",
+                                                "BRUSHED"};
+constexpr std::array<const char*, 5> kTypes3 = {"TIN", "NICKEL", "BRASS",
+                                                "STEEL", "COPPER"};
+constexpr std::array<const char*, 8> kContainers1 = {
+    "SM", "LG", "MED", "JUMBO", "WRAP", "SMALL", "LARGE", "BIG"};
+constexpr std::array<const char*, 5> kContainers2 = {"CASE", "BOX", "BAG",
+                                                     "JAR", "PKG"};
+
+const int64_t kStartDate = DaysFromCivil(1992, 1, 1);
+const int64_t kEndDate = DaysFromCivil(1998, 12, 1);
+
+void AppendComment(Rng* rng, int min_words, int max_words, std::string* out) {
+  const int n = static_cast<int>(rng->Range(min_words, max_words));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out->push_back(' ');
+    out->append(kWords[rng->Next() % kWords.size()]);
+  }
+}
+
+void AppendMoney(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  out->append(buf);
+}
+
+void AppendDate(int64_t days, std::string* out) {
+  out->append(FormatLane(TypeId::kDate, days));
+}
+
+void AppendKeyedName(const char* prefix, int64_t key, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s#%09lld", prefix,
+                static_cast<long long>(key));
+  out->append(buf);
+}
+
+void AppendPhone(Rng* rng, int64_t nation, std::string* out) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%02lld-%03lld-%03lld-%04lld",
+                static_cast<long long>(10 + nation),
+                static_cast<long long>(rng->Range(100, 999)),
+                static_cast<long long>(rng->Range(100, 999)),
+                static_cast<long long>(rng->Range(1000, 9999)));
+  out->append(buf);
+}
+
+}  // namespace
+
+const std::vector<TpchTable>& AllTpchTables() {
+  static const std::vector<TpchTable> kAll = {
+      TpchTable::kRegion,   TpchTable::kNation, TpchTable::kSupplier,
+      TpchTable::kCustomer, TpchTable::kPart,   TpchTable::kPartsupp,
+      TpchTable::kOrders,   TpchTable::kLineitem};
+  return kAll;
+}
+
+const char* TpchTableName(TpchTable t) {
+  switch (t) {
+    case TpchTable::kRegion: return "region";
+    case TpchTable::kNation: return "nation";
+    case TpchTable::kSupplier: return "supplier";
+    case TpchTable::kCustomer: return "customer";
+    case TpchTable::kPart: return "part";
+    case TpchTable::kPartsupp: return "partsupp";
+    case TpchTable::kOrders: return "orders";
+    case TpchTable::kLineitem: return "lineitem";
+  }
+  return "?";
+}
+
+Schema TpchSchema(TpchTable t) {
+  using T = TypeId;
+  switch (t) {
+    case TpchTable::kRegion:
+      return Schema({{"r_regionkey", T::kInteger},
+                     {"r_name", T::kString},
+                     {"r_comment", T::kString}});
+    case TpchTable::kNation:
+      return Schema({{"n_nationkey", T::kInteger},
+                     {"n_name", T::kString},
+                     {"n_regionkey", T::kInteger},
+                     {"n_comment", T::kString}});
+    case TpchTable::kSupplier:
+      return Schema({{"s_suppkey", T::kInteger},
+                     {"s_name", T::kString},
+                     {"s_address", T::kString},
+                     {"s_nationkey", T::kInteger},
+                     {"s_phone", T::kString},
+                     {"s_acctbal", T::kReal},
+                     {"s_comment", T::kString}});
+    case TpchTable::kCustomer:
+      return Schema({{"c_custkey", T::kInteger},
+                     {"c_name", T::kString},
+                     {"c_address", T::kString},
+                     {"c_nationkey", T::kInteger},
+                     {"c_phone", T::kString},
+                     {"c_acctbal", T::kReal},
+                     {"c_mktsegment", T::kString},
+                     {"c_comment", T::kString}});
+    case TpchTable::kPart:
+      return Schema({{"p_partkey", T::kInteger},
+                     {"p_name", T::kString},
+                     {"p_mfgr", T::kString},
+                     {"p_brand", T::kString},
+                     {"p_type", T::kString},
+                     {"p_size", T::kInteger},
+                     {"p_container", T::kString},
+                     {"p_retailprice", T::kReal},
+                     {"p_comment", T::kString}});
+    case TpchTable::kPartsupp:
+      return Schema({{"ps_partkey", T::kInteger},
+                     {"ps_suppkey", T::kInteger},
+                     {"ps_availqty", T::kInteger},
+                     {"ps_supplycost", T::kReal},
+                     {"ps_comment", T::kString}});
+    case TpchTable::kOrders:
+      return Schema({{"o_orderkey", T::kInteger},
+                     {"o_custkey", T::kInteger},
+                     {"o_orderstatus", T::kString},
+                     {"o_totalprice", T::kReal},
+                     {"o_orderdate", T::kDate},
+                     {"o_orderpriority", T::kString},
+                     {"o_clerk", T::kString},
+                     {"o_shippriority", T::kInteger},
+                     {"o_comment", T::kString}});
+    case TpchTable::kLineitem:
+      return Schema({{"l_orderkey", T::kInteger},
+                     {"l_partkey", T::kInteger},
+                     {"l_suppkey", T::kInteger},
+                     {"l_linenumber", T::kInteger},
+                     {"l_quantity", T::kInteger},
+                     {"l_extendedprice", T::kReal},
+                     {"l_discount", T::kReal},
+                     {"l_tax", T::kReal},
+                     {"l_returnflag", T::kString},
+                     {"l_linestatus", T::kString},
+                     {"l_shipdate", T::kDate},
+                     {"l_commitdate", T::kDate},
+                     {"l_receiptdate", T::kDate},
+                     {"l_shipinstruct", T::kString},
+                     {"l_shipmode", T::kString},
+                     {"l_comment", T::kString}});
+  }
+  return Schema();
+}
+
+uint64_t TpchRowCount(TpchTable t, double sf) {
+  switch (t) {
+    case TpchTable::kRegion: return 5;
+    case TpchTable::kNation: return 25;
+    case TpchTable::kSupplier: return static_cast<uint64_t>(10000 * sf);
+    case TpchTable::kCustomer: return static_cast<uint64_t>(150000 * sf);
+    case TpchTable::kPart: return static_cast<uint64_t>(200000 * sf);
+    case TpchTable::kPartsupp: return static_cast<uint64_t>(800000 * sf);
+    case TpchTable::kOrders: return static_cast<uint64_t>(1500000 * sf);
+    case TpchTable::kLineitem:
+      return static_cast<uint64_t>(1500000 * sf) * 4;  // approximate
+  }
+  return 0;
+}
+
+std::string GenerateTpchTable(TpchTable t, double sf, uint64_t seed) {
+  Rng rng(seed ^ (static_cast<uint64_t>(t) << 32));
+  std::string out;
+  const Schema schema = TpchSchema(t);
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) out.push_back('|');
+    out.append(schema.field(i).name);
+  }
+  out.push_back('\n');
+
+  auto f = [&out]() { out.push_back('|'); };
+  switch (t) {
+    case TpchTable::kRegion:
+      for (int64_t k = 0; k < 5; ++k) {
+        out.append(std::to_string(k));
+        f();
+        out.append(kRegions[k]);
+        f();
+        AppendComment(&rng, 4, 12, &out);
+        out.push_back('\n');
+      }
+      break;
+    case TpchTable::kNation:
+      for (int64_t k = 0; k < 25; ++k) {
+        out.append(std::to_string(k));
+        f();
+        out.append(kNations[k]);
+        f();
+        out.append(std::to_string(k % 5));
+        f();
+        AppendComment(&rng, 4, 12, &out);
+        out.push_back('\n');
+      }
+      break;
+    case TpchTable::kSupplier: {
+      const int64_t n = static_cast<int64_t>(TpchRowCount(t, sf));
+      for (int64_t k = 1; k <= n; ++k) {
+        const int64_t nation = rng.Range(0, 24);
+        out.append(std::to_string(k));
+        f();
+        AppendKeyedName("Supplier", k, &out);
+        f();
+        AppendComment(&rng, 2, 4, &out);
+        f();
+        out.append(std::to_string(nation));
+        f();
+        AppendPhone(&rng, nation, &out);
+        f();
+        AppendMoney(rng.Real(-999.99, 9999.99), &out);
+        f();
+        AppendComment(&rng, 5, 12, &out);
+        out.push_back('\n');
+      }
+      break;
+    }
+    case TpchTable::kCustomer: {
+      const int64_t n = static_cast<int64_t>(TpchRowCount(t, sf));
+      for (int64_t k = 1; k <= n; ++k) {
+        const int64_t nation = rng.Range(0, 24);
+        out.append(std::to_string(k));
+        f();
+        AppendKeyedName("Customer", k, &out);
+        f();
+        AppendComment(&rng, 2, 4, &out);
+        f();
+        out.append(std::to_string(nation));
+        f();
+        AppendPhone(&rng, nation, &out);
+        f();
+        AppendMoney(rng.Real(-999.99, 9999.99), &out);
+        f();
+        out.append(kSegments[rng.Next() % kSegments.size()]);
+        f();
+        AppendComment(&rng, 6, 16, &out);
+        out.push_back('\n');
+      }
+      break;
+    }
+    case TpchTable::kPart: {
+      const int64_t n = static_cast<int64_t>(TpchRowCount(t, sf));
+      for (int64_t k = 1; k <= n; ++k) {
+        out.append(std::to_string(k));
+        f();
+        AppendComment(&rng, 3, 5, &out);  // p_name: a few words
+        f();
+        const size_t m = rng.Next() % kMfgrs.size();
+        out.append(kMfgrs[m]);
+        f();
+        out.append("Brand#");
+        out.append(std::to_string(m + 1));
+        out.append(std::to_string(rng.Range(1, 5)));
+        f();
+        out.append(kTypes1[rng.Next() % kTypes1.size()]);
+        out.push_back(' ');
+        out.append(kTypes2[rng.Next() % kTypes2.size()]);
+        out.push_back(' ');
+        out.append(kTypes3[rng.Next() % kTypes3.size()]);
+        f();
+        out.append(std::to_string(rng.Range(1, 50)));
+        f();
+        out.append(kContainers1[rng.Next() % kContainers1.size()]);
+        out.push_back(' ');
+        out.append(kContainers2[rng.Next() % kContainers2.size()]);
+        f();
+        AppendMoney(900.0 + static_cast<double>(k % 1000), &out);
+        f();
+        AppendComment(&rng, 2, 6, &out);
+        out.push_back('\n');
+      }
+      break;
+    }
+    case TpchTable::kPartsupp: {
+      const int64_t parts = static_cast<int64_t>(
+          TpchRowCount(TpchTable::kPart, sf));
+      const int64_t sups = std::max<int64_t>(
+          1, static_cast<int64_t>(TpchRowCount(TpchTable::kSupplier, sf)));
+      for (int64_t p = 1; p <= parts; ++p) {
+        for (int64_t s = 0; s < 4; ++s) {
+          out.append(std::to_string(p));
+          f();
+          out.append(std::to_string((p + s * (sups / 4 + 1)) % sups + 1));
+          f();
+          out.append(std::to_string(rng.Range(1, 9999)));
+          f();
+          AppendMoney(rng.Real(1.0, 1000.0), &out);
+          f();
+          AppendComment(&rng, 4, 10, &out);
+          out.push_back('\n');
+        }
+      }
+      break;
+    }
+    case TpchTable::kOrders: {
+      const int64_t n = static_cast<int64_t>(TpchRowCount(t, sf));
+      const int64_t customers = std::max<int64_t>(
+          1, static_cast<int64_t>(TpchRowCount(TpchTable::kCustomer, sf)));
+      for (int64_t i = 0; i < n; ++i) {
+        // dbgen's sparse order keys: 8 consecutive, then a gap of 24.
+        const int64_t key = (i / 8) * 32 + (i % 8) + 1;
+        int64_t cust = rng.Range(1, customers);
+        if (cust % 3 == 0) cust = (cust % customers) + 1;  // skip thirds
+        const int64_t date = rng.Range(kStartDate, kEndDate - 151);
+        out.append(std::to_string(key));
+        f();
+        out.append(std::to_string(cust));
+        f();
+        out.push_back("FOP"[rng.Next() % 3]);
+        f();
+        AppendMoney(rng.Real(800.0, 350000.0), &out);
+        f();
+        AppendDate(date, &out);
+        f();
+        out.append(kPriorities[rng.Next() % kPriorities.size()]);
+        f();
+        AppendKeyedName("Clerk", rng.Range(1, std::max<int64_t>(
+                                                  1, static_cast<int64_t>(
+                                                         1000 * sf))),
+                        &out);
+        f();
+        out.push_back('0');
+        f();
+        AppendComment(&rng, 5, 16, &out);
+        out.push_back('\n');
+      }
+      break;
+    }
+    case TpchTable::kLineitem: {
+      const int64_t orders = static_cast<int64_t>(
+          TpchRowCount(TpchTable::kOrders, sf));
+      const int64_t parts = std::max<int64_t>(
+          1, static_cast<int64_t>(TpchRowCount(TpchTable::kPart, sf)));
+      const int64_t sups = std::max<int64_t>(
+          1, static_cast<int64_t>(TpchRowCount(TpchTable::kSupplier, sf)));
+      for (int64_t i = 0; i < orders; ++i) {
+        const int64_t key = (i / 8) * 32 + (i % 8) + 1;
+        const int64_t odate = rng.Range(kStartDate, kEndDate - 151);
+        const int64_t lines = rng.Range(1, 7);
+        for (int64_t l = 1; l <= lines; ++l) {
+          const int64_t part = rng.Range(1, parts);
+          const int64_t qty = rng.Range(1, 50);
+          const int64_t ship = odate + rng.Range(1, 121);
+          out.append(std::to_string(key));
+          f();
+          out.append(std::to_string(part));
+          f();
+          out.append(std::to_string((part + l * (sups / 4 + 1)) % sups + 1));
+          f();
+          out.append(std::to_string(l));
+          f();
+          out.append(std::to_string(qty));
+          f();
+          AppendMoney(static_cast<double>(qty) *
+                          (900.0 + static_cast<double>(part % 1000)),
+                      &out);
+          f();
+          AppendMoney(rng.Real(0.0, 0.10), &out);
+          f();
+          AppendMoney(rng.Real(0.0, 0.08), &out);
+          f();
+          out.push_back("ANR"[rng.Next() % 3]);
+          f();
+          out.push_back("OF"[rng.Next() % 2]);
+          f();
+          AppendDate(ship, &out);
+          f();
+          AppendDate(odate + rng.Range(30, 90), &out);
+          f();
+          AppendDate(ship + rng.Range(1, 30), &out);
+          f();
+          out.append(kInstructions[rng.Next() % kInstructions.size()]);
+          f();
+          out.append(kModes[rng.Next() % kModes.size()]);
+          f();
+          AppendComment(&rng, 2, 6, &out);
+          out.push_back('\n');
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Status WriteTpchTable(TpchTable t, double sf, const std::string& path,
+                      uint64_t seed) {
+  const std::string data = GenerateTpchTable(t, sf, seed);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IOError("cannot open '" + path + "'");
+  const size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (written != data.size()) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace tde

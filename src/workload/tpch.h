@@ -1,0 +1,59 @@
+#ifndef TDE_WORKLOAD_TPCH_H_
+#define TDE_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/schema.h"
+
+namespace tde {
+
+/// TPC-H dbgen-equivalent text generator (the paper's import corpus,
+/// Sect. 5.2). Produces '|'-separated text compatible with TextScan, with
+/// the column shapes that drive the paper's encoding results:
+///   - c_name:     "Customer#000000001" — fixed-width unique strings whose
+///                 equally spaced heap offsets trigger affine encoding;
+///   - l_comment:  random word salad — a large, low-duplication domain the
+///                 accelerator cannot compress;
+///   - flags, modes, instructions, segments: tiny domains -> dictionary;
+///   - dates in [1992-01-01, 1998-12-31];
+///   - keys: dense or near-dense ascending integers.
+///
+/// The scale factor multiplies row counts exactly as dbgen's does
+/// (lineitem ~ 6M rows at SF 1). Generation is deterministic per seed.
+enum class TpchTable {
+  kRegion,
+  kNation,
+  kSupplier,
+  kCustomer,
+  kPart,
+  kPartsupp,
+  kOrders,
+  kLineitem,
+};
+
+/// All eight tables in generation order.
+const std::vector<TpchTable>& AllTpchTables();
+
+const char* TpchTableName(TpchTable t);
+
+/// The table's schema (types as Tableau models them).
+Schema TpchSchema(TpchTable t);
+
+/// Number of rows at the given scale factor (lineitem is approximate, as
+/// in dbgen: orders have 1-7 lines each).
+uint64_t TpchRowCount(TpchTable t, double scale_factor);
+
+/// Generates the table as separated text with a header row.
+std::string GenerateTpchTable(TpchTable t, double scale_factor,
+                              uint64_t seed = 19940622);
+
+/// Generates and writes to a file.
+Status WriteTpchTable(TpchTable t, double scale_factor,
+                      const std::string& path, uint64_t seed = 19940622);
+
+}  // namespace tde
+
+#endif  // TDE_WORKLOAD_TPCH_H_

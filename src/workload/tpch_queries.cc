@@ -1,0 +1,67 @@
+#include "src/workload/tpch_queries.h"
+
+#include "src/workload/tpch.h"
+
+namespace tde {
+
+const std::vector<TpchQuery>& TpchQueries() {
+  static const std::vector<TpchQuery>* kQueries = new std::vector<TpchQuery>{
+      {"Q1", "pricing summary report",
+       "SELECT l_returnflag, l_linestatus, "
+       "SUM(l_quantity) AS sum_qty, "
+       "SUM(l_extendedprice) AS sum_base_price, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+       "AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, "
+       "AVG(l_discount) AS avg_disc, COUNT(*) AS count_order "
+       "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+       "GROUP BY l_returnflag, l_linestatus "
+       "ORDER BY l_returnflag, l_linestatus"},
+      {"Q3", "shipping priority (3-way join)",
+       "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS "
+       "revenue, o_orderdate, o_shippriority "
+       "FROM lineitem "
+       "JOIN orders ON lineitem.l_orderkey = orders.o_orderkey "
+       "JOIN customer ON orders.o_custkey = customer.c_custkey "
+       "WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' "
+       "AND l_shipdate > DATE '1995-03-15' "
+       "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+       "ORDER BY revenue DESC, o_orderdate LIMIT 10"},
+      {"Q4lite", "order priority checking (no EXISTS subquery)",
+       "SELECT o_orderpriority, COUNT(*) AS order_count FROM orders "
+       "WHERE o_orderdate >= DATE '1993-07-01' AND "
+       "o_orderdate < DATE '1993-10-01' "
+       "GROUP BY o_orderpriority ORDER BY o_orderpriority"},
+      {"Q6", "forecast revenue change",
+       "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+       "WHERE l_shipdate >= DATE '1994-01-01' AND "
+       "l_shipdate < DATE '1995-01-01' AND "
+       "l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"},
+      {"Q12", "shipmode and order priority (join, IN, CASE)",
+       "SELECT l_shipmode, "
+       "SUM(CASE WHEN o_orderpriority = '1-URGENT' OR "
+       "o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, "
+       "SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND "
+       "o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count "
+       "FROM lineitem JOIN orders ON lineitem.l_orderkey = orders.o_orderkey "
+       "WHERE l_shipmode IN ('MAIL', 'SHIP') "
+       "AND l_receiptdate >= DATE '1994-01-01' "
+       "AND l_receiptdate < DATE '1995-01-01' "
+       "GROUP BY l_shipmode ORDER BY l_shipmode"},
+  };
+  return *kQueries;
+}
+
+Status LoadTpchTables(Engine* engine, double sf) {
+  ImportOptions opts;
+  opts.text.field_separator = '|';
+  for (TpchTable t : {TpchTable::kLineitem, TpchTable::kOrders,
+                      TpchTable::kCustomer}) {
+    TDE_ASSIGN_OR_RETURN(auto unused,
+                         engine->ImportTextBuffer(GenerateTpchTable(t, sf),
+                                                  TpchTableName(t), opts));
+    (void)unused;
+  }
+  return Status::OK();
+}
+
+}  // namespace tde

@@ -1,0 +1,31 @@
+#ifndef TDE_WORKLOAD_TPCH_QUERIES_H_
+#define TDE_WORKLOAD_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace tde {
+
+/// A TPC-H query adapted to the engine's SQL subset (single fact table
+/// with many-to-one joins — the shape Tableau itself generates).
+struct TpchQuery {
+  const char* id;       // "Q1", "Q3", ...
+  const char* title;
+  std::string sql;
+};
+
+/// The TPC-H queries expressible in the engine's analytic subset:
+/// Q1 (pricing summary), Q3 (shipping priority, 3-way join), Q4-lite
+/// (order priority counts), Q6 (forecast revenue change), Q12 (shipmode
+/// priority, join + OR predicate).
+const std::vector<TpchQuery>& TpchQueries();
+
+/// Imports the TPC-H tables a query set needs (lineitem, orders, customer)
+/// at the given scale factor into `engine`.
+Status LoadTpchTables(Engine* engine, double scale_factor);
+
+}  // namespace tde
+
+#endif  // TDE_WORKLOAD_TPCH_QUERIES_H_

@@ -1,0 +1,59 @@
+#include "src/common/collation.h"
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+TEST(Collation, BinaryOrdersBytes) {
+  EXPECT_LT(Collate(Collation::kBinary, "Apple", "apple"), 0);
+  EXPECT_EQ(Collate(Collation::kBinary, "abc", "abc"), 0);
+  EXPECT_GT(Collate(Collation::kBinary, "abd", "abc"), 0);
+  EXPECT_LT(Collate(Collation::kBinary, "ab", "abc"), 0);
+}
+
+TEST(Collation, LocaleFoldsCase) {
+  EXPECT_LT(Collate(Collation::kLocale, "apple", "BANANA"), 0);
+  EXPECT_GT(Collate(Collation::kLocale, "cherry", "BANANA"), 0);
+}
+
+TEST(Collation, LocaleIsTotalOrder) {
+  // Case differences break ties deterministically.
+  const int ab = Collate(Collation::kLocale, "Apple", "apple");
+  const int ba = Collate(Collation::kLocale, "apple", "Apple");
+  EXPECT_NE(ab, 0);
+  EXPECT_EQ(ab > 0, ba < 0);
+}
+
+TEST(Collation, LocaleFoldsLatin1Accents) {
+  const std::string a = "caf\xE9";  // café in Latin-1
+  const std::string b = "cafe";
+  // Primary weights equal; tie broken by bytes, so order is consistent
+  // but 'é' sorts adjacent to 'e', not after 'z'.
+  const std::string z = "cafz";
+  EXPECT_LT(Collate(Collation::kLocale, a, z), 0);
+  EXPECT_GT(Collate(Collation::kBinary, a, z), 0);
+  (void)b;
+}
+
+TEST(CollationHash, EqualStringsHashAlike) {
+  EXPECT_EQ(CollationHash(Collation::kBinary, "abc"),
+            CollationHash(Collation::kBinary, "abc"));
+  EXPECT_NE(CollationHash(Collation::kBinary, "abc"),
+            CollationHash(Collation::kBinary, "abd"));
+}
+
+TEST(CollationHash, LocaleHashFoldsCase) {
+  EXPECT_EQ(CollationHash(Collation::kLocale, "ABC"),
+            CollationHash(Collation::kLocale, "abc"));
+  EXPECT_NE(CollationHash(Collation::kBinary, "ABC"),
+            CollationHash(Collation::kBinary, "abc"));
+}
+
+TEST(Collation, EmptyStrings) {
+  EXPECT_EQ(Collate(Collation::kLocale, "", ""), 0);
+  EXPECT_LT(Collate(Collation::kLocale, "", "a"), 0);
+}
+
+}  // namespace
+}  // namespace tde

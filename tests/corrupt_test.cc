@@ -1,0 +1,205 @@
+// Failure injection: corrupt or truncated serialized streams and database
+// files must fail with clean IOError statuses, never fault.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/encoding/stream.h"
+#include "src/exec/flow_table.h"
+#include "src/storage/database_file.h"
+#include "src/textscan/text_scan.h"
+#include "src/storage/heap_accelerator.h"
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+std::vector<uint8_t> GoodStream(EncodingType type) {
+  EncodingStats stats;
+  std::vector<Lane> v(3000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = type == EncodingType::kAffine ? static_cast<Lane>(i)
+                                         : static_cast<Lane>(i % 40);
+  }
+  stats.Update(v.data(), v.size());
+  auto s = EncodedStream::Create(type, 8, true, stats, 0).MoveValue();
+  EXPECT_TRUE(s->Append(v.data(), v.size()).ok());
+  EXPECT_TRUE(s->Finalize().ok());
+  return s->buffer();
+}
+
+class CorruptStream : public ::testing::TestWithParam<EncodingType> {};
+
+TEST_P(CorruptStream, GoodBufferOpens) {
+  EXPECT_TRUE(EncodedStream::Open(GoodStream(GetParam())).ok());
+}
+
+TEST_P(CorruptStream, TruncatedHeaderRejected) {
+  auto buf = GoodStream(GetParam());
+  buf.resize(16);
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+TEST_P(CorruptStream, TruncatedDataRejected) {
+  auto buf = GoodStream(GetParam());
+  if (GetParam() == EncodingType::kAffine) GTEST_SKIP();  // no data section
+  buf.resize(buf.size() - (buf.size() - 40) / 2);
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+TEST_P(CorruptStream, BadAlgorithmByteRejected) {
+  auto buf = GoodStream(GetParam());
+  buf[20] = 99;
+  EXPECT_FALSE(EncodedStream::Open(buf).ok());
+}
+
+TEST_P(CorruptStream, BadWidthRejected) {
+  auto buf = GoodStream(GetParam());
+  buf[21] = 3;
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+TEST_P(CorruptStream, HugeDataOffsetRejected) {
+  auto buf = GoodStream(GetParam());
+  HeaderView(&buf).set_data_offset(uint64_t{1} << 40);
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+TEST_P(CorruptStream, InflatedLogicalSizeRejected) {
+  auto buf = GoodStream(GetParam());
+  if (GetParam() == EncodingType::kAffine) GTEST_SKIP();
+  HeaderView(&buf).set_logical_size(uint64_t{1} << 30);
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+TEST_P(CorruptStream, BadBlockSizeRejected) {
+  auto buf = GoodStream(GetParam());
+  HeaderView(&buf).set_block_size(7);  // not a multiple of 32
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, CorruptStream,
+    ::testing::Values(EncodingType::kUncompressed,
+                      EncodingType::kFrameOfReference, EncodingType::kDelta,
+                      EncodingType::kDictionary, EncodingType::kAffine,
+                      EncodingType::kRunLength),
+    [](const auto& info) {
+      std::string n = EncodingName(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(CorruptStream, DictBitsPastLimitRejected) {
+  auto buf = GoodStream(EncodingType::kDictionary);
+  HeaderView(&buf).set_bits(16);
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+TEST(CorruptStream, DictEntryCountPastCapacityRejected) {
+  auto buf = GoodStream(EncodingType::kDictionary);
+  HeaderView(&buf).SetU64(24, uint64_t{1} << 20);
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+TEST(CorruptStream, RleZeroFieldWidthRejected) {
+  auto buf = GoodStream(EncodingType::kRunLength);
+  buf[24] = 0;
+  EXPECT_EQ(EncodedStream::Open(buf).status().code(), StatusCode::kIOError);
+}
+
+class CorruptDatabase : public ::testing::Test {
+ protected:
+  std::vector<uint8_t> GoodDatabase() {
+    Database db;
+    auto t = std::make_shared<Table>("t");
+    ColumnBuildInput in;
+    in.name = "x";
+    in.type = TypeId::kInteger;
+    for (int i = 0; i < 2000; ++i) in.lanes.push_back(i % 10);
+    t->AddColumn(BuildColumn(std::move(in), FlowTableOptions{}).MoveValue());
+
+    ColumnBuildInput sin;
+    sin.name = "s";
+    sin.type = TypeId::kString;
+    sin.heap = std::make_shared<StringHeap>();
+    HeapAccelerator acc(sin.heap.get());
+    for (int i = 0; i < 2000; ++i) {
+      sin.lanes.push_back(acc.Add("v" + std::to_string(i % 5)));
+    }
+    t->AddColumn(BuildColumn(std::move(sin), FlowTableOptions{}).MoveValue());
+    db.AddTable(t);
+    std::vector<uint8_t> bytes;
+    SerializeDatabase(db, &bytes);
+    return bytes;
+  }
+};
+
+TEST_F(CorruptDatabase, TruncationAtManyOffsetsFailsCleanly) {
+  const auto good = GoodDatabase();
+  ASSERT_TRUE(DeserializeDatabase(good).ok());
+  for (size_t cut = 0; cut < good.size(); cut += good.size() / 37 + 1) {
+    std::vector<uint8_t> bad(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(cut));
+    const auto r = DeserializeDatabase(bad);
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(CorruptDatabase, BitFlipsInStreamHeadersFailCleanlyOrRoundTrip) {
+  const auto good = GoodDatabase();
+  // Flip a byte at a sweep of positions; each must either fail cleanly or
+  // produce a database that can still be walked without faulting.
+  for (size_t pos = 8; pos < good.size(); pos += good.size() / 53 + 1) {
+    std::vector<uint8_t> bad = good;
+    bad[pos] ^= 0x5A;
+    auto r = DeserializeDatabase(bad);
+    if (!r.ok()) continue;
+    for (const auto& t : r.value().tables()) {
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        const Column& col = t->column(c);
+        std::vector<Lane> lanes(
+            std::min<uint64_t>(col.rows(), 64));
+        (void)col.GetLanes(0, lanes.size(), lanes.data());
+      }
+    }
+  }
+}
+
+TEST(CorruptDatabase2, EmptyFileRejected) {
+  EXPECT_FALSE(DeserializeDatabase({}).ok());
+}
+
+TEST(CorruptText, RandomGarbageImportsOrFailsCleanly) {
+  // TextScan + inference over arbitrary bytes: any Status is acceptable,
+  // crashing is not; a successful import must be walkable.
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string data;
+    const size_t len = rng() % 400;
+    for (size_t i = 0; i < len; ++i) {
+      data.push_back(static_cast<char>(rng() % 256));
+    }
+    auto scan = TextScan::FromBuffer(data);
+    if (!scan->Open().ok()) continue;
+    std::vector<Block> blocks;
+    (void)DrainOperator(scan.get(), &blocks);
+  }
+}
+
+TEST(CorruptText, MisalignedRowsSurvive) {
+  auto scan = TextScan::FromBuffer(
+      "a,b,c\n1,2,3\n4,5\n6,7,8,9,10\n,,\n");
+  ASSERT_TRUE(scan->Open().ok());
+  std::vector<Block> blocks;
+  ASSERT_TRUE(DrainOperator(scan.get(), &blocks).ok());
+  uint64_t rows = 0;
+  for (const Block& b : blocks) rows += b.rows();
+  EXPECT_EQ(rows, 4u);
+}
+
+}  // namespace
+}  // namespace tde

@@ -1,0 +1,142 @@
+#include "src/encoding/dynamic_encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+std::vector<Lane> Roundtrip(const EncodedColumn& col) {
+  std::vector<Lane> out(col.stream->size());
+  EXPECT_TRUE(col.stream->Get(0, out.size(), out.data()).ok());
+  return out;
+}
+
+TEST(DynamicEncoder, EncodesStableColumnWithoutChanges) {
+  DynamicEncoder enc(DynamicEncoderOptions{});
+  std::vector<Lane> v(8 * kBlockSize);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Lane>(i % 50);
+  for (size_t i = 0; i < v.size(); i += kBlockSize) {
+    ASSERT_TRUE(enc.Append(v.data() + i, kBlockSize).ok());
+  }
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().encoding_changes, 0);
+  EXPECT_EQ(Roundtrip(r.value()), v);
+}
+
+TEST(DynamicEncoder, ReencodesWhenValueEscapesRange) {
+  DynamicEncoder enc(DynamicEncoderOptions{});
+  // First: a near-affine ramp -> affine; then a jump forces re-encode.
+  std::vector<Lane> ramp(2 * kBlockSize);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<Lane>(i);
+  ASSERT_TRUE(enc.Append(ramp.data(), kBlockSize).ok());
+  ASSERT_TRUE(enc.Append(ramp.data() + kBlockSize, kBlockSize).ok());
+  EXPECT_EQ(enc.current_encoding(), EncodingType::kAffine);
+  std::vector<Lane> jump(kBlockSize, 1'000'000);
+  ASSERT_TRUE(enc.Append(jump.data(), jump.size()).ok());
+  EXPECT_GE(enc.encoding_changes(), 1);
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok());
+  std::vector<Lane> expect = ramp;
+  expect.insert(expect.end(), jump.begin(), jump.end());
+  EXPECT_EQ(Roundtrip(r.value()), expect);
+}
+
+TEST(DynamicEncoder, StabilizesQuickly) {
+  // A drifting-but-bounded column: after the first adjustments, no more
+  // re-encodes (the paper saw 2 changes across all of SF-1 lineitem).
+  DynamicEncoder enc(DynamicEncoderOptions{});
+  uint64_t x = 42;
+  for (int block = 0; block < 64; ++block) {
+    std::vector<Lane> v(kBlockSize);
+    for (auto& o : v) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      o = static_cast<Lane>(x % 10000);
+    }
+    ASSERT_TRUE(enc.Append(v.data(), v.size()).ok());
+  }
+  EXPECT_LE(enc.encoding_changes(), 3);
+}
+
+TEST(DynamicEncoder, ConvertsToOptimalAtFinalize) {
+  DynamicEncoderOptions opts;
+  opts.convert_to_optimal = true;
+  DynamicEncoder enc(opts);
+  // Starts wide (needs 20 bits in block 1), then... stays there. The
+  // *final* optimal encoding for a 2-value domain is dictionary.
+  std::vector<Lane> v(4 * kBlockSize);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = (i % 2) ? 0 : (1 << 20);
+  ASSERT_TRUE(enc.Append(v.data(), v.size()).ok());
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stream->type(), EncodingType::kDictionary);
+  EXPECT_EQ(Roundtrip(r.value()), v);
+}
+
+TEST(DynamicEncoder, EncodingOffProducesUncompressed) {
+  DynamicEncoderOptions opts;
+  opts.enable_encodings = false;
+  DynamicEncoder enc(opts);
+  std::vector<Lane> v(kBlockSize, 7);
+  ASSERT_TRUE(enc.Append(v.data(), v.size()).ok());
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stream->type(), EncodingType::kUncompressed);
+  EXPECT_EQ(r.value().encoding_changes, 0);
+}
+
+TEST(DynamicEncoder, AllowedMaskRestrictsChoice) {
+  DynamicEncoderOptions opts;
+  opts.allowed = kAllowRandomAccess;
+  DynamicEncoder enc(opts);
+  std::vector<Lane> v;
+  for (int i = 0; i < 20; ++i) v.insert(v.end(), 3000, i);
+  for (size_t i = 0; i < v.size(); i += kBlockSize) {
+    const size_t take = std::min<size_t>(kBlockSize, v.size() - i);
+    ASSERT_TRUE(enc.Append(v.data() + i, take).ok());
+  }
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().stream->type(), EncodingType::kRunLength);
+  EXPECT_EQ(Roundtrip(r.value()), v);
+}
+
+TEST(DynamicEncoder, EmptyColumnFinalizes) {
+  DynamicEncoder enc(DynamicEncoderOptions{});
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stream->size(), 0u);
+}
+
+TEST(DynamicEncoder, RewriteIoStaysBelowUnencodedWrite) {
+  // Sect. 3.2: rewrites still performed less disk I/O than writing the
+  // unencoded column.
+  DynamicEncoder enc(DynamicEncoderOptions{});
+  std::vector<Lane> v(64 * kBlockSize);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<Lane>(i % 200);  // narrow domain
+  }
+  for (size_t i = 0; i < v.size(); i += kBlockSize) {
+    ASSERT_TRUE(enc.Append(v.data() + i, kBlockSize).ok());
+  }
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().stream->PhysicalSize(), v.size() * 8);
+}
+
+TEST(DynamicEncoder, NullsEncodeAndRoundTrip) {
+  DynamicEncoder enc(DynamicEncoderOptions{});
+  std::vector<Lane> v(kBlockSize, 5);
+  v[10] = kNullSentinel;
+  v[500] = kNullSentinel;
+  ASSERT_TRUE(enc.Append(v.data(), v.size()).ok());
+  auto r = enc.Finalize();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Roundtrip(r.value()), v);
+  EXPECT_EQ(r.value().stats.null_count(), 2u);
+}
+
+}  // namespace
+}  // namespace tde

@@ -1,0 +1,116 @@
+#include "src/exec/exchange.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+using testutil::Drain;
+using testutil::Flatten;
+using testutil::VectorSource;
+
+BlockTransform KeepEven() {
+  return [](const Schema&, Block* b) -> Status {
+    std::vector<char> keep(b->rows());
+    for (size_t i = 0; i < keep.size(); ++i) {
+      keep[i] = b->columns[0].lanes[i] % 2 == 0;
+    }
+    b->Compact(keep);
+    return Status::OK();
+  };
+}
+
+std::vector<Lane> Ramp(size_t n) {
+  std::vector<Lane> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Exchange, OrderPreservingKeepsBlockOrder) {
+  const auto input = Ramp(20 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 4;
+  opts.order_preserving = true;
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  const auto got = Flatten(Drain(&ex), 0);
+  EXPECT_EQ(got, input);
+}
+
+TEST(Exchange, UnorderedDeliversSameMultiset) {
+  const auto input = Ramp(20 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 4;
+  opts.order_preserving = false;
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  auto got = Flatten(Drain(&ex), 0);
+  ASSERT_EQ(got.size(), input.size());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, input);
+}
+
+TEST(Exchange, TransformAppliesPerBlock) {
+  const auto input = Ramp(8 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 3;
+  opts.order_preserving = true;
+  opts.transform = KeepEven();
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  const auto got = Flatten(Drain(&ex), 0);
+  ASSERT_EQ(got.size(), input.size() / 2);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], static_cast<Lane>(2 * i));
+  }
+}
+
+TEST(Exchange, UnorderedTransformedMultisetMatches) {
+  const auto input = Ramp(8 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 3;
+  opts.order_preserving = false;
+  opts.transform = KeepEven();
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  auto got = Flatten(Drain(&ex), 0);
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got.size(), input.size() / 2);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], static_cast<Lane>(2 * i));
+  }
+}
+
+TEST(Exchange, SingleWorkerWorks) {
+  const auto input = Ramp(3 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 1;
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  EXPECT_EQ(Flatten(Drain(&ex), 0), input);
+}
+
+TEST(Exchange, EmptyInput) {
+  ExchangeOptions opts;
+  opts.workers = 2;
+  Exchange ex(VectorSource::Ints({{"x", {}}}), opts);
+  EXPECT_TRUE(Drain(&ex).empty());
+}
+
+TEST(Exchange, TransformErrorPropagates) {
+  ExchangeOptions opts;
+  opts.workers = 2;
+  opts.transform = [](const Schema&, Block*) {
+    return Status::Internal("boom");
+  };
+  Exchange ex(VectorSource::Ints({{"x", Ramp(kBlockSize)}}), opts);
+  ASSERT_TRUE(ex.Open().ok());
+  Block b;
+  bool eos = false;
+  Status st;
+  while (st.ok() && !eos) st = ex.Next(&b, &eos);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  ex.Close();
+}
+
+}  // namespace
+}  // namespace tde

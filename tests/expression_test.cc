@@ -1,0 +1,181 @@
+#include "src/exec/expression.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+using namespace tde::expr;  // NOLINT: test readability
+
+struct Fixture {
+  Schema schema;
+  Block block;
+
+  Fixture() {
+    schema.AddField({"i", TypeId::kInteger});
+    schema.AddField({"r", TypeId::kReal});
+    schema.AddField({"d", TypeId::kDate});
+    schema.AddField({"s", TypeId::kString});
+    block.columns.resize(4);
+    block.columns[0].type = TypeId::kInteger;
+    block.columns[0].lanes = {1, 2, kNullSentinel, 40};
+    block.columns[1].type = TypeId::kReal;
+    for (double v : {0.5, -1.0, 2.25, 100.0}) {
+      block.columns[1].lanes.push_back(
+          static_cast<Lane>(std::bit_cast<uint64_t>(v)));
+    }
+    block.columns[2].type = TypeId::kDate;
+    block.columns[2].lanes = {
+        DaysFromCivil(2001, 3, 15), DaysFromCivil(2001, 3, 20),
+        DaysFromCivil(2002, 7, 1), DaysFromCivil(1999, 12, 31)};
+    auto heap = std::make_shared<StringHeap>();
+    block.columns[3].type = TypeId::kString;
+    for (const char* s : {"/a/b.html", "x.JPG", "noext", "q.css?v=2"}) {
+      block.columns[3].lanes.push_back(heap->Add(s));
+    }
+    block.columns[3].heap = heap;
+  }
+
+  ColumnVector Eval(const ExprPtr& e) {
+    auto r = e->Eval(block, schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.MoveValue();
+  }
+};
+
+TEST(Expr, ColumnRefAndLiteral) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(Col("i")).lanes[3], 40);
+  EXPECT_EQ(f.Eval(Int(9)).lanes, (std::vector<Lane>(4, 9)));
+  EXPECT_NE(Col("i")->AsColumnRef(), nullptr);
+  EXPECT_EQ(Int(9)->AsColumnRef(), nullptr);
+}
+
+TEST(Expr, UnknownColumnFails) {
+  Fixture f;
+  EXPECT_EQ(Col("zzz")->Eval(f.block, f.schema).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Expr, IntegerComparisons) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(Gt(Col("i"), Int(1))).lanes,
+            (std::vector<Lane>{0, 1, 0, 1}));  // NULL compares false
+  EXPECT_EQ(f.Eval(Eq(Col("i"), Int(2))).lanes,
+            (std::vector<Lane>{0, 1, 0, 0}));
+  EXPECT_EQ(f.Eval(Le(Col("i"), Int(2))).lanes,
+            (std::vector<Lane>{1, 1, 0, 0}));
+  EXPECT_EQ(f.Eval(Ne(Col("i"), Int(1))).lanes,
+            (std::vector<Lane>{0, 1, 0, 1}));
+}
+
+TEST(Expr, RealComparisonsPromote) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(Lt(Col("r"), Int(1))).lanes,
+            (std::vector<Lane>{1, 1, 0, 0}));
+  EXPECT_EQ(f.Eval(Ge(Col("r"), Real(2.25))).lanes,
+            (std::vector<Lane>{0, 0, 1, 1}));
+}
+
+TEST(Expr, DateComparisons) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(Ge(Col("d"), Date(2001, 3, 20))).lanes,
+            (std::vector<Lane>{0, 1, 1, 0}));
+}
+
+TEST(Expr, StringComparisonsCollate) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(Eq(Col("s"), Str("noext"))).lanes,
+            (std::vector<Lane>{0, 0, 1, 0}));
+  // Locale collation folds case at primary strength but (like ICU's
+  // default tertiary strength) still distinguishes case for equality...
+  EXPECT_EQ(f.Eval(Eq(Col("s"), Str("X.jpg"))).lanes,
+            (std::vector<Lane>{0, 0, 0, 0}));
+  // ...while ordering is case-insensitive: "x.JPG" < "Y" under locale.
+  EXPECT_EQ(f.Eval(Lt(Col("s"), Str("Y"))).lanes,
+            (std::vector<Lane>{1, 1, 1, 1}));
+}
+
+TEST(Expr, Arithmetic) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(Add(Col("i"), Int(10))).lanes,
+            (std::vector<Lane>{11, 12, kNullSentinel, 50}));
+  EXPECT_EQ(f.Eval(Mul(Col("i"), Col("i"))).lanes,
+            (std::vector<Lane>{1, 4, kNullSentinel, 1600}));
+  EXPECT_EQ(f.Eval(Div(Col("i"), Int(0))).lanes,
+            (std::vector<Lane>(4, kNullSentinel)));
+  EXPECT_EQ(f.Eval(Arith(ArithOp::kMod, Col("i"), Int(3))).lanes,
+            (std::vector<Lane>{1, 2, kNullSentinel, 1}));
+}
+
+TEST(Expr, RealArithmetic) {
+  Fixture f;
+  const auto v = f.Eval(Mul(Col("r"), Real(2.0)));
+  EXPECT_EQ(v.type, TypeId::kReal);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(static_cast<uint64_t>(v.lanes[0])),
+                   1.0);
+}
+
+TEST(Expr, LogicalOps) {
+  Fixture f;
+  const auto a = Gt(Col("i"), Int(1));
+  const auto b = Lt(Col("i"), Int(40));
+  EXPECT_EQ(f.Eval(And(a, b)).lanes, (std::vector<Lane>{0, 1, 0, 0}));
+  EXPECT_EQ(f.Eval(Or(a, b)).lanes, (std::vector<Lane>{1, 1, 0, 1}));
+  EXPECT_EQ(f.Eval(Not(a)).lanes, (std::vector<Lane>{1, 0, 1, 0}));
+}
+
+TEST(Expr, IsNull) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(IsNull(Col("i"))).lanes, (std::vector<Lane>{0, 0, 1, 0}));
+}
+
+TEST(Expr, DateFunctions) {
+  Fixture f;
+  EXPECT_EQ(f.Eval(DateF(DateFunc::kYear, Col("d"))).lanes,
+            (std::vector<Lane>{2001, 2001, 2002, 1999}));
+  EXPECT_EQ(f.Eval(DateF(DateFunc::kMonth, Col("d"))).lanes,
+            (std::vector<Lane>{3, 3, 7, 12}));
+  const auto trunc = f.Eval(DateF(DateFunc::kTruncMonth, Col("d")));
+  EXPECT_EQ(trunc.type, TypeId::kDate);
+  EXPECT_EQ(trunc.lanes[0], DaysFromCivil(2001, 3, 1));
+  EXPECT_EQ(trunc.lanes[1], DaysFromCivil(2001, 3, 1));
+}
+
+TEST(Expr, StringExtension) {
+  Fixture f;
+  const auto v = f.Eval(StrF(StrFunc::kExtension, Col("s")));
+  ASSERT_EQ(v.type, TypeId::kString);
+  EXPECT_EQ(v.heap->Get(v.lanes[0]), "html");
+  EXPECT_EQ(v.heap->Get(v.lanes[1]), "JPG");
+  EXPECT_EQ(v.heap->Get(v.lanes[2]), "");
+  EXPECT_EQ(v.heap->Get(v.lanes[3]), "css");  // query string stripped
+}
+
+TEST(Expr, StringUpperLowerLength) {
+  Fixture f;
+  const auto up = f.Eval(StrF(StrFunc::kUpper, Col("s")));
+  EXPECT_EQ(up.heap->Get(up.lanes[2]), "NOEXT");
+  const auto low = f.Eval(StrF(StrFunc::kLower, Col("s")));
+  EXPECT_EQ(low.heap->Get(low.lanes[1]), "x.jpg");
+  EXPECT_EQ(f.Eval(StrF(StrFunc::kLength, Col("s"))).lanes,
+            (std::vector<Lane>{9, 5, 5, 9}));
+}
+
+TEST(Expr, ToStringRendersTree) {
+  const auto e = And(Gt(Col("x"), Int(5)), Eq(Col("y"), Str("a")));
+  EXPECT_EQ(e->ToString(), "((x > 5) AND (y = 'a'))");
+}
+
+TEST(Expr, CollectColumns) {
+  std::vector<std::string> cols;
+  Add(Col("a"), Mul(Col("b"), Col("a")))->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "a");
+  EXPECT_EQ(cols[1], "b");
+}
+
+}  // namespace
+}  // namespace tde

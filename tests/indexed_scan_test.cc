@@ -1,0 +1,164 @@
+#include "src/exec/indexed_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/flow_table.h"
+#include "src/plan/tactical.h"
+#include "src/workload/rle_data.h"
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+using testutil::Drain;
+using testutil::Flatten;
+using testutil::VectorSource;
+
+std::shared_ptr<Table> RunsTable() {
+  // value runs: 5 x3, 2 x2, 9 x4, 2 x1 — deliberately non-monotonic.
+  std::vector<Lane> v = {5, 5, 5, 2, 2, 9, 9, 9, 9, 2};
+  std::vector<Lane> other = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  return FlowTable::Build(VectorSource::Ints({{"v", v}, {"other", other}}))
+      .MoveValue();
+}
+
+TEST(IndexTable, ValuesCountsAndRunningTotals) {
+  auto t = RunsTable();
+  auto index = BuildIndexTable(*t->ColumnByName("v").value()).MoveValue();
+  ASSERT_EQ(index.size(), 4u);
+  EXPECT_EQ(index[0].value, 5);
+  EXPECT_EQ(index[0].count, 3u);
+  EXPECT_EQ(index[0].start, 0u);
+  EXPECT_EQ(index[2].value, 9);
+  EXPECT_EQ(index[2].start, 5u);
+  EXPECT_EQ(index[3].value, 2);
+  EXPECT_EQ(index[3].start, 9u);
+}
+
+TEST(IndexTable, SortByValueForOrderedRetrieval) {
+  auto t = RunsTable();
+  auto index = BuildIndexTable(*t->ColumnByName("v").value()).MoveValue();
+  SortIndexByValue(&index);
+  EXPECT_EQ(index[0].value, 2);
+  EXPECT_EQ(index[1].value, 2);
+  EXPECT_EQ(index[3].value, 9);
+  // stable: first 2-run (start 3) before second (start 9)
+  EXPECT_EQ(index[0].start, 3u);
+  EXPECT_EQ(index[1].start, 9u);
+}
+
+TEST(IndexedScan, FetchesOuterRangesInIndexOrder) {
+  auto t = RunsTable();
+  auto index = BuildIndexTable(*t->ColumnByName("v").value()).MoveValue();
+  SortIndexByValue(&index);
+  IndexedScanOptions opts;
+  opts.value_name = "v";
+  opts.payload = {"other"};
+  IndexedScan scan(t, index, opts);
+  auto blocks = Drain(&scan);
+  EXPECT_EQ(Flatten(blocks, 0),
+            (std::vector<Lane>{2, 2, 2, 5, 5, 5, 9, 9, 9, 9}));
+  EXPECT_EQ(Flatten(blocks, 1),
+            (std::vector<Lane>{3, 4, 9, 0, 1, 2, 5, 6, 7, 8}));
+}
+
+TEST(IndexedScan, FilteredIndexSkipsRanges) {
+  auto t = RunsTable();
+  auto index = BuildIndexTable(*t->ColumnByName("v").value()).MoveValue();
+  std::erase_if(index, [](const IndexEntry& e) { return e.value != 9; });
+  IndexedScanOptions opts;
+  opts.value_name = "v";
+  opts.payload = {"other"};
+  IndexedScan scan(t, index, opts);
+  auto blocks = Drain(&scan);
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{5, 6, 7, 8}));
+}
+
+TEST(IndexedScan, ContiguousRangesCoalesceIntoOneAccess) {
+  auto t = RunsTable();
+  auto index = BuildIndexTable(*t->ColumnByName("v").value()).MoveValue();
+  IndexedScanOptions opts;
+  opts.value_name = "v";
+  IndexedScan scan(t, index, opts);
+  auto blocks = Drain(&scan);
+  // The unsorted index covers the table contiguously: one storage access.
+  EXPECT_EQ(scan.blocks_emitted(), 1u);
+  EXPECT_EQ(Flatten(blocks, 0),
+            (std::vector<Lane>{5, 5, 5, 2, 2, 9, 9, 9, 9, 2}));
+}
+
+TEST(IndexedScan, SortedIndexLosesAdjacency) {
+  // Sorting by value breaks physical contiguity, so each range segment is
+  // its own block — the Sect. 6.6 small-run overhead is structural.
+  auto t = RunsTable();
+  auto index = BuildIndexTable(*t->ColumnByName("v").value()).MoveValue();
+  SortIndexByValue(&index);
+  IndexedScanOptions opts;
+  opts.value_name = "v";
+  IndexedScan scan(t, index, opts);
+  Drain(&scan);
+  EXPECT_EQ(scan.blocks_emitted(), 4u);
+}
+
+TEST(IndexedScan, LargeRunsSplitAtBlockSize) {
+  std::vector<Lane> v(3 * kBlockSize + 10, 7);
+  auto t =
+      FlowTable::Build(VectorSource::Ints({{"v", v}})).MoveValue();
+  auto index = BuildIndexTable(*t->ColumnByName("v").value()).MoveValue();
+  ASSERT_EQ(index.size(), 1u);
+  IndexedScanOptions opts;
+  opts.value_name = "v";
+  IndexedScan scan(t, index, opts);
+  auto blocks = Drain(&scan);
+  EXPECT_EQ(scan.blocks_emitted(), 4u);
+  EXPECT_EQ(Flatten(blocks, 0).size(), v.size());
+}
+
+TEST(Tactical, OrderedAggregationFreeOnPrimaryKey) {
+  std::vector<IndexEntry> entries = {{1, 10, 0}, {2, 5, 10}};
+  const auto c = ChooseIndexedAggregation(entries, /*already_value_ordered=*/true);
+  EXPECT_TRUE(c.ordered_aggregation);
+  EXPECT_FALSE(c.sort_index);
+}
+
+TEST(Tactical, SortsWhenRunsAreLong) {
+  std::vector<IndexEntry> entries = {{1, 2 * kBlockSize, 0},
+                                     {0, 3 * kBlockSize, 2 * kBlockSize}};
+  const auto c = ChooseIndexedAggregation(entries, false);
+  EXPECT_TRUE(c.sort_index);
+  EXPECT_TRUE(c.ordered_aggregation);
+}
+
+TEST(Tactical, AvoidsSortWhenRunsAreSmall) {
+  // Runs of ~100 rows (the paper's degraded 1M-row secondary case).
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.push_back({i % 10, 100, static_cast<uint64_t>(i) * 100});
+  }
+  const auto c = ChooseIndexedAggregation(entries, false);
+  EXPECT_FALSE(c.sort_index);
+  EXPECT_FALSE(c.ordered_aggregation);
+}
+
+TEST(RleWorkload, TableShapeMatchesSect53) {
+  auto t = MakeRleTable(200000).MoveValue();
+  ASSERT_EQ(t->rows(), 200000u);
+  auto p = t->ColumnByName("primary").value();
+  auto s = t->ColumnByName("secondary").value();
+  EXPECT_EQ(p->data()->type(), EncodingType::kRunLength);
+  EXPECT_EQ(s->data()->type(), EncodingType::kRunLength);
+  EXPECT_TRUE(p->metadata().sorted);
+  EXPECT_EQ(p->metadata().min_value, 0);
+  EXPECT_EQ(p->metadata().max_value, 99);
+  // Primary has ~100 runs; secondary ~10000.
+  auto pi = BuildIndexTable(*p).MoveValue();
+  auto si = BuildIndexTable(*s).MoveValue();
+  EXPECT_EQ(pi.size(), 100u);
+  EXPECT_GT(si.size(), 5000u);
+  EXPECT_LE(si.size(), 10000u);
+  // Within each primary run, secondary ascends (sorted on both).
+  EXPECT_LE(si.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace tde

@@ -1,0 +1,216 @@
+#include "src/exec/hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/dictionary_table.h"
+#include "src/exec/filter.h"
+#include "src/exec/flow_table.h"
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+using testutil::Drain;
+using testutil::Flatten;
+using testutil::VectorSource;
+
+std::shared_ptr<Table> InnerTable(const std::vector<Lane>& keys,
+                                  const std::vector<Lane>& values) {
+  return FlowTable::Build(VectorSource::Ints({{"k", keys}, {"v", values}}))
+      .MoveValue();
+}
+
+TEST(HashJoin, TacticalFetchForDenseSortedUniqueKeys) {
+  auto inner = InnerTable({10, 11, 12, 13}, {100, 110, 120, 130});
+  HashJoinOptions opts;
+  opts.outer_key = "k";
+  opts.inner_key = "k";
+  opts.inner_payload = {"v"};
+  HashJoin join(VectorSource::Ints({{"k", {12, 10, 99, 13}}}), inner, opts);
+  auto blocks = Drain(&join);
+  EXPECT_EQ(join.strategy(), JoinStrategy::kFetch);
+  // 99 has no match and is dropped (many-to-one inner join).
+  EXPECT_EQ(Flatten(blocks, 0), (std::vector<Lane>{12, 10, 13}));
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{120, 100, 130}));
+}
+
+TEST(HashJoin, FetchWithNonUnitAffineStride) {
+  std::vector<Lane> keys(500), vals(500);
+  for (int i = 0; i < 500; ++i) {
+    keys[i] = i * 5;  // affine with stride 5
+    vals[i] = i + 1;
+  }
+  auto inner = InnerTable(keys, vals);
+  ASSERT_EQ(inner->ColumnByName("k").value()->data()->type(),
+            EncodingType::kAffine);
+  HashJoinOptions opts;
+  opts.outer_key = "k";
+  opts.inner_key = "k";
+  opts.inner_payload = {"v"};
+  HashJoin join(VectorSource::Ints({{"k", {10, 3, 15}}}), inner, opts);
+  auto blocks = Drain(&join);
+  EXPECT_EQ(join.strategy(), JoinStrategy::kFetch);
+  // 3 is not on the affine lattice -> dropped.
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{3, 4}));
+}
+
+TEST(HashJoin, NarrowKeysUseDirectHash) {
+  auto inner = InnerTable({3, 1, 7}, {30, 10, 70});  // unsorted -> no fetch
+  HashJoinOptions opts;
+  opts.outer_key = "k";
+  opts.inner_key = "k";
+  opts.inner_payload = {"v"};
+  HashJoin join(VectorSource::Ints({{"k", {1, 7, 5}}}), inner, opts);
+  auto blocks = Drain(&join);
+  EXPECT_EQ(join.strategy(), JoinStrategy::kHashDirect);
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{10, 70}));
+}
+
+TEST(HashJoin, WideKeysFallBackToCollision) {
+  // Wide scattered keys: no narrowing possible, range too large for a
+  // perfect hash.
+  std::vector<Lane> keys = {1LL << 40, 5, -(1LL << 50)};
+  auto inner = InnerTable(keys, {1, 2, 3});
+  HashJoinOptions opts;
+  opts.outer_key = "k";
+  opts.inner_key = "k";
+  opts.inner_payload = {"v"};
+  HashJoin join(VectorSource::Ints({{"k", {5, 1LL << 40}}}), inner, opts);
+  auto blocks = Drain(&join);
+  EXPECT_EQ(join.strategy(), JoinStrategy::kHashCollision);
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{2, 1}));
+}
+
+TEST(HashJoin, ForcedStrategiesAgree) {
+  std::vector<Lane> ik, iv, ok;
+  for (int i = 0; i < 500; ++i) {
+    ik.push_back(i * 3 % 500);  // permutation, unsorted
+    iv.push_back(i);
+  }
+  for (int i = 0; i < 2000; ++i) ok.push_back(i % 600);  // some misses
+  std::vector<std::vector<Lane>> results;
+  for (JoinStrategy s :
+       {JoinStrategy::kHashDirect, JoinStrategy::kHashPerfect,
+        JoinStrategy::kHashCollision}) {
+    auto inner = InnerTable(ik, iv);
+    HashJoinOptions opts;
+    opts.outer_key = "k";
+    opts.inner_key = "k";
+    opts.inner_payload = {"v"};
+    opts.force_strategy = s;
+    HashJoin join(VectorSource::Ints({{"k", ok}}), inner, opts);
+    results.push_back(Flatten(Drain(&join), 1));
+    EXPECT_EQ(join.strategy(), s);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(HashJoin, ForcedFetchFailsOnNonAffineInner) {
+  auto inner = InnerTable({3, 1, 7}, {1, 2, 3});
+  HashJoinOptions opts;
+  opts.outer_key = "k";
+  opts.inner_key = "k";
+  auto join = MakeFetchJoin(VectorSource::Ints({{"k", {1}}}), inner, opts);
+  EXPECT_EQ(join->Open().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HashJoin, RejectsDuplicateInnerKeys) {
+  auto inner = InnerTable({1, 2, 2}, {1, 2, 3});
+  HashJoinOptions opts;
+  opts.outer_key = "k";
+  opts.inner_key = "k";
+  HashJoin join(VectorSource::Ints({{"k", {1}}}), inner, opts);
+  EXPECT_EQ(join.Open().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HashJoin, StringPayloadResolvesThroughHeap) {
+  auto src = VectorSource::Ints({{"k", {0, 1, 2}}});
+  src->AddStringColumn("name", {"zero", "one", "two"});
+  auto inner = FlowTable::Build(std::move(src)).MoveValue();
+  HashJoinOptions opts;
+  opts.outer_key = "k";
+  opts.inner_key = "k";
+  opts.inner_payload = {"name"};
+  HashJoin join(VectorSource::Ints({{"k", {2, 0}}}), inner, opts);
+  auto blocks = Drain(&join);
+  ASSERT_EQ(blocks.size(), 1u);
+  const ColumnVector& names = blocks[0].columns[1];
+  EXPECT_EQ(names.GetString(0), "two");
+  EXPECT_EQ(names.GetString(1), "zero");
+}
+
+TEST(DictionaryTable, StringColumnSharesHeap) {
+  auto src = VectorSource::Ints({{"id", {0, 1, 2, 3}}});
+  src->AddStringColumn("s", {"b", "a", "b", "a"});
+  auto table = FlowTable::Build(std::move(src)).MoveValue();
+  auto col = table->ColumnByName("s").value();
+  auto dict = BuildDictionaryTable(col).MoveValue();
+  EXPECT_EQ(dict->rows(), 2u);  // distinct strings
+  EXPECT_TRUE(dict->ColumnByName("s$token").ok());
+  auto value_col = dict->ColumnByName("s").value();
+  EXPECT_EQ(value_col->heap(), col->heap());  // copy of the heap (shared)
+  // Token column rows correspond to value rows.
+  std::vector<Lane> tokens(2), values(2);
+  ASSERT_TRUE(
+      dict->ColumnByName("s$token").value()->GetLanes(0, 2, tokens.data()).ok());
+  ASSERT_TRUE(value_col->GetLanes(0, 2, values.data()).ok());
+  EXPECT_EQ(tokens, values);  // for strings, the value lanes ARE the tokens
+}
+
+TEST(DictionaryTable, InvisibleJoinFiltersMainTable) {
+  // The Fig. 2 shape: push a string predicate to the dictionary side, then
+  // join back over tokens.
+  auto src = VectorSource::Ints({{"id", {0, 1, 2, 3, 4, 5}}});
+  src->AddStringColumn("color", {"red", "blue", "red", "green", "blue",
+                                 "red"});
+  auto main = FlowTable::Build(std::move(src)).MoveValue();
+  auto color = main->ColumnByName("color").value();
+  auto dict = BuildDictionaryTable(color).MoveValue();
+
+  auto inner_scan = std::make_unique<TableScan>(dict);
+  auto inner_filtered = std::make_unique<Filter>(
+      std::move(inner_scan), expr::Eq(expr::Col("color"), expr::Str("red")));
+  FlowTableOptions ft;
+  ft.allowed = kAllowRandomAccess;
+  auto inner = FlowTable::Build(std::move(inner_filtered), ft).MoveValue();
+  EXPECT_EQ(inner->rows(), 1u);
+
+  TableScanOptions scan_opts;
+  scan_opts.columns = {"id"};
+  scan_opts.token_columns = {"color"};
+  HashJoinOptions join_opts;
+  join_opts.outer_key = "color$token";
+  join_opts.inner_key = "color$token";
+  HashJoin join(std::make_unique<TableScan>(main, scan_opts), inner,
+                join_opts);
+  auto blocks = Drain(&join);
+  EXPECT_EQ(Flatten(blocks, 0), (std::vector<Lane>{0, 2, 5}));
+}
+
+TEST(DictionaryTable, ScalarDictColumnGetsTokenAndValueColumns) {
+  auto col = std::make_shared<Column>("d", TypeId::kDate);
+  auto dict = std::make_shared<ArrayDictionary>();
+  dict->type = TypeId::kDate;
+  dict->values = {100, 200, 300};
+  dict->sorted = true;
+  col->set_array_dict(dict);
+  col->set_compression(CompressionKind::kArrayDict);
+  auto table = BuildDictionaryTable(col).MoveValue();
+  ASSERT_EQ(table->rows(), 3u);
+  // Token column is affine (0,1,2) -> joins against it become fetch joins.
+  auto token = table->ColumnByName("d$token").value();
+  EXPECT_EQ(token->data()->type(), EncodingType::kAffine);
+  std::vector<Lane> values(3);
+  ASSERT_TRUE(table->ColumnByName("d").value()->GetLanes(0, 3, values.data()).ok());
+  EXPECT_EQ(values, (std::vector<Lane>{100, 200, 300}));
+}
+
+TEST(DictionaryTable, FailsOnUncompressedColumn) {
+  auto col = std::make_shared<Column>("x", TypeId::kInteger);
+  EXPECT_EQ(BuildDictionaryTable(col).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tde

@@ -1,0 +1,252 @@
+#include "src/encoding/manipulate.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "src/encoding/dynamic_encoder.h"
+#include "src/encoding/streams_internal.h"
+
+namespace tde {
+namespace {
+
+std::unique_ptr<EncodedStream> Encode(EncodingType t,
+                                      const std::vector<Lane>& v,
+                                      bool sign_extend = true) {
+  EncodingStats stats;
+  stats.Update(v.data(), v.size());
+  auto r = EncodedStream::Create(t, 8, sign_extend, stats, 0);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  auto s = r.MoveValue();
+  EXPECT_TRUE(s->Append(v.data(), v.size()).ok());
+  EXPECT_TRUE(s->Finalize().ok());
+  return s;
+}
+
+std::vector<Lane> Decode(const EncodedStream& s) {
+  std::vector<Lane> out(s.size());
+  EXPECT_TRUE(s.Get(0, out.size(), out.data()).ok());
+  return out;
+}
+
+TEST(Narrow, ForColumnNarrowsFromEnvelope) {
+  std::vector<Lane> v(3000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = 40 + static_cast<Lane>(i % 50);
+  auto s = Encode(EncodingType::kFrameOfReference, v);
+  auto r = NarrowStreamWidth(s->mutable_buffer(), /*signed_values=*/true);
+  ASSERT_TRUE(r.ok());
+  // range 49 -> 6 bits; envelope [40, 40 + 63] fits int8.
+  EXPECT_EQ(r.value(), 1);
+  // Values are untouched.
+  auto reopened = EncodedStream::Open(s->buffer()).MoveValue();
+  EXPECT_EQ(Decode(*reopened), v);
+  EXPECT_EQ(reopened->width(), 1);
+}
+
+TEST(Narrow, ForUsesEnvelopeNotActuals) {
+  // Frame 0 with 12 packing bits: envelope [0, 4095] -> 2 bytes, even if
+  // the actual values would fit 1 (the O(1) edit cannot know that).
+  std::vector<Lane> v = {0, 100};
+  EncodingStats stats;
+  stats.Update(v.data(), v.size());
+  auto s = EncodedStream::Create(EncodingType::kFrameOfReference, 8, true,
+                                 stats, /*headroom=*/5)
+               .MoveValue();
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  ASSERT_TRUE(s->Finalize().ok());
+  ASSERT_EQ(s->bits(), 12);
+  auto r = NarrowStreamWidth(s->mutable_buffer(), true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+}
+
+TEST(Narrow, AffineNarrowsFromEndpoints) {
+  std::vector<Lane> v(500);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Lane>(i);
+  auto s = Encode(EncodingType::kAffine, v);
+  auto r = NarrowStreamWidth(s->mutable_buffer(), true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);  // [0, 499]
+  EXPECT_EQ(Decode(*EncodedStream::Open(s->buffer()).MoveValue()), v);
+}
+
+TEST(Narrow, DictRewritesEntriesInPlace) {
+  std::vector<Lane> v(5000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Lane>(i % 17) - 8;
+  auto s = Encode(EncodingType::kDictionary, v);
+  const uint64_t data_offset = ConstHeaderView(s->buffer()).data_offset();
+  const size_t physical = s->buffer().size();
+  auto r = NarrowStreamWidth(s->mutable_buffer(), true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1);
+  // Offset (and the packing behind it) untouched — Sect. 3.4.1.
+  EXPECT_EQ(ConstHeaderView(s->buffer()).data_offset(), data_offset);
+  EXPECT_EQ(s->buffer().size(), physical);
+  EXPECT_EQ(Decode(*EncodedStream::Open(s->buffer()).MoveValue()), v);
+}
+
+TEST(Narrow, DeltaAndRleAreNotAmenable) {
+  std::vector<Lane> sorted(3000);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    sorted[i] = static_cast<Lane>(i * 3);
+  }
+  auto d = Encode(EncodingType::kDelta, sorted);
+  auto r1 = NarrowStreamWidth(d->mutable_buffer(), true);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value(), 8);
+
+  std::vector<Lane> runs(3000, 4);
+  auto rle = Encode(EncodingType::kRunLength, runs);
+  auto r2 = NarrowStreamWidth(rle->mutable_buffer(), true);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), 8);
+}
+
+TEST(Narrow, CostIndependentOfColumnSize) {
+  // O(1)/O(2^bits): narrowing a 2M-row frame-of-reference column must not
+  // be meaningfully slower than narrowing a 2K-row one.
+  auto make = [](size_t n) {
+    std::vector<Lane> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = static_cast<Lane>(i % 100);
+    return Encode(EncodingType::kFrameOfReference, v);
+  };
+  auto small = make(2000);
+  auto big = make(2000000);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(NarrowStreamWidth(small->mutable_buffer(), true).ok());
+  const auto t1 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(NarrowStreamWidth(big->mutable_buffer(), true).ok());
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto small_ns = (t1 - t0).count();
+  const auto big_ns = (t2 - t1).count();
+  // Allow generous noise; the point is it is not ~1000x.
+  EXPECT_LT(big_ns, small_ns * 100 + 10000000);
+}
+
+TEST(Remap, RewritesEveryDictEntry) {
+  std::vector<Lane> v(2000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Lane>(i % 10);
+  auto s = Encode(EncodingType::kDictionary, v);
+  ASSERT_TRUE(
+      RemapDictEntries(s->mutable_buffer(), [](Lane x) { return x * 7; })
+          .ok());
+  auto reopened = EncodedStream::Open(s->buffer()).MoveValue();
+  const auto got = Decode(*reopened);
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(got[i], v[i] * 7);
+}
+
+TEST(Remap, RejectsEntriesThatNoLongerFit) {
+  std::vector<Lane> v = {0, 1, 2, 3};
+  auto s = Encode(EncodingType::kDictionary, v);
+  ASSERT_TRUE(NarrowStreamWidth(s->mutable_buffer(), true).ok());
+  ASSERT_EQ(ConstHeaderView(s->buffer()).width(), 1);
+  const Status st = RemapDictEntries(s->mutable_buffer(),
+                                     [](Lane) { return Lane{100000}; });
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(Remap, FailsOnNonDictStream) {
+  auto s = Encode(EncodingType::kFrameOfReference, {1, 2, 3});
+  EXPECT_EQ(
+      RemapDictEntries(s->mutable_buffer(), [](Lane x) { return x; }).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(RleDecompose, SplitsAndRebuilds) {
+  std::vector<Lane> v;
+  for (int i = 0; i < 20; ++i) v.insert(v.end(), 100 + i, 1000 + i);
+  auto s = Encode(EncodingType::kRunLength, v);
+  auto parts = DecomposeRle(*s);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts.value().values.size(), 20u);
+  EXPECT_EQ(parts.value().counts[0], 100u);
+
+  // Narrow the value stream (e.g. after a dictionary conversion) and
+  // rebuild with the original counts (Sect. 3.4.1).
+  for (Lane& x : parts.value().values) x -= 1000;
+  auto rebuilt = RebuildRle(parts.value(), 8, true);
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_TRUE(rebuilt.value()->Finalize().ok());
+  const auto got = Decode(*rebuilt.value());
+  ASSERT_EQ(got.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(got[i], v[i] - 1000);
+  // Value field narrowed to 1 byte.
+  EXPECT_EQ(static_cast<internal::RleStream*>(rebuilt.value().get())
+                ->value_width(),
+            1);
+}
+
+TEST(EncodingToCompression, ProducesSortedDenseTokens) {
+  // Scalar domain out of order: entries arrive as 30,10,20.
+  std::vector<Lane> v;
+  for (int rep = 0; rep < 500; ++rep) {
+    v.push_back(30);
+    v.push_back(10);
+    v.push_back(20);
+  }
+  auto s = Encode(EncodingType::kDictionary, v);
+  auto dc = EncodingToCompression(*s, /*signed_values=*/true);
+  ASSERT_TRUE(dc.ok()) << dc.status().ToString();
+  EXPECT_EQ(dc.value().dictionary, (std::vector<Lane>{10, 20, 30}));
+  const auto tokens = Decode(*dc.value().tokens);
+  // Tokens are ranks into the sorted dictionary...
+  EXPECT_EQ(tokens[0], 2);
+  EXPECT_EQ(tokens[1], 0);
+  EXPECT_EQ(tokens[2], 1);
+  // ...at minimal width (Sect. 3.4.3).
+  EXPECT_EQ(dc.value().tokens->width(), 1);
+  // And resolving them through the dictionary restores the values.
+  for (size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(dc.value().dictionary[static_cast<size_t>(tokens[i])], v[i]);
+  }
+}
+
+TEST(ForToCompression, EnvelopeBecomesSortedDictionary) {
+  // Dates in a narrow window, repeated — FoR-encoded.
+  std::vector<Lane> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(1000 + (i * 13) % 100);
+  auto s = Encode(EncodingType::kFrameOfReference, v);
+  auto dc = ForToCompression(*s);
+  ASSERT_TRUE(dc.ok()) << dc.status().ToString();
+  // The dictionary is the whole envelope [frame, frame + 2^bits - 1] —
+  // sorted, but it may contain values not present in the column.
+  const auto& dict = dc.value().dictionary;
+  ASSERT_EQ(dict.size(), uint64_t{1} << s->bits());
+  EXPECT_EQ(dict.front(), 1000);
+  EXPECT_TRUE(std::is_sorted(dict.begin(), dict.end()));
+  // Tokens resolve back to the original values.
+  const auto tokens = Decode(*dc.value().tokens);
+  for (size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(dict[static_cast<size_t>(tokens[i])], v[i]);
+  }
+  // Token width narrowed to 1 byte (envelope of 128 values).
+  EXPECT_EQ(dc.value().tokens->width(), 1);
+}
+
+TEST(ForToCompression, RejectsWideEnvelopes) {
+  std::vector<Lane> v = {0, 1 << 20};
+  EncodingStats stats;
+  stats.Update(v.data(), v.size());
+  auto s = EncodedStream::Create(EncodingType::kFrameOfReference, 8, true,
+                                 stats, 0)
+               .MoveValue();
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  ASSERT_TRUE(s->Finalize().ok());
+  EXPECT_EQ(ForToCompression(*s).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(ForToCompression, RequiresForStream) {
+  auto s = Encode(EncodingType::kAffine, {1, 2, 3});
+  EXPECT_EQ(ForToCompression(*s).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EncodingToCompression, RequiresDictStream) {
+  auto s = Encode(EncodingType::kAffine, {1, 2, 3});
+  EXPECT_EQ(EncodingToCompression(*s, true).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tde

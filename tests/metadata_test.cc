@@ -1,0 +1,80 @@
+#include "src/encoding/metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+ColumnMetadata From(const std::vector<Lane>& v) {
+  EncodingStats s;
+  s.Update(v.data(), v.size());
+  return ExtractMetadata(s);
+}
+
+TEST(Metadata, EmptyStatsYieldNothing) {
+  EncodingStats s;
+  const ColumnMetadata m = ExtractMetadata(s);
+  EXPECT_EQ(m.DetectedCount(), 0);
+}
+
+TEST(Metadata, MinMaxAndNullability) {
+  const auto m = From({4, -2, 9});
+  ASSERT_TRUE(m.min_max_known);
+  EXPECT_EQ(m.min_value, -2);
+  EXPECT_EQ(m.max_value, 9);
+  ASSERT_TRUE(m.null_known);
+  EXPECT_FALSE(m.has_nulls);
+}
+
+TEST(Metadata, NullsDetectedViaSentinel) {
+  const auto m = From({4, kNullSentinel, 9});
+  ASSERT_TRUE(m.null_known);
+  EXPECT_TRUE(m.has_nulls);
+}
+
+TEST(Metadata, SortedFromDeltaSign) {
+  EXPECT_TRUE(From({1, 1, 2, 5}).sorted);
+  EXPECT_FALSE(From({1, 5, 2}).sorted);
+}
+
+TEST(Metadata, DenseUniqueFromAffineDeltaOne) {
+  const auto m = From({10, 11, 12, 13});
+  EXPECT_TRUE(m.sorted);
+  EXPECT_TRUE(m.dense);   // enables fetch joins (Sect. 3.4.2)
+  EXPECT_TRUE(m.unique);
+}
+
+TEST(Metadata, UniqueFromNonUnitConstantDelta) {
+  const auto m = From({0, 5, 10, 15});
+  EXPECT_TRUE(m.unique);
+  EXPECT_FALSE(m.dense);
+}
+
+TEST(Metadata, UniqueFromFullCardinality) {
+  const auto m = From({7, 3, 9, 1});
+  EXPECT_TRUE(m.unique);
+  EXPECT_FALSE(m.sorted);
+}
+
+TEST(Metadata, CardinalityFromDistinctTracking) {
+  const auto m = From({5, 5, 7, 5, 7});
+  ASSERT_TRUE(m.cardinality_known);
+  EXPECT_EQ(m.cardinality, 2u);
+}
+
+TEST(Metadata, DetectedCountMatchesFig7Accounting) {
+  // min + max + cardinality + nullability + sorted + dense + unique = 7.
+  EXPECT_EQ(From({1, 2, 3}).DetectedCount(), 7);
+  // Unsorted multiset: min, max, cardinality, nullability only.
+  EXPECT_EQ(From({3, 1, 1}).DetectedCount(), 4);
+}
+
+TEST(Metadata, ToStringIsReadable) {
+  const auto m = From({1, 2, 3});
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("sorted"), std::string::npos);
+  EXPECT_NE(s.find("min=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tde

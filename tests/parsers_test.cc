@@ -1,0 +1,142 @@
+#include "src/textscan/parsers.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+TEST(ParseInt, Basics) {
+  int64_t v;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(ParseInt64("+5", &v));
+  EXPECT_EQ(v, 5);
+  EXPECT_TRUE(ParseInt64("  99  ", &v));
+  EXPECT_EQ(v, 99);
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseInt, Extremes) {
+  int64_t v;
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &v));
+}
+
+TEST(ParseInt, Rejections) {
+  int64_t v;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
+  EXPECT_FALSE(ParseInt64("1 2", &v));
+}
+
+TEST(ParseDouble, Basics) {
+  double d;
+  EXPECT_TRUE(ParseDouble("3.25", &d));
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_TRUE(ParseDouble("-0.5", &d));
+  EXPECT_DOUBLE_EQ(d, -0.5);
+  EXPECT_TRUE(ParseDouble("42", &d));
+  EXPECT_DOUBLE_EQ(d, 42.0);
+  EXPECT_TRUE(ParseDouble(".5", &d));
+  EXPECT_DOUBLE_EQ(d, 0.5);
+  EXPECT_TRUE(ParseDouble("7.", &d));
+  EXPECT_DOUBLE_EQ(d, 7.0);
+}
+
+TEST(ParseDouble, Exponents) {
+  double d;
+  EXPECT_TRUE(ParseDouble("1e3", &d));
+  EXPECT_DOUBLE_EQ(d, 1000.0);
+  EXPECT_TRUE(ParseDouble("2.5E-2", &d));
+  EXPECT_DOUBLE_EQ(d, 0.025);
+  EXPECT_FALSE(ParseDouble("1e", &d));
+  EXPECT_FALSE(ParseDouble("1e999", &d));
+}
+
+TEST(ParseDouble, Rejections) {
+  double d;
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble(".", &d));
+  EXPECT_FALSE(ParseDouble("1.2.3", &d));
+  EXPECT_FALSE(ParseDouble("x", &d));
+}
+
+TEST(ParseBool, AllSpellings) {
+  bool b;
+  for (const char* s : {"true", "TRUE", "True", "1"}) {
+    ASSERT_TRUE(ParseBool(s, &b)) << s;
+    EXPECT_TRUE(b);
+  }
+  for (const char* s : {"false", "FALSE", "False", "0"}) {
+    ASSERT_TRUE(ParseBool(s, &b)) << s;
+    EXPECT_FALSE(b);
+  }
+  EXPECT_FALSE(ParseBool("yes", &b));
+}
+
+TEST(ParseDate, IsoFormat) {
+  int64_t v;
+  ASSERT_TRUE(ParseDate("1994-06-22", &v));
+  EXPECT_EQ(v, DaysFromCivil(1994, 6, 22));
+  ASSERT_TRUE(ParseDate("1970/01/01", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(ParseDate("1994-13-01", &v));
+  EXPECT_FALSE(ParseDate("1994-06-32", &v));
+  EXPECT_FALSE(ParseDate("94-06-22", &v));
+  EXPECT_FALSE(ParseDate("1994-06", &v));
+  EXPECT_FALSE(ParseDate("1994-06-22x", &v));
+  EXPECT_FALSE(ParseDate("1994-06/22", &v));  // mixed separators
+}
+
+TEST(ParseDateTime, Formats) {
+  int64_t v;
+  ASSERT_TRUE(ParseDateTime("1994-06-22 01:02:03", &v));
+  EXPECT_EQ(v, DaysFromCivil(1994, 6, 22) * 86400 + 3723);
+  ASSERT_TRUE(ParseDateTime("1994-06-22T10:30", &v));
+  EXPECT_EQ(v, DaysFromCivil(1994, 6, 22) * 86400 + 37800);
+  EXPECT_FALSE(ParseDateTime("1994-06-22", &v));
+  EXPECT_FALSE(ParseDateTime("1994-06-22 25:00:00", &v));
+}
+
+TEST(TrimField, WhitespaceAndQuotes) {
+  EXPECT_EQ(TrimField("  x  "), "x");
+  EXPECT_EQ(TrimField("\"quoted\""), "quoted");
+  EXPECT_EQ(TrimField(" \"q\" "), "q");
+  EXPECT_EQ(TrimField("\""), "\"");
+  EXPECT_EQ(TrimField(""), "");
+}
+
+TEST(ParseField, EmptyBecomesNull) {
+  Lane v;
+  ASSERT_TRUE(ParseField(TypeId::kInteger, "", &v));
+  EXPECT_EQ(v, kNullSentinel);
+  ASSERT_TRUE(ParseField(TypeId::kDate, "  ", &v));
+  EXPECT_EQ(v, kNullSentinel);
+}
+
+TEST(ParseField, TypedLanes) {
+  Lane v;
+  ASSERT_TRUE(ParseField(TypeId::kInteger, "7", &v));
+  EXPECT_EQ(v, 7);
+  ASSERT_TRUE(ParseField(TypeId::kBool, "true", &v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(ParseField(TypeId::kReal, "2.5", &v));
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(static_cast<uint64_t>(v)), 2.5);
+  EXPECT_FALSE(ParseField(TypeId::kInteger, "x", &v));
+  EXPECT_FALSE(ParseField(TypeId::kString, "s", &v));
+}
+
+}  // namespace
+}  // namespace tde

@@ -1,0 +1,138 @@
+#include "src/exec/parallel_rollup.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/flow_table.h"
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+using testutil::VectorSource;
+
+/// A table with a sorted date-like column (runs per day) and a value.
+std::shared_ptr<Table> DailyTable(int days, int rows_per_day) {
+  std::vector<Lane> day, value;
+  const int64_t start = DaysFromCivil(2010, 1, 1);
+  for (int d = 0; d < days; ++d) {
+    for (int i = 0; i < rows_per_day; ++i) {
+      day.push_back(start + d);
+      value.push_back(d * 1000 + i);
+    }
+  }
+  return FlowTable::Build(VectorSource::Ints({{"day", day}, {"value", value}}))
+      .MoveValue();
+}
+
+TEST(RollUpIndex, ConvertsDayIndexToMonthIndex) {
+  auto t = DailyTable(90, 10);  // Jan, Feb, Mar 2010
+  auto index = BuildIndexTable(*t->ColumnByName("day").value()).MoveValue();
+  ASSERT_EQ(index.size(), 90u);
+  auto monthly = RollUpIndex(index, TruncateToMonth).MoveValue();
+  ASSERT_EQ(monthly.size(), 3u);
+  EXPECT_EQ(monthly[0].value, DaysFromCivil(2010, 1, 1));
+  EXPECT_EQ(monthly[0].count, 310u);  // 31 days x 10
+  EXPECT_EQ(monthly[0].start, 0u);
+  EXPECT_EQ(monthly[1].value, DaysFromCivil(2010, 2, 1));
+  EXPECT_EQ(monthly[1].count, 280u);
+  EXPECT_EQ(monthly[1].start, 310u);
+  EXPECT_EQ(monthly[2].count, 310u);
+}
+
+TEST(RollUpIndex, RejectsNonOrderPreservingFunction) {
+  auto t = DailyTable(60, 5);
+  auto index = BuildIndexTable(*t->ColumnByName("day").value()).MoveValue();
+  // Day-of-month is not order preserving over two months: groups repeat.
+  auto r = RollUpIndex(index, [](Lane d) { return Lane{DateDay(d)}; });
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RollUpIndex, IdentityIsANoOp) {
+  auto t = DailyTable(10, 3);
+  auto index = BuildIndexTable(*t->ColumnByName("day").value()).MoveValue();
+  auto same = RollUpIndex(index, [](Lane v) { return v; }).MoveValue();
+  ASSERT_EQ(same.size(), index.size());
+  for (size_t i = 0; i < index.size(); ++i) {
+    EXPECT_EQ(same[i].value, index[i].value);
+    EXPECT_EQ(same[i].count, index[i].count);
+    EXPECT_EQ(same[i].start, index[i].start);
+  }
+}
+
+class ParallelRollup : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRollup, MatchesSerialAndIsOrdered) {
+  const int workers = GetParam();
+  auto t = DailyTable(365, 20);
+  auto index = BuildIndexTable(*t->ColumnByName("day").value()).MoveValue();
+  auto monthly = RollUpIndex(index, TruncateToMonth).MoveValue();
+
+  ParallelRollupOptions opts;
+  opts.value_name = "month";
+  opts.payload = {"value"};
+  opts.aggs = {{AggKind::kSum, "value", "total"},
+               {AggKind::kCountStar, "", "rows"}};
+  opts.workers = workers;
+  auto par = ParallelIndexedAggregate(t, monthly, opts);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  opts.workers = 1;
+  auto ser = ParallelIndexedAggregate(t, monthly, opts).MoveValue();
+
+  const auto pk = testutil::Flatten(par.value().blocks, 0);
+  const auto sk = testutil::Flatten(ser.blocks, 0);
+  EXPECT_EQ(pk, sk);
+  EXPECT_EQ(testutil::Flatten(par.value().blocks, 1),
+            testutil::Flatten(ser.blocks, 1));
+  EXPECT_EQ(testutil::Flatten(par.value().blocks, 2),
+            testutil::Flatten(ser.blocks, 2));
+  // Globally ordered output (12 months ascending).
+  ASSERT_EQ(pk.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(pk.begin(), pk.end()));
+  // Totals: 365 days x 20 rows.
+  uint64_t rows = 0;
+  for (Lane n : testutil::Flatten(par.value().blocks, 2)) {
+    rows += static_cast<uint64_t>(n);
+  }
+  EXPECT_EQ(rows, 365u * 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelRollup,
+                         ::testing::Values(1, 2, 3, 7));
+
+TEST(ParallelRollup, EmptyIndexYieldsEmptyResult) {
+  auto t = DailyTable(5, 2);
+  ParallelRollupOptions opts;
+  opts.value_name = "day";
+  opts.payload = {"value"};
+  opts.aggs = {{AggKind::kCountStar, "", "n"}};
+  auto r = ParallelIndexedAggregate(t, {}, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  uint64_t rows = 0;
+  for (const Block& b : r.value().blocks) rows += b.rows();
+  EXPECT_EQ(rows, 0u);
+  EXPECT_EQ(r.value().schema.num_fields(), 2u);
+}
+
+TEST(ParallelRollup, PartitionBoundariesRespectGroups) {
+  // Two giant groups, many workers: each group must stay intact.
+  std::vector<Lane> day(5000, 1), value(5000, 1);
+  for (int i = 0; i < 5000; ++i) {
+    if (i >= 2500) day[static_cast<size_t>(i)] = 2;
+  }
+  auto t = FlowTable::Build(
+               VectorSource::Ints({{"day", day}, {"value", value}}))
+               .MoveValue();
+  auto index = BuildIndexTable(*t->ColumnByName("day").value()).MoveValue();
+  ParallelRollupOptions opts;
+  opts.value_name = "day";
+  opts.payload = {"value"};
+  opts.aggs = {{AggKind::kCountStar, "", "n"}};
+  opts.workers = 8;
+  auto r = ParallelIndexedAggregate(t, index, opts).MoveValue();
+  EXPECT_EQ(testutil::Flatten(r.blocks, 0), (std::vector<Lane>{1, 2}));
+  EXPECT_EQ(testutil::Flatten(r.blocks, 1), (std::vector<Lane>{2500, 2500}));
+}
+
+}  // namespace
+}  // namespace tde

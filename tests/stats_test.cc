@@ -1,0 +1,157 @@
+#include "src/encoding/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+EncodingStats Make(const std::vector<Lane>& v) {
+  EncodingStats s;
+  s.Update(v.data(), v.size());
+  return s;
+}
+
+TEST(Stats, TracksRangeAndDeltas) {
+  auto s = Make({5, 2, 9, 9, 3});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(s.min_value(), 2);
+  EXPECT_EQ(s.max_value(), 9);
+  EXPECT_EQ(s.first_value(), 5);
+  EXPECT_EQ(s.last_value(), 3);
+  EXPECT_EQ(static_cast<int64_t>(s.min_delta()), -6);
+  EXPECT_EQ(static_cast<int64_t>(s.max_delta()), 7);
+  EXPECT_FALSE(s.sorted());
+}
+
+TEST(Stats, SortedAndConstantDelta) {
+  auto sorted = Make({1, 3, 3, 7});
+  EXPECT_TRUE(sorted.sorted());
+  EXPECT_FALSE(sorted.constant_delta());
+  auto affine = Make({10, 13, 16, 19});
+  EXPECT_TRUE(affine.constant_delta());
+  EXPECT_EQ(static_cast<int64_t>(affine.min_delta()), 3);
+}
+
+TEST(Stats, IncrementalUpdatesMatchBatch) {
+  std::vector<Lane> v = {9, -4, 100, 100, 100, 7, 8};
+  auto batch = Make(v);
+  EncodingStats inc;
+  for (Lane x : v) inc.Update(&x, 1);
+  EXPECT_EQ(inc.min_value(), batch.min_value());
+  EXPECT_EQ(inc.max_value(), batch.max_value());
+  EXPECT_EQ(inc.run_count(), batch.run_count());
+  EXPECT_EQ(inc.max_run_length(), batch.max_run_length());
+  EXPECT_EQ(inc.cardinality(), batch.cardinality());
+  EXPECT_TRUE(inc.min_delta() == batch.min_delta());
+}
+
+TEST(Stats, RunsAndCardinality) {
+  auto s = Make({1, 1, 1, 2, 2, 1});
+  EXPECT_EQ(s.run_count(), 3u);
+  EXPECT_EQ(s.max_run_length(), 3u);
+  ASSERT_TRUE(s.cardinality_known());
+  EXPECT_EQ(s.cardinality(), 2u);
+}
+
+TEST(Stats, DistinctTrackingAbandonedPastDictLimit) {
+  EncodingStats s;
+  std::vector<Lane> v(kMaxDictEntries + 10);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Lane>(i);
+  s.Update(v.data(), v.size());
+  EXPECT_FALSE(s.cardinality_known());
+}
+
+TEST(Stats, NullCounting) {
+  auto s = Make({1, kNullSentinel, 3});
+  EXPECT_EQ(s.null_count(), 1u);
+}
+
+TEST(Stats, Int64ExtremesDoNotOverflowDeltas) {
+  auto s = Make({INT64_MAX, INT64_MIN, INT64_MAX});
+  EXPECT_EQ(s.min_value(), INT64_MIN);
+  EXPECT_EQ(s.max_value(), INT64_MAX);
+  // min delta is below int64 range -> delta encoding impossible.
+  EXPECT_EQ(s.EstimateSize(EncodingType::kDelta, 8), UINT64_MAX);
+}
+
+TEST(Stats, ChoosesAffineForArithmeticSequence) {
+  std::vector<Lane> v(kBlockSize * 3);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = 100 + 2 * static_cast<Lane>(i);
+  EXPECT_EQ(Make(v).ChooseEncoding(8, kAllowAll), EncodingType::kAffine);
+}
+
+TEST(Stats, ChoosesRleForLongRuns) {
+  std::vector<Lane> v;
+  for (int i = 0; i < 10; ++i) {
+    v.insert(v.end(), 5000, (i * 37) % 11 - 5);  // few runs, narrow values
+  }
+  EXPECT_EQ(Make(v).ChooseEncoding(8, kAllowAll), EncodingType::kRunLength);
+}
+
+TEST(Stats, RleExcludedByRandomAccessMask) {
+  std::vector<Lane> v;
+  for (int i = 0; i < 10; ++i) v.insert(v.end(), 5000, (i * 37) % 11 - 5);
+  const EncodingType t = Make(v).ChooseEncoding(8, kAllowRandomAccess);
+  EXPECT_NE(t, EncodingType::kRunLength);
+}
+
+TEST(Stats, ChoosesDictForSmallScatteredDomain) {
+  std::vector<Lane> v(20000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<Lane>((i * 7919) % 40) * 1000000007LL;  // wide values
+  }
+  EXPECT_EQ(Make(v).ChooseEncoding(8, kAllowAll), EncodingType::kDictionary);
+}
+
+TEST(Stats, ChoosesForWhenRangeNarrow) {
+  std::vector<Lane> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    // > 2^15 distinct values (kills dict), small range, unsorted.
+    v[i] = 1000000 + static_cast<Lane>((i * 48271) % 70000);
+  }
+  EXPECT_EQ(Make(v).ChooseEncoding(8, kAllowAll),
+            EncodingType::kFrameOfReference);
+}
+
+TEST(Stats, ChoosesDeltaForSortedDriftingValues) {
+  std::vector<Lane> v(100000);
+  Lane acc = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    acc += static_cast<Lane>((i * 31) % 256);  // unique-ish sorted, wide range
+    v[i] = acc * 257;                          // spread out the range
+  }
+  const auto s = Make(v);
+  EXPECT_LT(s.EstimateSize(EncodingType::kDelta, 8),
+            s.EstimateSize(EncodingType::kFrameOfReference, 8));
+  EXPECT_EQ(s.ChooseEncoding(8, kAllowAll), EncodingType::kDelta);
+}
+
+TEST(Stats, UncompressedIsTheFallback) {
+  // Random 64-bit values: nothing helps.
+  std::vector<Lane> v(100000);
+  uint64_t x = 12345;
+  for (auto& o : v) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    o = static_cast<Lane>(x);
+  }
+  EXPECT_EQ(Make(v).ChooseEncoding(8, kAllowAll),
+            EncodingType::kUncompressed);
+}
+
+TEST(Stats, EstimateAffineImpossibleWhenNotConstant) {
+  EXPECT_EQ(Make({1, 2, 4}).EstimateSize(EncodingType::kAffine, 8),
+            UINT64_MAX);
+}
+
+TEST(Stats, EstimateDictImpossibleWhenDomainTooBig) {
+  EncodingStats s;
+  std::vector<Lane> v(kMaxDictEntries + 1);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Lane>(i * 3);
+  s.Update(v.data(), v.size());
+  EXPECT_EQ(s.EstimateSize(EncodingType::kDictionary, 8), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace tde

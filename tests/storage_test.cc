@@ -1,0 +1,158 @@
+#include "src/storage/database_file.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/flow_table.h"
+#include "src/storage/heap_accelerator.h"
+
+namespace tde {
+namespace {
+
+std::shared_ptr<Column> MakeIntColumn(const std::string& name,
+                                      const std::vector<Lane>& v) {
+  ColumnBuildInput in;
+  in.name = name;
+  in.type = TypeId::kInteger;
+  in.lanes = v;
+  auto r = BuildColumn(std::move(in), FlowTableOptions{});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+std::shared_ptr<Column> MakeStringColumn(
+    const std::string& name, const std::vector<std::string>& strings) {
+  ColumnBuildInput in;
+  in.name = name;
+  in.type = TypeId::kString;
+  in.heap = std::make_shared<StringHeap>();
+  HeapAccelerator acc(in.heap.get());
+  for (const auto& s : strings) in.lanes.push_back(acc.Add(s));
+  in.accel_active = true;
+  in.accel_distinct = acc.distinct_count();
+  in.accel_arrived_sorted = acc.arrived_sorted();
+  auto r = BuildColumn(std::move(in), FlowTableOptions{});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(Column, WidthAndSizes) {
+  auto col = MakeIntColumn("x", {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(col->rows(), 8u);
+  EXPECT_LE(col->TokenWidth(), 8);
+  EXPECT_GT(col->PhysicalSize(), 0u);
+  EXPECT_EQ(col->LogicalSize(), 64u);
+}
+
+TEST(Column, GetLanesDecodes) {
+  std::vector<Lane> v = {10, 20, 30, 40};
+  auto col = MakeIntColumn("x", v);
+  std::vector<Lane> got(4);
+  ASSERT_TRUE(col->GetLanes(0, 4, got.data()).ok());
+  EXPECT_EQ(got, v);
+}
+
+TEST(Table, ColumnLookup) {
+  Table t("demo");
+  t.AddColumn(MakeIntColumn("a", {1}));
+  t.AddColumn(MakeIntColumn("b", {2}));
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_TRUE(t.ColumnIndex("b").ok());
+  EXPECT_EQ(t.ColumnIndex("b").value(), 1u);
+  EXPECT_EQ(t.ColumnIndex("zzz").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.GetSchema().ToString(), "(a: integer, b: integer)");
+}
+
+TEST(DatabaseFile, RoundTripsTablesColumnsAndMetadata) {
+  Database db;
+  auto t = std::make_shared<Table>("facts");
+  t->AddColumn(MakeIntColumn("id", {1, 2, 3, 4, 5}));
+  t->AddColumn(MakeIntColumn("v", {9, 9, 9, 9, 9}));
+  t->AddColumn(MakeStringColumn("tag", {"b", "a", "b", "c", "a"}));
+  db.AddTable(t);
+
+  std::vector<uint8_t> bytes;
+  SerializeDatabase(db, &bytes);
+  auto back = DeserializeDatabase(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().num_tables(), 1u);
+  auto ft = back.value().GetTable("facts").value();
+  EXPECT_EQ(ft->rows(), 5u);
+  ASSERT_EQ(ft->num_columns(), 3u);
+
+  // Metadata survives: id was dense/unique/sorted.
+  auto id = ft->ColumnByName("id").value();
+  EXPECT_TRUE(id->metadata().dense);
+  EXPECT_TRUE(id->metadata().unique);
+  EXPECT_EQ(id->metadata().min_value, 1);
+  EXPECT_EQ(id->metadata().max_value, 5);
+
+  // String column resolves through its restored heap.
+  auto tag = ft->ColumnByName("tag").value();
+  std::vector<Lane> lanes(5);
+  ASSERT_TRUE(tag->GetLanes(0, 5, lanes.data()).ok());
+  EXPECT_EQ(tag->GetString(lanes[0]), "b");
+  EXPECT_EQ(tag->GetString(lanes[3]), "c");
+}
+
+TEST(DatabaseFile, SingleFileOnDisk) {
+  Database db;
+  auto t = std::make_shared<Table>("t");
+  t->AddColumn(MakeIntColumn("x", {1, 2, 3}));
+  db.AddTable(t);
+  const std::string path = ::testing::TempDir() + "/tde_test.tde";
+  ASSERT_TRUE(WriteDatabase(db, path).ok());
+  auto back = ReadDatabase(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().GetTable("t").value()->rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseFile, RejectsGarbage) {
+  std::vector<uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(DeserializeDatabase(garbage).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(DatabaseFile, RejectsTruncation) {
+  Database db;
+  auto t = std::make_shared<Table>("t");
+  t->AddColumn(MakeIntColumn("x", {1, 2, 3}));
+  db.AddTable(t);
+  std::vector<uint8_t> bytes;
+  SerializeDatabase(db, &bytes);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeDatabase(bytes).ok());
+}
+
+TEST(DatabaseFile, CompressionShrinksTheSingleFileCopy) {
+  // Sect. 2.3.3: the single-file copy is unavoidable; encodings shrink it.
+  std::vector<Lane> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Lane>(i % 100);
+
+  auto encoded = std::make_shared<Table>("e");
+  encoded->AddColumn(MakeIntColumn("x", v));
+  Database db_enc;
+  db_enc.AddTable(encoded);
+
+  ColumnBuildInput in;
+  in.name = "x";
+  in.type = TypeId::kInteger;
+  in.lanes = v;
+  FlowTableOptions off;
+  off.enable_encodings = false;
+  auto unencoded = std::make_shared<Table>("u");
+  unencoded->AddColumn(BuildColumn(std::move(in), off).MoveValue());
+  Database db_raw;
+  db_raw.AddTable(unencoded);
+
+  std::vector<uint8_t> enc_bytes, raw_bytes;
+  SerializeDatabase(db_enc, &enc_bytes);
+  SerializeDatabase(db_raw, &raw_bytes);
+  EXPECT_LT(enc_bytes.size() * 4, raw_bytes.size());
+}
+
+}  // namespace
+}  // namespace tde

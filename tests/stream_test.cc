@@ -1,0 +1,357 @@
+#include "src/encoding/stream.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/encoding/bitpack.h"
+#include "src/encoding/streams_internal.h"
+
+namespace tde {
+namespace {
+
+EncodingStats StatsOf(const std::vector<Lane>& v) {
+  EncodingStats s;
+  s.Update(v.data(), v.size());
+  return s;
+}
+
+std::unique_ptr<EncodedStream> MakeStream(EncodingType t,
+                                          const std::vector<Lane>& v,
+                                          uint8_t headroom = 0,
+                                          bool sign_extend = true) {
+  auto r = EncodedStream::Create(t, 8, sign_extend, StatsOf(v), headroom);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  auto s = r.MoveValue();
+  EXPECT_TRUE(s->Append(v.data(), v.size()).ok());
+  return s;
+}
+
+void ExpectRoundTrip(EncodedStream* s, const std::vector<Lane>& expect) {
+  ASSERT_TRUE(s->Finalize().ok());
+  ASSERT_EQ(s->size(), expect.size());
+  std::vector<Lane> got(expect.size());
+  ASSERT_TRUE(s->Get(0, got.size(), got.data()).ok());
+  EXPECT_EQ(got, expect);
+}
+
+std::vector<Lane> Sequence(size_t n, Lane base, Lane step) {
+  std::vector<Lane> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = base + static_cast<Lane>(i) * step;
+  return v;
+}
+
+// ---------------------------------------------------------------- headers
+
+TEST(Header, Fig1LayoutIsByteExact) {
+  auto s = MakeStream(EncodingType::kFrameOfReference,
+                      Sequence(2048, 1000, 1));
+  ASSERT_TRUE(s->Finalize().ok());
+  const std::vector<uint8_t>& buf = s->buffer();
+  ConstHeaderView h(buf);
+  // [0,8): logical size.
+  EXPECT_EQ(h.logical_size(), 2048u);
+  // [8,16): data offset (frame field ends at 32).
+  EXPECT_EQ(h.data_offset(), 32u);
+  // [16,20): block size, multiple of 32.
+  EXPECT_EQ(h.block_size(), kBlockSize);
+  EXPECT_EQ(kBlockSize % 32, 0u);
+  // [20]: algorithm; [21]: width; [22]: bits.
+  EXPECT_EQ(h.algorithm(), EncodingType::kFrameOfReference);
+  EXPECT_EQ(h.width(), 8);
+  EXPECT_EQ(h.bits(), 11);  // range 2047 needs 11 bits
+  // [24,32): frame value.
+  EXPECT_EQ(h.GetI64(24), 1000);
+}
+
+TEST(Header, PhysicalContainsOnlyCompleteBlocks) {
+  // 100 values still occupy one full decompression block.
+  auto s = MakeStream(EncodingType::kFrameOfReference, Sequence(100, 0, 1));
+  ASSERT_TRUE(s->Finalize().ok());
+  ConstHeaderView h(s->buffer());
+  EXPECT_EQ(h.logical_size(), 100u);
+  const size_t block_bytes = PackedBytes(kBlockSize, h.bits());
+  EXPECT_EQ(s->buffer().size(), h.data_offset() + block_bytes);
+}
+
+// ------------------------------------------------------------ round trips
+
+struct StreamCase {
+  const char* name;
+  EncodingType type;
+  std::vector<Lane> values;
+};
+
+class StreamRoundTrip : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(StreamRoundTrip, AppendFinalizeGet) {
+  const auto& p = GetParam();
+  auto s = MakeStream(p.type, p.values);
+  EXPECT_EQ(s->type(), p.type);
+  ExpectRoundTrip(s.get(), p.values);
+}
+
+TEST_P(StreamRoundTrip, SerializeReopen) {
+  const auto& p = GetParam();
+  auto s = MakeStream(p.type, p.values);
+  ASSERT_TRUE(s->Finalize().ok());
+  auto reopened = EncodedStream::Open(s->buffer());
+  ASSERT_TRUE(reopened.ok());
+  std::vector<Lane> got(p.values.size());
+  ASSERT_TRUE(reopened.value()->Get(0, got.size(), got.data()).ok());
+  EXPECT_EQ(got, p.values);
+  EXPECT_EQ(reopened.value()->type(), p.type);
+}
+
+TEST_P(StreamRoundTrip, RandomAccessWindows) {
+  const auto& p = GetParam();
+  auto s = MakeStream(p.type, p.values);
+  ASSERT_TRUE(s->Finalize().ok());
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t start = rng() % p.values.size();
+    const size_t len =
+        1 + static_cast<size_t>(rng() % (p.values.size() - start));
+    std::vector<Lane> got(len);
+    ASSERT_TRUE(s->Get(start, len, got.data()).ok());
+    for (size_t j = 0; j < len; ++j) {
+      ASSERT_EQ(got[j], p.values[start + j]) << "at " << start + j;
+    }
+  }
+}
+
+TEST_P(StreamRoundTrip, GetBeforeFinalizeSeesPending) {
+  const auto& p = GetParam();
+  auto s = MakeStream(p.type, p.values);
+  std::vector<Lane> got(p.values.size());
+  ASSERT_TRUE(s->Get(0, got.size(), got.data()).ok());
+  EXPECT_EQ(got, p.values);
+}
+
+std::vector<StreamCase> Cases() {
+  std::mt19937_64 rng(99);
+  std::vector<Lane> small_domain(5000);
+  for (auto& v : small_domain) v = static_cast<Lane>(rng() % 37) * 13 - 200;
+  std::vector<Lane> runs;
+  for (int i = 0; i < 300; ++i) {
+    const Lane val = static_cast<Lane>(rng() % 50);
+    const size_t len = 1 + rng() % 40;
+    runs.insert(runs.end(), len, val);
+  }
+  std::vector<Lane> wild(3000);
+  for (auto& v : wild) v = static_cast<Lane>(rng());
+  std::vector<Lane> sorted_drift(4000);
+  Lane acc = -100000;
+  for (auto& v : sorted_drift) {
+    acc += static_cast<Lane>(rng() % 97);
+    v = acc;
+  }
+  return {
+      {"uncompressed_wild", EncodingType::kUncompressed, wild},
+      {"for_small_range", EncodingType::kFrameOfReference, small_domain},
+      {"delta_sorted", EncodingType::kDelta, sorted_drift},
+      {"dict_small_domain", EncodingType::kDictionary, small_domain},
+      {"affine_ramp", EncodingType::kAffine, Sequence(5000, -17, 3)},
+      {"affine_constant", EncodingType::kAffine,
+       std::vector<Lane>(2500, 42)},
+      {"rle_runs", EncodingType::kRunLength, runs},
+      {"for_negative", EncodingType::kFrameOfReference,
+       Sequence(2000, -5000, 2)},
+      {"delta_descending", EncodingType::kDelta, Sequence(3000, 10000, -3)},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, StreamRoundTrip,
+                         ::testing::ValuesIn(Cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// ----------------------------------------------------- failure semantics
+
+TEST(ForStream, RejectsValueBelowFrame) {
+  auto s = MakeStream(EncodingType::kFrameOfReference, Sequence(10, 100, 1));
+  Lane bad = 99;
+  const Status st = s->Append(&bad, 1);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  // All-or-nothing: the stream is untouched.
+  EXPECT_EQ(s->size(), 10u);
+}
+
+TEST(ForStream, RejectsValueAboveRange) {
+  auto s = MakeStream(EncodingType::kFrameOfReference, Sequence(10, 0, 1));
+  Lane bad = 1 << 20;
+  EXPECT_EQ(s->Append(&bad, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ForStream, HeadroomAdmitsDriftBothWays) {
+  std::vector<Lane> v = Sequence(10, 0, 1);  // range 9 -> 4 bits
+  auto r = EncodedStream::Create(EncodingType::kFrameOfReference, 8, true,
+                                 StatsOf(v), /*headroom=*/2);
+  auto s = r.MoveValue();
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  // 4+2 = 6 packing bits, envelope centered on [0, 9]: slack 27 each way.
+  Lane up = 30;
+  EXPECT_TRUE(s->Append(&up, 1).ok());
+  Lane down = -20;
+  EXPECT_TRUE(s->Append(&down, 1).ok());
+  Lane too_far = 70;
+  EXPECT_EQ(s->Append(&too_far, 1).code(), StatusCode::kOutOfRange);
+  Lane too_low = -40;
+  EXPECT_EQ(s->Append(&too_low, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DictStream, RejectsWhenFull) {
+  std::vector<Lane> v = {1, 2, 3, 4};
+  auto r = EncodedStream::Create(EncodingType::kDictionary, 8, true,
+                                 StatsOf(v), 0);
+  auto s = r.MoveValue();  // 2 bits -> 4 entries
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  Lane fifth = 5;
+  EXPECT_EQ(s->Append(&fifth, 1).code(), StatusCode::kCapacityExceeded);
+  Lane repeat = 2;  // existing entry still fine
+  EXPECT_TRUE(s->Append(&repeat, 1).ok());
+}
+
+TEST(DictStream, GrowsInPlaceUpToCapacity) {
+  std::vector<Lane> first = {10};
+  auto r = EncodedStream::Create(EncodingType::kDictionary, 8, true,
+                                 StatsOf(first), /*headroom=*/3);
+  auto s = r.MoveValue();  // 1+3 = 4 bits -> 16 entries
+  const uint64_t data_offset = ConstHeaderView(s->buffer()).data_offset();
+  for (Lane v = 0; v < 16; ++v) {
+    ASSERT_TRUE(s->Append(&v, 1).ok()) << v;
+  }
+  // Entry space was reserved up front: offset to packed data unchanged.
+  EXPECT_EQ(ConstHeaderView(s->buffer()).data_offset(), data_offset);
+  Lane overflow = 100;
+  EXPECT_EQ(s->Append(&overflow, 1).code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(AffineStream, RejectsBrokenProgression) {
+  auto s = MakeStream(EncodingType::kAffine, Sequence(100, 5, 7));
+  Lane next_ok = 5 + 100 * 7;
+  EXPECT_TRUE(s->Append(&next_ok, 1).ok());
+  Lane broken = next_ok + 1;
+  EXPECT_EQ(s->Append(&broken, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(AffineStream, CarriesNoPackedData) {
+  auto s = MakeStream(EncodingType::kAffine, Sequence(100000, 0, 1));
+  ASSERT_TRUE(s->Finalize().ok());
+  // Constant storage regardless of row count (Sect. 3.1.4).
+  EXPECT_EQ(s->PhysicalSize(), 40u);
+  EXPECT_EQ(s->bits(), 0);
+}
+
+TEST(DeltaStream, RejectsDeltaOutsideRange) {
+  auto s = MakeStream(EncodingType::kDelta, Sequence(100, 0, 3));
+  Lane back = -100;  // delta -397 < min delta 3
+  EXPECT_EQ(s->Append(&back, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DeltaStream, BlocksStartWithRunningTotal) {
+  std::vector<Lane> v = Sequence(2 * kBlockSize, 1000000, 5);
+  auto s = MakeStream(EncodingType::kDelta, v);
+  ASSERT_TRUE(s->Finalize().ok());
+  ConstHeaderView h(s->buffer());
+  // Second block's 8-byte header equals its first value, enabling random
+  // access without a scan (Sect. 3.1.2).
+  const size_t block_bytes = 8 + PackedBytes(kBlockSize, h.bits());
+  const int64_t second_first = static_cast<int64_t>(LoadUnsigned(
+      s->buffer().data() + h.data_offset() + block_bytes, 8));
+  EXPECT_EQ(second_first, v[kBlockSize]);
+}
+
+TEST(RleStream, RunsAreMergedAcrossAppends) {
+  std::vector<Lane> a(100, 7);
+  auto s = MakeStream(EncodingType::kRunLength, a);
+  std::vector<Lane> b(50, 7);
+  ASSERT_TRUE(s->Append(b.data(), b.size()).ok());
+  auto* rle = static_cast<internal::RleStream*>(s.get());
+  EXPECT_EQ(rle->run_count(), 1u);
+  std::vector<RleRun> runs;
+  ASSERT_TRUE(s->GetRuns(&runs).ok());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].value, 7);
+  EXPECT_EQ(runs[0].count, 150u);
+}
+
+TEST(RleStream, BackwardSeekRestartsFromStreamStart) {
+  std::vector<Lane> v;
+  for (int i = 0; i < 100; ++i) v.insert(v.end(), 10, i);
+  auto s = MakeStream(EncodingType::kRunLength, v);
+  ASSERT_TRUE(s->Finalize().ok());
+  Lane x;
+  ASSERT_TRUE(s->Get(900, 1, &x).ok());
+  EXPECT_EQ(x, 90);
+  // Backwards read still yields the right answer (via a rescan).
+  ASSERT_TRUE(s->Get(50, 1, &x).ok());
+  EXPECT_EQ(x, 5);
+}
+
+TEST(RleStream, CountFieldOverflowSplitsRuns) {
+  // 1-byte count field: a 600-run must split into 3 pairs.
+  auto s = internal::RleStream::Make(8, true, /*count_width=*/1,
+                                     /*value_width=*/1);
+  ASSERT_TRUE(s->AppendRun(9, 600).ok());
+  ASSERT_TRUE(s->Finalize().ok());
+  EXPECT_EQ(s->size(), 600u);
+  EXPECT_GE(s->run_count(), 3u);
+  std::vector<Lane> got(600);
+  ASSERT_TRUE(s->Get(0, 600, got.data()).ok());
+  for (Lane g : got) ASSERT_EQ(g, 9);
+}
+
+TEST(RleStream, RejectsWideValue) {
+  auto s = internal::RleStream::Make(8, true, 2, /*value_width=*/1);
+  Lane bad = 1000;
+  EXPECT_EQ(s->Append(&bad, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(Stream, GetPastEndFails) {
+  auto s = MakeStream(EncodingType::kFrameOfReference, Sequence(100, 0, 1));
+  Lane buf[8];
+  EXPECT_EQ(s->Get(95, 8, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(Stream, GenericGetRunsCoalesces) {
+  std::vector<Lane> v = {1, 1, 1, 2, 2, 3, 1, 1};
+  auto s = MakeStream(EncodingType::kFrameOfReference, v);
+  ASSERT_TRUE(s->Finalize().ok());
+  std::vector<RleRun> runs;
+  ASSERT_TRUE(s->GetRuns(&runs).ok());
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].count, 3u);
+  EXPECT_EQ(runs[3].value, 1);
+  EXPECT_EQ(runs[3].count, 2u);
+}
+
+TEST(Stream, LogicalVsPhysicalSize) {
+  std::vector<Lane> v(10000, 5);
+  v[0] = 0;  // range [0,5]
+  auto s = MakeStream(EncodingType::kFrameOfReference, v);
+  ASSERT_TRUE(s->Finalize().ok());
+  EXPECT_EQ(s->LogicalBytes(), 80000u);
+  EXPECT_LT(s->PhysicalSize(), 5000u);  // 3 bits/value + header
+}
+
+TEST(Stream, UnsignedWidthOneRoundTrip) {
+  std::vector<Lane> v = {0, 255, 17, 200};
+  auto r = EncodedStream::Create(EncodingType::kUncompressed, 1,
+                                 /*sign_extend=*/false, StatsOf(v), 0);
+  auto s = r.MoveValue();
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  ExpectRoundTrip(s.get(), v);
+}
+
+TEST(Stream, SignedNarrowWidthRejectsOverflow) {
+  std::vector<Lane> v = {-128, 127};
+  auto r = EncodedStream::Create(EncodingType::kUncompressed, 1,
+                                 /*sign_extend=*/true, StatsOf(v), 0);
+  auto s = r.MoveValue();
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  Lane big = 128;
+  EXPECT_EQ(s->Append(&big, 1).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace tde

@@ -1,0 +1,139 @@
+// Width-parameterized stream coverage: every encoding must round-trip at
+// every element width it can be narrowed to, and the dictionary cuckoo hash
+// must survive adversarial loads.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/encoding/manipulate.h"
+#include "src/encoding/streams_internal.h"
+
+namespace tde {
+namespace {
+
+class WidthSweep
+    : public ::testing::TestWithParam<std::tuple<EncodingType, int>> {};
+
+TEST_P(WidthSweep, RoundTripsAtWidth) {
+  const auto [type, width_i] = GetParam();
+  const uint8_t width = static_cast<uint8_t>(width_i);
+  // Values that fit the signed range of `width`.
+  const int64_t hi = width >= 8 ? 100000 : (int64_t{1} << (8 * width - 1)) - 1;
+  const int64_t lo = -hi - 1;
+  std::mt19937_64 rng(width * 7 + static_cast<int>(type));
+  std::vector<Lane> v(4000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    switch (type) {
+      case EncodingType::kAffine:
+        v[i] = lo + static_cast<Lane>(i) % (hi - lo);
+        break;
+      case EncodingType::kDelta:
+        v[i] = lo + static_cast<Lane>(i * 3) % (hi - lo);
+        break;
+      case EncodingType::kRunLength:
+        v[i] = lo + static_cast<Lane>(i / 100) % 50;
+        break;
+      default:
+        v[i] = lo + static_cast<Lane>(rng() % 64);
+        break;
+    }
+  }
+  if (type == EncodingType::kAffine) {
+    // Affine needs an exact progression that stays inside the width: use
+    // the widest constant-step ramp that fits, then hold at the top.
+    const Lane step = 1;
+    for (size_t i = 0; i < v.size(); ++i) {
+      const Lane val = lo + static_cast<Lane>(i) * step;
+      v[i] = val <= hi ? val : v[i - 1];
+    }
+    // A held tail breaks the affine progression; truncate to the ramp.
+    const size_t ramp = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(v.size()), hi - lo + 1));
+    v.resize(ramp);
+  }
+  EncodingStats stats;
+  stats.Update(v.data(), v.size());
+  auto r = EncodedStream::Create(type, width, /*sign_extend=*/true, stats, 0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto s = r.MoveValue();
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  ASSERT_TRUE(s->Finalize().ok());
+  EXPECT_EQ(s->width(), width);
+  std::vector<Lane> back(v.size());
+  ASSERT_TRUE(s->Get(0, back.size(), back.data()).ok());
+  EXPECT_EQ(back, v);
+  // Reopen from bytes too.
+  auto reopened = EncodedStream::Open(s->buffer()).MoveValue();
+  ASSERT_TRUE(reopened->Get(0, back.size(), back.data()).ok());
+  EXPECT_EQ(back, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidths, WidthSweep,
+    ::testing::Combine(
+        ::testing::Values(EncodingType::kUncompressed,
+                          EncodingType::kFrameOfReference,
+                          EncodingType::kDelta, EncodingType::kDictionary,
+                          EncodingType::kAffine, EncodingType::kRunLength),
+        ::testing::Values(1, 2, 4, 8)),
+    [](const auto& info) {
+      std::string n = EncodingName(std::get<0>(info.param));
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DictCuckoo, SurvivesFullCapacityRandomKeys) {
+  // Fill a maximal dictionary (2^15 entries) with adversarially wide keys;
+  // every index must resolve back to its key.
+  std::mt19937_64 rng(31337);
+  std::vector<Lane> keys;
+  keys.reserve(kMaxDictEntries);
+  while (keys.size() < kMaxDictEntries) {
+    keys.push_back(static_cast<Lane>(rng()));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  auto s = internal::DictStream::Make(8, /*sign_extend=*/true, /*bits=*/15);
+  ASSERT_TRUE(s->Append(keys.data(), keys.size()).ok());
+  ASSERT_TRUE(s->Finalize().ok());
+  EXPECT_EQ(s->entry_count(), keys.size());
+  std::vector<Lane> back(keys.size());
+  ASSERT_TRUE(s->Get(0, back.size(), back.data()).ok());
+  EXPECT_EQ(back, keys);
+}
+
+TEST(DictCuckoo, ClusteredKeysStillResolve) {
+  // Sequential keys sharing high bits stress the two-bucket scheme.
+  std::vector<Lane> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<Lane>(i) + (int64_t{1} << 40);
+  }
+  auto s = internal::DictStream::Make(8, true, 14);
+  ASSERT_TRUE(s->Append(keys.data(), keys.size()).ok());
+  std::vector<Lane> back(keys.size());
+  ASSERT_TRUE(s->Get(0, back.size(), back.data()).ok());
+  EXPECT_EQ(back, keys);
+}
+
+TEST(NarrowedStreams, AppendAfterNarrowRespectsWidth) {
+  // A narrowed dictionary stream must reject entries that no longer fit.
+  std::vector<Lane> v = {1, 2, 3};
+  EncodingStats stats;
+  stats.Update(v.data(), v.size());
+  auto s = EncodedStream::Create(EncodingType::kDictionary, 8, true, stats, 2)
+               .MoveValue();
+  ASSERT_TRUE(s->Append(v.data(), v.size()).ok());
+  ASSERT_TRUE(NarrowStreamWidth(s->mutable_buffer(), true).ok());
+  ASSERT_EQ(s->width(), 1);
+  Lane wide = 300;
+  EXPECT_EQ(s->Append(&wide, 1).code(), StatusCode::kOutOfRange);
+  Lane fits = 4;
+  EXPECT_TRUE(s->Append(&fits, 1).ok());
+}
+
+}  // namespace
+}  // namespace tde

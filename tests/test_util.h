@@ -1,0 +1,113 @@
+#ifndef TDE_TESTS_TEST_UTIL_H_
+#define TDE_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/block.h"
+#include "src/exec/flow_table.h"
+#include "src/storage/heap_accelerator.h"
+
+namespace tde {
+namespace testutil {
+
+/// A flow operator backed by in-memory lanes (column-major).
+class VectorSource : public Operator {
+ public:
+  VectorSource(Schema schema, std::vector<ColumnVector> columns)
+      : schema_(std::move(schema)), columns_(std::move(columns)) {}
+
+  static std::unique_ptr<VectorSource> Ints(
+      std::vector<std::pair<std::string, std::vector<Lane>>> cols) {
+    Schema schema;
+    std::vector<ColumnVector> data;
+    for (auto& [name, lanes] : cols) {
+      schema.AddField({name, TypeId::kInteger});
+      ColumnVector cv;
+      cv.type = TypeId::kInteger;
+      cv.lanes = std::move(lanes);
+      data.push_back(std::move(cv));
+    }
+    return std::make_unique<VectorSource>(std::move(schema), std::move(data));
+  }
+
+  /// Adds a string column built from literal values.
+  void AddStringColumn(const std::string& name,
+                       const std::vector<std::string>& values) {
+    schema_.AddField({name, TypeId::kString});
+    ColumnVector cv;
+    cv.type = TypeId::kString;
+    auto heap = std::make_shared<StringHeap>();
+    HeapAccelerator acc(heap.get());
+    for (const auto& s : values) cv.lanes.push_back(acc.Add(s));
+    cv.heap = std::move(heap);
+    columns_.push_back(std::move(cv));
+  }
+
+  Status Open() override {
+    row_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(Block* block, bool* eos) override {
+    const uint64_t total = columns_.empty() ? 0 : columns_[0].lanes.size();
+    if (row_ >= total) {
+      block->columns.clear();
+      *eos = true;
+      return Status::OK();
+    }
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(kBlockSize, total - row_));
+    block->columns.clear();
+    for (const ColumnVector& src : columns_) {
+      ColumnVector cv;
+      cv.type = src.type;
+      cv.heap = src.heap;
+      cv.lanes.assign(
+          src.lanes.begin() + static_cast<ptrdiff_t>(row_),
+          src.lanes.begin() + static_cast<ptrdiff_t>(row_ + take));
+      block->columns.push_back(std::move(cv));
+    }
+    row_ += take;
+    *eos = false;
+    return Status::OK();
+  }
+
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVector> columns_;
+  uint64_t row_ = 0;
+};
+
+/// Flattens one column of drained blocks into a lane vector.
+inline std::vector<Lane> Flatten(const std::vector<Block>& blocks,
+                                 size_t col) {
+  std::vector<Lane> out;
+  for (const Block& b : blocks) {
+    out.insert(out.end(), b.columns[col].lanes.begin(),
+               b.columns[col].lanes.end());
+  }
+  return out;
+}
+
+/// Drains an operator, aborting on failure (gtest-free so benchmarks can
+/// share this header).
+inline std::vector<Block> Drain(Operator* op) {
+  std::vector<Block> out;
+  const Status st = DrainOperator(op, &out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Drain failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace tde
+
+#endif  // TDE_TESTS_TEST_UTIL_H_

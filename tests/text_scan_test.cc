@@ -1,0 +1,140 @@
+#include "src/textscan/text_scan.h"
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+std::vector<Block> DrainScan(TextScan* scan) {
+  std::vector<Block> out;
+  EXPECT_TRUE(DrainOperator(scan, &out).ok());
+  return out;
+}
+
+TEST(TextScan, ParsesTypedColumns) {
+  auto scan = TextScan::FromBuffer(
+      "id,price,when,name\n"
+      "1,1.5,2001-01-05,aa\n"
+      "2,2.5,2001-01-06,bb\n");
+  ASSERT_TRUE(scan->Open().ok());
+  EXPECT_TRUE(scan->has_header());
+  EXPECT_EQ(scan->field_separator(), ',');
+  auto blocks = DrainScan(scan.get());
+  ASSERT_EQ(blocks.size(), 1u);
+  const Block& b = blocks[0];
+  ASSERT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.columns[0].lanes[1], 2);
+  EXPECT_EQ(b.columns[2].lanes[0], DaysFromCivil(2001, 1, 5));
+  EXPECT_EQ(b.columns[3].GetString(1), "bb");
+  EXPECT_EQ(scan->parse_errors(), 0u);
+}
+
+TEST(TextScan, ProvidedSchemaSkipsInference) {
+  TextScanOptions opts;
+  opts.schema = Schema({{"a", TypeId::kInteger}, {"b", TypeId::kString}});
+  opts.has_header = false;
+  opts.field_separator = '|';
+  auto scan = TextScan::FromBuffer("1|x\n2|y\n", opts);
+  ASSERT_TRUE(scan->Open().ok());
+  auto blocks = DrainScan(scan.get());
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].columns[0].lanes[0], 1);
+  EXPECT_EQ(blocks[0].columns[1].GetString(1), "y");
+}
+
+TEST(TextScan, UnparseableFieldsBecomeNullAndCount) {
+  TextScanOptions opts;
+  opts.schema = Schema({{"a", TypeId::kInteger}});
+  opts.has_header = false;
+  auto scan = TextScan::FromBuffer("1\nbad\n3\n", opts);
+  ASSERT_TRUE(scan->Open().ok());
+  auto blocks = DrainScan(scan.get());
+  ASSERT_EQ(blocks[0].rows(), 3u);
+  EXPECT_EQ(blocks[0].columns[0].lanes[1], kNullSentinel);
+  EXPECT_EQ(scan->parse_errors(), 1u);
+}
+
+TEST(TextScan, MissingTrailingFieldsAreNull) {
+  TextScanOptions opts;
+  opts.schema = Schema({{"a", TypeId::kInteger}, {"b", TypeId::kInteger}});
+  opts.has_header = false;
+  auto scan = TextScan::FromBuffer("1,2\n3\n", opts);
+  ASSERT_TRUE(scan->Open().ok());
+  auto blocks = DrainScan(scan.get());
+  EXPECT_EQ(blocks[0].columns[1].lanes[1], kNullSentinel);
+}
+
+TEST(TextScan, ColumnProjection) {
+  TextScanOptions opts;
+  opts.columns = {"c", "a"};
+  auto scan = TextScan::FromBuffer("a,b,c\n1,2,3\n4,5,6\n", opts);
+  ASSERT_TRUE(scan->Open().ok());
+  EXPECT_EQ(scan->output_schema().num_fields(), 2u);
+  EXPECT_EQ(scan->output_schema().field(0).name, "c");
+  auto blocks = DrainScan(scan.get());
+  EXPECT_EQ(blocks[0].columns[0].lanes[0], 3);
+  EXPECT_EQ(blocks[0].columns[1].lanes[0], 1);
+}
+
+TEST(TextScan, ManyRowsSpanBlocks) {
+  std::string data = "v\n";
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) data += std::to_string(i) + "\n";
+  auto scan = TextScan::FromBuffer(data);
+  ASSERT_TRUE(scan->Open().ok());
+  auto blocks = DrainScan(scan.get());
+  ASSERT_GE(blocks.size(), 2u);
+  uint64_t rows = 0;
+  Lane expect = 0;
+  for (const Block& b : blocks) {
+    for (Lane v : b.columns[0].lanes) {
+      ASSERT_EQ(v, expect++);
+    }
+    rows += b.rows();
+  }
+  EXPECT_EQ(rows, static_cast<uint64_t>(n));
+}
+
+TEST(TextScan, ParallelMatchesSerial) {
+  std::string data = "a,b,c,d\n";
+  for (int i = 0; i < 5000; ++i) {
+    data += std::to_string(i) + "," + std::to_string(i * 2) + ",s" +
+            std::to_string(i % 7) + "," + std::to_string(i % 2 == 0) + "\n";
+  }
+  auto serial = TextScan::FromBuffer(data);
+  TextScanOptions par;
+  par.parallel = true;
+  par.workers = 3;
+  auto parallel = TextScan::FromBuffer(data, par);
+  ASSERT_TRUE(serial->Open().ok());
+  ASSERT_TRUE(parallel->Open().ok());
+  auto sb = DrainScan(serial.get());
+  auto pb = DrainScan(parallel.get());
+  ASSERT_EQ(sb.size(), pb.size());
+  for (size_t i = 0; i < sb.size(); ++i) {
+    ASSERT_EQ(sb[i].rows(), pb[i].rows());
+    for (size_t c = 0; c < sb[i].columns.size(); ++c) {
+      if (sb[i].columns[c].type == TypeId::kString) {
+        for (size_t r = 0; r < sb[i].rows(); ++r) {
+          ASSERT_EQ(sb[i].columns[c].GetString(r),
+                    pb[i].columns[c].GetString(r));
+        }
+      } else {
+        ASSERT_EQ(sb[i].columns[c].lanes, pb[i].columns[c].lanes);
+      }
+    }
+  }
+}
+
+TEST(TextScan, ReopenRestarts) {
+  auto scan = TextScan::FromBuffer("a\n1\n2\n");
+  ASSERT_TRUE(scan->Open().ok());
+  auto first = DrainScan(scan.get());
+  ASSERT_TRUE(scan->Open().ok());
+  auto second = DrainScan(scan.get());
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first[0].columns[0].lanes, second[0].columns[0].lanes);
+}
+
+}  // namespace
+}  // namespace tde

@@ -1,0 +1,92 @@
+#include "src/common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace tde {
+namespace {
+
+TEST(Types, MinSignedWidth) {
+  EXPECT_EQ(MinSignedWidth(0, 0), 1);
+  EXPECT_EQ(MinSignedWidth(-128, 127), 1);
+  EXPECT_EQ(MinSignedWidth(-129, 0), 2);
+  EXPECT_EQ(MinSignedWidth(0, 128), 2);
+  EXPECT_EQ(MinSignedWidth(-32768, 32767), 2);
+  EXPECT_EQ(MinSignedWidth(0, 32768), 4);
+  EXPECT_EQ(MinSignedWidth(-2147483648LL, 2147483647LL), 4);
+  EXPECT_EQ(MinSignedWidth(0, 2147483648LL), 8);
+  EXPECT_EQ(MinSignedWidth(INT64_MIN, INT64_MAX), 8);
+}
+
+TEST(Types, MinUnsignedWidth) {
+  EXPECT_EQ(MinUnsignedWidth(0), 1);
+  EXPECT_EQ(MinUnsignedWidth(255), 1);
+  EXPECT_EQ(MinUnsignedWidth(256), 2);
+  EXPECT_EQ(MinUnsignedWidth(65535), 2);
+  EXPECT_EQ(MinUnsignedWidth(65536), 4);
+  EXPECT_EQ(MinUnsignedWidth(4294967295ULL), 4);
+  EXPECT_EQ(MinUnsignedWidth(4294967296ULL), 8);
+}
+
+TEST(Types, CivilDateKnownValues) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(1992, 1, 1), 8035);
+}
+
+TEST(Types, CivilRoundTripSweep) {
+  // Every 17 days across ~80 years, plus leap-year edges.
+  for (int64_t d = DaysFromCivil(1960, 1, 1); d < DaysFromCivil(2040, 1, 1);
+       d += 17) {
+    int y;
+    unsigned m, dd;
+    CivilFromDays(d, &y, &m, &dd);
+    EXPECT_EQ(DaysFromCivil(y, m, dd), d);
+  }
+  for (int year : {1996, 2000, 2024, 1900, 2100}) {
+    const int64_t feb28 = DaysFromCivil(year, 2, 28);
+    int y;
+    unsigned m, dd;
+    CivilFromDays(feb28 + 1, &y, &m, &dd);
+    const bool leap =
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    EXPECT_EQ(m, leap ? 2u : 3u) << year;
+  }
+}
+
+TEST(Types, Truncations) {
+  const int64_t d = DaysFromCivil(1994, 6, 22);
+  EXPECT_EQ(TruncateToMonth(d), DaysFromCivil(1994, 6, 1));
+  EXPECT_EQ(TruncateToYear(d), DaysFromCivil(1994, 1, 1));
+  EXPECT_EQ(DateYear(d), 1994);
+  EXPECT_EQ(DateMonth(d), 6);
+  EXPECT_EQ(DateDay(d), 22);
+}
+
+TEST(Types, FormatLane) {
+  EXPECT_EQ(FormatLane(TypeId::kInteger, 42), "42");
+  EXPECT_EQ(FormatLane(TypeId::kBool, 1), "true");
+  EXPECT_EQ(FormatLane(TypeId::kBool, 0), "false");
+  EXPECT_EQ(FormatLane(TypeId::kDate, DaysFromCivil(2014, 6, 22)),
+            "2014-06-22");
+  EXPECT_EQ(FormatLane(TypeId::kInteger, kNullSentinel), "NULL");
+  const Lane half = static_cast<Lane>(std::bit_cast<uint64_t>(0.5));
+  EXPECT_EQ(FormatLane(TypeId::kReal, half), "0.5");
+}
+
+TEST(Types, FormatDateTime) {
+  const int64_t t = DaysFromCivil(2014, 6, 22) * 86400 + 3723;  // 01:02:03
+  EXPECT_EQ(FormatLane(TypeId::kDateTime, t), "2014-06-22 01:02:03");
+}
+
+TEST(Types, SignednessByType) {
+  EXPECT_TRUE(IsSignedType(TypeId::kInteger));
+  EXPECT_TRUE(IsSignedType(TypeId::kDate));
+  EXPECT_TRUE(IsSignedType(TypeId::kDateTime));
+  EXPECT_FALSE(IsSignedType(TypeId::kString));
+  EXPECT_FALSE(IsSignedType(TypeId::kBool));
+}
+
+}  // namespace
+}  // namespace tde

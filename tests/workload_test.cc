@@ -1,0 +1,116 @@
+#include "src/workload/tpch.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/textscan/inference.h"
+#include "src/workload/flights.h"
+
+namespace tde {
+namespace {
+
+TEST(Tpch, AllTablesGenerateAndInfer) {
+  for (TpchTable t : AllTpchTables()) {
+    const std::string data = GenerateTpchTable(t, 0.001);
+    ASSERT_FALSE(data.empty()) << TpchTableName(t);
+    InferenceOptions opts;
+    opts.field_separator = '|';
+    auto fmt = InferFormat(data, opts);
+    ASSERT_TRUE(fmt.ok()) << TpchTableName(t);
+    EXPECT_TRUE(fmt.value().has_header) << TpchTableName(t);
+    const Schema expect = TpchSchema(t);
+    ASSERT_EQ(fmt.value().schema.num_fields(), expect.num_fields())
+        << TpchTableName(t);
+    for (size_t i = 0; i < expect.num_fields(); ++i) {
+      EXPECT_EQ(fmt.value().schema.field(i).name, expect.field(i).name);
+      EXPECT_EQ(fmt.value().schema.field(i).type, expect.field(i).type)
+          << TpchTableName(t) << "." << expect.field(i).name;
+    }
+  }
+}
+
+TEST(Tpch, RowCountsScale) {
+  EXPECT_EQ(TpchRowCount(TpchTable::kRegion, 1), 5u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kNation, 1), 25u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kCustomer, 1), 150000u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kCustomer, 0.01), 1500u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kOrders, 0.1), 150000u);
+}
+
+TEST(Tpch, CustomerNamesAreFixedWidthUnique) {
+  const std::string data = GenerateTpchTable(TpchTable::kCustomer, 0.001);
+  size_t pos = 0;
+  std::string_view rec;
+  NextRecord(data, &pos, &rec);  // header
+  std::vector<std::string_view> fields;
+  std::set<std::string> names;
+  size_t width = 0;
+  while (NextRecord(data, &pos, &rec)) {
+    SplitRecord(rec, '|', &fields);
+    ASSERT_GE(fields.size(), 2u);
+    if (width == 0) width = fields[1].size();
+    // Fixed-width (the affine-encoding trigger of Sect. 6.2).
+    EXPECT_EQ(fields[1].size(), width);
+    names.emplace(fields[1]);
+  }
+  EXPECT_EQ(names.size(), 150u);  // all unique
+}
+
+TEST(Tpch, LineitemOrderKeysFormRuns) {
+  const std::string data = GenerateTpchTable(TpchTable::kLineitem, 0.001);
+  size_t pos = 0;
+  std::string_view rec;
+  NextRecord(data, &pos, &rec);
+  std::vector<std::string_view> fields;
+  long long prev = -1;
+  uint64_t rows = 0, runs = 0;
+  while (NextRecord(data, &pos, &rec)) {
+    SplitRecord(rec, '|', &fields);
+    const long long key = std::stoll(std::string(fields[0]));
+    EXPECT_GE(key, prev);  // sorted
+    if (key != prev) ++runs;
+    prev = key;
+    ++rows;
+  }
+  EXPECT_GT(rows, 1000u);
+  EXPECT_LT(runs, rows);  // 1-7 lines per order
+}
+
+TEST(Flights, ShapeMatchesFaaData) {
+  const std::string data = GenerateFlights(5000);
+  auto fmt = InferFormat(data);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_TRUE(fmt.value().has_header);
+  const Schema expect = FlightsSchema();
+  ASSERT_EQ(fmt.value().schema.num_fields(), expect.num_fields());
+  for (size_t i = 0; i < expect.num_fields(); ++i) {
+    EXPECT_EQ(fmt.value().schema.field(i).type, expect.field(i).type)
+        << expect.field(i).name;
+  }
+  // Dates ascend across the file.
+  size_t pos = 0;
+  std::string_view rec;
+  NextRecord(data, &pos, &rec);
+  std::vector<std::string_view> fields;
+  std::string prev;
+  while (NextRecord(data, &pos, &rec)) {
+    SplitRecord(rec, ',', &fields);
+    const std::string d(fields[0]);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Flights, RowCountExact) {
+  const std::string data = GenerateFlights(777);
+  size_t pos = 0;
+  std::string_view rec;
+  uint64_t rows = 0;
+  while (NextRecord(data, &pos, &rec)) ++rows;
+  EXPECT_EQ(rows, 778u);  // header + 777
+}
+
+}  // namespace
+}  // namespace tde

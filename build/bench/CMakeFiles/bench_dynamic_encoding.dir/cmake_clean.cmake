@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_encoding.dir/bench_dynamic_encoding.cc.o"
+  "CMakeFiles/bench_dynamic_encoding.dir/bench_dynamic_encoding.cc.o.d"
+  "bench_dynamic_encoding"
+  "bench_dynamic_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exchange.dir/bench_exchange.cc.o"
+  "CMakeFiles/bench_exchange.dir/bench_exchange.cc.o.d"
+  "bench_exchange"
+  "bench_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invisible_join.dir/bench_invisible_join.cc.o"
+  "CMakeFiles/bench_invisible_join.dir/bench_invisible_join.cc.o.d"
+  "bench_invisible_join"
+  "bench_invisible_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invisible_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

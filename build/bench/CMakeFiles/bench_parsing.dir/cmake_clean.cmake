@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parsing.dir/bench_parsing.cc.o"
+  "CMakeFiles/bench_parsing.dir/bench_parsing.cc.o.d"
+  "bench_parsing"
+  "bench_parsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_rollup.dir/date_rollup.cpp.o"
+  "CMakeFiles/date_rollup.dir/date_rollup.cpp.o.d"
+  "date_rollup"
+  "date_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

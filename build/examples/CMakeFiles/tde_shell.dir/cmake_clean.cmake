@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tde_shell.dir/tde_shell.cpp.o"
+  "CMakeFiles/tde_shell.dir/tde_shell.cpp.o.d"
+  "tde_shell"
+  "tde_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tde_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

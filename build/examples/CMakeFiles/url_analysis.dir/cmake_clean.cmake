@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_analysis.dir/url_analysis.cpp.o"
+  "CMakeFiles/url_analysis.dir/url_analysis.cpp.o.d"
+  "url_analysis"
+  "url_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/collation.cc" "src/CMakeFiles/tde.dir/common/collation.cc.o" "gcc" "src/CMakeFiles/tde.dir/common/collation.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/tde.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/tde.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tde.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tde.dir/common/status.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/tde.dir/common/types.cc.o" "gcc" "src/CMakeFiles/tde.dir/common/types.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/tde.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/tde.dir/core/engine.cc.o.d"
+  "/root/repo/src/encoding/affine_stream.cc" "src/CMakeFiles/tde.dir/encoding/affine_stream.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/affine_stream.cc.o.d"
+  "/root/repo/src/encoding/bitpack.cc" "src/CMakeFiles/tde.dir/encoding/bitpack.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/bitpack.cc.o.d"
+  "/root/repo/src/encoding/delta_stream.cc" "src/CMakeFiles/tde.dir/encoding/delta_stream.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/delta_stream.cc.o.d"
+  "/root/repo/src/encoding/dict_stream.cc" "src/CMakeFiles/tde.dir/encoding/dict_stream.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/dict_stream.cc.o.d"
+  "/root/repo/src/encoding/dynamic_encoder.cc" "src/CMakeFiles/tde.dir/encoding/dynamic_encoder.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/dynamic_encoder.cc.o.d"
+  "/root/repo/src/encoding/for_stream.cc" "src/CMakeFiles/tde.dir/encoding/for_stream.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/for_stream.cc.o.d"
+  "/root/repo/src/encoding/header.cc" "src/CMakeFiles/tde.dir/encoding/header.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/header.cc.o.d"
+  "/root/repo/src/encoding/manipulate.cc" "src/CMakeFiles/tde.dir/encoding/manipulate.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/manipulate.cc.o.d"
+  "/root/repo/src/encoding/metadata.cc" "src/CMakeFiles/tde.dir/encoding/metadata.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/metadata.cc.o.d"
+  "/root/repo/src/encoding/rle_stream.cc" "src/CMakeFiles/tde.dir/encoding/rle_stream.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/rle_stream.cc.o.d"
+  "/root/repo/src/encoding/stats.cc" "src/CMakeFiles/tde.dir/encoding/stats.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/stats.cc.o.d"
+  "/root/repo/src/encoding/stream.cc" "src/CMakeFiles/tde.dir/encoding/stream.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/stream.cc.o.d"
+  "/root/repo/src/encoding/uncompressed_stream.cc" "src/CMakeFiles/tde.dir/encoding/uncompressed_stream.cc.o" "gcc" "src/CMakeFiles/tde.dir/encoding/uncompressed_stream.cc.o.d"
+  "/root/repo/src/exec/block.cc" "src/CMakeFiles/tde.dir/exec/block.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/block.cc.o.d"
+  "/root/repo/src/exec/dictionary_table.cc" "src/CMakeFiles/tde.dir/exec/dictionary_table.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/dictionary_table.cc.o.d"
+  "/root/repo/src/exec/exchange.cc" "src/CMakeFiles/tde.dir/exec/exchange.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/exchange.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/tde.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/CMakeFiles/tde.dir/exec/filter.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/filter.cc.o.d"
+  "/root/repo/src/exec/flow_table.cc" "src/CMakeFiles/tde.dir/exec/flow_table.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/flow_table.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/tde.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/tde.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/indexed_scan.cc" "src/CMakeFiles/tde.dir/exec/indexed_scan.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/indexed_scan.cc.o.d"
+  "/root/repo/src/exec/ordered_aggregate.cc" "src/CMakeFiles/tde.dir/exec/ordered_aggregate.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/ordered_aggregate.cc.o.d"
+  "/root/repo/src/exec/parallel_rollup.cc" "src/CMakeFiles/tde.dir/exec/parallel_rollup.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/parallel_rollup.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/tde.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/tde.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/sort.cc.o.d"
+  "/root/repo/src/exec/table_scan.cc" "src/CMakeFiles/tde.dir/exec/table_scan.cc.o" "gcc" "src/CMakeFiles/tde.dir/exec/table_scan.cc.o.d"
+  "/root/repo/src/plan/executor.cc" "src/CMakeFiles/tde.dir/plan/executor.cc.o" "gcc" "src/CMakeFiles/tde.dir/plan/executor.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/tde.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/tde.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/strategic.cc" "src/CMakeFiles/tde.dir/plan/strategic.cc.o" "gcc" "src/CMakeFiles/tde.dir/plan/strategic.cc.o.d"
+  "/root/repo/src/plan/tactical.cc" "src/CMakeFiles/tde.dir/plan/tactical.cc.o" "gcc" "src/CMakeFiles/tde.dir/plan/tactical.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/tde.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/tde.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/tde.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/tde.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/tde.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/tde.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/database_file.cc" "src/CMakeFiles/tde.dir/storage/database_file.cc.o" "gcc" "src/CMakeFiles/tde.dir/storage/database_file.cc.o.d"
+  "/root/repo/src/storage/heap_accelerator.cc" "src/CMakeFiles/tde.dir/storage/heap_accelerator.cc.o" "gcc" "src/CMakeFiles/tde.dir/storage/heap_accelerator.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/tde.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/tde.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/string_heap.cc" "src/CMakeFiles/tde.dir/storage/string_heap.cc.o" "gcc" "src/CMakeFiles/tde.dir/storage/string_heap.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/tde.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/tde.dir/storage/table.cc.o.d"
+  "/root/repo/src/textscan/inference.cc" "src/CMakeFiles/tde.dir/textscan/inference.cc.o" "gcc" "src/CMakeFiles/tde.dir/textscan/inference.cc.o.d"
+  "/root/repo/src/textscan/parsers.cc" "src/CMakeFiles/tde.dir/textscan/parsers.cc.o" "gcc" "src/CMakeFiles/tde.dir/textscan/parsers.cc.o.d"
+  "/root/repo/src/textscan/text_scan.cc" "src/CMakeFiles/tde.dir/textscan/text_scan.cc.o" "gcc" "src/CMakeFiles/tde.dir/textscan/text_scan.cc.o.d"
+  "/root/repo/src/workload/flights.cc" "src/CMakeFiles/tde.dir/workload/flights.cc.o" "gcc" "src/CMakeFiles/tde.dir/workload/flights.cc.o.d"
+  "/root/repo/src/workload/rle_data.cc" "src/CMakeFiles/tde.dir/workload/rle_data.cc.o" "gcc" "src/CMakeFiles/tde.dir/workload/rle_data.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/tde.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/tde.dir/workload/tpch.cc.o.d"
+  "/root/repo/src/workload/tpch_queries.cc" "src/CMakeFiles/tde.dir/workload/tpch_queries.cc.o" "gcc" "src/CMakeFiles/tde.dir/workload/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collation_test.dir/collation_test.cc.o"
+  "CMakeFiles/collation_test.dir/collation_test.cc.o.d"
+  "collation_test"
+  "collation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

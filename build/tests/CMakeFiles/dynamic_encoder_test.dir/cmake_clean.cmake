@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_encoder_test.dir/dynamic_encoder_test.cc.o"
+  "CMakeFiles/dynamic_encoder_test.dir/dynamic_encoder_test.cc.o.d"
+  "dynamic_encoder_test"
+  "dynamic_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_scan_test.dir/indexed_scan_test.cc.o"
+  "CMakeFiles/indexed_scan_test.dir/indexed_scan_test.cc.o.d"
+  "indexed_scan_test"
+  "indexed_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

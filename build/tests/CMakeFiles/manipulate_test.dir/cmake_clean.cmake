@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manipulate_test.dir/manipulate_test.cc.o"
+  "CMakeFiles/manipulate_test.dir/manipulate_test.cc.o.d"
+  "manipulate_test"
+  "manipulate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manipulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

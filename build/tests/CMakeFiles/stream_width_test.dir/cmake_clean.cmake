@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_width_test.dir/stream_width_test.cc.o"
+  "CMakeFiles/stream_width_test.dir/stream_width_test.cc.o.d"
+  "stream_width_test"
+  "stream_width_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_width_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_heap_test.dir/string_heap_test.cc.o"
+  "CMakeFiles/string_heap_test.dir/string_heap_test.cc.o.d"
+  "string_heap_test"
+  "string_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

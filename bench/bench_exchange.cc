@@ -9,6 +9,7 @@
 #include "src/exec/exchange.h"
 #include "src/exec/filter.h"
 #include "src/exec/flow_table.h"
+#include "src/exec/instrument.h"
 #include "src/plan/executor.h"
 #include "src/plan/strategic.h"
 #include "src/workload/rle_data.h"
@@ -46,7 +47,7 @@ RunResult RunOnce(const std::shared_ptr<Table>& table, bool ordered) {
   if (!DrainOperator(built.value().op.get(), &blocks).ok()) std::exit(1);
   RunResult r;
   r.seconds = t.Seconds();
-  auto* ft = dynamic_cast<FlowTable*>(built.value().op.get());
+  auto* ft = dynamic_cast<FlowTable*>(Unwrap(built.value().op.get()));
   const Column& col = *ft->table()->ColumnByName("primary").value();
   r.physical = col.PhysicalSize();
   r.encoding = col.data()->type();

@@ -15,8 +15,10 @@
 
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/observe/query_stats.h"
 #include "src/plan/executor.h"
 #include "src/plan/strategic.h"
 #include "src/workload/rle_data.h"
@@ -56,7 +58,8 @@ PlanNodePtr MakePlan(int plan, const std::shared_ptr<Table>& table,
   return agg;
 }
 
-double RunPlan(const PlanNodePtr& root, uint64_t* rows) {
+double RunPlan(const PlanNodePtr& root, uint64_t* rows,
+               std::string* operators = nullptr) {
   // Average of 3 runs (paper: 12 with extremes discarded).
   double total = 0;
   for (int i = 0; i < 3; ++i) {
@@ -68,6 +71,9 @@ double RunPlan(const PlanNodePtr& root, uint64_t* rows) {
     }
     *rows = r.value().num_rows();
     total += t.Seconds();
+    if (operators != nullptr && r.value().stats() != nullptr) {
+      *operators = r.value().stats()->ToJson();
+    }
   }
   return total / 3;
 }
@@ -104,7 +110,7 @@ uint64_t CountAccesses(const std::shared_ptr<Table>& table,
   return blocks;
 }
 
-void RunTable(const char* label, uint64_t rows) {
+void RunTable(const char* label, uint64_t rows, bench::JsonReport* report) {
   std::printf("\nbuilding %s (%llu rows)...\n", label,
               static_cast<unsigned long long>(rows));
   auto table = MakeRleTable(rows).MoveValue();
@@ -120,7 +126,18 @@ void RunTable(const char* label, uint64_t rows) {
       uint64_t out_rows = 0;
       for (int plan = 1; plan <= 3; ++plan) {
         auto root = MakePlan(plan, table, index_col, other, sel);
-        ms[plan] = RunPlan(root, &out_rows) * 1000;
+        std::string operators = "null";
+        ms[plan] = RunPlan(root, &out_rows, &operators) * 1000;
+        if (report->enabled()) {
+          char head[192];
+          std::snprintf(head, sizeof(head),
+                        "{\"table\":\"%s\",\"index\":\"%s\","
+                        "\"selectivity\":%d,\"plan\":%d,\"ms\":%.4f,"
+                        "\"rows\":%llu,\"operators\":",
+                        label, index_col, sel, plan, ms[plan],
+                        static_cast<unsigned long long>(out_rows));
+          report->Add(std::string(head) + operators + "}");
+        }
       }
       std::printf(
           "%10d%% %10.2f %10.2f %10.2f %7.2f %7.2f %10llu %10llu\n", sel,
@@ -136,12 +153,13 @@ void RunTable(const char* label, uint64_t rows) {
 }  // namespace
 }  // namespace tde
 
-int main() {
+int main(int argc, char** argv) {
+  tde::bench::JsonReport report("filtering", argc, argv);
   tde::bench::PrintHeader(
       "Fig. 10 — indexed-scan filtering on run-length data (Sect. 6.6)");
   std::printf("paper: 1M and 1B rows; here: 1M and TDE_LARGE_ROWS (see "
               "DESIGN.md)\n");
-  tde::RunTable("small (1M)", 1000000);
-  tde::RunTable("large", tde::bench::LargeRleRows());
+  tde::RunTable("small (1M)", 1000000, &report);
+  tde::RunTable("large", tde::bench::LargeRleRows(), &report);
   return 0;
 }

@@ -3,17 +3,23 @@
 // through the SQL frontend and the full strategic/tactical optimizer.
 // Not a paper figure — a downstream-user sanity benchmark over the whole
 // stack (import, encodings, joins, aggregation).
+//
+// With --json (or TDE_BENCH_JSON=1), archives per-query timings and the
+// per-operator runtime profile as BENCH_tpch.json.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/observe/query_stats.h"
 #include "src/workload/tpch_queries.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tde::bench::JsonReport report("tpch", argc, argv);
   tde::bench::PrintHeader("TPC-H query suite over the SQL frontend");
   const double sf = tde::bench::ScaleFactor();
   std::printf("TDE_SF=%g\n", sf);
   tde::Engine engine;
+  double import_secs = 0;
   {
     tde::bench::Timer t;
     const tde::Status st = tde::LoadTpchTables(&engine, sf);
@@ -21,12 +27,25 @@ int main() {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("import (lineitem, orders, customer): %.2fs\n", t.Seconds());
+    import_secs = t.Seconds();
+    std::printf("import (lineitem, orders, customer): %.2fs\n", import_secs);
+  }
+  if (report.enabled()) {
+    // The import telemetry rides along with the query records.
+    for (const tde::observe::ImportStats& s : engine.import_stats()) {
+      report.Add(s.ToJson());
+    }
+    char rec[128];
+    std::snprintf(rec, sizeof(rec),
+                  "{\"phase\":\"import\",\"sf\":%g,\"seconds\":%.4f}", sf,
+                  import_secs);
+    report.Add(rec);
   }
   std::printf("%-8s %-42s %10s %8s\n", "query", "title", "time", "rows");
   for (const tde::TpchQuery& q : tde::TpchQueries()) {
     double secs = 0;
     uint64_t rows = 0;
+    std::string operators = "null";
     for (int i = 0; i < 3; ++i) {
       tde::bench::Timer t;
       auto r = engine.ExecuteSql(q.sql);
@@ -37,9 +56,20 @@ int main() {
       }
       secs += t.Seconds();
       rows = r.value().num_rows();
+      if (r.value().stats() != nullptr) {
+        operators = r.value().stats()->ToJson();
+      }
     }
     std::printf("%-8s %-42s %9.3fs %8llu\n", q.id, q.title, secs / 3,
                 static_cast<unsigned long long>(rows));
+    if (report.enabled()) {
+      char head[160];
+      std::snprintf(head, sizeof(head),
+                    "{\"query\":\"%s\",\"seconds\":%.6f,\"rows\":%llu,"
+                    "\"operators\":",
+                    q.id, secs / 3, static_cast<unsigned long long>(rows));
+      report.Add(std::string(head) + operators + "}");
+    }
   }
   return 0;
 }

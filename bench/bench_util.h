@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace tde {
 namespace bench {
@@ -49,6 +50,52 @@ class Timer {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Machine-readable bench output: pass `--json` (or set TDE_BENCH_JSON=1)
+/// and the bench archives its results — including per-operator runtime
+/// stats where the bench provides them (observe::QueryStats::ToJson) — as
+/// BENCH_<name>.json in the working directory, one JSON document per run.
+class JsonReport {
+ public:
+  JsonReport(std::string name, int argc = 0, char** argv = nullptr)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    }
+    if (const char* e = std::getenv("TDE_BENCH_JSON")) {
+      if (e[0] != '\0' && e[0] != '0') enabled_ = true;
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Appends one result record (a rendered JSON object).
+  void Add(std::string record) {
+    if (enabled_) records_.push_back(std::move(record));
+  }
+
+  ~JsonReport() {
+    if (!enabled_ || records_.empty()) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"results\":[", name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s", i > 0 ? "," : "", records_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  std::vector<std::string> records_;
+};
 
 }  // namespace bench
 }  // namespace tde

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, run the tier-1 test suite, then run one
+# bench in JSON mode and archive its BENCH_*.json next to the build tree.
+#
+# Usage: ci/run_tests.sh [build-dir]
+#
+# Knobs (all optional):
+#   TDE_BENCH        bench to archive (default: bench_filtering)
+#   TDE_LARGE_ROWS   shrink the bench's large table for CI budgets
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-"$ROOT/build"}"
+BENCH="${TDE_BENCH:-bench_filtering}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j"$(nproc)"
+
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+# Archive one bench run with per-operator stats. Keep CI cheap: the bench's
+# large table shrinks unless the caller overrides it.
+ARCHIVE="$BUILD/bench-archive"
+mkdir -p "$ARCHIVE"
+(cd "$ARCHIVE" && TDE_LARGE_ROWS="${TDE_LARGE_ROWS:-2000000}" \
+    "$BUILD/bench/$BENCH" --json)
+ls -l "$ARCHIVE"/BENCH_*.json

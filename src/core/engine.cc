@@ -6,41 +6,83 @@
 
 #include "src/encoding/manipulate.h"
 #include "src/exec/sort.h"
+#include "src/observe/metrics.h"
 #include "src/sql/parser.h"
 
 namespace tde {
 
 namespace {
-Result<std::shared_ptr<Table>> BuildImport(std::unique_ptr<Operator> scan,
+
+/// Runs the import pipeline (TextScan -> optional Sort -> FlowTable) while
+/// keeping the FlowTable instance in scope, so parse- and encode-side
+/// telemetry can be harvested into `stats_out` after the build.
+Result<std::shared_ptr<Table>> BuildImport(std::unique_ptr<TextScan> scan,
                                            const std::string& table_name,
-                                           ImportOptions options) {
+                                           ImportOptions options,
+                                           observe::ImportStats* stats_out) {
+  TextScan* raw_scan = scan.get();
   std::unique_ptr<Operator> flow = std::move(scan);
   if (!options.sort_by.empty()) {
     flow = std::make_unique<Sort>(std::move(flow), options.sort_by);
   }
   options.flow.table_name = table_name;
-  return FlowTable::Build(std::move(flow), std::move(options.flow));
+  FlowTable ft(std::move(flow), std::move(options.flow));
+  TDE_RETURN_NOT_OK(ft.Open());
+  ft.Close();
+  if (stats_out != nullptr && observe::StatsEnabled()) {
+    const TextScanStats& parse = raw_scan->scan_stats();
+    stats_out->table_name = table_name;
+    stats_out->bytes_parsed = parse.bytes;
+    stats_out->rows = parse.rows;
+    stats_out->parse_errors = parse.parse_errors;
+    stats_out->parse_seconds = parse.parse_seconds;
+    stats_out->encode_seconds = ft.encode_seconds();
+    stats_out->columns = ft.column_stats();
+  }
+  return ft.table();
 }
+
+/// Registry-side import accounting, shared by all import entry points.
+void RecordImport(const observe::ImportStats& stats) {
+  auto& reg = observe::MetricsRegistry::Global();
+  reg.GetCounter("import.tables")->Add();
+  reg.GetCounter("import.rows")->Add(stats.rows);
+  reg.GetCounter("import.bytes_parsed")->Add(stats.bytes_parsed);
+  reg.GetCounter("import.parse_errors")->Add(stats.parse_errors);
+  reg.GetGauge("import.last_compression_ratio_ppt")
+      ->Set(static_cast<int64_t>(stats.compression_ratio() * 1000));
+}
+
 }  // namespace
 
 Result<std::shared_ptr<Table>> Engine::ImportTextFile(
     const std::string& path, const std::string& table_name,
     ImportOptions options) {
   TDE_ASSIGN_OR_RETURN(auto scan, TextScan::FromFile(path, options.text));
+  observe::ImportStats stats;
   TDE_ASSIGN_OR_RETURN(
       auto table,
-      BuildImport(std::move(scan), table_name, std::move(options)));
+      BuildImport(std::move(scan), table_name, std::move(options), &stats));
   db_.AddTable(table);
+  if (observe::StatsEnabled()) {
+    RecordImport(stats);
+    import_stats_.push_back(std::move(stats));
+  }
   return table;
 }
 
 Result<std::shared_ptr<Table>> Engine::ImportTextBuffer(
     std::string data, const std::string& table_name, ImportOptions options) {
   auto scan = TextScan::FromBuffer(std::move(data), options.text);
+  observe::ImportStats stats;
   TDE_ASSIGN_OR_RETURN(
       auto table,
-      BuildImport(std::move(scan), table_name, std::move(options)));
+      BuildImport(std::move(scan), table_name, std::move(options), &stats));
   db_.AddTable(table);
+  if (observe::StatsEnabled()) {
+    RecordImport(stats);
+    import_stats_.push_back(std::move(stats));
+  }
   return table;
 }
 
@@ -51,30 +93,139 @@ Result<QueryResult> Engine::Execute(const Plan& plan,
   return ExecutePlanNode(optimized);
 }
 
-Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
-  TDE_ASSIGN_OR_RETURN(sql::ParsedQuery q, sql::ParseQuery(sql, db_));
-  if (q.explain) {
-    TDE_ASSIGN_OR_RETURN(std::string text, ExplainPlan(q.plan));
-    Schema schema({{"plan", TypeId::kString}});
-    Block b;
-    b.columns.resize(1);
-    b.columns[0].type = TypeId::kString;
-    auto heap = std::make_shared<StringHeap>();
-    // One row per line of the plan rendering.
-    size_t start = 0;
-    while (start < text.size()) {
-      size_t end = text.find('\n', start);
-      if (end == std::string::npos) end = text.size();
-      b.columns[0].lanes.push_back(
-          heap->Add(std::string_view(text).substr(start, end - start)));
-      start = end + 1;
+namespace {
+
+/// Renders `text` as a single-column result, one row per line.
+QueryResult TextResult(const std::string& column_name,
+                       const std::string& text) {
+  Schema schema({{column_name, TypeId::kString}});
+  Block b;
+  b.columns.resize(1);
+  b.columns[0].type = TypeId::kString;
+  auto heap = std::make_shared<StringHeap>();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    b.columns[0].lanes.push_back(
+        heap->Add(std::string_view(text).substr(start, end - start)));
+    start = end + 1;
+  }
+  b.columns[0].heap = std::move(heap);
+  std::vector<Block> blocks;
+  blocks.push_back(std::move(b));
+  return QueryResult(std::move(schema), std::move(blocks));
+}
+
+const char* KindName(observe::MetricKind kind) {
+  switch (kind) {
+    case observe::MetricKind::kCounter:
+      return "counter";
+    case observe::MetricKind::kGauge:
+      return "gauge";
+    case observe::MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// Materializes the tde_stats virtual table (metric, kind, value): the
+/// global registry snapshot plus per-import telemetry, built through the
+/// same per-column encoding pipeline as any other table.
+Result<std::shared_ptr<Table>> BuildStatsTable(
+    const std::vector<observe::ImportStats>& imports) {
+  ColumnBuildInput metric, kind, value;
+  metric.name = "metric";
+  metric.type = TypeId::kString;
+  metric.heap = std::make_shared<StringHeap>();
+  kind.name = "kind";
+  kind.type = TypeId::kString;
+  kind.heap = std::make_shared<StringHeap>();
+  value.name = "value";
+  value.type = TypeId::kInteger;
+  auto add = [&](const std::string& m, const char* k, int64_t v) {
+    metric.lanes.push_back(metric.heap->Add(m));
+    kind.lanes.push_back(kind.heap->Add(k));
+    value.lanes.push_back(v);
+  };
+
+  for (const observe::MetricSample& s :
+       observe::MetricsRegistry::Global().Snapshot()) {
+    add(s.name, KindName(s.kind), s.value);
+    if (s.kind == observe::MetricKind::kHistogram) {
+      add(s.name + ".sum", "histogram", static_cast<int64_t>(s.sum));
+      add(s.name + ".p50", "histogram", static_cast<int64_t>(s.p50));
+      add(s.name + ".p99", "histogram", static_cast<int64_t>(s.p99));
     }
-    b.columns[0].heap = std::move(heap);
-    std::vector<Block> blocks;
-    blocks.push_back(std::move(b));
-    return QueryResult(std::move(schema), std::move(blocks));
+  }
+  for (const observe::ImportStats& imp : imports) {
+    const std::string prefix = "import." + imp.table_name + ".";
+    add(prefix + "rows", "import", static_cast<int64_t>(imp.rows));
+    add(prefix + "parse_errors", "import",
+        static_cast<int64_t>(imp.parse_errors));
+    add(prefix + "input_bytes", "import",
+        static_cast<int64_t>(imp.input_bytes()));
+    add(prefix + "encoded_bytes", "import",
+        static_cast<int64_t>(imp.encoded_bytes()));
+    add(prefix + "compression_ratio_ppt", "import",
+        static_cast<int64_t>(imp.compression_ratio() * 1000));
+    for (const observe::ColumnImportStats& c : imp.columns) {
+      add(prefix + c.column + ".header_manipulations", "import",
+          static_cast<int64_t>(c.header_manipulations));
+      add(prefix + c.column + ".encoding_changes", "import",
+          c.encoding_changes);
+    }
+  }
+
+  FlowTableOptions opt;
+  auto table = std::make_shared<Table>("tde_stats");
+  for (ColumnBuildInput* in : {&metric, &kind, &value}) {
+    TDE_ASSIGN_OR_RETURN(auto col, BuildColumn(std::move(*in), opt));
+    table->AddColumn(std::move(col));
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
+  // The tde_stats virtual table: when the query mentions it (and no real
+  // table shadows the name), parse against a database copy — cheap, tables
+  // are shared — extended with a freshly materialized snapshot. The plan
+  // pins the snapshot table through its shared_ptr.
+  auto parse = [&]() -> Result<sql::ParsedQuery> {
+    if (sql.find("tde_stats") != std::string::npos &&
+        !db_.GetTable("tde_stats").ok()) {
+      Database with_stats = db_;
+      TDE_ASSIGN_OR_RETURN(auto stats_table, BuildStatsTable(import_stats_));
+      with_stats.AddTable(std::move(stats_table));
+      return sql::ParseQuery(sql, with_stats);
+    }
+    return sql::ParseQuery(sql, db_);
+  };
+  TDE_ASSIGN_OR_RETURN(sql::ParsedQuery q, parse());
+
+  if (q.explain) {
+    if (q.analyze) {
+      TDE_ASSIGN_OR_RETURN(std::string text, ExplainAnalyzePlan(q.plan));
+      return TextResult("plan", text);
+    }
+    TDE_ASSIGN_OR_RETURN(std::string text, ExplainPlan(q.plan));
+    return TextResult("plan", text);
   }
   return Execute(q.plan);
+}
+
+std::string Engine::StatsJson() const {
+  std::string out = "{\"registry\":";
+  out += observe::MetricsRegistry::Global().ToJson();
+  out += ",\"imports\":[";
+  for (size_t i = 0; i < import_stats_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += import_stats_[i].ToJson();
+  }
+  out += "]}";
+  return out;
 }
 
 Status Engine::SaveDatabase(const std::string& path) const {
@@ -122,11 +273,15 @@ Result<int> Engine::RefreshChanged() {
     if (mtime == att.mtime && size == att.size) continue;
     TDE_ASSIGN_OR_RETURN(auto scan,
                          TextScan::FromFile(att.path, att.options.text));
-    FlowTableOptions flow = att.options.flow;
-    flow.table_name = att.table_name;
-    TDE_ASSIGN_OR_RETURN(auto table,
-                         FlowTable::Build(std::move(scan), std::move(flow)));
+    observe::ImportStats stats;
+    TDE_ASSIGN_OR_RETURN(
+        auto table,
+        BuildImport(std::move(scan), att.table_name, att.options, &stats));
     TDE_RETURN_NOT_OK(db_.ReplaceTable(std::move(table)));
+    if (observe::StatsEnabled()) {
+      RecordImport(stats);
+      import_stats_.push_back(std::move(stats));
+    }
     att.mtime = mtime;
     att.size = size;
     ++rebuilt;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/exec/sort.h"
+#include "src/observe/import_stats.h"
 #include "src/plan/executor.h"
 #include "src/plan/strategic.h"
 #include "src/storage/database_file.h"
@@ -56,7 +57,11 @@ class Engine {
   /// Parses and runs a SQL query against this engine's tables (see
   /// sql::ParseQuery for the supported grammar). An `EXPLAIN` prefix
   /// returns the optimized plan and tactical decisions as a single-column
-  /// result instead of executing.
+  /// result instead of executing; `EXPLAIN ANALYZE` executes the query and
+  /// returns the operator tree annotated with actual rows/blocks/time.
+  /// Queries may also reference the `tde_stats` virtual table
+  /// (metric/kind/value), a snapshot of the global metrics registry plus
+  /// this engine's per-import telemetry.
   Result<QueryResult> ExecuteSql(const std::string& sql) const;
 
   Database* database() { return &db_; }
@@ -86,6 +91,17 @@ class Engine {
   /// Returns the number of columns converted.
   Result<int> OptimizeTable(const std::string& table_name);
 
+  /// Telemetry of every import performed by this engine (one record per
+  /// ImportTextFile / ImportTextBuffer / attachment refresh, in order).
+  /// Empty when stats collection is disabled (observe::StatsEnabled()).
+  const std::vector<observe::ImportStats>& import_stats() const {
+    return import_stats_;
+  }
+
+  /// All collected telemetry as one JSON document: the global metrics
+  /// registry snapshot plus this engine's per-import records.
+  std::string StatsJson() const;
+
  private:
   struct Attachment {
     std::string path;
@@ -99,6 +115,7 @@ class Engine {
 
   Database db_;
   std::vector<Attachment> attachments_;
+  std::vector<observe::ImportStats> import_stats_;
 };
 
 /// The heavyweight AlterColumn transformation of Sect. 3.4.3: converts a

@@ -6,6 +6,7 @@
 
 #include "src/common/bitutil.h"
 #include "src/encoding/streams_internal.h"
+#include "src/observe/metrics.h"
 
 namespace tde {
 
@@ -31,6 +32,14 @@ uint8_t WidthForEnvelope(int64_t lo, int64_t hi, bool signed_values) {
 
 Result<uint8_t> NarrowStreamWidth(std::vector<uint8_t>* buf,
                                   bool signed_values) {
+  if (observe::StatsEnabled()) {
+    // The O(1)/O(entries) header-edit counters of Sect. 3.4, exported
+    // through the tde_stats virtual table.
+    static observe::Counter* ops =
+        observe::MetricsRegistry::Global().GetCounter(
+            "encoding.narrow_width_ops");
+    ops->Add();
+  }
   HeaderView h(buf);
   const uint8_t old_width = h.width();
   switch (h.algorithm()) {
@@ -102,6 +111,12 @@ Result<uint8_t> NarrowStreamWidth(std::vector<uint8_t>* buf,
 
 Status RemapDictEntries(std::vector<uint8_t>* buf,
                         const std::function<Lane(Lane)>& fn) {
+  if (observe::StatsEnabled()) {
+    static observe::Counter* ops =
+        observe::MetricsRegistry::Global().GetCounter(
+            "encoding.dict_remap_ops");
+    ops->Add();
+  }
   HeaderView h(buf);
   if (h.algorithm() != EncodingType::kDictionary) {
     return Status::InvalidArgument("not a dictionary-encoded stream");

@@ -1,6 +1,17 @@
 #include "src/exec/exchange.h"
 
+#include <chrono>
+
 namespace tde {
+
+namespace {
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 struct Exchange::Shared {
   std::mutex mu;
@@ -16,8 +27,18 @@ struct Exchange::Shared {
   int workers_running = 0;
   Status error;
   bool stop = false;
+  // Blocks admitted by the producer / emitted to the consumer. Their
+  // difference is the total number of blocks in flight (input queue +
+  // workers + output), which is what the admission bound limits — so any
+  // admitted block can always be pushed to the output side and the
+  // order-preserving merge can never wedge on a bounded output queue.
+  uint64_t admitted = 0;
+  uint64_t emitted = 0;
 
-  static constexpr size_t kQueueLimit = 16;
+  static constexpr uint64_t kInFlightLimit = 32;
+
+  /// True when producer and workers should cease (abort or failure).
+  bool aborted() const { return stop || !error.ok(); }
 };
 
 Exchange::Exchange(std::unique_ptr<Operator> child, ExchangeOptions options)
@@ -29,17 +50,37 @@ Status Exchange::Open() {
   TDE_RETURN_NOT_OK(child_->Open());
   shared_ = std::make_unique<Shared>();
   next_to_emit_ = 0;
+  run_stats_ = ExchangeRunStats{};
+  run_stats_.workers.resize(static_cast<size_t>(options_.workers));
   shared_->workers_running = options_.workers;
   threads_.emplace_back([this]() { ProducerLoop(); });
   for (int i = 0; i < options_.workers; ++i) {
-    threads_.emplace_back([this]() { WorkerLoop(); });
+    threads_.emplace_back([this, i]() {
+      WorkerLoop(static_cast<size_t>(i));
+    });
   }
   return Status::OK();
 }
 
 void Exchange::ProducerLoop() {
-  uint64_t seq = 0;
   while (true) {
+    {
+      // Admission control: wait until there is in-flight headroom before
+      // pulling the next block from the child, so an aborted or slow
+      // consumer never lets queued blocks grow without bound.
+      std::unique_lock<std::mutex> lock(shared_->mu);
+      const uint64_t t0 = NowNs();
+      shared_->cv_output.wait(lock, [this]() {
+        return shared_->admitted - shared_->emitted < Shared::kInFlightLimit ||
+               shared_->aborted();
+      });
+      run_stats_.producer_wait_ns += NowNs() - t0;
+      if (shared_->aborted()) {
+        shared_->input_done = true;
+        shared_->cv_input.notify_all();
+        return;
+      }
+    }
     Block b;
     bool eos = false;
     Status st = child_->Next(&b, &eos);
@@ -48,6 +89,7 @@ void Exchange::ProducerLoop() {
       shared_->error = st;
       shared_->input_done = true;
       shared_->cv_input.notify_all();
+      shared_->cv_output.notify_all();
       return;
     }
     if (eos) {
@@ -55,24 +97,25 @@ void Exchange::ProducerLoop() {
       shared_->cv_input.notify_all();
       return;
     }
-    shared_->cv_output.wait(lock, [this]() {
-      return shared_->input.size() < Shared::kQueueLimit || shared_->stop;
-    });
-    if (shared_->stop) return;
-    shared_->input.emplace_back(seq++, std::move(b));
+    shared_->input.emplace_back(shared_->admitted++, std::move(b));
+    run_stats_.blocks_in++;
     shared_->cv_input.notify_one();
   }
 }
 
-void Exchange::WorkerLoop() {
+void Exchange::WorkerLoop(size_t worker_index) {
+  ExchangeWorkerStats& ws = run_stats_.workers[worker_index];
   while (true) {
     std::pair<uint64_t, Block> item;
     {
       std::unique_lock<std::mutex> lock(shared_->mu);
+      const uint64_t t0 = NowNs();
       shared_->cv_input.wait(lock, [this]() {
-        return !shared_->input.empty() || shared_->input_done || shared_->stop;
+        return !shared_->input.empty() || shared_->input_done ||
+               shared_->aborted();
       });
-      if (shared_->stop ||
+      ws.queue_wait_ns += NowNs() - t0;
+      if (shared_->aborted() ||
           (shared_->input.empty() && shared_->input_done)) {
         --shared_->workers_running;
         shared_->cv_output.notify_all();
@@ -80,7 +123,6 @@ void Exchange::WorkerLoop() {
       }
       item = std::move(shared_->input.front());
       shared_->input.pop_front();
-      shared_->cv_output.notify_all();
     }
     Status st;
     if (options_.transform) {
@@ -88,17 +130,27 @@ void Exchange::WorkerLoop() {
     }
     std::unique_lock<std::mutex> lock(shared_->mu);
     if (!st.ok()) {
-      shared_->error = st;
-    } else if (options_.order_preserving) {
-      shared_->output.emplace(item.first, std::move(item.second));
+      if (shared_->error.ok()) shared_->error = st;
+      // Failure short-circuit: wake everyone so the producer stops pulling
+      // blocks and sibling workers drain out.
+      shared_->cv_input.notify_all();
     } else {
-      shared_->unordered_output.push_back(std::move(item.second));
+      ws.blocks++;
+      ws.rows_emitted += item.second.rows();
+      if (options_.order_preserving) {
+        shared_->output.emplace(item.first, std::move(item.second));
+      } else {
+        shared_->unordered_output.push_back(std::move(item.second));
+      }
     }
     shared_->cv_output.notify_all();
   }
 }
 
 Status Exchange::Next(Block* block, bool* eos) {
+  if (shared_ == nullptr) {
+    return Status::Internal("Exchange::Next before successful Open");
+  }
   std::unique_lock<std::mutex> lock(shared_->mu);
   while (true) {
     if (!shared_->error.ok()) return shared_->error;
@@ -108,12 +160,16 @@ Status Exchange::Next(Block* block, bool* eos) {
         *block = std::move(it->second);
         shared_->output.erase(it);
         ++next_to_emit_;
+        ++shared_->emitted;
+        shared_->cv_output.notify_all();
         *eos = false;
         return Status::OK();
       }
     } else if (!shared_->unordered_output.empty()) {
       *block = std::move(shared_->unordered_output.front());
       shared_->unordered_output.pop_front();
+      ++shared_->emitted;
+      shared_->cv_output.notify_all();
       *eos = false;
       return Status::OK();
     }
@@ -129,7 +185,9 @@ Status Exchange::Next(Block* block, bool* eos) {
       *eos = true;
       return Status::OK();
     }
+    const uint64_t t0 = NowNs();
     shared_->cv_output.wait(lock);
+    run_stats_.consumer_wait_ns += NowNs() - t0;
   }
 }
 

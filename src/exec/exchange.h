@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/exec/block.h"
 
@@ -28,11 +29,34 @@ struct ExchangeOptions {
   BlockTransform transform;  // identity if empty
 };
 
+/// Per-worker observations of one Exchange run.
+struct ExchangeWorkerStats {
+  uint64_t blocks = 0;        // blocks this worker processed
+  uint64_t rows_emitted = 0;  // rows it pushed downstream (post-transform)
+  uint64_t queue_wait_ns = 0; // time spent waiting for input
+};
+
+/// Observations of one Exchange run, final once Close() has joined the
+/// threads. The queue-wait numbers are the paper's Sect. 4.3 cost model
+/// made visible: how much of the wall time each side spent blocked on the
+/// in-flight bound rather than doing work.
+struct ExchangeRunStats {
+  uint64_t blocks_in = 0;          // blocks admitted from the child
+  uint64_t producer_wait_ns = 0;   // producer blocked on the bound
+  uint64_t consumer_wait_ns = 0;   // consumer blocked waiting for output
+  std::vector<ExchangeWorkerStats> workers;
+};
+
 /// Volcano-style exchange (Sect. 2.3.1, [Graefe 90]): parallelizes a flow
 /// segment by fanning blocks out to worker threads and merging their
 /// outputs. With order_preserving off, blocks are emitted as workers
 /// complete them — faster, but it disturbs value order and can make the
 /// downstream encodings much worse (Sect. 4.3).
+///
+/// Total blocks in flight (input queue + workers + output) are bounded, so
+/// a slow consumer cannot balloon memory; a worker/transform error stops
+/// the producer and workers early; and Close() mid-stream (a query abort)
+/// or after an error drains and joins every thread without deadlock.
 class Exchange : public Operator {
  public:
   Exchange(std::unique_ptr<Operator> child, ExchangeOptions options);
@@ -45,9 +69,13 @@ class Exchange : public Operator {
     return child_->output_schema();
   }
 
+  /// Run observations; final once Close() (or the destructor) has joined
+  /// the threads.
+  const ExchangeRunStats& run_stats() const { return run_stats_; }
+
  private:
   struct Shared;
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
   void ProducerLoop();
   void StopThreads();
 
@@ -56,6 +84,7 @@ class Exchange : public Operator {
   std::unique_ptr<Shared> shared_;
   std::vector<std::thread> threads_;
   uint64_t next_to_emit_ = 0;
+  ExchangeRunStats run_stats_;
 };
 
 }  // namespace tde

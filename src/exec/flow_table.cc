@@ -5,7 +5,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include <chrono>
+
 #include "src/encoding/manipulate.h"
+#include "src/observe/metrics.h"
 #include "src/storage/heap_accelerator.h"
 
 namespace tde {
@@ -16,12 +19,15 @@ namespace {
 /// the dictionary entries are the distinct heap tokens; sort their strings
 /// (cheap — the domain is small), rebuild the heap in collation order and
 /// write the new tokens back into the dictionary header. The rows of the
-/// column — which can be arbitrarily many — are never touched.
-Status SortColumnHeap(Column* col) {
+/// column — which can be arbitrarily many — are never touched. `*applied`
+/// reports whether a remap actually happened (import telemetry).
+Status SortColumnHeap(Column* col, bool* applied) {
+  *applied = false;
   auto* stream = col->mutable_data();
   if (stream->type() != EncodingType::kDictionary) return Status::OK();
   StringHeap* heap = col->mutable_heap();
   if (heap == nullptr || heap->sorted()) return Status::OK();
+  *applied = true;
 
   std::vector<uint8_t>* buf = stream->mutable_buffer();
   // Collect the distinct tokens from the dictionary entries (an identity
@@ -54,8 +60,9 @@ Status SortColumnHeap(Column* col) {
 
 }  // namespace
 
-Result<std::shared_ptr<Column>> BuildColumn(ColumnBuildInput in,
-                                            const FlowTableOptions& options) {
+Result<std::shared_ptr<Column>> BuildColumn(
+    ColumnBuildInput in, const FlowTableOptions& options,
+    observe::ColumnImportStats* stats_out) {
   DynamicEncoderOptions enc;
   enc.enable_encodings = options.enable_encodings;
   enc.allowed = options.allowed;
@@ -96,17 +103,33 @@ Result<std::shared_ptr<Column>> BuildColumn(ColumnBuildInput in,
   }
   *col->mutable_metadata() = meta;
 
+  uint64_t manipulations = 0;
   if (options.enable_encodings && options.post_process) {
     // Sect. 3.4 manipulations, applied as a post-processing step of the
     // FlowTable build.
-    TDE_RETURN_NOT_OK(SortColumnHeap(col.get()));
+    bool heap_sorted = false;
+    TDE_RETURN_NOT_OK(SortColumnHeap(col.get(), &heap_sorted));
     const bool signed_values =
         in.type != TypeId::kString && IsSignedType(in.type);
+    const uint8_t before = col->data()->width();
     TDE_ASSIGN_OR_RETURN(
         uint8_t w,
         NarrowStreamWidth(col->mutable_data()->mutable_buffer(),
                           signed_values));
-    (void)w;
+    manipulations += (heap_sorted ? 1 : 0) + (w != before ? 1 : 0);
+  }
+
+  if (stats_out != nullptr && observe::StatsEnabled()) {
+    stats_out->column = col->name();
+    stats_out->type = TypeName(in.type);
+    stats_out->encoding = EncodingName(col->data()->type());
+    stats_out->rows = col->rows();
+    stats_out->input_bytes = col->LogicalSize();
+    stats_out->encoded_bytes = col->PhysicalSize();
+    stats_out->encoding_changes = encoded.encoding_changes;
+    stats_out->bytes_written = encoded.bytes_written;
+    stats_out->header_manipulations = manipulations;
+    stats_out->token_width = col->TokenWidth();
   }
   return col;
 }
@@ -177,27 +200,35 @@ Status FlowTable::Open() {
 
   // Encode each column — independently, so the work can be distributed
   // across cores (Sect. 3.3).
+  const auto encode_start = std::chrono::steady_clock::now();
   auto table = std::make_shared<Table>(options_.table_name);
   std::vector<Result<std::shared_ptr<Column>>> results(
       ncols, Result<std::shared_ptr<Column>>(Status::OK()));
+  column_stats_.assign(ncols, observe::ColumnImportStats{});
   if (options_.parallel_columns && ncols > 1) {
     std::vector<std::thread> workers;
     workers.reserve(ncols);
     for (size_t i = 0; i < ncols; ++i) {
       workers.emplace_back([&, i]() {
-        results[i] = BuildColumn(std::move(inputs[i]), options_);
+        results[i] =
+            BuildColumn(std::move(inputs[i]), options_, &column_stats_[i]);
       });
     }
     for (auto& t : workers) t.join();
   } else {
     for (size_t i = 0; i < ncols; ++i) {
-      results[i] = BuildColumn(std::move(inputs[i]), options_);
+      results[i] =
+          BuildColumn(std::move(inputs[i]), options_, &column_stats_[i]);
     }
   }
   for (size_t i = 0; i < ncols; ++i) {
     TDE_RETURN_NOT_OK(results[i].status());
     table->AddColumn(results[i].MoveValue());
   }
+  encode_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - encode_start)
+                        .count();
+  if (!observe::StatsEnabled()) column_stats_.clear();
 
   table_ = std::move(table);
   scan_ = std::make_unique<TableScan>(table_);

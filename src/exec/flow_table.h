@@ -7,6 +7,7 @@
 
 #include "src/exec/block.h"
 #include "src/exec/table_scan.h"
+#include "src/observe/import_stats.h"
 #include "src/storage/table.h"
 
 namespace tde {
@@ -49,6 +50,15 @@ class FlowTable : public Operator {
   /// The built table; valid after Open().
   std::shared_ptr<Table> table() const { return table_; }
 
+  /// Per-column encoding telemetry (chosen encoding, input vs. encoded
+  /// bytes, re-encode count, header manipulations); valid after Open()
+  /// when stats collection is enabled.
+  const std::vector<observe::ColumnImportStats>& column_stats() const {
+    return column_stats_;
+  }
+  /// Wall time of the encode phase (drain excluded); valid after Open().
+  double encode_seconds() const { return encode_seconds_; }
+
   /// One-shot: drain `child` and build the table.
   static Result<std::shared_ptr<Table>> Build(
       std::unique_ptr<Operator> child, FlowTableOptions options = {});
@@ -60,6 +70,8 @@ class FlowTable : public Operator {
   std::unique_ptr<TableScan> scan_;
   Schema schema_;
   bool built_ = false;
+  std::vector<observe::ColumnImportStats> column_stats_;
+  double encode_seconds_ = 0;
 };
 
 /// The per-column build pipeline FlowTable runs; exposed for reuse by the
@@ -76,8 +88,12 @@ struct ColumnBuildInput {
   bool accel_arrived_sorted = false;
 };
 
-Result<std::shared_ptr<Column>> BuildColumn(ColumnBuildInput in,
-                                            const FlowTableOptions& options);
+/// Builds one encoded column. When `stats_out` is non-null the encoding
+/// outcome (chosen encoding, input vs. encoded bytes, re-encode count,
+/// header manipulations) is recorded into it.
+Result<std::shared_ptr<Column>> BuildColumn(
+    ColumnBuildInput in, const FlowTableOptions& options,
+    observe::ColumnImportStats* stats_out = nullptr);
 
 }  // namespace tde
 

@@ -1,0 +1,166 @@
+#include "src/observe/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <tuple>
+
+namespace tde {
+namespace observe {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* e = std::getenv("TDE_STATS");
+    return !(e != nullptr && e[0] == '0' && e[1] == '\0');
+  }();
+  return enabled;
+}
+
+const char* KindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+bool StatsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetStatsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t v) {
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::ApproxQuantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t b = bucket(i);
+    if (rank < b) {
+      // Midpoint of the bucket's value range.
+      const uint64_t lo = BucketLow(i);
+      const uint64_t hi = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      return lo + (hi - lo) / 2;
+    }
+    rank -= b;
+  }
+  return BucketLow(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+template <typename T>
+T* MetricsRegistry::GetNamed(std::deque<std::pair<std::string, T>>* store,
+                             const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, m] : *store) {
+    if (n == name) return &m;
+  }
+  // Atomics are immovable; construct the pair's members in place.
+  store->emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple());
+  return &store->back().second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return GetNamed(&counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return GetNamed(&gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetNamed(&histograms_, name);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [n, c] : counters_) {
+      MetricSample s;
+      s.name = n;
+      s.kind = MetricKind::kCounter;
+      s.value = static_cast<int64_t>(c.value());
+      out.push_back(std::move(s));
+    }
+    for (const auto& [n, g] : gauges_) {
+      MetricSample s;
+      s.name = n;
+      s.kind = MetricKind::kGauge;
+      s.value = g.value();
+      out.push_back(std::move(s));
+    }
+    for (const auto& [n, h] : histograms_) {
+      MetricSample s;
+      s.name = n;
+      s.kind = MetricKind::kHistogram;
+      s.value = static_cast<int64_t>(h.count());
+      s.sum = h.sum();
+      s.p50 = h.ApproxQuantile(0.5);
+      s.p99 = h.ApproxQuantile(0.99);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + s.name + "\",\"kind\":\"" + KindName(s.kind) +
+           "\",\"value\":" + std::to_string(s.value);
+    if (s.kind == MetricKind::kHistogram) {
+      out += ",\"sum\":" + std::to_string(s.sum) +
+             ",\"p50\":" + std::to_string(s.p50) +
+             ",\"p99\":" + std::to_string(s.p99);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) c.Reset();
+  for (auto& [n, g] : gauges_) g.Reset();
+  for (auto& [n, h] : histograms_) h.Reset();
+}
+
+}  // namespace observe
+}  // namespace tde

@@ -1,0 +1,126 @@
+#ifndef TDE_OBSERVE_METRICS_H_
+#define TDE_OBSERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tde {
+namespace observe {
+
+/// Global stats switch. All engine-side collection points (operator
+/// wrappers, import telemetry, registry counters) consult this flag, so a
+/// single store turns the whole observability layer off for overhead
+/// measurements. Initialized from the TDE_STATS environment variable
+/// ("0" disables); defaults to enabled.
+bool StatsEnabled();
+void SetStatsEnabled(bool enabled);
+
+/// A monotonically increasing counter. Handle semantics: pointers returned
+/// by MetricsRegistry stay valid for the registry's lifetime, so hot paths
+/// look the counter up once and then do a relaxed atomic add per event.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// A last-value gauge (e.g. current queue depth, last compression ratio in
+/// parts-per-thousand).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A histogram with fixed log2 buckets: bucket i counts values v with
+/// bit_width(v) == i, i.e. bucket 0 holds v == 0, bucket i holds
+/// [2^(i-1), 2^i). 65 buckets cover the whole uint64 range with no
+/// configuration and no allocation; recording is two relaxed atomic adds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Lower bound of bucket i's value range (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLow(int i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+  /// Approximate quantile from the bucket midpoints, q in [0, 1].
+  uint64_t ApproxQuantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+/// One metric flattened for export.
+struct MetricSample {
+  std::string name;
+  MetricKind kind;
+  /// Counter/gauge value; histogram count.
+  int64_t value = 0;
+  /// Histogram only.
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+};
+
+/// A lock-cheap named-metric registry. Registration (name lookup) takes a
+/// mutex; the returned handles are updated with relaxed atomics and never
+/// move (node-stable std::deque storage), so steady-state recording is
+/// lock-free. One process-wide instance lives behind Global(); scoped
+/// registries can be constructed for tests.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Flattens every registered metric, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// {"metrics":[{"name":...,"kind":...,"value":...},...]}
+  std::string ToJson() const;
+
+  /// Zeroes every metric (tests, bench repetitions). Handles stay valid.
+  void Reset();
+
+ private:
+  template <typename T>
+  T* GetNamed(std::deque<std::pair<std::string, T>>* store,
+              const std::string& name);
+
+  mutable std::mutex mu_;
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace observe
+}  // namespace tde
+
+#endif  // TDE_OBSERVE_METRICS_H_

@@ -1,0 +1,97 @@
+#include "src/observe/query_stats.h"
+
+#include <cstdio>
+
+namespace tde {
+namespace observe {
+
+namespace {
+
+std::string Ms(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void RenderNode(const OperatorStats& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.name;
+  *out += "  rows=" + std::to_string(node.rows) +
+          " blocks=" + std::to_string(node.blocks) +
+          " time=" + Ms(node.total_ns());
+  if (!node.children.empty()) {
+    *out += " (self " + Ms(node.self_ns()) + ")";
+  }
+  for (const auto& [label, value] : node.extras) {
+    *out += " " + label + "=" + std::to_string(value);
+  }
+  *out += "\n";
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, out);
+  }
+}
+
+void JsonNode(const OperatorStats& node, std::string* out) {
+  *out += "{\"name\":\"" + node.name +
+          "\",\"rows\":" + std::to_string(node.rows) +
+          ",\"blocks\":" + std::to_string(node.blocks) +
+          ",\"open_ns\":" + std::to_string(node.open_ns) +
+          ",\"next_ns\":" + std::to_string(node.next_ns) +
+          ",\"close_ns\":" + std::to_string(node.close_ns);
+  if (!node.extras.empty()) {
+    *out += ",\"extras\":{";
+    bool first = true;
+    for (const auto& [label, value] : node.extras) {
+      if (!first) *out += ",";
+      first = false;
+      *out += "\"" + label + "\":" + std::to_string(value);
+    }
+    *out += "}";
+  }
+  *out += ",\"children\":[";
+  bool first = true;
+  for (const auto& child : node.children) {
+    if (!first) *out += ",";
+    first = false;
+    JsonNode(*child, out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+uint64_t OperatorStats::self_ns() const {
+  uint64_t t = total_ns();
+  for (const auto& child : children) {
+    const uint64_t c = child->total_ns();
+    t = t > c ? t - c : 0;
+  }
+  return t;
+}
+
+std::string QueryStats::ToString() const {
+  std::string out;
+  if (root != nullptr) RenderNode(*root, 0, &out);
+  out += "total: " + Ms(total_ns) + "\n";
+  if (!notes.empty()) {
+    out += "tactical decisions:\n";
+    for (const std::string& n : notes) {
+      out += "  " + n + "\n";
+    }
+  }
+  return out;
+}
+
+std::string QueryStats::ToJson() const {
+  std::string out = "{\"total_ns\":" + std::to_string(total_ns) + ",\"root\":";
+  if (root != nullptr) {
+    JsonNode(*root, &out);
+  } else {
+    out += "null";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace observe
+}  // namespace tde

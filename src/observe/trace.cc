@@ -1,0 +1,132 @@
+#include "src/observe/trace.h"
+
+#include <cstdio>
+
+namespace tde {
+namespace observe {
+
+namespace {
+
+/// Small dense thread ids (Chrome renders one track per tid).
+uint64_t CurrentThreadId() {
+  static std::atomic<uint64_t> next{0};
+  thread_local uint64_t id = next.fetch_add(1);
+  return id;
+}
+
+/// Escapes a string for embedding in a JSON literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* r = new TraceRecorder();
+  return *r;
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(e.tid) + ",\"ts\":" + std::to_string(e.start_us) +
+           ",\"dur\":" + std::to_string(e.dur_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category) {
+  TraceRecorder& r = TraceRecorder::Global();
+  if (!r.enabled()) return;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  start_us_ = r.NowMicros();
+  active_ = true;
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  TraceRecorder& r = TraceRecorder::Global();
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = std::move(category_);
+  e.start_us = start_us_;
+  e.dur_us = r.NowMicros() - start_us_;
+  e.tid = CurrentThreadId();
+  r.Record(std::move(e));
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+}  // namespace observe
+}  // namespace tde

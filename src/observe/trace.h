@@ -1,0 +1,82 @@
+#ifndef TDE_OBSERVE_TRACE_H_
+#define TDE_OBSERVE_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tde {
+namespace observe {
+
+/// One completed span, in the shape Chrome's about://tracing consumes
+/// (a "complete" event, ph == "X").
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;  // microseconds since the recorder's epoch
+  uint64_t dur_us = 0;
+  uint64_t tid = 0;
+};
+
+/// A process-wide span sink. Off by default: TraceSpan construction is a
+/// single relaxed load when disabled, so leaving spans in hot paths is
+/// free. When enabled, finished spans are appended under a mutex — spans
+/// end at operator/phase granularity, not per row, so contention is not a
+/// concern.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool v) { enabled_.store(v, std::memory_order_relaxed); }
+
+  void Record(TraceEvent event);
+  void Clear();
+  size_t size() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}. Load the file at
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// Microseconds since the recorder's epoch (steady clock).
+  uint64_t NowMicros() const;
+
+ private:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records [construction, destruction) into the global recorder
+/// under `name`. No-op (and no clock read) while tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, std::string category = "engine");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Closes the span early (idempotent).
+  void End();
+
+ private:
+  std::string name_;
+  std::string category_;
+  uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace observe
+}  // namespace tde
+
+#endif  // TDE_OBSERVE_TRACE_H_

@@ -1,12 +1,16 @@
 #include "src/plan/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/exec/dictionary_table.h"
 #include "src/exec/filter.h"
+#include "src/exec/instrument.h"
 #include "src/exec/limit.h"
 #include "src/exec/ordered_aggregate.h"
 #include "src/exec/table_scan.h"
+#include "src/observe/metrics.h"
+#include "src/observe/trace.h"
 #include "src/plan/strategic.h"
 
 namespace tde {
@@ -18,6 +22,24 @@ ColumnProps PropsOf(const Column& col) {
   p.meta = col.metadata();
   p.width = col.TokenWidth();
   return p;
+}
+
+/// Wraps the built plan's operator in the instrumentation layer: a stats
+/// node named `name` with the given children (the stats nodes of the
+/// operator's lowered inputs), recorded into by an Instrumented wrapper.
+/// No-op when stats collection is disabled.
+void Attach(BuiltPlan* out, std::string name,
+            std::vector<std::shared_ptr<observe::OperatorStats>> children,
+            std::function<void(observe::OperatorStats*)> on_close = {}) {
+  if (!observe::StatsEnabled()) return;
+  auto node = std::make_shared<observe::OperatorStats>();
+  node->name = std::move(name);
+  for (auto& c : children) {
+    if (c != nullptr) node->children.push_back(std::move(c));
+  }
+  out->op = std::make_unique<Instrumented>(std::move(out->op), node,
+                                           std::move(on_close));
+  out->stats = std::move(node);
 }
 
 Result<BuiltPlan> BuildScan(const PlanNode& node) {
@@ -43,6 +65,7 @@ Result<BuiltPlan> BuildScan(const PlanNode& node) {
     TDE_ASSIGN_OR_RETURN(auto c, node.table->ColumnByName(n));
     out.props[n + "$token"] = PropsOf(*c);
   }
+  Attach(&out, "TableScan(" + node.table->name() + ")", {});
   return out;
 }
 
@@ -55,6 +78,7 @@ Result<BuiltPlan> BuildFilter(const PlanNode& node, BuiltPlan child) {
   out.props = std::move(child.props);
   for (auto& [name, p] : out.props) p.meta.dense = false;
   out.grouped_on = child.grouped_on;
+  Attach(&out, "Filter", {std::move(child.stats)});
   return out;
 }
 
@@ -69,6 +93,7 @@ Result<BuiltPlan> BuildProject(const PlanNode& node, BuiltPlan child) {
     }
   }
   out.op = std::make_unique<Project>(std::move(child.op), node.projections);
+  Attach(&out, "Project", {std::move(child.stats)});
   return out;
 }
 
@@ -111,6 +136,11 @@ Result<BuiltPlan> BuildAggregate(const PlanNode& node, BuiltPlan child) {
     auto it = child.props.find(k);
     if (it != child.props.end()) out.props[k] = it->second;
   }
+  const std::string key =
+      node.agg.group_by.empty() ? "" : "(" + node.agg.group_by[0] + ")";
+  Attach(&out,
+         (ordered ? "OrderedAggregate" : "HashAggregate") + key,
+         {std::move(child.stats)});
   return out;
 }
 
@@ -131,6 +161,8 @@ Result<BuiltPlan> BuildJoinTable(const PlanNode& node, BuiltPlan child) {
   out.props.insert(child.props.begin(), child.props.end());
   out.op = std::make_unique<HashJoin>(std::move(child.op), node.inner_table,
                                       node.join);
+  Attach(&out, "HashJoin(" + node.join.inner_key + ")",
+         {std::move(child.stats)});
   return out;
 }
 
@@ -217,6 +249,7 @@ Result<BuiltPlan> BuildInvisibleJoin(const PlanNode& node) {
     if (ic.ok()) out.props[n] = PropsOf(*ic.value());
   }
   out.op = std::make_unique<Project>(std::move(joined), std::move(keep));
+  Attach(&out, "InvisibleJoin(" + c + ")", {});
   return out;
 }
 
@@ -276,6 +309,7 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
   if (choice.ordered_aggregation) out.grouped_on = node.index_column;
   out.op = std::make_unique<IndexedScan>(node.table, std::move(index),
                                          std::move(opts));
+  Attach(&out, "IndexedScan(" + node.index_column + ")", {});
   return out;
 }
 
@@ -309,8 +343,34 @@ Result<BuiltPlan> BuildExchange(const PlanNode& node) {
                       " routing, " + std::to_string(opts.workers) +
                       " workers");
   out.props = std::move(built_child.props);
-  out.op = std::make_unique<Exchange>(std::move(built_child.op), opts);
+  auto exchange = std::make_unique<Exchange>(std::move(built_child.op), opts);
+  Exchange* raw = exchange.get();
+  out.op = std::move(exchange);
   if (opts.order_preserving) out.grouped_on = built_child.grouped_on;
+  Attach(&out,
+         "Exchange(" + std::to_string(opts.workers) + " workers, " +
+             (opts.order_preserving ? "ordered" : "unordered") + ")",
+         {std::move(built_child.stats)},
+         // The wrapper's Close runs right after Exchange::Close joins the
+         // threads, so the run stats are final here.
+         [raw](observe::OperatorStats* s) {
+           const ExchangeRunStats& rs = raw->run_stats();
+           s->extras.emplace_back("blocks_in", rs.blocks_in);
+           s->extras.emplace_back("producer_wait_us",
+                                  rs.producer_wait_ns / 1000);
+           s->extras.emplace_back("consumer_wait_us",
+                                  rs.consumer_wait_ns / 1000);
+           for (size_t i = 0; i < rs.workers.size(); ++i) {
+             s->extras.emplace_back(
+                 "w" + std::to_string(i) + "_blocks", rs.workers[i].blocks);
+             s->extras.emplace_back(
+                 "w" + std::to_string(i) + "_rows_emitted",
+                 rs.workers[i].rows_emitted);
+             s->extras.emplace_back(
+                 "w" + std::to_string(i) + "_queue_wait_us",
+                 rs.workers[i].queue_wait_ns / 1000);
+           }
+         });
   return out;
 }
 
@@ -343,6 +403,12 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
         if (it != out.props.end()) it->second.meta.sorted = true;
       }
       out.op = std::make_unique<Sort>(std::move(child.op), node->sort_keys);
+      Attach(&out,
+             "Sort(" +
+                 (node->sort_keys.empty() ? std::string()
+                                          : node->sort_keys[0].column) +
+                 ")",
+             {std::move(child.stats)});
       return out;
     }
     case PlanNodeKind::kJoinTable: {
@@ -362,6 +428,8 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
       out.props = std::move(child.props);
       out.grouped_on = child.grouped_on;
       out.op = std::make_unique<Limit>(std::move(child.op), node->limit);
+      Attach(&out, "Limit(" + std::to_string(node->limit) + ")",
+             {std::move(child.stats)});
       return out;
     }
     case PlanNodeKind::kExchange:
@@ -371,6 +439,8 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
       BuiltPlan out;
       out.notes = std::move(child.notes);
       out.op = std::make_unique<FlowTable>(std::move(child.op), node->flow);
+      Attach(&out, "FlowTable(" + node->flow.table_name + ")",
+             {std::move(child.stats)});
       return out;
     }
   }
@@ -435,9 +505,26 @@ std::string QueryResult::ToString(uint64_t max_rows) const {
 
 Result<QueryResult> ExecutePlanNode(const PlanNodePtr& root) {
   TDE_ASSIGN_OR_RETURN(BuiltPlan built, BuildExecutable(root));
+  observe::TraceSpan span("execute", "query");
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<Block> blocks;
   TDE_RETURN_NOT_OK(DrainOperator(built.op.get(), &blocks));
-  return QueryResult(built.op->output_schema(), std::move(blocks));
+  QueryResult result(built.op->output_schema(), std::move(blocks));
+  if (built.stats != nullptr) {
+    auto qs = std::make_shared<observe::QueryStats>();
+    qs->root = std::move(built.stats);
+    qs->notes = std::move(built.notes);
+    qs->total_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    observe::MetricsRegistry& reg = observe::MetricsRegistry::Global();
+    reg.GetCounter("query.executed")->Add();
+    reg.GetCounter("query.rows_returned")->Add(result.num_rows());
+    reg.GetHistogram("query.latency_us")->Record(qs->total_ns / 1000);
+    result.set_stats(std::move(qs));
+  }
+  return result;
 }
 
 std::string QueryResult::ToCsv() const {
@@ -486,6 +573,22 @@ Result<std::string> ExplainPlan(const Plan& plan) {
 Result<QueryResult> ExecutePlan(const Plan& plan) {
   TDE_ASSIGN_OR_RETURN(PlanNodePtr optimized, StrategicOptimize(plan.root()));
   return ExecutePlanNode(optimized);
+}
+
+Result<std::string> ExplainAnalyzePlan(const Plan& plan,
+                                       QueryResult* result) {
+  // Force collection on for the duration: EXPLAIN ANALYZE without numbers
+  // would be useless.
+  const bool was_enabled = observe::StatsEnabled();
+  observe::SetStatsEnabled(true);
+  Result<QueryResult> run = ExecutePlan(plan);
+  observe::SetStatsEnabled(was_enabled);
+  TDE_RETURN_NOT_OK(run.status());
+  std::string out = run.value().stats() != nullptr
+                        ? run.value().stats()->ToString()
+                        : "(no stats collected)\n";
+  if (result != nullptr) *result = run.MoveValue();
+  return out;
 }
 
 }  // namespace tde

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "src/observe/query_stats.h"
 #include "src/plan/plan.h"
 #include "src/plan/tactical.h"
 
@@ -20,6 +21,9 @@ struct BuiltPlan {
   /// Human-readable record of the tactical decisions made while lowering
   /// (join strategy, hash algorithm, index sorting), for EXPLAIN output.
   std::vector<std::string> notes;
+  /// Root of the per-operator stats tree `op` records into (null when
+  /// stats collection is disabled). Mirrors the lowered operator tree.
+  std::shared_ptr<observe::OperatorStats> stats;
 };
 
 /// Lowers a logical plan to an executable operator tree, making tactical
@@ -50,12 +54,21 @@ class QueryResult {
   /// Renders the whole result as CSV (header row, quoted strings).
   std::string ToCsv() const;
 
+  /// The runtime profile collected while the query ran (per-operator rows,
+  /// blocks and wall time plus tactical notes). Null when stats collection
+  /// was disabled or the result was not produced by the executor.
+  const observe::QueryStats* stats() const { return stats_.get(); }
+  void set_stats(std::shared_ptr<const observe::QueryStats> s) {
+    stats_ = std::move(s);
+  }
+
  private:
   const ColumnVector* Locate(uint64_t row, size_t col, size_t* offset) const;
 
   Schema schema_;
   std::vector<Block> blocks_;
   uint64_t rows_ = 0;
+  std::shared_ptr<const observe::QueryStats> stats_;
 };
 
 /// Optimizes (strategic), lowers (tactical) and runs a plan.
@@ -68,6 +81,14 @@ Result<QueryResult> ExecutePlanNode(const PlanNodePtr& root);
 /// index ordering). Lowers the plan — building inner dictionary tables
 /// and indexes — but does not run it.
 Result<std::string> ExplainPlan(const Plan& plan);
+
+/// EXPLAIN ANALYZE: optimizes, lowers and *runs* the plan, returning the
+/// operator tree annotated with per-operator rows, blocks and wall time,
+/// followed by the tactical notes. The executed result is copied out
+/// through `result` when non-null (stats collection is forced on for the
+/// duration of the call).
+Result<std::string> ExplainAnalyzePlan(const Plan& plan,
+                                       QueryResult* result = nullptr);
 
 }  // namespace tde
 

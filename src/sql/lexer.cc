@@ -8,12 +8,12 @@ namespace sql {
 
 namespace {
 
-constexpr std::array<const char*, 33> kKeywords = {
+constexpr std::array<const char*, 34> kKeywords = {
     "SELECT", "FROM",  "WHERE", "GROUP",  "BY",      "ORDER",   "LIMIT",
     "AS",     "AND",   "OR",    "NOT",    "IS",      "NULL",    "TRUE",
     "FALSE",  "ASC",   "DESC",  "DATE",   "BETWEEN", "EXPLAIN", "IN",
     "LIKE",   "HAVING", "DISTINCT", "JOIN", "ON",    "INNER",   "USING",
-    "CASE",   "WHEN",  "THEN",  "ELSE",   "END"};
+    "CASE",   "WHEN",  "THEN",  "ELSE",   "END",     "ANALYZE"};
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';

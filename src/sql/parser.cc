@@ -404,6 +404,7 @@ Result<SelectItem> Parser::ParseSelectItem() {
 Result<ParsedQuery> Parser::Query(const Database& db) {
   ParsedQuery out;
   out.explain = AcceptKw("EXPLAIN");
+  if (out.explain) out.analyze = AcceptKw("ANALYZE");
   if (!AcceptKw("SELECT")) return {Error("expected SELECT")};
 
   std::vector<SelectItem> items;

@@ -14,7 +14,7 @@ namespace sql {
 ///
 /// Supported grammar — the Tableau-shaped analytic subset:
 ///
-///   [EXPLAIN] SELECT select_item [, ...] FROM table
+///   [EXPLAIN [ANALYZE]] SELECT select_item [, ...] FROM table
 ///     [WHERE expr]
 ///     [GROUP BY name [, ...]]
 ///     [ORDER BY name [ASC|DESC] [, ...]]
@@ -34,6 +34,9 @@ namespace sql {
 struct ParsedQuery {
   Plan plan;
   bool explain = false;
+  /// EXPLAIN ANALYZE: run the query and annotate the operator tree with
+  /// per-operator rows, blocks and wall time.
+  bool analyze = false;
 };
 
 Result<ParsedQuery> ParseQuery(const std::string& text, const Database& db);

@@ -1,6 +1,7 @@
 #include "src/textscan/text_scan.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
@@ -42,6 +43,8 @@ Status TextScan::Open() {
   parse_errors_ = 0;
   pending_.clear();
   input_done_ = false;
+  scan_stats_ = TextScanStats{};
+  scan_stats_.bytes = data_.size();
 
   if (options_.schema.has_value()) {
     format_.schema = *options_.schema;
@@ -82,6 +85,7 @@ Status TextScan::Open() {
 }
 
 Status TextScan::FillBatch() {
+  const auto t0 = std::chrono::steady_clock::now();
   // Tokenize a batch of records into per-row field slices (shared
   // read-only state for the column parsers).
   std::vector<std::vector<std::string_view>> rows;
@@ -172,6 +176,11 @@ Status TextScan::FillBatch() {
     }
     pending_.push_back(std::move(b));
   }
+  scan_stats_.rows += nrows;
+  scan_stats_.parse_errors = parse_errors_;
+  scan_stats_.parse_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return Status::OK();
 }
 

@@ -11,6 +11,17 @@
 
 namespace tde {
 
+/// Parse-side telemetry of one TextScan run (import observability).
+struct TextScanStats {
+  uint64_t bytes = 0;         // input bytes (whole buffer/file)
+  uint64_t rows = 0;          // rows produced so far
+  uint64_t parse_errors = 0;  // unparseable fields turned into NULLs
+  double parse_seconds = 0;   // wall time spent inside FillBatch
+  double rows_per_second() const {
+    return parse_seconds > 0 ? static_cast<double>(rows) / parse_seconds : 0;
+  }
+};
+
 struct TextScanOptions {
   /// Provide to skip type/name inference.
   std::optional<Schema> schema;
@@ -48,6 +59,8 @@ class TextScan : public Operator {
   bool has_header() const { return format_.has_header; }
   /// The full inferred schema (before column projection).
   const Schema& file_schema() const { return format_.schema; }
+  /// Parse telemetry (bytes, rows, errors, wall time).
+  const TextScanStats& scan_stats() const { return scan_stats_; }
 
  private:
   explicit TextScan(std::string data, TextScanOptions options)
@@ -64,6 +77,7 @@ class TextScan : public Operator {
   uint64_t parse_errors_ = 0;
   std::deque<Block> pending_;
   bool input_done_ = false;
+  TextScanStats scan_stats_;
 };
 
 }  // namespace tde

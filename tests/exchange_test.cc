@@ -112,5 +112,99 @@ TEST(Exchange, TransformErrorPropagates) {
   ex.Close();
 }
 
+TEST(Exchange, CloseMidStreamOrderedDoesNotDeadlock) {
+  // Abort a query after consuming a couple of blocks from an
+  // order-preserving exchange over a large input: Close() must drain and
+  // join every thread without wedging on the in-flight bound.
+  const auto input = Ramp(200 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 4;
+  opts.order_preserving = true;
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  ASSERT_TRUE(ex.Open().ok());
+  Block b;
+  bool eos = false;
+  for (int i = 0; i < 3 && !eos; ++i) {
+    ASSERT_TRUE(ex.Next(&b, &eos).ok());
+    ASSERT_FALSE(eos);
+    ASSERT_EQ(b.columns[0].lanes[0], static_cast<Lane>(i * kBlockSize));
+  }
+  ex.Close();  // mid-stream abort
+}
+
+TEST(Exchange, CloseWithoutConsumingAnything) {
+  const auto input = Ramp(100 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 3;
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  ASSERT_TRUE(ex.Open().ok());
+  ex.Close();
+}
+
+TEST(Exchange, DestructorJoinsWithoutClose) {
+  const auto input = Ramp(50 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 3;
+  auto ex = std::make_unique<Exchange>(VectorSource::Ints({{"x", input}}),
+                                       opts);
+  ASSERT_TRUE(ex->Open().ok());
+  Block b;
+  bool eos = false;
+  ASSERT_TRUE(ex->Next(&b, &eos).ok());
+  ex.reset();  // the error/abort path skips Close; ~Exchange must join
+}
+
+TEST(Exchange, CloseAfterErrorJoinsCleanly) {
+  ExchangeOptions opts;
+  opts.workers = 2;
+  opts.order_preserving = true;
+  opts.transform = [](const Schema&, Block* b) -> Status {
+    if (b->columns[0].lanes[0] >= 4 * kBlockSize) {
+      return Status::Internal("mid-stream failure");
+    }
+    return Status::OK();
+  };
+  Exchange ex(VectorSource::Ints({{"x", Ramp(64 * kBlockSize)}}), opts);
+  ASSERT_TRUE(ex.Open().ok());
+  Block b;
+  bool eos = false;
+  Status st;
+  while (st.ok() && !eos) st = ex.Next(&b, &eos);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // Error already delivered; Close must not hang or lose the threads.
+  ex.Close();
+  // The error sticks on further Next calls.
+  EXPECT_FALSE(ex.Next(&b, &eos).ok());
+}
+
+TEST(Exchange, NextBeforeOpenFailsCleanly) {
+  ExchangeOptions opts;
+  Exchange ex(VectorSource::Ints({{"x", Ramp(kBlockSize)}}), opts);
+  Block b;
+  bool eos = false;
+  EXPECT_EQ(ex.Next(&b, &eos).code(), StatusCode::kInternal);
+}
+
+TEST(Exchange, RunStatsAccountForEveryBlock) {
+  const size_t kBlocks = 20;
+  const auto input = Ramp(kBlocks * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 4;
+  opts.order_preserving = true;
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  const auto got = Flatten(Drain(&ex), 0);
+  EXPECT_EQ(got, input);
+  const ExchangeRunStats& rs = ex.run_stats();
+  EXPECT_EQ(rs.blocks_in, kBlocks);
+  ASSERT_EQ(rs.workers.size(), 4u);
+  uint64_t worker_blocks = 0, worker_rows = 0;
+  for (const ExchangeWorkerStats& w : rs.workers) {
+    worker_blocks += w.blocks;
+    worker_rows += w.rows_emitted;
+  }
+  EXPECT_EQ(worker_blocks, kBlocks);
+  EXPECT_EQ(worker_rows, input.size());
+}
+
 }  // namespace
 }  // namespace tde

@@ -1,0 +1,251 @@
+#include "src/observe/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/observe/query_stats.h"
+#include "src/observe/trace.h"
+#include "src/plan/executor.h"
+#include "src/workload/tpch.h"
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+using testutil::VectorSource;
+
+TEST(Metrics, CounterConcurrentIncrements) {
+  observe::MetricsRegistry reg;
+  observe::Counter* c = reg.GetCounter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([c]() {
+      for (int i = 0; i < kAdds; ++i) c->Add();
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c->value(), uint64_t{kThreads} * kAdds);
+  // Same name -> same handle; new name -> fresh handle.
+  EXPECT_EQ(reg.GetCounter("test.hits"), c);
+  EXPECT_NE(reg.GetCounter("test.other"), c);
+}
+
+TEST(Metrics, HistogramBucketing) {
+  observe::MetricsRegistry reg;
+  observe::Histogram* h = reg.GetHistogram("test.lat");
+  h->Record(0);     // bucket 0
+  h->Record(1);     // bucket 1: [1, 2)
+  h->Record(2);     // bucket 2: [2, 4)
+  h->Record(3);     // bucket 2
+  h->Record(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 2u);
+  EXPECT_EQ(h->bucket(11), 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 1030u);
+  EXPECT_EQ(observe::Histogram::BucketLow(0), 0u);
+  EXPECT_EQ(observe::Histogram::BucketLow(1), 1u);
+  EXPECT_EQ(observe::Histogram::BucketLow(11), 1024u);
+  // Quantiles are approximate (bucket resolution) but must be ordered and
+  // within the recorded range.
+  EXPECT_LE(h->ApproxQuantile(0.5), h->ApproxQuantile(0.99));
+  EXPECT_LE(h->ApproxQuantile(0.99), 2048u);
+  h->Reset();
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->bucket(2), 0u);
+}
+
+TEST(Metrics, SnapshotAndJson) {
+  observe::MetricsRegistry reg;
+  reg.GetCounter("b.counter")->Add(7);
+  reg.GetGauge("a.gauge")->Set(-3);
+  reg.GetHistogram("c.hist")->Record(5);
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Sorted by name.
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].value, -3);
+  EXPECT_EQ(snap[1].name, "b.counter");
+  EXPECT_EQ(snap[1].value, 7);
+  EXPECT_EQ(snap[2].kind, observe::MetricKind::kHistogram);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"metrics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"b.counter\""), std::string::npos);
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("b.counter")->value(), 0u);
+}
+
+TEST(Trace, ChromeJsonWellFormed) {
+  observe::TraceRecorder& rec = observe::TraceRecorder::Global();
+  rec.Clear();
+  rec.set_enabled(true);
+  {
+    observe::TraceSpan outer("outer \"quoted\"", "test");
+    observe::TraceSpan inner("inner\\path", "test");
+  }
+  rec.set_enabled(false);
+  ASSERT_EQ(rec.size(), 2u);
+  const std::string json = rec.ToChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  // Special characters must be escaped, and spans are complete events.
+  EXPECT_NE(json.find("outer \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("inner\\\\path"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  // Balanced braces/brackets (no raw quotes can unbalance them: all
+  // payload strings above are escaped).
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  rec.Clear();
+}
+
+TEST(Trace, DisabledRecorderDropsSpans) {
+  observe::TraceRecorder& rec = observe::TraceRecorder::Global();
+  rec.Clear();
+  rec.set_enabled(false);
+  { observe::TraceSpan s("ignored"); }
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(QueryStats, ResultCarriesOperatorTree) {
+  observe::SetStatsEnabled(true);
+  std::vector<Lane> keys, vals;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back(i % 7);
+    vals.push_back(i);
+  }
+  auto t = FlowTable::Build(VectorSource::Ints({{"k", keys}, {"v", vals}}))
+               .MoveValue();
+  auto result = ExecutePlan(
+      Plan::Scan(t).Aggregate({"k"}, {{AggKind::kCountStar, "", "n"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const observe::QueryStats* qs = result.value().stats();
+  ASSERT_NE(qs, nullptr);
+  ASSERT_NE(qs->root, nullptr);
+  // The annotated root must agree with the materialized result.
+  EXPECT_EQ(qs->root->rows, result.value().num_rows());
+  uint64_t blocks = 0;
+  for (const Block& b : result.value().blocks()) blocks += b.rows() > 0;
+  EXPECT_EQ(qs->root->blocks, blocks);
+  // The scan leaf saw every input row.
+  const observe::OperatorStats* node = qs->root.get();
+  while (!node->children.empty()) node = node->children[0].get();
+  EXPECT_EQ(node->rows, keys.size());
+  EXPECT_NE(node->name.find("TableScan"), std::string::npos);
+  const std::string text = qs->ToString();
+  EXPECT_NE(text.find("rows=7"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+  const std::string json = qs->ToJson();
+  EXPECT_NE(json.find("\"rows\":7"), std::string::npos);
+}
+
+TEST(QueryStats, DisabledCollectsNothing) {
+  observe::SetStatsEnabled(false);
+  auto t = FlowTable::Build(VectorSource::Ints({{"k", {1, 2, 3}}}))
+               .MoveValue();
+  auto result = ExecutePlan(Plan::Scan(t));
+  observe::SetStatsEnabled(true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().stats(), nullptr);
+}
+
+TEST(ExplainAnalyze, CountsMatchExecutionOnTpch) {
+  observe::SetStatsEnabled(true);
+  Engine engine;
+  ImportOptions opt;
+  auto imported = engine.ImportTextBuffer(
+      GenerateTpchTable(TpchTable::kLineitem, 0.002), "lineitem", opt);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  const std::string q =
+      "SELECT l_returnflag, COUNT(*) AS n FROM lineitem "
+      "WHERE l_quantity > 10 GROUP BY l_returnflag";
+  auto direct = engine.ExecuteSql(q);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  const uint64_t expect_rows = direct.value().num_rows();
+  ASSERT_GT(expect_rows, 0u);
+
+  auto analyzed = engine.ExecuteSql("EXPLAIN ANALYZE " + q);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  // The rendering comes back as one row per line; the root line must carry
+  // the actually executed row count.
+  const std::string root_line = analyzed.value().ValueString(0, 0);
+  EXPECT_NE(root_line.find("rows=" + std::to_string(expect_rows)),
+            std::string::npos)
+      << root_line;
+  bool saw_notes = false;
+  for (uint64_t r = 0; r < analyzed.value().num_rows(); ++r) {
+    if (analyzed.value().ValueString(r, 0).find("tactical decisions") !=
+        std::string::npos) {
+      saw_notes = true;
+    }
+  }
+  EXPECT_TRUE(saw_notes);
+
+  // The plan-API variant hands back the executed result too.
+  QueryResult run;
+  auto text = ExplainAnalyzePlan(
+      Plan::Scan(engine.database()->GetTable("lineitem").value())
+          .Aggregate({"l_returnflag"}, {{AggKind::kCountStar, "", "n"}}),
+      &run);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  ASSERT_NE(run.stats(), nullptr);
+  EXPECT_EQ(run.stats()->root->rows, run.num_rows());
+  EXPECT_NE(text.value().find("rows=" + std::to_string(run.num_rows())),
+            std::string::npos);
+}
+
+TEST(ImportStats, TelemetryAndStatsTable) {
+  observe::SetStatsEnabled(true);
+  Engine engine;
+  ImportOptions opt;
+  Schema s;
+  s.AddField({"k", TypeId::kInteger});
+  s.AddField({"v", TypeId::kInteger});
+  s.AddField({"name", TypeId::kString});
+  opt.text.schema = s;
+  opt.text.has_header = true;
+  auto imported = engine.ImportTextBuffer(
+      "k,v,name\n1,10,aa\n2,20,bb\n1,bad,aa\n3,40,cc\n", "t", opt);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_EQ(engine.import_stats().size(), 1u);
+  const observe::ImportStats& st = engine.import_stats()[0];
+  EXPECT_EQ(st.table_name, "t");
+  EXPECT_EQ(st.rows, 4u);
+  EXPECT_EQ(st.parse_errors, 1u);  // "bad" in an integer column
+  EXPECT_GT(st.bytes_parsed, 0u);
+  ASSERT_EQ(st.columns.size(), 3u);
+  for (const observe::ColumnImportStats& c : st.columns) {
+    EXPECT_EQ(c.rows, 4u);
+    EXPECT_FALSE(c.encoding.empty());
+    EXPECT_GT(c.input_bytes, 0u);
+    EXPECT_GT(c.encoded_bytes, 0u);
+  }
+  const std::string json = st.ToJson();
+  EXPECT_NE(json.find("\"table\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"columns\":["), std::string::npos);
+  EXPECT_NE(engine.StatsJson().find("\"imports\":["), std::string::npos);
+
+  // The telemetry is queryable through the tde_stats virtual table.
+  auto rows = engine.ExecuteSql(
+      "SELECT metric, value FROM tde_stats "
+      "WHERE metric = 'import.t.rows'");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().num_rows(), 1u);
+  EXPECT_EQ(rows.value().Value(0, 1), 4);
+}
+
+}  // namespace
+}  // namespace tde

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/exec/instrument.h"
 #include "src/plan/executor.h"
 #include "src/plan/strategic.h"
 #include "src/workload/rle_data.h"
@@ -198,7 +199,7 @@ TEST(Executor, TacticalHashChoiceFlowsFromMetadata) {
               .root())
           .MoveValue());
   ASSERT_TRUE(built.ok()) << built.status().ToString();
-  auto* agg = dynamic_cast<HashAggregate*>(built.value().op.get());
+  auto* agg = dynamic_cast<HashAggregate*>(Unwrap(built.value().op.get()));
   ASSERT_NE(agg, nullptr);
   std::vector<Block> blocks;
   ASSERT_TRUE(DrainOperator(agg, &blocks).ok());

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, run the tier-1 test suite, then run one
-# bench in JSON mode and archive its BENCH_*.json next to the build tree.
+# CI entry point: configure, build, run the tier-1 test suite, then run the
+# same suite under ASan+UBSan, and finally run one bench in JSON mode and
+# archive its BENCH_*.json next to the build tree.
 #
 # Usage: ci/run_tests.sh [build-dir]
 #
 # Knobs (all optional):
-#   TDE_BENCH        bench to archive (default: bench_filtering)
-#   TDE_LARGE_ROWS   shrink the bench's large table for CI budgets
+#   TDE_BENCH         bench to archive (default: bench_filtering)
+#   TDE_LARGE_ROWS    shrink the bench's large table for CI budgets
+#   TDE_SKIP_SANITIZE set to 1 to skip the ASan+UBSan stage
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,6 +19,17 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j"$(nproc)"
 
 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+# Same suite under AddressSanitizer + UndefinedBehaviorSanitizer: the
+# storage pager and the corruption sweeps must be clean under both.
+if [[ "${TDE_SKIP_SANITIZE:-0}" != "1" ]]; then
+  SAN_BUILD="$BUILD-asan"
+  cmake -B "$SAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTDE_SANITIZE=address,undefined
+  cmake --build "$SAN_BUILD" -j"$(nproc)"
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+      ctest --test-dir "$SAN_BUILD" --output-on-failure -j"$(nproc)"
+fi
 
 # Archive one bench run with per-operator stats. Keep CI cheap: the bench's
 # large table shrinks unless the caller overrides it.

@@ -3,8 +3,10 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/encoding/manipulate.h"
+#include "src/storage/pager/format.h"
 #include "src/exec/sort.h"
 #include "src/observe/metrics.h"
 #include "src/sql/parser.h"
@@ -229,10 +231,28 @@ std::string Engine::StatsJson() const {
 }
 
 Status Engine::SaveDatabase(const std::string& path) const {
-  return WriteDatabase(db_, path);
+  return pager::WriteDatabaseV2(db_, path);
 }
 
-Result<Engine> Engine::OpenDatabase(const std::string& path) {
+Result<Engine> Engine::OpenDatabase(const std::string& path,
+                                    OpenOptions options) {
+  // Sniff the magic: v2 opens lazily (O(directory)), everything else takes
+  // the eager v1 route, which also accepts v2 images for compatibility.
+  uint8_t magic[8] = {0};
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    const size_t got = std::fread(magic, 1, sizeof(magic), f);
+    std::fclose(f);
+    if (options.lazy && pager::IsV2Magic(magic, got)) {
+      auto cache =
+          std::make_shared<pager::ColumnCache>(options.cache_budget_bytes);
+      TDE_ASSIGN_OR_RETURN(Database db,
+                           pager::OpenDatabaseV2(path, cache));
+      Engine e;
+      *e.database() = std::move(db);
+      e.cache_ = std::move(cache);
+      return e;
+    }
+  }
   TDE_ASSIGN_OR_RETURN(Database db, ReadDatabase(path));
   Engine e;
   *e.database() = std::move(db);
@@ -298,11 +318,18 @@ Result<int> Engine::OptimizeTable(const std::string& table_name) {
     if (col->type() == TypeId::kString || col->type() == TypeId::kBool) {
       continue;  // strings are heap-compressed; booleans gain nothing
     }
-    const EncodingType enc = col->data()->type();
-    const bool eligible =
-        enc == EncodingType::kDictionary || enc == EncodingType::kRunLength ||
-        (enc == EncodingType::kFrameOfReference && col->data()->bits() <= 15);
-    if (!eligible) continue;
+    // Eligibility screens on directory facts; only candidates that pass get
+    // warmed (AlterColumnToDictionary mutates in place, so a cold column
+    // must be promoted out of the cache first).
+    const EncodingType enc = col->encoding_type();
+    if (enc != EncodingType::kDictionary && enc != EncodingType::kRunLength &&
+        enc != EncodingType::kFrameOfReference) {
+      continue;
+    }
+    if (enc == EncodingType::kFrameOfReference) {
+      TDE_RETURN_NOT_OK(col->Warm());
+      if (col->data()->bits() > 15) continue;
+    }
     // Only worthwhile for genuine dimensions: small domain, many rows.
     if (enc != EncodingType::kFrameOfReference &&
         (!col->metadata().cardinality_known ||
@@ -325,6 +352,9 @@ Status AlterColumnToDictionary(Column* column) {
     return Status::InvalidArgument(
         "column is already dictionary compressed");
   }
+  // In-place transformation: a cold column must first be promoted to a
+  // plain hot column (materialize, detach from the cache).
+  TDE_RETURN_NOT_OK(column->Warm());
   EncodedStream* stream = column->mutable_data();
   const bool signed_values = IsSignedType(column->type());
 

@@ -9,9 +9,20 @@
 #include "src/plan/executor.h"
 #include "src/plan/strategic.h"
 #include "src/storage/database_file.h"
+#include "src/storage/pager/column_cache.h"
 #include "src/textscan/text_scan.h"
 
 namespace tde {
+
+/// How Engine::OpenDatabase materializes a v2 file.
+struct OpenDatabaseOptions {
+  /// Lazy (default): columns stay cold until a query touches them, and
+  /// materialized payloads live in a byte-budget LRU cache. False forces
+  /// the eager v1-style load. v1 files are always eager.
+  bool lazy = true;
+  /// Budget of the column cache, charged in compressed (on-disk) bytes.
+  uint64_t cache_budget_bytes = 256ull << 20;
+};
 
 /// Import configuration: TextScan (parsing) + FlowTable (encoding) knobs.
 struct ImportOptions {
@@ -67,10 +78,24 @@ class Engine {
   Database* database() { return &db_; }
   const Database& database() const { return db_; }
 
-  /// Persists the whole database as a single file (Sect. 2.3.3).
+  /// Persists the whole database as a single file (Sect. 2.3.3), in the
+  /// paged v2 format: page-aligned checksummed column blobs behind a
+  /// directory, so a later open is O(directory) and queries fault in only
+  /// the columns they touch.
   Status SaveDatabase(const std::string& path) const;
-  /// Loads a single-file database.
-  static Result<Engine> OpenDatabase(const std::string& path);
+
+  /// How OpenDatabase materializes a v2 file (OpenDatabaseOptions; aliased
+  /// here for call-site brevity: Engine::OpenOptions).
+  using OpenOptions = OpenDatabaseOptions;
+
+  /// Loads a single-file database — v1 ("TDEDB001", eager) or v2
+  /// ("TDEDB002", lazy by default: the open reads only the directory).
+  static Result<Engine> OpenDatabase(const std::string& path,
+                                     OpenOptions options = {});
+
+  /// The column cache of a lazily opened v2 database (null otherwise).
+  /// Exposes residency and lets callers retune the budget at runtime.
+  pager::ColumnCache* column_cache() const { return cache_.get(); }
 
   /// References an external flat file (Sect. 8's future-work direction):
   /// imports it now and remembers its identity so RefreshChanged() can
@@ -114,6 +139,7 @@ class Engine {
   Status ReplaceTable(std::shared_ptr<Table> table);
 
   Database db_;
+  std::shared_ptr<pager::ColumnCache> cache_;
   std::vector<Attachment> attachments_;
   std::vector<observe::ImportStats> import_stats_;
 };

@@ -14,6 +14,11 @@ Result<std::shared_ptr<Table>> BuildDictionaryTable(
 
   auto table = std::make_shared<Table>(opts.table_name);
 
+  // A cold column's heap/dictionary must be materialized (and held) while
+  // this function reads them; the built table then owns its own pieces
+  // (the heap case shares the payload heap via heap_ptr()).
+  TDE_ASSIGN_OR_RETURN(auto pin, column->Pin());
+
   if (column->compression() == CompressionKind::kHeap) {
     // Variable-width data: the value column shares the original heap and
     // its data is the set of unique tokens in heap order (Fig. 2).

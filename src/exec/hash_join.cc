@@ -40,9 +40,14 @@ Result<JoinStrategyChoice> ChooseJoinStrategy(const Table& inner,
   // is an affine transformation of the key value — detected either from
   // the affine encoding itself or from dense/unique/sorted metadata — use
   // a fetch join: no lookup table at all.
-  if (key_col->data() != nullptr &&
-      key_col->data()->type() == EncodingType::kAffine) {
-    const ConstHeaderView h(key_col->data()->buffer());
+  // Tactical decisions never fault cold data in: PinIfResident holds the
+  // payload (if any) for the duration of the affine peek; an unresident
+  // cold column falls through to the metadata rules below.
+  const auto pin = key_col->PinIfResident();
+  const EncodedStream* key_stream =
+      key_col->cold() ? (pin ? pin->stream.get() : nullptr) : key_col->data();
+  if (key_stream != nullptr && key_stream->type() == EncodingType::kAffine) {
+    const ConstHeaderView h(key_stream->buffer());
     c.fetch_base = h.GetI64(24);
     c.fetch_delta = h.GetI64(32);
     if (c.fetch_delta != 0) {
@@ -129,6 +134,9 @@ Status HashJoin::Open() {
   payload_.clear();
   for (const std::string& name : options_.inner_payload) {
     TDE_ASSIGN_OR_RETURN(auto col, inner_->ColumnByName(name));
+    // Hold cold columns resident while their lanes/heap/dict are read; the
+    // emitted heap pointer shares the payload so it outlives eviction.
+    TDE_ASSIGN_OR_RETURN(auto pin, col->Pin());
     InnerColumn ic;
     ic.type = col->type();
     ic.lanes.resize(inner_rows_);
@@ -136,10 +144,12 @@ Status HashJoin::Open() {
       TDE_RETURN_NOT_OK(col->GetLanes(0, inner_rows_, ic.lanes.data()));
     }
     if (col->compression() == CompressionKind::kHeap) {
-      ic.heap = std::shared_ptr<const StringHeap>(col, col->heap());
+      ic.heap = pin ? std::shared_ptr<const StringHeap>(pin->heap)
+                    : std::shared_ptr<const StringHeap>(col, col->heap());
     } else if (col->compression() == CompressionKind::kArrayDict) {
       // Decode dictionary tokens for payload delivery.
-      for (Lane& v : ic.lanes) v = col->array_dict()->values[static_cast<size_t>(v)];
+      const auto& values = (pin ? pin->dict.get() : col->array_dict())->values;
+      for (Lane& v : ic.lanes) v = values[static_cast<size_t>(v)];
     }
     payload_.push_back(std::move(ic));
   }

@@ -5,14 +5,18 @@
 namespace tde {
 
 Result<std::vector<IndexEntry>> BuildIndexTable(const Column& column) {
-  if (column.data() == nullptr) {
+  // Cold columns materialize (and stay pinned) for the duration of the
+  // build; hot columns answer from their direct stream.
+  TDE_ASSIGN_OR_RETURN(auto pin, column.Pin());
+  const EncodedStream* stream = pin ? pin->stream.get() : column.data();
+  if (stream == nullptr) {
     return {Status::InvalidArgument("column has no data stream")};
   }
   // Value and count come directly from the column data; start is the
   // running total (Sect. 4.2.1). GetRuns is O(runs) for run-length
   // streams and derived by scanning otherwise.
   std::vector<RleRun> runs;
-  TDE_RETURN_NOT_OK(column.data()->GetRuns(&runs));
+  TDE_RETURN_NOT_OK(stream->GetRuns(&runs));
   std::vector<IndexEntry> index;
   index.reserve(runs.size());
   uint64_t start = 0;
@@ -51,8 +55,15 @@ Status IndexedScan::Open() {
   entry_ = 0;
   offset_in_entry_ = 0;
   blocks_emitted_ = 0;
-  return init_error_;
+  TDE_RETURN_NOT_OK(init_error_);
+  pins_.assign(payload_cols_.size(), nullptr);
+  for (size_t p = 0; p < payload_cols_.size(); ++p) {
+    TDE_ASSIGN_OR_RETURN(pins_[p], payload_cols_[p]->Pin());
+  }
+  return Status::OK();
 }
+
+void IndexedScan::Close() { pins_.clear(); }
 
 Status IndexedScan::Next(Block* block, bool* eos) {
   block->columns.clear();
@@ -87,16 +98,20 @@ Status IndexedScan::Next(Block* block, bool* eos) {
 
   for (size_t p = 0; p < payload_cols_.size(); ++p) {
     const Column& col = *payload_cols_[p];
+    const pager::LoadedColumn* pin = pins_[p].get();
     ColumnVector& out = block->columns[1 + p];
     out.type = col.type();
     out.lanes.resize(rows);
     // The coalesced range translates into one storage access.
-    TDE_RETURN_NOT_OK(col.GetLanes(block_row, rows, out.lanes.data()));
+    const EncodedStream* stream = pin ? pin->stream.get() : col.data();
+    TDE_RETURN_NOT_OK(stream->Get(block_row, rows, out.lanes.data()));
     if (col.compression() == CompressionKind::kHeap) {
-      out.heap =
-          std::shared_ptr<const StringHeap>(payload_cols_[p], col.heap());
+      out.heap = pin ? std::shared_ptr<const StringHeap>(pin->heap)
+                     : std::shared_ptr<const StringHeap>(payload_cols_[p],
+                                                         col.heap());
     } else if (col.compression() == CompressionKind::kArrayDict) {
-      const auto& values = col.array_dict()->values;
+      const auto& values =
+          (pin ? pin->dict.get() : col.array_dict())->values;
       for (Lane& v : out.lanes) v = values[static_cast<size_t>(v)];
     }
   }

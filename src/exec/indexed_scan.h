@@ -51,6 +51,7 @@ class IndexedScan : public Operator {
 
   Status Open() override;
   Status Next(Block* block, bool* eos) override;
+  void Close() override;
   const Schema& output_schema() const override { return schema_; }
 
   /// Number of blocks emitted (exposes the small-run overhead).
@@ -61,6 +62,8 @@ class IndexedScan : public Operator {
   std::vector<IndexEntry> index_;
   IndexedScanOptions options_;
   std::vector<std::shared_ptr<Column>> payload_cols_;
+  /// Pins for cold payload columns, held Open..Close (see TableScan).
+  std::vector<std::shared_ptr<const pager::LoadedColumn>> pins_;
   Schema schema_;
   size_t entry_ = 0;
   uint64_t offset_in_entry_ = 0;

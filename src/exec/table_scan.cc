@@ -43,8 +43,17 @@ TableScan::TableScan(std::shared_ptr<const Table> table,
 
 Status TableScan::Open() {
   row_ = 0;
-  return init_error_;
+  TDE_RETURN_NOT_OK(init_error_);
+  // Pin cold columns for the whole scan: one cache touch per column per
+  // query, and the payload cannot be evicted while blocks reference it.
+  pins_.assign(cols_.size(), nullptr);
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    TDE_ASSIGN_OR_RETURN(pins_[i], cols_[i]->Pin());
+  }
+  return Status::OK();
 }
+
+void TableScan::Close() { pins_.clear(); }
 
 Status TableScan::Next(Block* block, bool* eos) {
   block->columns.assign(cols_.size(), ColumnVector{});
@@ -57,24 +66,31 @@ Status TableScan::Next(Block* block, bool* eos) {
       static_cast<size_t>(std::min<uint64_t>(kBlockSize, total - row_));
   for (size_t i = 0; i < cols_.size(); ++i) {
     const Column& col = *cols_[i];
+    const pager::LoadedColumn* pin = pins_[i].get();
     ColumnVector& out = block->columns[i];
     out.type = col.type();
     out.lanes.resize(take);
-    TDE_RETURN_NOT_OK(col.GetLanes(row_, take, out.lanes.data()));
+    const EncodedStream* stream = pin ? pin->stream.get() : col.data();
+    TDE_RETURN_NOT_OK(stream->Get(row_, take, out.lanes.data()));
     if (i >= first_token_col_) {
       // Emit the raw token lanes (heap offsets or dictionary indexes).
       out.type = TypeId::kInteger;
       continue;
     }
     if (col.compression() == CompressionKind::kHeap) {
-      out.heap = std::shared_ptr<const StringHeap>(cols_[i], col.heap());
+      // A pinned payload's heap shared_ptr keeps the bytes alive past
+      // eviction; for hot columns the column itself anchors the heap.
+      out.heap = pin ? std::shared_ptr<const StringHeap>(pin->heap)
+                     : std::shared_ptr<const StringHeap>(cols_[i], col.heap());
     } else if (col.compression() == CompressionKind::kArrayDict) {
+      const ArrayDictionary* dict = pin ? pin->dict.get() : col.array_dict();
       if (options_.decode_dictionaries) {
-        const auto& values = col.array_dict()->values;
+        const auto& values = dict->values;
         for (Lane& v : out.lanes) v = values[static_cast<size_t>(v)];
       } else {
-        out.dict =
-            std::shared_ptr<const ArrayDictionary>(cols_[i], col.array_dict());
+        out.dict = pin ? std::shared_ptr<const ArrayDictionary>(pin->dict)
+                       : std::shared_ptr<const ArrayDictionary>(cols_[i],
+                                                                dict);
       }
     }
   }

@@ -32,12 +32,18 @@ class TableScan : public Operator {
 
   Status Open() override;
   Status Next(Block* block, bool* eos) override;
+  void Close() override;
   const Schema& output_schema() const override { return schema_; }
 
  private:
   std::shared_ptr<const Table> table_;
   TableScanOptions options_;
   std::vector<std::shared_ptr<Column>> cols_;
+  /// Pins for cold columns (null entries for hot ones), taken in Open and
+  /// dropped in Close: the payloads cannot be evicted mid-query, and the
+  /// heap/dict pointers emitted into blocks stay valid as long as the
+  /// blocks share them.
+  std::vector<std::shared_ptr<const pager::LoadedColumn>> pins_;
   Schema schema_;
   size_t first_token_col_ = 0;
   uint64_t row_ = 0;

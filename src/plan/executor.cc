@@ -292,7 +292,11 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
   opts.value_name = node.index_column;
   opts.value_type = col->type();
   if (col->compression() == CompressionKind::kHeap) {
-    opts.value_heap = std::shared_ptr<const StringHeap>(col, col->heap());
+    // Share the payload heap for cold columns so it survives eviction.
+    TDE_ASSIGN_OR_RETURN(auto heap_pin, col->Pin());
+    opts.value_heap =
+        heap_pin ? std::shared_ptr<const StringHeap>(heap_pin->heap)
+                 : std::shared_ptr<const StringHeap>(col, col->heap());
   }
   opts.payload = node.payload;
   BuiltPlan out;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "src/encoding/header.h"
 
@@ -44,8 +45,10 @@ PlanNodePtr TryInvisibleJoin(const PlanNodePtr& filter) {
   const auto& col = col_r.value();
   if (col->compression() == CompressionKind::kNone) return nullptr;
   // A dictionary table only pays when the domain is small.
+  // encoding_type() answers from the directory for cold columns, so this
+  // strategic decision never faults data in.
   if (!col->metadata().cardinality_known &&
-      col->data()->type() != EncodingType::kDictionary) {
+      col->encoding_type() != EncodingType::kDictionary) {
     return nullptr;
   }
 
@@ -72,7 +75,7 @@ PlanNodePtr TryRankJoin(const PlanNodePtr& agg) {
   if (!PredicateOnlyOn(filter->predicate, key)) return nullptr;
   auto col_r = scan->table->ColumnByName(key);
   if (!col_r.ok()) return nullptr;
-  if (col_r.value()->data()->type() != EncodingType::kRunLength) {
+  if (col_r.value()->encoding_type() != EncodingType::kRunLength) {
     return nullptr;
   }
 
@@ -221,6 +224,100 @@ PlanNodePtr TryPushFilterThroughProject(const PlanNodePtr& filter) {
   return new_project;
 }
 
+using ColumnSet = std::set<std::string>;
+
+void CollectExpr(const ExprPtr& e, ColumnSet* out) {
+  if (e == nullptr) return;
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  out->insert(cols.begin(), cols.end());
+}
+
+/// Narrows an unrestricted scan to `required`. With the paged v2 format a
+/// scan materializes every column it emits, so this is the rewrite that
+/// keeps untouched columns cold on disk.
+void PruneScan(const PlanNodePtr& scan, const ColumnSet* required) {
+  if (required == nullptr) return;  // everything above needs everything
+  if (!scan->columns.empty() || !scan->token_columns.empty()) return;
+  const Table& t = *scan->table;
+  std::vector<std::string> keep;
+  for (size_t i = 0; i < t.num_columns(); ++i) {
+    if (required->count(t.column(i).name()) != 0) {
+      keep.push_back(t.column(i).name());
+    }
+  }
+  if (keep.size() == t.num_columns() || t.num_columns() == 0) return;
+  if (keep.empty()) {
+    // COUNT(*)-style plans read no column, but the scan still drives row
+    // counts; keep the physically cheapest one (answered from the
+    // directory for cold columns — no data is faulted in to decide).
+    size_t best = 0;
+    for (size_t i = 1; i < t.num_columns(); ++i) {
+      if (t.column(i).PhysicalSize() < t.column(best).PhysicalSize()) {
+        best = i;
+      }
+    }
+    keep.push_back(t.column(best).name());
+  }
+  scan->columns = std::move(keep);
+}
+
+/// Top-down required-column analysis. `required` is the set of columns the
+/// ancestors read from this node's output; nullptr means "all of them"
+/// (the node's output reaches the user, or an operator whose column flow
+/// we don't model). Only scans are rewritten.
+void PruneScans(const PlanNodePtr& node, const ColumnSet* required) {
+  switch (node->kind) {
+    case PlanNodeKind::kScan:
+      PruneScan(node, required);
+      return;
+    case PlanNodeKind::kFilter: {
+      if (required == nullptr) break;
+      ColumnSet need = *required;
+      CollectExpr(node->predicate, &need);
+      PruneScans(node->children[0], &need);
+      return;
+    }
+    case PlanNodeKind::kProject: {
+      // Project evaluates every projection regardless of what is consumed
+      // above, so the child must supply all their inputs.
+      ColumnSet need;
+      for (const ProjectedColumn& pc : node->projections) {
+        CollectExpr(pc.expr, &need);
+      }
+      PruneScans(node->children[0], &need);
+      return;
+    }
+    case PlanNodeKind::kAggregate: {
+      ColumnSet need(node->agg.group_by.begin(), node->agg.group_by.end());
+      for (const AggSpec& a : node->agg.aggs) {
+        if (a.kind != AggKind::kCountStar) need.insert(a.input);
+      }
+      PruneScans(node->children[0], &need);
+      return;
+    }
+    case PlanNodeKind::kSort: {
+      if (required == nullptr) break;
+      ColumnSet need = *required;
+      for (const SortKey& k : node->sort_keys) need.insert(k.column);
+      PruneScans(node->children[0], &need);
+      return;
+    }
+    case PlanNodeKind::kExchange:
+    case PlanNodeKind::kLimit:
+    case PlanNodeKind::kMaterialize:
+      // Pure pass-throughs: same columns in as out.
+      PruneScans(node->children[0], required);
+      return;
+    default:
+      break;
+  }
+  // Joins, invisible joins, indexed scans, and pass-throughs with an
+  // unknown requirement: column flow is operator-specific, so stay
+  // conservative and require everything below.
+  for (const auto& c : node->children) PruneScans(c, nullptr);
+}
+
 PlanNodePtr Rewrite(PlanNodePtr node, const StrategicOptions& options) {
   for (auto& c : node->children) c = Rewrite(c, options);
   // Bounded fixpoint: a successful rewrite may expose another (e.g. a
@@ -258,6 +355,9 @@ Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
     return {Status::InvalidArgument("empty plan")};
   }
   root = Rewrite(std::move(root), options);
+  if (options.enable_projection_pruning) {
+    PruneScans(root, /*required=*/nullptr);
+  }
   if (options.enforce_order_preserving_exchange) {
     EnforceOrderedExchange(root, /*under_encoder=*/false);
   }

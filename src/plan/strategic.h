@@ -23,6 +23,10 @@ struct StrategicOptions {
   /// when the predicate only touches pass-through columns, so they can
   /// reach scans and become decompression-join rewrites.
   bool enable_filter_pushdown = true;
+  /// Narrow unrestricted scans to the columns the plan above actually
+  /// reads. With the paged v2 format this is what makes a single-column
+  /// query materialize a single column: untouched columns stay cold.
+  bool enable_projection_pruning = true;
 };
 
 /// The strategic (compile-time) optimizer: rule-based rewrites over the

@@ -1,10 +1,127 @@
 #include "src/storage/column.h"
 
 #include "src/encoding/streams_internal.h"
+#include "src/storage/pager/column_cache.h"
 
 namespace tde {
 
+Column::~Column() {
+  if (cold_ != nullptr && cold_->cache != nullptr) {
+    cold_->cache->Forget(this);
+  }
+}
+
+void Column::MakeCold(std::shared_ptr<const pager::ColdSource> src) {
+  cold_ = std::move(src);
+}
+
+bool Column::resident() const {
+  if (cold_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return resident_ != nullptr;
+}
+
+Status Column::EnsureLoaded() const {
+  if (cold_ == nullptr) return Status::OK();
+  if (cold_->cache == nullptr) {
+    return Status::Internal("cold column '" + name_ + "' has no cache");
+  }
+  return cold_->cache->Ensure(this);
+}
+
+Result<std::shared_ptr<const pager::LoadedColumn>> Column::Pin() const {
+  if (cold_ == nullptr) {
+    return {std::shared_ptr<const pager::LoadedColumn>()};
+  }
+  // Ensure + copy race with eviction; retry until a copy sticks. Eviction
+  // between the two calls is rare (it requires another thread loading past
+  // the budget in the window), so this loop terminates promptly.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    TDE_RETURN_NOT_OK(EnsureLoaded());
+    std::lock_guard<std::mutex> lock(load_mu_);
+    if (resident_ != nullptr) return {resident_};
+  }
+  return {Status::Internal("column '" + name_ +
+                           "' evicted faster than it could be pinned — "
+                           "cache budget too small for the working set")};
+}
+
+std::shared_ptr<const pager::LoadedColumn> Column::PinIfResident() const {
+  if (cold_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return resident_;
+}
+
+void Column::SetResident(
+    std::shared_ptr<const pager::LoadedColumn> payload) const {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  resident_ = std::move(payload);
+}
+
+bool Column::TryUnload() const {
+  std::unique_lock<std::mutex> lock(load_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  if (resident_ == nullptr) return true;  // already gone — entry is stale
+  if (resident_.use_count() > 1) return false;  // pinned by a query
+  resident_.reset();
+  return true;
+}
+
+Status Column::Warm() {
+  if (cold_ == nullptr) return Status::OK();
+  TDE_ASSIGN_OR_RETURN(auto pin, Pin());
+  // Adopt the payload's pieces directly; once the cache entry is forgotten
+  // this column is their sole owner.
+  data_ = pin->stream;
+  heap_ = pin->heap;
+  array_dict_ = pin->dict;
+  auto cold = std::move(cold_);
+  SetResident(nullptr);
+  if (cold->cache != nullptr) cold->cache->Forget(this);
+  return Status::OK();
+}
+
+const EncodedStream* Column::data() const {
+  if (cold_ == nullptr) return data_.get();
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return resident_ != nullptr ? resident_->stream.get() : nullptr;
+}
+
+const StringHeap* Column::heap() const {
+  if (cold_ == nullptr) return heap_.get();
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return resident_ != nullptr ? resident_->heap.get() : nullptr;
+}
+
+std::shared_ptr<StringHeap> Column::heap_ptr() const {
+  if (cold_ == nullptr) return heap_;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return resident_ != nullptr ? resident_->heap : nullptr;
+}
+
+const ArrayDictionary* Column::array_dict() const {
+  if (cold_ == nullptr) return array_dict_.get();
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return resident_ != nullptr ? resident_->dict.get() : nullptr;
+}
+
+uint64_t Column::rows() const {
+  if (cold_ != nullptr) return cold_->rows;
+  return data_ ? data_->size() : 0;
+}
+
+uint8_t Column::width() const {
+  if (cold_ != nullptr) return cold_->width;
+  return data_ ? data_->width() : 8;
+}
+
+EncodingType Column::encoding_type() const {
+  if (cold_ != nullptr) return cold_->encoding;
+  return data_ ? data_->type() : EncodingType::kUncompressed;
+}
+
 uint8_t Column::TokenWidth() const {
+  if (cold_ != nullptr) return cold_->token_width;
   if (data_ == nullptr) return 8;
   switch (data_->type()) {
     case EncodingType::kDictionary:
@@ -19,6 +136,7 @@ uint8_t Column::TokenWidth() const {
 }
 
 uint64_t Column::PhysicalSize() const {
+  if (cold_ != nullptr) return cold_->CompressedBytes();
   uint64_t n = data_ ? data_->PhysicalSize() : 0;
   if (heap_) n += heap_->byte_size();
   if (array_dict_) n += array_dict_->values.size() * 8;
@@ -26,6 +144,12 @@ uint64_t Column::PhysicalSize() const {
 }
 
 uint64_t Column::LogicalSize() const {
+  if (cold_ != nullptr) {
+    // Directory facts only: heap blob length is the heap byte size, the
+    // dictionary is 8 bytes per entry.
+    return cold_->rows * 8 + (cold_->has_heap ? cold_->heap.length : 0) +
+           cold_->dict_entries * 8;
+  }
   uint64_t n = rows() * 8;  // values are parsed at the default 8-byte width
   if (heap_) n += heap_->byte_size();
   if (array_dict_) n += array_dict_->values.size() * 8;
@@ -33,6 +157,10 @@ uint64_t Column::LogicalSize() const {
 }
 
 Status Column::GetLanes(uint64_t row, size_t count, Lane* out) const {
+  if (cold_ != nullptr) {
+    TDE_ASSIGN_OR_RETURN(auto pin, Pin());
+    return pin->stream->Get(row, count, out);
+  }
   if (data_ == nullptr) return Status::Internal("column has no data stream");
   return data_->Get(row, count, out);
 }

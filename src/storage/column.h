@@ -2,12 +2,14 @@
 #define TDE_STORAGE_COLUMN_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/encoding/dynamic_encoder.h"
 #include "src/encoding/metadata.h"
 #include "src/encoding/stream.h"
 #include "src/storage/dictionary.h"
+#include "src/storage/pager/pager_types.h"
 #include "src/storage/string_heap.h"
 
 namespace tde {
@@ -25,10 +27,25 @@ enum class CompressionKind : uint8_t {
 
 /// A stored column: a fixed-width encoded stream, optional dictionary
 /// (array or heap), and the metadata extracted while it was built.
+///
+/// A column is either *hot* (built in memory or eagerly deserialized — the
+/// stream/heap/dictionary members are populated directly) or *cold* (opened
+/// from a v2 database file: only directory facts are resident and the data
+/// blobs are materialized through the ColumnCache on first touch, and may
+/// be evicted again under budget pressure). Everything the planner consults
+/// — rows, widths, encoding type, metadata, physical/logical size — answers
+/// from directory facts without faulting data in.
+///
+/// Thread-safety of the cold state: EnsureLoaded/Pin/TryUnload synchronize
+/// on an internal mutex. Raw accessors (data(), heap(), array_dict()) on a
+/// cold column are only guaranteed stable while the caller holds a Pin —
+/// the scan operators pin for the duration of a query.
 class Column {
  public:
   Column(std::string name, TypeId type)
       : name_(std::move(name)), type_(type) {}
+
+  ~Column();
 
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
@@ -37,16 +54,16 @@ class Column {
   CompressionKind compression() const { return compression_; }
   void set_compression(CompressionKind k) { compression_ = k; }
 
-  const EncodedStream* data() const { return data_.get(); }
+  const EncodedStream* data() const;
   EncodedStream* mutable_data() { return data_.get(); }
-  void set_data(std::unique_ptr<EncodedStream> s) { data_ = std::move(s); }
+  void set_data(std::shared_ptr<EncodedStream> s) { data_ = std::move(s); }
 
-  const StringHeap* heap() const { return heap_.get(); }
+  const StringHeap* heap() const;
   StringHeap* mutable_heap() { return heap_.get(); }
-  std::shared_ptr<StringHeap> heap_ptr() const { return heap_; }
+  std::shared_ptr<StringHeap> heap_ptr() const;
   void set_heap(std::shared_ptr<StringHeap> h) { heap_ = std::move(h); }
 
-  const ArrayDictionary* array_dict() const { return array_dict_.get(); }
+  const ArrayDictionary* array_dict() const;
   void set_array_dict(std::shared_ptr<ArrayDictionary> d) {
     array_dict_ = std::move(d);
   }
@@ -54,15 +71,19 @@ class Column {
   const ColumnMetadata& metadata() const { return meta_; }
   ColumnMetadata* mutable_metadata() { return &meta_; }
 
-  uint64_t rows() const { return data_ ? data_->size() : 0; }
+  uint64_t rows() const;
 
   /// Physical element width of the main stream.
-  uint8_t width() const { return data_ ? data_->width() : 8; }
+  uint8_t width() const;
 
   /// Effective per-row token width in bytes: for dictionary-encoded
   /// streams the packed index width (what Fig. 8/9 report), otherwise the
   /// element width.
   uint8_t TokenWidth() const;
+
+  /// Encoding algorithm of the main stream — from the directory for cold
+  /// columns, so the optimizers can consult it without faulting data in.
+  EncodingType encoding_type() const;
 
   /// On-disk bytes: stream + heap + array dictionary.
   uint64_t PhysicalSize() const;
@@ -70,25 +91,68 @@ class Column {
   uint64_t LogicalSize() const;
 
   /// Decodes lanes [row, row+count). For string columns, lanes are heap
-  /// tokens; for array-dict columns, dictionary indexes.
+  /// tokens; for array-dict columns, dictionary indexes. Cold columns
+  /// materialize (and self-pin for the duration of the call).
   Status GetLanes(uint64_t row, size_t count, Lane* out) const;
 
   /// Resolves a heap token (compression() must be kHeap).
-  std::string_view GetString(Lane token) const { return heap_->Get(token); }
+  std::string_view GetString(Lane token) const { return heap()->Get(token); }
 
   /// Number of mid-stream encoding changes during the build (Sect. 3.2).
   int encoding_changes() const { return encoding_changes_; }
   void set_encoding_changes(int n) { encoding_changes_ = n; }
 
+  // --- Cold (paged) state -------------------------------------------------
+
+  /// Turns this column cold: drops nothing (the column must be empty) and
+  /// records where its blobs live. Called by the v2 open path.
+  void MakeCold(std::shared_ptr<const pager::ColdSource> src);
+
+  bool cold() const { return cold_ != nullptr; }
+  /// Cold column whose payload is currently materialized (hot columns are
+  /// trivially resident).
+  bool resident() const;
+  const pager::ColdSource* cold_source() const { return cold_.get(); }
+
+  /// Materializes a cold column's payload through the cache (no-op when hot
+  /// or already resident).
+  Status EnsureLoaded() const;
+
+  /// Materializes (if needed) and returns a shared reference to the
+  /// payload, preventing eviction while the reference is held. Returns a
+  /// null payload for hot columns — callers treat null as "use the direct
+  /// members, which never move".
+  Result<std::shared_ptr<const pager::LoadedColumn>> Pin() const;
+
+  /// Pin without materializing: null if cold and not resident.
+  std::shared_ptr<const pager::LoadedColumn> PinIfResident() const;
+
+  /// Promotes a cold column to a plain hot column (materializes, copies the
+  /// stream out of the shared payload, detaches from the cache). Used by
+  /// eager v2 reads and by in-place column transformations.
+  Status Warm();
+
+  /// Cache internals: installs a freshly materialized payload / attempts to
+  /// drop an unpinned one. TryUnload returns false when the payload is
+  /// pinned (or the column is briefly locked by a concurrent loader).
+  void SetResident(std::shared_ptr<const pager::LoadedColumn> payload) const;
+  bool TryUnload() const;
+
  private:
   std::string name_;
   TypeId type_;
   CompressionKind compression_ = CompressionKind::kNone;
-  std::unique_ptr<EncodedStream> data_;
+  std::shared_ptr<EncodedStream> data_;
   std::shared_ptr<StringHeap> heap_;
   std::shared_ptr<ArrayDictionary> array_dict_;
   ColumnMetadata meta_;
   int encoding_changes_ = 0;
+
+  // Cold state. `cold_` is set once before the column is shared and then
+  // immutable; `resident_` swaps under `load_mu_`.
+  std::shared_ptr<const pager::ColdSource> cold_;
+  mutable std::mutex load_mu_;
+  mutable std::shared_ptr<const pager::LoadedColumn> resident_;
 };
 
 }  // namespace tde

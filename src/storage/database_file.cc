@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <span>
+
+#include "src/storage/pager/format.h"
 
 namespace tde {
 
@@ -34,6 +38,9 @@ class Writer {
   std::vector<uint8_t>* out_;
 };
 
+// All bounds checks are written in subtraction form (`n > size - pos`,
+// with pos <= size as invariant) so a hostile length field near UINT64_MAX
+// cannot wrap the addition and sneak past the check.
 class Reader {
  public:
   explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
@@ -42,30 +49,30 @@ class Reader {
   Status U64(uint64_t* v) { return Raw(v, 8); }
   Status I64(int64_t* v) { return Raw(v, 8); }
   Status Str(std::string* s) {
-    uint32_t n;
+    uint32_t n = 0;
     TDE_RETURN_NOT_OK(U32(&n));
-    if (pos_ + n > in_.size()) return Corrupt();
+    if (n > in_.size() - pos_) return Corrupt();
     s->assign(reinterpret_cast<const char*>(in_.data() + pos_), n);
     pos_ += n;
     return Status::OK();
   }
   Status Bytes(std::vector<uint8_t>* b) {
-    uint64_t n;
+    uint64_t n = 0;
     TDE_RETURN_NOT_OK(U64(&n));
-    if (pos_ + n > in_.size()) return Corrupt();
+    if (n > in_.size() - pos_) return Corrupt();
     b->assign(in_.begin() + static_cast<ptrdiff_t>(pos_),
               in_.begin() + static_cast<ptrdiff_t>(pos_ + n));
     pos_ += n;
     return Status::OK();
   }
   Status Raw(void* p, size_t n) {
-    if (pos_ + n > in_.size()) return Corrupt();
+    if (n > in_.size() - pos_) return Corrupt();
     std::memcpy(p, in_.data() + pos_, n);
     pos_ += n;
     return Status::OK();
   }
   /// Guards allocations sized from untrusted length fields.
-  bool CanRead(uint64_t n) const { return pos_ + n <= in_.size(); }
+  bool CanRead(uint64_t n) const { return n <= in_.size() - pos_; }
   static Status Corrupt() {
     return Status::IOError("truncated or corrupt database file");
   }
@@ -91,7 +98,7 @@ void WriteMetadata(Writer* w, const ColumnMetadata& m) {
 }
 
 Status ReadMetadata(Reader* r, ColumnMetadata* m) {
-  uint8_t flags;
+  uint8_t flags = 0;
   TDE_RETURN_NOT_OK(r->U8(&flags));
   m->sorted = flags & 1;
   m->dense = flags & 2;
@@ -110,6 +117,7 @@ Status ReadMetadata(Reader* r, ColumnMetadata* m) {
 
 Result<std::shared_ptr<Table>> Database::GetTable(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& t : tables_) {
     if (t->name() == name) return t;
   }
@@ -117,6 +125,7 @@ Result<std::shared_ptr<Table>> Database::GetTable(
 }
 
 Status Database::ReplaceTable(std::shared_ptr<Table> t) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& existing : tables_) {
     if (existing->name() == t->name()) {
       existing = std::move(t);
@@ -128,40 +137,56 @@ Status Database::ReplaceTable(std::shared_ptr<Table> t) {
 
 uint64_t Database::PhysicalSize() const {
   uint64_t n = 0;
-  for (const auto& t : tables_) n += t->PhysicalSize();
+  for (const auto& t : tables()) n += t->PhysicalSize();
   return n;
 }
 
 uint64_t Database::LogicalSize() const {
   uint64_t n = 0;
-  for (const auto& t : tables_) n += t->LogicalSize();
+  for (const auto& t : tables()) n += t->LogicalSize();
   return n;
 }
 
-void SerializeDatabase(const Database& db, std::vector<uint8_t>* out) {
+Status SerializeDatabase(const Database& db, std::vector<uint8_t>* out) {
   out->clear();
   Writer w(out);
   w.Raw(kMagic, sizeof(kMagic));
-  w.U32(static_cast<uint32_t>(db.num_tables()));
-  for (const auto& t : db.tables()) {
+  const auto tables = db.tables();
+  w.U32(static_cast<uint32_t>(tables.size()));
+  for (const auto& t : tables) {
     w.Str(t->name());
     w.U32(static_cast<uint32_t>(t->num_columns()));
     for (size_t i = 0; i < t->num_columns(); ++i) {
       const Column& c = t->column(i);
+      // Cold columns must be materialized (and held) for the copy-through.
+      TDE_ASSIGN_OR_RETURN(auto pin, c.Pin());
+      const EncodedStream* stream = c.data();
+      if (stream == nullptr) {
+        return Status::Internal("column '" + t->name() + "." + c.name() +
+                                "' has no data stream to serialize");
+      }
       w.Str(c.name());
       w.U8(static_cast<uint8_t>(c.type()));
       w.U8(static_cast<uint8_t>(c.compression()));
       WriteMetadata(&w, c.metadata());
       w.U32(static_cast<uint32_t>(c.encoding_changes()));
-      w.Bytes(c.data()->buffer());
+      w.Bytes(stream->buffer());
       if (c.compression() == CompressionKind::kHeap) {
         const StringHeap* h = c.heap();
+        if (h == nullptr) {
+          return Status::Internal("heap column '" + t->name() + "." +
+                                  c.name() + "' has no heap to serialize");
+        }
         w.Bytes(h->buffer());
         w.U64(h->entry_count());
         w.U8(h->sorted() ? 1 : 0);
         w.U8(static_cast<uint8_t>(h->collation()));
       } else if (c.compression() == CompressionKind::kArrayDict) {
         const ArrayDictionary* d = c.array_dict();
+        if (d == nullptr) {
+          return Status::Internal("dictionary column '" + t->name() + "." +
+                                  c.name() + "' has no dictionary");
+        }
         w.U8(static_cast<uint8_t>(d->type));
         w.U8(d->sorted ? 1 : 0);
         w.U64(d->values.size());
@@ -169,9 +194,14 @@ void SerializeDatabase(const Database& db, std::vector<uint8_t>* out) {
       }
     }
   }
+  return Status::OK();
 }
 
 Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes) {
+  if (pager::IsV2Magic(bytes.data(), bytes.size())) {
+    return pager::ReadDatabaseV2Eager(
+        std::span<const uint8_t>(bytes.data(), bytes.size()));
+  }
   Reader r(bytes);
   char magic[8];
   TDE_RETURN_NOT_OK(r.Raw(magic, sizeof(magic)));
@@ -179,7 +209,7 @@ Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes) {
     return {Status::IOError("not a TDE database file")};
   }
   Database db;
-  uint32_t tables;
+  uint32_t tables = 0;
   TDE_RETURN_NOT_OK(r.U32(&tables));
   for (uint32_t ti = 0; ti < tables; ++ti) {
     std::string tname;
@@ -190,13 +220,20 @@ Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes) {
     for (uint32_t ci = 0; ci < cols; ++ci) {
       std::string cname;
       TDE_RETURN_NOT_OK(r.Str(&cname));
-      uint8_t type_raw, comp_raw;
+      uint8_t type_raw = 0, comp_raw = 0;
       TDE_RETURN_NOT_OK(r.U8(&type_raw));
       TDE_RETURN_NOT_OK(r.U8(&comp_raw));
+      if (type_raw >= kNumTypes) {
+        return {Status::IOError("bad type byte for column '" + cname + "'")};
+      }
+      if (comp_raw > static_cast<uint8_t>(CompressionKind::kArrayDict)) {
+        return {Status::IOError("bad compression byte for column '" + cname +
+                                "'")};
+      }
       auto col = std::make_shared<Column>(cname, static_cast<TypeId>(type_raw));
       col->set_compression(static_cast<CompressionKind>(comp_raw));
       TDE_RETURN_NOT_OK(ReadMetadata(&r, col->mutable_metadata()));
-      uint32_t changes;
+      uint32_t changes = 0;
       TDE_RETURN_NOT_OK(r.U32(&changes));
       col->set_encoding_changes(static_cast<int>(changes));
       std::vector<uint8_t> stream_bytes;
@@ -212,19 +249,33 @@ Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes) {
         TDE_RETURN_NOT_OK(r.U64(&entries));
         TDE_RETURN_NOT_OK(r.U8(&sorted));
         TDE_RETURN_NOT_OK(r.U8(&collation));
+        if (collation > static_cast<uint8_t>(Collation::kLocale)) {
+          return {Status::IOError("bad collation byte for column '" + cname +
+                                  "'")};
+        }
+        // Each heap entry is at least its 4-byte length prefix.
+        if (entries > heap_bytes.size() / 4) return Reader::Corrupt();
         col->set_heap(std::make_shared<StringHeap>(StringHeap::FromParts(
             std::move(heap_bytes), entries, sorted != 0,
             static_cast<Collation>(collation))));
       } else if (col->compression() == CompressionKind::kArrayDict) {
         auto dict = std::make_shared<ArrayDictionary>();
         uint8_t dtype, sorted;
-        uint64_t n;
+        uint64_t n = 0;
         TDE_RETURN_NOT_OK(r.U8(&dtype));
         TDE_RETURN_NOT_OK(r.U8(&sorted));
         TDE_RETURN_NOT_OK(r.U64(&n));
+        if (dtype >= kNumTypes) {
+          return {Status::IOError("bad dictionary type for column '" + cname +
+                                  "'")};
+        }
         dict->type = static_cast<TypeId>(dtype);
         dict->sorted = sorted != 0;
-        if (!r.CanRead(n * sizeof(Lane))) return Reader::Corrupt();
+        // `n * sizeof(Lane)` could wrap; divide the remaining bytes instead.
+        if (n > std::numeric_limits<uint64_t>::max() / sizeof(Lane) ||
+            !r.CanRead(n * sizeof(Lane))) {
+          return Reader::Corrupt();
+        }
         dict->values.resize(n);
         TDE_RETURN_NOT_OK(r.Raw(dict->values.data(), n * sizeof(Lane)));
         col->set_array_dict(std::move(dict));
@@ -238,7 +289,7 @@ Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes) {
 
 Status WriteDatabase(const Database& db, const std::string& path) {
   std::vector<uint8_t> bytes;
-  SerializeDatabase(db, &bytes);
+  TDE_RETURN_NOT_OK(SerializeDatabase(db, &bytes));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open '" + path + "'");
   const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);

@@ -2,6 +2,7 @@
 #define TDE_STORAGE_DATABASE_FILE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,19 +11,60 @@
 namespace tde {
 
 /// An in-memory database: a set of named tables.
+///
+/// Thread-safe for the reader/replacer mix the engine produces: queries
+/// resolve tables to shared_ptr snapshots (GetTable / tables()), so a
+/// concurrent ReplaceTable swaps the catalog entry without disturbing
+/// readers already executing against the old table — the old table stays
+/// alive until its last query releases it.
 class Database {
  public:
-  size_t num_tables() const { return tables_.size(); }
-  const std::vector<std::shared_ptr<Table>>& tables() const { return tables_; }
-  void AddTable(std::shared_ptr<Table> t) { tables_.push_back(std::move(t)); }
+  Database() = default;
+  Database(const Database& other) : tables_(other.Snapshot()) {}
+  Database(Database&& other) noexcept : tables_(other.Snapshot()) {}
+  Database& operator=(const Database& other) {
+    if (this != &other) {
+      auto copy = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      tables_ = std::move(copy);
+    }
+    return *this;
+  }
+  Database& operator=(Database&& other) noexcept {
+    if (this != &other) {
+      auto moved = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      tables_ = std::move(moved);
+    }
+    return *this;
+  }
+
+  size_t num_tables() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tables_.size();
+  }
+  /// Snapshot of the current table set — safe to iterate while another
+  /// thread adds or replaces tables.
+  std::vector<std::shared_ptr<Table>> tables() const { return Snapshot(); }
+  void AddTable(std::shared_ptr<Table> t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tables_.push_back(std::move(t));
+  }
   Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
-  /// Replaces the table with the same name (error if absent).
+  /// Replaces the table with the same name (error if absent). Queries
+  /// holding the old table's shared_ptr keep reading it unharmed.
   Status ReplaceTable(std::shared_ptr<Table> t);
 
   uint64_t PhysicalSize() const;
   uint64_t LogicalSize() const;
 
  private:
+  std::vector<std::shared_ptr<Table>> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tables_;
+  }
+
+  mutable std::mutex mu_;
   std::vector<std::shared_ptr<Table>> tables_;
 };
 
@@ -30,15 +72,20 @@ class Database {
 /// choosable in a file dialog, i.e. one file. Column-level compression
 /// directly reduces the unavoidable cost of producing this copy.
 ///
-/// Layout: magic, table directory, then per-column blobs (serialized
-/// encoded stream, heap bytes, array dictionary, metadata) — all
-/// little-endian.
+/// v1 layout ("TDEDB001"): magic, table directory, then per-column blobs
+/// (serialized encoded stream, heap bytes, array dictionary, metadata) —
+/// all little-endian, read eagerly and sequentially.
+///
+/// ReadDatabase / DeserializeDatabase also accept the paged v2 format
+/// ("TDEDB002", see src/storage/pager/format.h), materializing every column
+/// eagerly. Lazy v2 opens go through Engine::OpenDatabase / OpenDatabaseV2.
 Status WriteDatabase(const Database& db, const std::string& path);
 Result<Database> ReadDatabase(const std::string& path);
 
 /// Serializes to / restores from a byte buffer (the file format without the
-/// file), used by tests and by WriteDatabase itself.
-void SerializeDatabase(const Database& db, std::vector<uint8_t>* out);
+/// file), used by tests and by WriteDatabase itself. Cold (paged) columns
+/// are pinned and copied through.
+Status SerializeDatabase(const Database& db, std::vector<uint8_t>* out);
 Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes);
 
 }  // namespace tde

@@ -1,0 +1,199 @@
+#include "src/storage/pager/column_cache.h"
+
+#include <cstring>
+
+#include "src/observe/metrics.h"
+#include "src/storage/column.h"
+#include "src/storage/pager/crc32c.h"
+#include "src/storage/pager/file_reader.h"
+
+namespace tde {
+namespace pager {
+
+namespace {
+
+/// Fetches one blob, verifies its checksum, and copies it into an owned
+/// buffer. Errors name the table and column so a corrupt file is
+/// diagnosable from the Status alone.
+Result<std::vector<uint8_t>> FetchBlob(const ColdSource& src,
+                                       const ColumnCache::BlobReadFn& read,
+                                       const BlobRef& ref, const char* what,
+                                       observe::Counter* checksum_failures) {
+  std::vector<uint8_t> scratch;
+  auto span_r = read(ref, &scratch);
+  if (!span_r.ok()) {
+    return {Status::IOError("column " + src.table_name + "." +
+                            src.column_name + " " + what + " blob: " +
+                            span_r.status().message())};
+  }
+  const std::span<const uint8_t> span = span_r.value();
+  if (Crc32c(span.data(), span.size()) != ref.crc32c) {
+    if (checksum_failures != nullptr) checksum_failures->Add();
+    return {Status::IOError("checksum mismatch in column " + src.table_name +
+                            "." + src.column_name + " (" + what + " blob, " +
+                            std::to_string(ref.length) + " bytes at offset " +
+                            std::to_string(ref.offset) + ")")};
+  }
+  if (!scratch.empty()) return scratch;  // pread path already owns the bytes
+  return std::vector<uint8_t>(span.begin(), span.end());
+}
+
+Result<std::shared_ptr<const LoadedColumn>> LoadPayloadImpl(
+    const ColdSource& src, const ColumnCache::BlobReadFn& read,
+    observe::Counter* bytes_read, observe::Counter* checksum_failures) {
+  auto payload = std::make_shared<LoadedColumn>();
+  payload->compressed_bytes = src.CompressedBytes();
+  if (bytes_read != nullptr) bytes_read->Add(payload->compressed_bytes);
+
+  TDE_ASSIGN_OR_RETURN(
+      auto stream_bytes, FetchBlob(src, read, src.stream, "stream",
+                                   checksum_failures));
+  auto stream_r = EncodedStream::Open(std::move(stream_bytes));
+  if (!stream_r.ok()) {
+    return {Status::IOError("column " + src.table_name + "." +
+                            src.column_name + " stream: " +
+                            stream_r.status().message())};
+  }
+  payload->stream = std::shared_ptr<EncodedStream>(stream_r.MoveValue());
+  if (payload->stream->size() != src.rows) {
+    return {Status::IOError("column " + src.table_name + "." +
+                            src.column_name + " stream holds " +
+                            std::to_string(payload->stream->size()) +
+                            " rows, directory says " +
+                            std::to_string(src.rows))};
+  }
+
+  if (src.has_heap) {
+    TDE_ASSIGN_OR_RETURN(
+        auto heap_bytes,
+        FetchBlob(src, read, src.heap, "heap", checksum_failures));
+    payload->heap = std::make_shared<StringHeap>(
+        StringHeap::FromParts(std::move(heap_bytes), src.heap_entries,
+                              src.heap_sorted, src.heap_collation));
+  }
+
+  if (src.has_dict) {
+    if (src.dict.length != src.dict_entries * sizeof(Lane)) {
+      return {Status::IOError("column " + src.table_name + "." +
+                              src.column_name + " dictionary blob is " +
+                              std::to_string(src.dict.length) +
+                              " bytes, expected " +
+                              std::to_string(src.dict_entries) + " entries")};
+    }
+    TDE_ASSIGN_OR_RETURN(
+        auto dict_bytes,
+        FetchBlob(src, read, src.dict, "dictionary", checksum_failures));
+    auto dict = std::make_shared<ArrayDictionary>();
+    dict->type = src.dict_type;
+    dict->sorted = src.dict_sorted;
+    dict->values.resize(src.dict_entries);
+    std::memcpy(dict->values.data(), dict_bytes.data(), dict_bytes.size());
+    payload->dict = std::move(dict);
+  }
+  return {std::shared_ptr<const LoadedColumn>(std::move(payload))};
+}
+
+/// Blob reads backed by the cold source's file reader.
+ColumnCache::BlobReadFn FileReadFn(const ColdSource& src) {
+  return [&src](const BlobRef& ref, std::vector<uint8_t>* scratch) {
+    return src.file->Read(ref.offset, ref.length, scratch);
+  };
+}
+
+}  // namespace
+
+ColumnCache::ColumnCache(uint64_t budget_bytes) : budget_(budget_bytes) {
+  auto& reg = observe::MetricsRegistry::Global();
+  hits_ = reg.GetCounter("pager.hits");
+  misses_ = reg.GetCounter("pager.misses");
+  evictions_ = reg.GetCounter("pager.evictions");
+  bytes_read_ = reg.GetCounter("pager.bytes_read");
+  checksum_failures_ = reg.GetCounter("pager.checksum_failures");
+  bytes_resident_gauge_ = reg.GetGauge("pager.bytes_resident");
+}
+
+ColumnCache::~ColumnCache() = default;
+
+Result<std::shared_ptr<const LoadedColumn>> ColumnCache::LoadPayloadFrom(
+    const ColdSource& src, const BlobReadFn& read) {
+  return LoadPayloadImpl(src, read, nullptr, nullptr);
+}
+
+Status ColumnCache::Ensure(const Column* col) {
+  const ColdSource* src = col->cold_source();
+  if (src == nullptr) return Status::OK();  // hot columns are never cached
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(col);
+  if (it != entries_.end() && col->resident()) {
+    hits_->Add();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return Status::OK();
+  }
+  // First touch (or re-touch after eviction): load under the cache lock so
+  // concurrent touchers of the same column wait for one materialization.
+  misses_->Add();
+  TDE_ASSIGN_OR_RETURN(
+      auto payload,
+      LoadPayloadImpl(*src, FileReadFn(*src), bytes_read_,
+                      checksum_failures_));
+  const uint64_t bytes = payload->compressed_bytes;
+  col->SetResident(std::move(payload));
+  if (it == entries_.end()) {
+    lru_.push_front(col);
+    entries_[col] = Entry{lru_.begin(), bytes};
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.bytes = bytes;
+  }
+  bytes_resident_ += bytes;
+  EvictLocked(/*keep=*/col);
+  bytes_resident_gauge_->Set(static_cast<int64_t>(bytes_resident_));
+  return Status::OK();
+}
+
+void ColumnCache::EvictLocked(const Column* keep) {
+  // One pass from the cold end. Pinned payloads are skipped — they stay
+  // charged against the budget until their queries finish.
+  auto it = lru_.end();
+  while (bytes_resident_ > budget_ && it != lru_.begin()) {
+    --it;
+    const Column* victim = *it;
+    if (victim == keep) continue;
+    if (!victim->TryUnload()) continue;
+    auto e = entries_.find(victim);
+    bytes_resident_ -= e->second.bytes;
+    it = lru_.erase(it);
+    entries_.erase(e);
+    evictions_->Add();
+  }
+}
+
+void ColumnCache::Forget(const Column* col) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(col);
+  if (it == entries_.end()) return;
+  bytes_resident_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  bytes_resident_gauge_->Set(static_cast<int64_t>(bytes_resident_));
+}
+
+uint64_t ColumnCache::bytes_resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_resident_;
+}
+
+uint64_t ColumnCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+void ColumnCache::set_budget_bytes(uint64_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = budget;
+  EvictLocked(nullptr);
+  bytes_resident_gauge_->Set(static_cast<int64_t>(bytes_resident_));
+}
+
+}  // namespace pager
+}  // namespace tde

@@ -1,0 +1,108 @@
+#ifndef TDE_STORAGE_PAGER_COLUMN_CACHE_H_
+#define TDE_STORAGE_PAGER_COLUMN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/storage/pager/pager_types.h"
+
+namespace tde {
+
+class Column;
+
+namespace observe {
+class Counter;
+class Gauge;
+}  // namespace observe
+
+namespace pager {
+
+/// Byte-budget LRU cache over cold columns' materialized payloads.
+///
+/// The budget is charged in *compressed* bytes (the blobs' on-disk size):
+/// keeping data compressed across the storage/execution boundary is exactly
+/// where compression pays twice (MorphStore; Lin et al.), because the same
+/// budget then holds several times the logical data.
+///
+/// Residency protocol: a cold Column's payload is a shared_ptr owned by the
+/// column while resident; executing queries pin it by copying the pointer
+/// (Column::Pin). Eviction walks the LRU cold end and drops only payloads
+/// whose sole owner is the column itself, so a query never loses data under
+/// its feet — a pinned column simply stays resident past the budget until
+/// its pins drain.
+///
+/// Thread-safe. Materialization of one column is serialized under the cache
+/// mutex (first toucher loads, racers find it resident); corruption —
+/// checksum mismatch, truncated blob, undecodable stream — surfaces as a
+/// Status naming the table and column, never a crash.
+///
+/// Exported metrics (MetricsRegistry::Global, visible via tde_stats):
+///   pager.hits / pager.misses       materializations avoided / performed
+///   pager.evictions                 payloads reclaimed under budget
+///   pager.bytes_read                blob bytes fetched from the file
+///   pager.checksum_failures         corrupt blobs detected
+///   pager.bytes_resident (gauge)    compressed bytes currently cached
+class ColumnCache {
+ public:
+  explicit ColumnCache(uint64_t budget_bytes);
+  ~ColumnCache();
+
+  ColumnCache(const ColumnCache&) = delete;
+  ColumnCache& operator=(const ColumnCache&) = delete;
+
+  /// Ensures `col` is resident: LRU-bumps a resident column (hit), loads
+  /// its blobs otherwise (miss), then evicts past-budget victims.
+  Status Ensure(const Column* col);
+
+  /// Drops a column's cache entry (column destroyed or warmed). The payload
+  /// itself lives on as long as the column/pins reference it.
+  void Forget(const Column* col);
+
+  uint64_t bytes_resident() const;
+  uint64_t budget_bytes() const;
+  /// Adjusts the budget and immediately evicts down to it.
+  void set_budget_bytes(uint64_t budget);
+
+  /// Fetches the bytes of one blob into a span (possibly backed by
+  /// `*scratch`). Abstracts over mmap files, pread files, and in-memory
+  /// images.
+  using BlobReadFn = std::function<Result<std::span<const uint8_t>>(
+      const BlobRef&, std::vector<uint8_t>*)>;
+
+  /// Loads and verifies a column's blobs into a payload. No cache
+  /// bookkeeping — also the substrate of the eager v2 read path.
+  static Result<std::shared_ptr<const LoadedColumn>> LoadPayloadFrom(
+      const ColdSource& src, const BlobReadFn& read);
+
+ private:
+  void EvictLocked(const Column* keep);
+
+  mutable std::mutex mu_;
+  /// Front = most recently used. Entries are resident cold columns.
+  std::list<const Column*> lru_;
+  struct Entry {
+    std::list<const Column*>::iterator lru_pos;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<const Column*, Entry> entries_;
+  uint64_t bytes_resident_ = 0;
+  uint64_t budget_ = 0;
+
+  observe::Counter* hits_;
+  observe::Counter* misses_;
+  observe::Counter* evictions_;
+  observe::Counter* bytes_read_;
+  observe::Counter* checksum_failures_;
+  observe::Gauge* bytes_resident_gauge_;
+};
+
+}  // namespace pager
+}  // namespace tde
+
+#endif  // TDE_STORAGE_PAGER_COLUMN_CACHE_H_

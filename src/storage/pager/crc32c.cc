@@ -1,0 +1,56 @@
+#include "src/storage/pager/crc32c.h"
+
+#include <array>
+
+namespace tde {
+namespace pager {
+
+namespace {
+
+// Slicing-by-4: four derived tables, built once at first use.
+struct Tables {
+  uint32_t t[4][256];
+};
+
+Tables BuildTables() {
+  Tables tb{};
+  constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tb.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tb.t[1][i] = (tb.t[0][i] >> 8) ^ tb.t[0][tb.t[0][i] & 0xFF];
+    tb.t[2][i] = (tb.t[1][i] >> 8) ^ tb.t[0][tb.t[1][i] & 0xFF];
+    tb.t[3][i] = (tb.t[2][i] >> 8) ^ tb.t[0][tb.t[2][i] & 0xFF];
+  }
+  return tb;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed) {
+  static const Tables kTables = BuildTables();
+  const auto& t = kTables.t;
+  uint32_t crc = ~seed;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(data[0]) |
+           (static_cast<uint32_t>(data[1]) << 8) |
+           (static_cast<uint32_t>(data[2]) << 16) |
+           (static_cast<uint32_t>(data[3]) << 24);
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^
+          t[1][(crc >> 16) & 0xFF] ^ t[0][crc >> 24];
+    data += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *data++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace pager
+}  // namespace tde

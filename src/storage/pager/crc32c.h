@@ -1,0 +1,19 @@
+#ifndef TDE_STORAGE_PAGER_CRC32C_H_
+#define TDE_STORAGE_PAGER_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tde {
+namespace pager {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected). Software
+/// table-driven implementation — every column blob in a v2 database file
+/// carries its checksum so corruption is detected at materialization time,
+/// before any decode touches the bytes.
+uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+}  // namespace pager
+}  // namespace tde
+
+#endif  // TDE_STORAGE_PAGER_CRC32C_H_

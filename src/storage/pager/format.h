@@ -1,0 +1,110 @@
+#ifndef TDE_STORAGE_PAGER_FORMAT_H_
+#define TDE_STORAGE_PAGER_FORMAT_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/encoding/metadata.h"
+#include "src/storage/database_file.h"
+#include "src/storage/pager/pager_types.h"
+
+namespace tde {
+namespace pager {
+
+class ColumnCache;
+
+/// File format v2 ("TDEDB002"): a page-aligned single-file database whose
+/// column blobs are independently addressable and verifiable, so a query
+/// can fault in exactly the columns it touches.
+///
+///   [0, 64)        file header: magic, version, page size, directory
+///                  offset/length/CRC, file size, header CRC
+///   [page, ...)    column blobs — stream bytes, heap bytes, dictionary
+///                  lanes — each aligned to the page size, each carrying a
+///                  CRC32C in its directory entry
+///   [dir_offset)   the directory: per table, per column — name, type,
+///                  compression, encoding, widths, row count, min/max/
+///                  sorted/cardinality metadata, and {offset, length, CRC}
+///                  for every blob
+///
+/// The directory is everything the planner needs; opening a database is
+/// O(directory) regardless of data volume.
+constexpr uint8_t kMagicV2[8] = {'T', 'D', 'E', 'D', 'B', '0', '0', '2'};
+constexpr uint32_t kFormatVersion2 = 2;
+constexpr size_t kHeaderSizeV2 = 64;
+
+/// True when `bytes` starts with the v2 magic.
+bool IsV2Magic(const uint8_t* bytes, size_t n);
+
+/// Directory entry for one column — the serialized twin of ColdSource.
+struct ColumnEntry {
+  std::string name;
+  TypeId type = TypeId::kInteger;
+  uint8_t compression = 0;  // CompressionKind
+  EncodingType encoding = EncodingType::kUncompressed;
+  uint8_t width = 8;
+  uint8_t token_width = 8;
+  ColumnMetadata metadata;
+  uint32_t encoding_changes = 0;
+  uint64_t rows = 0;
+
+  BlobRef stream;
+
+  bool has_heap = false;
+  BlobRef heap;
+  uint64_t heap_entries = 0;
+  bool heap_sorted = false;
+  uint8_t heap_collation = 0;
+
+  bool has_dict = false;
+  BlobRef dict;
+  TypeId dict_type = TypeId::kInteger;
+  bool dict_sorted = false;
+  uint64_t dict_entries = 0;
+};
+
+struct TableEntry {
+  std::string name;
+  uint64_t rows = 0;
+  std::vector<ColumnEntry> columns;
+};
+
+struct DirectoryV2 {
+  uint32_t page_size = 0;
+  uint64_t file_size = 0;
+  std::vector<TableEntry> tables;
+};
+
+struct WriteOptionsV2 {
+  /// Alignment of every blob. Must be a power of two in [512, 1 << 20].
+  uint32_t page_size = 4096;
+};
+
+/// Serializes the database in format v2. Cold columns are pinned and their
+/// bytes copied through; the database is not mutated.
+Status SerializeDatabaseV2(const Database& db, std::vector<uint8_t>* out,
+                           const WriteOptionsV2& options = {});
+Status WriteDatabaseV2(const Database& db, const std::string& path,
+                       const WriteOptionsV2& options = {});
+
+/// Parses and validates the header + directory of a v2 image. Every
+/// length/offset is bounds-checked against the span; header and directory
+/// CRCs must match. Blob contents are NOT read (that is the cache's job).
+Result<DirectoryV2> ParseDirectoryV2(std::span<const uint8_t> file_bytes);
+
+/// Lazy open: O(directory). Returns a database whose columns are cold and
+/// materialize through `cache` on first touch. The returned tables keep the
+/// file reader and cache alive via shared ownership.
+Result<Database> OpenDatabaseV2(const std::string& path,
+                                std::shared_ptr<ColumnCache> cache);
+
+/// Eager read of a v2 image from memory: every column materialized and
+/// warmed, nothing retained. The v2 counterpart of DeserializeDatabase.
+Result<Database> ReadDatabaseV2Eager(std::span<const uint8_t> file_bytes);
+
+}  // namespace pager
+}  // namespace tde
+
+#endif  // TDE_STORAGE_PAGER_FORMAT_H_

@@ -1,0 +1,80 @@
+#ifndef TDE_STORAGE_PAGER_PAGER_TYPES_H_
+#define TDE_STORAGE_PAGER_PAGER_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/collation.h"
+#include "src/common/types.h"
+#include "src/encoding/header.h"
+#include "src/encoding/stream.h"
+#include "src/storage/dictionary.h"
+#include "src/storage/string_heap.h"
+
+namespace tde {
+namespace pager {
+
+class ColumnCache;
+class FileReader;
+
+/// One independently addressable byte range of a v2 database file.
+struct BlobRef {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc32c = 0;
+};
+
+/// The materialized pieces of one column, built from its blobs on first
+/// touch. Shared ownership is the pin mechanism: the owning Column holds
+/// one reference while resident, and every executing query pins another
+/// (Column::Pin), so the cache can only reclaim a column whose payload is
+/// referenced by nobody but the column itself.
+struct LoadedColumn {
+  std::shared_ptr<EncodedStream> stream;
+  std::shared_ptr<StringHeap> heap;
+  std::shared_ptr<ArrayDictionary> dict;
+  /// Compressed (on-disk) bytes — the unit the cache budget is charged in:
+  /// caching compressed data stretches the budget (Lin et al.).
+  uint64_t compressed_bytes = 0;
+};
+
+/// Immutable description of where a cold column's bytes live, copied out of
+/// the v2 directory at open time. Everything the planner needs (row count,
+/// widths, encoding, blob sizes) is here, so tactical decisions never fault
+/// in row data.
+struct ColdSource {
+  std::shared_ptr<FileReader> file;
+  std::shared_ptr<ColumnCache> cache;
+  std::string table_name;
+  std::string column_name;
+
+  uint64_t rows = 0;
+  uint8_t width = 8;
+  uint8_t token_width = 8;
+  EncodingType encoding = EncodingType::kUncompressed;
+
+  BlobRef stream;
+
+  bool has_heap = false;
+  BlobRef heap;
+  uint64_t heap_entries = 0;
+  bool heap_sorted = false;
+  Collation heap_collation = Collation::kLocale;
+
+  bool has_dict = false;
+  BlobRef dict;
+  TypeId dict_type = TypeId::kInteger;
+  bool dict_sorted = false;
+  uint64_t dict_entries = 0;
+
+  uint64_t CompressedBytes() const {
+    return stream.length + (has_heap ? heap.length : 0) +
+           (has_dict ? dict.length : 0);
+  }
+};
+
+}  // namespace pager
+}  // namespace tde
+
+#endif  // TDE_STORAGE_PAGER_PAGER_TYPES_H_

@@ -1,6 +1,8 @@
 #include "src/core/engine.h"
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -393,6 +395,58 @@ TEST(Engine, QueriesSurviveSaveAndReload) {
                  ->ColumnByName("l_shipmode").value();
   EXPECT_TRUE(col->heap()->sorted());
   EXPECT_TRUE(col->metadata().cardinality_known);
+}
+
+// Regression: ReplaceTable while queries run. Readers resolve the table to
+// a shared_ptr snapshot, so a concurrent swap must never crash them, and
+// every answer must be consistent with one full version of the table —
+// SUM(v) is either 1*N or 2*N, never a mix.
+TEST(Engine, ReplaceTableWhileQueriesRun) {
+  constexpr int kRows = 512;
+  constexpr int kSwaps = 40;
+  auto build = [&](int value) {
+    std::string csv = "v\n";
+    for (int i = 0; i < kRows; ++i) csv += std::to_string(value) + "\n";
+    return csv;
+  };
+
+  Engine engine;
+  ASSERT_TRUE(engine.ImportTextBuffer(build(1), "t").ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto res = engine.ExecuteSql("SELECT SUM(v) AS s FROM t");
+        if (!res.ok()) {
+          ++bad;
+          continue;
+        }
+        const Lane s = res.value().Value(0, 0);
+        if (s != 1 * kRows && s != 2 * kRows) ++bad;
+      }
+    });
+  }
+
+  // Swap between the two versions; each replacement goes through a fresh
+  // import so the new table is fully built before it enters the catalog.
+  for (int i = 0; i < kSwaps; ++i) {
+    Engine staging;
+    auto t = staging.ImportTextBuffer(build(1 + i % 2), "t");
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    ASSERT_TRUE(engine.database()->ReplaceTable(t.value()).ok());
+  }
+  stop = true;
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // The final state answers from the last version swapped in.
+  auto res = engine.ExecuteSql("SELECT SUM(v) AS s FROM t");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().Value(0, 0),
+            static_cast<Lane>((1 + (kSwaps - 1) % 2) * kRows));
 }
 
 TEST(Workload, TpchGeneratorDeterministic) {

@@ -327,8 +327,13 @@ Result<int> Engine::OptimizeTable(const std::string& table_name) {
       continue;
     }
     if (enc == EncodingType::kFrameOfReference) {
-      TDE_RETURN_NOT_OK(col->Warm());
-      if (col->data()->bits() > 15) continue;
+      // Peek the packed bit width through a transient pin: a rejected
+      // candidate stays in the cache (evictable) instead of being
+      // permanently warmed outside the budget. Candidates that pass are
+      // warmed by AlterColumnToDictionary itself.
+      TDE_ASSIGN_OR_RETURN(auto pin, col->Pin());
+      const EncodedStream* stream = pin ? pin->stream.get() : col->data();
+      if (stream == nullptr || stream->bits() > 15) continue;
     }
     // Only worthwhile for genuine dimensions: small domain, many rows.
     if (enc != EncodingType::kFrameOfReference &&

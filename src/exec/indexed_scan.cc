@@ -104,6 +104,9 @@ Status IndexedScan::Next(Block* block, bool* eos) {
     out.lanes.resize(rows);
     // The coalesced range translates into one storage access.
     const EncodedStream* stream = pin ? pin->stream.get() : col.data();
+    if (stream == nullptr) {
+      return Status::Internal("column has no data stream");
+    }
     TDE_RETURN_NOT_OK(stream->Get(block_row, rows, out.lanes.data()));
     if (col.compression() == CompressionKind::kHeap) {
       out.heap = pin ? std::shared_ptr<const StringHeap>(pin->heap)

@@ -71,6 +71,9 @@ Status TableScan::Next(Block* block, bool* eos) {
     out.type = col.type();
     out.lanes.resize(take);
     const EncodedStream* stream = pin ? pin->stream.get() : col.data();
+    if (stream == nullptr) {
+      return Status::Internal("column has no data stream");
+    }
     TDE_RETURN_NOT_OK(stream->Get(row_, take, out.lanes.data()));
     if (i >= first_token_col_) {
       // Emit the raw token lanes (heap offsets or dictionary indexes).

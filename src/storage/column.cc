@@ -6,6 +6,9 @@
 namespace tde {
 
 Column::~Column() {
+  // `cold_` is never cleared (Warm only flips `warmed_`), so a cold-born
+  // column always detaches from its cache — including a payload a racing
+  // Ensure installed after the warm.
   if (cold_ != nullptr && cold_->cache != nullptr) {
     cold_->cache->Forget(this);
   }
@@ -15,14 +18,27 @@ void Column::MakeCold(std::shared_ptr<const pager::ColdSource> src) {
   cold_ = std::move(src);
 }
 
+bool Column::cold() const {
+  if (cold_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return !warmed_;
+}
+
 bool Column::resident() const {
   if (cold_ == nullptr) return true;
   std::lock_guard<std::mutex> lock(load_mu_);
-  return resident_ != nullptr;
+  return warmed_ || resident_ != nullptr;
 }
 
 Status Column::EnsureLoaded() const {
   if (cold_ == nullptr) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(load_mu_);
+    if (warmed_) return Status::OK();
+  }
+  // Never hold load_mu_ across a cache call: the cache locks its own mutex
+  // first and then takes load_mu_ (SetResident/TryUnload), so the reverse
+  // order would deadlock.
   if (cold_->cache == nullptr) {
     return Status::Internal("cold column '" + name_ + "' has no cache");
   }
@@ -39,6 +55,8 @@ Result<std::shared_ptr<const pager::LoadedColumn>> Column::Pin() const {
   for (int attempt = 0; attempt < 64; ++attempt) {
     TDE_RETURN_NOT_OK(EnsureLoaded());
     std::lock_guard<std::mutex> lock(load_mu_);
+    // A warmed column pins like a hot one: null payload, direct members.
+    if (warmed_) return {std::shared_ptr<const pager::LoadedColumn>()};
     if (resident_ != nullptr) return {resident_};
   }
   return {Status::Internal("column '" + name_ +
@@ -49,6 +67,7 @@ Result<std::shared_ptr<const pager::LoadedColumn>> Column::Pin() const {
 std::shared_ptr<const pager::LoadedColumn> Column::PinIfResident() const {
   if (cold_ == nullptr) return nullptr;
   std::lock_guard<std::mutex> lock(load_mu_);
+  if (warmed_) return nullptr;
   return resident_;
 }
 
@@ -61,6 +80,10 @@ void Column::SetResident(
 bool Column::TryUnload() const {
   std::unique_lock<std::mutex> lock(load_mu_, std::try_to_lock);
   if (!lock.owns_lock()) return false;
+  if (warmed_) {  // the column owns its data now — the entry is stale
+    resident_.reset();
+    return true;
+  }
   if (resident_ == nullptr) return true;  // already gone — entry is stale
   if (resident_.use_count() > 1) return false;  // pinned by a query
   resident_.reset();
@@ -70,58 +93,91 @@ bool Column::TryUnload() const {
 Status Column::Warm() {
   if (cold_ == nullptr) return Status::OK();
   TDE_ASSIGN_OR_RETURN(auto pin, Pin());
-  // Adopt the payload's pieces directly; once the cache entry is forgotten
-  // this column is their sole owner.
-  data_ = pin->stream;
-  heap_ = pin->heap;
-  array_dict_ = pin->dict;
-  auto cold = std::move(cold_);
-  SetResident(nullptr);
-  if (cold->cache != nullptr) cold->cache->Forget(this);
+  {
+    std::lock_guard<std::mutex> lock(load_mu_);
+    if (pin != nullptr && !warmed_) {
+      // Adopt the payload's pieces; concurrent readers see either the cold
+      // view or the warmed view, never a half-swapped mix.
+      data_ = pin->stream;
+      heap_ = pin->heap;
+      array_dict_ = pin->dict;
+      warmed_ = true;
+      resident_.reset();
+    }
+  }
+  // Outside load_mu_ — see the lock-order note in EnsureLoaded.
+  if (cold_->cache != nullptr) cold_->cache->Forget(this);
   return Status::OK();
 }
 
-const EncodedStream* Column::data() const {
-  if (cold_ == nullptr) return data_.get();
+void Column::set_data(std::shared_ptr<EncodedStream> s) {
   std::lock_guard<std::mutex> lock(load_mu_);
-  return resident_ != nullptr ? resident_->stream.get() : nullptr;
+  data_ = std::move(s);
+}
+
+void Column::set_heap(std::shared_ptr<StringHeap> h) {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  heap_ = std::move(h);
+}
+
+void Column::set_array_dict(std::shared_ptr<ArrayDictionary> d) {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  array_dict_ = std::move(d);
+}
+
+const EncodedStream* Column::data() const {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) {
+    return resident_ != nullptr ? resident_->stream.get() : nullptr;
+  }
+  return data_.get();
 }
 
 const StringHeap* Column::heap() const {
-  if (cold_ == nullptr) return heap_.get();
   std::lock_guard<std::mutex> lock(load_mu_);
-  return resident_ != nullptr ? resident_->heap.get() : nullptr;
+  if (cold_ != nullptr && !warmed_) {
+    return resident_ != nullptr ? resident_->heap.get() : nullptr;
+  }
+  return heap_.get();
 }
 
 std::shared_ptr<StringHeap> Column::heap_ptr() const {
-  if (cold_ == nullptr) return heap_;
   std::lock_guard<std::mutex> lock(load_mu_);
-  return resident_ != nullptr ? resident_->heap : nullptr;
+  if (cold_ != nullptr && !warmed_) {
+    return resident_ != nullptr ? resident_->heap : nullptr;
+  }
+  return heap_;
 }
 
 const ArrayDictionary* Column::array_dict() const {
-  if (cold_ == nullptr) return array_dict_.get();
   std::lock_guard<std::mutex> lock(load_mu_);
-  return resident_ != nullptr ? resident_->dict.get() : nullptr;
+  if (cold_ != nullptr && !warmed_) {
+    return resident_ != nullptr ? resident_->dict.get() : nullptr;
+  }
+  return array_dict_.get();
 }
 
 uint64_t Column::rows() const {
-  if (cold_ != nullptr) return cold_->rows;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) return cold_->rows;
   return data_ ? data_->size() : 0;
 }
 
 uint8_t Column::width() const {
-  if (cold_ != nullptr) return cold_->width;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) return cold_->width;
   return data_ ? data_->width() : 8;
 }
 
 EncodingType Column::encoding_type() const {
-  if (cold_ != nullptr) return cold_->encoding;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) return cold_->encoding;
   return data_ ? data_->type() : EncodingType::kUncompressed;
 }
 
 uint8_t Column::TokenWidth() const {
-  if (cold_ != nullptr) return cold_->token_width;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) return cold_->token_width;
   if (data_ == nullptr) return 8;
   switch (data_->type()) {
     case EncodingType::kDictionary:
@@ -136,7 +192,8 @@ uint8_t Column::TokenWidth() const {
 }
 
 uint64_t Column::PhysicalSize() const {
-  if (cold_ != nullptr) return cold_->CompressedBytes();
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) return cold_->CompressedBytes();
   uint64_t n = data_ ? data_->PhysicalSize() : 0;
   if (heap_) n += heap_->byte_size();
   if (array_dict_) n += array_dict_->values.size() * 8;
@@ -144,25 +201,34 @@ uint64_t Column::PhysicalSize() const {
 }
 
 uint64_t Column::LogicalSize() const {
-  if (cold_ != nullptr) {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) {
     // Directory facts only: heap blob length is the heap byte size, the
     // dictionary is 8 bytes per entry.
     return cold_->rows * 8 + (cold_->has_heap ? cold_->heap.length : 0) +
            cold_->dict_entries * 8;
   }
-  uint64_t n = rows() * 8;  // values are parsed at the default 8-byte width
+  uint64_t n = (data_ ? data_->size() : 0) * 8;  // default 8-byte lanes
   if (heap_) n += heap_->byte_size();
   if (array_dict_) n += array_dict_->values.size() * 8;
   return n;
 }
 
 Status Column::GetLanes(uint64_t row, size_t count, Lane* out) const {
-  if (cold_ != nullptr) {
-    TDE_ASSIGN_OR_RETURN(auto pin, Pin());
-    return pin->stream->Get(row, count, out);
+  // Pin first (materializes cold columns); a null pin means the direct
+  // members hold the data. Copy the stream pointer under the lock rather
+  // than calling data() so a concurrent set_data cannot free it mid-read.
+  TDE_ASSIGN_OR_RETURN(auto pin, Pin());
+  if (pin != nullptr) return pin->stream->Get(row, count, out);
+  std::shared_ptr<EncodedStream> stream;
+  {
+    std::lock_guard<std::mutex> lock(load_mu_);
+    stream = data_;
   }
-  if (data_ == nullptr) return Status::Internal("column has no data stream");
-  return data_->Get(row, count, out);
+  if (stream == nullptr) {
+    return Status::Internal("column has no data stream");
+  }
+  return stream->Get(row, count, out);
 }
 
 }  // namespace tde

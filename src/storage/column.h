@@ -36,8 +36,10 @@ enum class CompressionKind : uint8_t {
 /// — rows, widths, encoding type, metadata, physical/logical size — answers
 /// from directory facts without faulting data in.
 ///
-/// Thread-safety of the cold state: EnsureLoaded/Pin/TryUnload synchronize
-/// on an internal mutex. Raw accessors (data(), heap(), array_dict()) on a
+/// Thread-safety: every accessor and mutator that touches the stream/heap/
+/// dictionary shared_ptrs or the cold residency state synchronizes on an
+/// internal mutex, so readers racing a Warm()/set_data() never observe a
+/// torn pointer. Raw pointers returned by data()/heap()/array_dict() on a
 /// cold column are only guaranteed stable while the caller holds a Pin —
 /// the scan operators pin for the duration of a query.
 class Column {
@@ -56,17 +58,15 @@ class Column {
 
   const EncodedStream* data() const;
   EncodedStream* mutable_data() { return data_.get(); }
-  void set_data(std::shared_ptr<EncodedStream> s) { data_ = std::move(s); }
+  void set_data(std::shared_ptr<EncodedStream> s);
 
   const StringHeap* heap() const;
   StringHeap* mutable_heap() { return heap_.get(); }
   std::shared_ptr<StringHeap> heap_ptr() const;
-  void set_heap(std::shared_ptr<StringHeap> h) { heap_ = std::move(h); }
+  void set_heap(std::shared_ptr<StringHeap> h);
 
   const ArrayDictionary* array_dict() const;
-  void set_array_dict(std::shared_ptr<ArrayDictionary> d) {
-    array_dict_ = std::move(d);
-  }
+  void set_array_dict(std::shared_ptr<ArrayDictionary> d);
 
   const ColumnMetadata& metadata() const { return meta_; }
   ColumnMetadata* mutable_metadata() { return &meta_; }
@@ -108,7 +108,7 @@ class Column {
   /// records where its blobs live. Called by the v2 open path.
   void MakeCold(std::shared_ptr<const pager::ColdSource> src);
 
-  bool cold() const { return cold_ != nullptr; }
+  bool cold() const;
   /// Cold column whose payload is currently materialized (hot columns are
   /// trivially resident).
   bool resident() const;
@@ -127,9 +127,11 @@ class Column {
   /// Pin without materializing: null if cold and not resident.
   std::shared_ptr<const pager::LoadedColumn> PinIfResident() const;
 
-  /// Promotes a cold column to a plain hot column (materializes, copies the
-  /// stream out of the shared payload, detaches from the cache). Used by
-  /// eager v2 reads and by in-place column transformations.
+  /// Promotes a cold column to a plain hot column (materializes, adopts the
+  /// shared payload as the direct members, detaches from the cache). Used
+  /// by eager v2 reads and by in-place column transformations. Safe to call
+  /// while other threads read the column: the view swaps atomically under
+  /// the internal mutex. Idempotent.
   Status Warm();
 
   /// Cache internals: installs a freshly materialized payload / attempts to
@@ -149,10 +151,13 @@ class Column {
   int encoding_changes_ = 0;
 
   // Cold state. `cold_` is set once before the column is shared and then
-  // immutable; `resident_` swaps under `load_mu_`.
+  // immutable for the column's lifetime — Warm() flips `warmed_` instead of
+  // clearing it, so a ColdSource pointer handed to the cache never dangles.
+  // `resident_` and `warmed_` swap under `load_mu_`.
   std::shared_ptr<const pager::ColdSource> cold_;
   mutable std::mutex load_mu_;
   mutable std::shared_ptr<const pager::LoadedColumn> resident_;
+  mutable bool warmed_ = false;
 };
 
 }  // namespace tde

@@ -290,14 +290,9 @@ Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes) {
 Status WriteDatabase(const Database& db, const std::string& path) {
   std::vector<uint8_t> bytes;
   TDE_RETURN_NOT_OK(SerializeDatabase(db, &bytes));
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open '" + path + "'");
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (written != bytes.size()) {
-    return Status::IOError("short write to '" + path + "'");
-  }
-  return Status::OK();
+  // Temp file + rename: atomic replace, and a lazy engine reading from
+  // `path` keeps its fd/mmap on the old inode (see WriteFileAtomic).
+  return pager::WriteFileAtomic(path, bytes);
 }
 
 Result<Database> ReadDatabase(const std::string& path) {

@@ -122,30 +122,48 @@ Result<std::shared_ptr<const LoadedColumn>> ColumnCache::LoadPayloadFrom(
 Status ColumnCache::Ensure(const Column* col) {
   const ColdSource* src = col->cold_source();
   if (src == nullptr) return Status::OK();  // hot columns are never cached
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(col);
-  if (it != entries_.end() && col->resident()) {
-    hits_->Add();
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (col->resident()) {
+        hits_->Add();
+        auto it = entries_.find(col);
+        if (it != entries_.end()) {
+          lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        }
+        return Status::OK();
+      }
+      // One loader per column: the first toucher claims the slot, racers
+      // wait on the condvar and re-check. Touches of *other* columns —
+      // LRU hits or their own loads — proceed unblocked.
+      if (loading_.insert(col).second) break;
+      load_cv_.wait(lock);
+    }
+    misses_->Add();
   }
-  // First touch (or re-touch after eviction): load under the cache lock so
-  // concurrent touchers of the same column wait for one materialization.
-  misses_->Add();
-  TDE_ASSIGN_OR_RETURN(
-      auto payload,
-      LoadPayloadImpl(*src, FileReadFn(*src), bytes_read_,
-                      checksum_failures_));
+
+  // Blob fetch, checksum and decode run outside the cache lock, so one slow
+  // cold materialization never serializes unrelated queries.
+  auto payload_r =
+      LoadPayloadImpl(*src, FileReadFn(*src), bytes_read_, checksum_failures_);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  loading_.erase(col);
+  load_cv_.notify_all();
+  if (!payload_r.ok()) return payload_r.status();
+  auto payload = payload_r.MoveValue();
   const uint64_t bytes = payload->compressed_bytes;
   col->SetResident(std::move(payload));
+  auto it = entries_.find(col);
   if (it == entries_.end()) {
     lru_.push_front(col);
     entries_[col] = Entry{lru_.begin(), bytes};
+    bytes_resident_ += bytes;
   } else {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    bytes_resident_ += bytes - it->second.bytes;
     it->second.bytes = bytes;
   }
-  bytes_resident_ += bytes;
   EvictLocked(/*keep=*/col);
   bytes_resident_gauge_->Set(static_cast<int64_t>(bytes_resident_));
   return Status::OK();

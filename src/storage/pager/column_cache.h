@@ -1,6 +1,7 @@
 #ifndef TDE_STORAGE_PAGER_COLUMN_CACHE_H_
 #define TDE_STORAGE_PAGER_COLUMN_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/common/status.h"
 #include "src/storage/pager/pager_types.h"
@@ -37,10 +39,13 @@ namespace pager {
 /// its feet — a pinned column simply stays resident past the budget until
 /// its pins drain.
 ///
-/// Thread-safe. Materialization of one column is serialized under the cache
-/// mutex (first toucher loads, racers find it resident); corruption —
-/// checksum mismatch, truncated blob, undecodable stream — surfaces as a
-/// Status naming the table and column, never a crash.
+/// Thread-safe. The cache mutex covers bookkeeping only; blob I/O,
+/// checksumming and decoding happen outside it with a per-column in-flight
+/// set, so concurrent touchers of the *same* column wait for its one
+/// materialization while touches of other columns (hits or loads) proceed
+/// in parallel. Corruption — checksum mismatch, truncated blob, undecodable
+/// stream — surfaces as a Status naming the table and column, never a
+/// crash.
 ///
 /// Exported metrics (MetricsRegistry::Global, visible via tde_stats):
 ///   pager.hits / pager.misses       materializations avoided / performed
@@ -91,6 +96,11 @@ class ColumnCache {
     uint64_t bytes = 0;
   };
   std::unordered_map<const Column*, Entry> entries_;
+  /// Columns whose materialization is in flight outside the lock; waiters
+  /// block on `load_cv_` until the loader finishes (or fails, in which
+  /// case a waiter retries the load itself).
+  std::unordered_set<const Column*> loading_;
+  std::condition_variable load_cv_;
   uint64_t bytes_resident_ = 0;
   uint64_t budget_ = 0;
 

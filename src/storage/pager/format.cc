@@ -1,5 +1,7 @@
 #include "src/storage/pager/format.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -292,6 +294,27 @@ bool IsV2Magic(const uint8_t* bytes, size_t n) {
          std::memcmp(bytes, kMagicV2, sizeof(kMagicV2)) == 0;
 }
 
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open '" + tmp + "'");
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename '" + tmp + "' over '" + path +
+                           "'");
+  }
+  return Status::OK();
+}
+
 Status SerializeDatabaseV2(const Database& db, std::vector<uint8_t>* out,
                            const WriteOptionsV2& options) {
   if (!ValidPageSize(options.page_size)) {
@@ -420,14 +443,7 @@ Status WriteDatabaseV2(const Database& db, const std::string& path,
                        const WriteOptionsV2& options) {
   std::vector<uint8_t> bytes;
   TDE_RETURN_NOT_OK(SerializeDatabaseV2(db, &bytes, options));
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open '" + path + "'");
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (written != bytes.size()) {
-    return Status::IOError("short write to '" + path + "'");
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, bytes);
 }
 
 namespace {

@@ -89,6 +89,14 @@ Status SerializeDatabaseV2(const Database& db, std::vector<uint8_t>* out,
 Status WriteDatabaseV2(const Database& db, const std::string& path,
                        const WriteOptionsV2& options = {});
 
+/// Writes `bytes` to a sibling temp file, fsyncs, and rename()s it over
+/// `path`. The switch is atomic: a crash mid-write leaves the old file
+/// intact, and an engine lazily reading from `path` keeps its mmap/fd on
+/// the old inode, so its directory offsets stay valid instead of dangling
+/// over a truncated in-place rewrite. Used by both the v1 and v2 writers.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+
 /// Parses and validates the header + directory of a v2 image. Every
 /// length/offset is bounds-checked against the span; header and directory
 /// CRCs must match. Blob contents are NOT read (that is the cache's job).

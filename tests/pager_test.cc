@@ -363,6 +363,114 @@ TEST(FormatV2, SaveOfLazyDatabaseCopiesThrough) {
   std::remove(path2.c_str());
 }
 
+TEST(FormatV2, SaveToSourcePathOfLazyDatabaseKeepsColdReadsValid) {
+  const std::string path = TempPath("pager_inplace.tde");
+  ASSERT_TRUE(pager::WriteDatabaseV2(MakeDatabase(), path).ok());
+  auto cache = std::make_shared<ColumnCache>(64ull << 20);
+  auto db = pager::OpenDatabaseV2(path, cache);
+  ASSERT_TRUE(db.ok());
+  auto t = db.value().GetTable("facts").value();
+
+  // Materialize one column; the rest stay cold against the open file.
+  std::vector<Lane> lanes(5);
+  ASSERT_TRUE(t->ColumnByName("id").value()->GetLanes(0, 5, lanes.data()).ok());
+
+  // The open→optimize→save flow: rewrite the file the engine is lazily
+  // reading from. The temp-file + rename() switch keeps the old inode
+  // alive under the engine's mmap/fd, so cold directory offsets stay valid.
+  ASSERT_TRUE(pager::WriteDatabaseV2(db.value(), path).ok());
+  std::FILE* leftover = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(leftover, nullptr) << "temp file must not survive the rename";
+  if (leftover != nullptr) std::fclose(leftover);
+
+  // Still-cold columns fault in through the original mapping.
+  CheckFactsTable(*t);
+
+  // Evict everything and re-read: evicted columns also reload correctly
+  // after the save (reads go to the original inode, not the new file).
+  cache->set_budget_bytes(0);
+  for (size_t i = 0; i < t->num_columns(); ++i) {
+    EXPECT_FALSE(t->column(i).resident());
+  }
+  CheckFactsTable(*t);
+
+  // And the rewritten file itself opens clean.
+  auto cache2 = std::make_shared<ColumnCache>(64ull << 20);
+  auto reopened = pager::OpenDatabaseV2(path, cache2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  CheckFactsTable(*reopened.value().GetTable("facts").value());
+  std::remove(path.c_str());
+}
+
+TEST(FormatV2, WarmRacesWithConcurrentReaders) {
+  const std::string path = TempPath("pager_warmrace.tde");
+  ASSERT_TRUE(pager::WriteDatabaseV2(MakeDatabase(), path).ok());
+  for (int round = 0; round < 20; ++round) {
+    auto cache = std::make_shared<ColumnCache>(1);  // constant churn
+    auto db = pager::OpenDatabaseV2(path, cache);
+    ASSERT_TRUE(db.ok());
+    auto t = db.value().GetTable("facts").value();
+    auto tag = t->ColumnByName("tag").value();
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    for (int w = 0; w < 3; ++w) {
+      readers.emplace_back([&] {
+        for (int i = 0; i < 30; ++i) {
+          std::vector<Lane> lanes(5);
+          auto pin = tag->Pin();
+          if (!pin.ok() || !tag->GetLanes(0, 5, lanes.data()).ok() ||
+              tag->GetString(lanes[3]) != "c") {
+            ++failures;
+          }
+          (void)tag->rows();
+          (void)tag->PhysicalSize();
+          (void)tag->encoding_type();
+        }
+      });
+    }
+    // Warm mid-flight, as OptimizeTable would on a live shared table.
+    std::thread warmer([&] {
+      if (!tag->Warm().ok()) ++failures;
+    });
+    for (auto& th : readers) th.join();
+    warmer.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_FALSE(tag->cold());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FormatV2, ConcurrentLoadsOfDistinctColumnsDoNotSerialize) {
+  const std::string path = TempPath("pager_parallel.tde");
+  ASSERT_TRUE(pager::WriteDatabaseV2(MakeDatabase(), path).ok());
+  auto cache = std::make_shared<ColumnCache>(64ull << 20);
+  auto db = pager::OpenDatabaseV2(path, cache);
+  ASSERT_TRUE(db.ok());
+  auto t = db.value().GetTable("facts").value();
+
+  // Four threads fault in four different columns at once; each load runs
+  // its I/O outside the cache lock, and every result must be correct.
+  const char* names[] = {"id", "v", "tag", "dim"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (const char* name : names) {
+    threads.emplace_back([&, name] {
+      auto col = t->ColumnByName(name).value();
+      std::vector<Lane> lanes(5);
+      for (int i = 0; i < 20; ++i) {
+        if (!col->GetLanes(0, 5, lanes.data()).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (const char* name : names) {
+    EXPECT_TRUE(t->ColumnByName(name).value()->resident()) << name;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(EngineV2, OpenDatabaseIsLazyAndStatsAreVisibleInSql) {
   Engine engine;
   std::vector<Lane> big(10000);
@@ -409,6 +517,43 @@ TEST(EngineV2, V1FilesStillOpen) {
   ASSERT_TRUE(e.ok()) << e.status().ToString();
   EXPECT_EQ(e.value().column_cache(), nullptr);  // eager: no cache
   CheckFactsTable(*e.value().database()->GetTable("facts").value());
+  std::remove(path.c_str());
+}
+
+TEST(EngineV2, OptimizeTableDoesNotDetachRejectedForCandidates) {
+  Engine engine;
+  // Range 65536 (16-bit FOR packing, > the 15-bit dictionary cap) and more
+  // distinct values than the dictionary tracker follows, so the encoder
+  // picks frame-of-reference and OptimizeTable must reject the column.
+  std::vector<Lane> wide(70000);
+  for (size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = 1000000 + static_cast<Lane>((i * 48271) % 65536);
+  }
+  auto t = std::make_shared<Table>("w");
+  t->AddColumn(MakeIntColumn("a", wide));
+  engine.database()->AddTable(t);
+  ASSERT_EQ(t->column(0).encoding_type(), EncodingType::kFrameOfReference);
+  ASSERT_GT(t->column(0).data()->bits(), 15);
+
+  const std::string path = TempPath("pager_optreject.tde");
+  ASSERT_TRUE(engine.SaveDatabase(path).ok());
+
+  Engine::OpenOptions oopts;
+  oopts.cache_budget_bytes = 32ull << 20;
+  auto reopened = Engine::OpenDatabase(path, oopts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Engine& e2 = reopened.value();
+  auto converted = e2.OptimizeTable("w");
+  ASSERT_TRUE(converted.ok()) << converted.status().ToString();
+  EXPECT_EQ(converted.value(), 0);
+
+  // The bit-width peek used a transient pin, not Warm(): the rejected
+  // candidate stays cold and its payload still answers to the budget.
+  auto col = e2.database()->GetTable("w").value()->ColumnByName("a").value();
+  EXPECT_TRUE(col->cold());
+  ASSERT_NE(e2.column_cache(), nullptr);
+  e2.column_cache()->set_budget_bytes(0);
+  EXPECT_FALSE(col->resident());
   std::remove(path.c_str());
 }
 

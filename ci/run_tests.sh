@@ -20,6 +20,10 @@ cmake --build "$BUILD" -j"$(nproc)"
 
 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
+# Second pass with mmap disabled: the pager's read()-fallback path must
+# produce identical results — lazy column loads go through plain I/O.
+TDE_NO_MMAP=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
 # Same suite under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # storage pager and the corruption sweeps must be clean under both.
 if [[ "${TDE_SKIP_SANITIZE:-0}" != "1" ]]; then

@@ -1,0 +1,38 @@
+#ifndef TDE_EXEC_COMPRESSED_PREDICATE_H_
+#define TDE_EXEC_COMPRESSED_PREDICATE_H_
+
+#include "src/exec/expression.h"
+
+namespace tde {
+namespace expr {
+
+/// Dictionary-code predicate rewrite (the compressed-domain evaluation the
+/// paper's Sect. 4.1 invisible join approximates for full table rewrites,
+/// applied here to any filter): every maximal boolean subtree of `pred`
+/// that reads exactly one string column is wrapped in a predicate that
+/// translates it ONCE per distinct heap — by evaluating the original
+/// subtree over the heap's token domain plus the NULL sentinel — into a
+/// contiguous token range (sorted heaps turn equality/range predicates
+/// into one interval) or a token set. Rows are then filtered with one
+/// integer comparison or hash probe per lane: no heap lookups, no
+/// collation calls.
+///
+/// The wrapper is behavior-preserving by construction: the translation is
+/// the original predicate's truth table over the column's domain, so any
+/// row-local boolean expression (=, <>, range, IN, LIKE, IS NULL, NOT and
+/// combinations) is eligible. Blocks whose column carries no heap fall
+/// back to the original expression.
+///
+/// Returns the rewritten predicate (or `pred` unchanged) and adds the
+/// number of wrapped subtrees to *rewrites.
+ExprPtr RewriteDictPredicates(const ExprPtr& pred, const Schema& schema,
+                              int* rewrites);
+
+/// True iff `e` is a dictionary-code wrapper produced by
+/// RewriteDictPredicates (tests / EXPLAIN inspection).
+bool IsDictCodePredicate(const ExprPtr& e);
+
+}  // namespace expr
+}  // namespace tde
+
+#endif  // TDE_EXEC_COMPRESSED_PREDICATE_H_

@@ -159,6 +159,10 @@ class CompareExpr : public Expression {
     l_->CollectColumns(out);
     r_->CollectColumns(out);
   }
+  bool AsCompare(CompareOp* op) const override {
+    *op = op_;
+    return true;
+  }
   std::vector<ExprPtr> Children() const override { return {l_, r_}; }
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<CompareExpr>(op_, std::move(c[0]), std::move(c[1]));
@@ -291,6 +295,9 @@ class LogicalExpr : public Expression {
     l_->CollectColumns(out);
     r_->CollectColumns(out);
   }
+  ExprShape Shape() const override {
+    return is_and_ ? ExprShape::kAnd : ExprShape::kOr;
+  }
   std::vector<ExprPtr> Children() const override { return {l_, r_}; }
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<LogicalExpr>(is_and_, std::move(c[0]),
@@ -321,6 +328,7 @@ class NotExpr : public Expression {
   void CollectColumns(std::vector<std::string>* out) const override {
     e_->CollectColumns(out);
   }
+  ExprShape Shape() const override { return ExprShape::kNot; }
   std::vector<ExprPtr> Children() const override { return {e_}; }
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<NotExpr>(std::move(c[0]));
@@ -355,6 +363,7 @@ class IsNullExpr : public Expression {
   void CollectColumns(std::vector<std::string>* out) const override {
     e_->CollectColumns(out);
   }
+  ExprShape Shape() const override { return ExprShape::kIsNull; }
   std::vector<ExprPtr> Children() const override { return {e_}; }
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<IsNullExpr>(std::move(c[0]));
@@ -362,6 +371,85 @@ class IsNullExpr : public Expression {
 
  private:
   ExprPtr e_;
+};
+
+class InExpr : public Expression {
+ public:
+  InExpr(ExprPtr input, std::vector<ExprPtr> values)
+      : input_(std::move(input)), values_(std::move(values)) {}
+
+  Result<ColumnVector> Eval(const Block& block,
+                            const Schema& schema) const override {
+    TDE_ASSIGN_OR_RETURN(ColumnVector in, input_->Eval(block, schema));
+    std::vector<ColumnVector> vals;
+    vals.reserve(values_.size());
+    for (const ExprPtr& v : values_) {
+      TDE_ASSIGN_OR_RETURN(ColumnVector cv, v->Eval(block, schema));
+      vals.push_back(std::move(cv));
+    }
+    ColumnVector out;
+    out.type = TypeId::kBool;
+    const size_t n = block.rows();
+    out.lanes.assign(n, 0);
+    const bool strings = in.type == TypeId::kString;
+    for (size_t i = 0; i < n; ++i) {
+      const Lane a = in.lanes[i];
+      if (a == kNullSentinel) continue;  // NULL never matches
+      for (const ColumnVector& vv : vals) {
+        const Lane b = vv.lanes[i];
+        if (b == kNullSentinel) continue;
+        bool eq;
+        if (strings) {
+          if (in.heap != nullptr && in.heap == vv.heap && in.heap->sorted()) {
+            eq = a == b;
+          } else {
+            eq = Collate(in.heap != nullptr ? in.heap->collation()
+                                            : Collation::kLocale,
+                         in.heap->Get(a), vv.heap->Get(b)) == 0;
+          }
+        } else if (in.type == TypeId::kReal || vv.type == TypeId::kReal) {
+          eq = AsReal(in.type, a) == AsReal(vv.type, b);
+        } else {
+          eq = a == b;
+        }
+        if (eq) {
+          out.lanes[i] = 1;
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  Result<TypeId> ResultType(const Schema&) const override {
+    return TypeId::kBool;
+  }
+  std::string ToString() const override {
+    std::string s = "(" + input_->ToString() + " IN (";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += values_[i]->ToString();
+    }
+    return s + "))";
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    input_->CollectColumns(out);
+    for (const ExprPtr& v : values_) v->CollectColumns(out);
+  }
+  ExprShape Shape() const override { return ExprShape::kIn; }
+  std::vector<ExprPtr> Children() const override {
+    std::vector<ExprPtr> kids = {input_};
+    kids.insert(kids.end(), values_.begin(), values_.end());
+    return kids;
+  }
+  ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
+    ExprPtr input = std::move(c[0]);
+    c.erase(c.begin());
+    return std::make_shared<InExpr>(std::move(input), std::move(c));
+  }
+
+ private:
+  ExprPtr input_;
+  std::vector<ExprPtr> values_;
 };
 
 class LikeExpr : public Expression {
@@ -696,6 +784,9 @@ ExprPtr Or(ExprPtr l, ExprPtr r) {
 }
 ExprPtr Not(ExprPtr e) { return std::make_shared<NotExpr>(std::move(e)); }
 ExprPtr IsNull(ExprPtr e) { return std::make_shared<IsNullExpr>(std::move(e)); }
+ExprPtr In(ExprPtr input, std::vector<ExprPtr> values) {
+  return std::make_shared<InExpr>(std::move(input), std::move(values));
+}
 ExprPtr Like(ExprPtr input, std::string pattern) {
   return std::make_shared<LikeExpr>(std::move(input), std::move(pattern));
 }

@@ -29,6 +29,10 @@ enum class StrFunc {
 class Expression;
 using ExprPtr = std::shared_ptr<const Expression>;
 
+/// Coarse structural tags for the optimizer's predicate analysis (metadata
+/// folding needs to see through connectives without dynamic_cast).
+enum class ExprShape { kOther, kAnd, kOr, kNot, kIsNull, kIn };
+
 /// A scalar expression evaluated block-at-a-time. Expressions are immutable
 /// and shareable; evaluation binds column references against the block's
 /// schema by name.
@@ -53,6 +57,15 @@ class Expression {
   virtual bool AsLiteral(TypeId* type, Lane* value) const {
     (void)type;
     (void)value;
+    return false;
+  }
+
+  /// Structural tag for optimizer analysis (connectives, IS NULL, IN).
+  virtual ExprShape Shape() const { return ExprShape::kOther; }
+
+  /// True iff this is a comparison; fills the operator when so.
+  virtual bool AsCompare(CompareOp* op) const {
+    (void)op;
     return false;
   }
 
@@ -103,6 +116,12 @@ ExprPtr Or(ExprPtr l, ExprPtr r);
 ExprPtr Not(ExprPtr e);
 
 ExprPtr IsNull(ExprPtr e);
+
+/// SQL IN over a literal list: true when the input equals any of `values`
+/// (same comparison semantics as Eq — collation for strings, O(1) token
+/// comparison when input and value share a sorted heap). A NULL input
+/// never matches (comparisons with NULL are false).
+ExprPtr In(ExprPtr input, std::vector<ExprPtr> values);
 
 /// SQL LIKE over strings: '%' matches any run, '_' any single byte. Case
 /// folding follows the input heap's collation (locale collation folds

@@ -34,7 +34,7 @@ Status SortColumnHeap(Column* col, bool* applied) {
   // remap that records what it sees).
   std::vector<Lane> old_tokens;
   TDE_RETURN_NOT_OK(RemapDictEntries(buf, [&](Lane v) {
-    old_tokens.push_back(v);
+    if (v != kNullSentinel) old_tokens.push_back(v);
     return v;
   }));
 
@@ -47,7 +47,8 @@ Status SortColumnHeap(Column* col, bool* applied) {
 
   auto sorted_heap = std::make_shared<StringHeap>(heap->collation());
   std::unordered_map<Lane, Lane> remap;
-  remap.reserve(old_tokens.size());
+  remap.reserve(old_tokens.size() + 1);
+  remap[kNullSentinel] = kNullSentinel;  // NULL entries never touch the heap
   for (size_t i : order) {
     remap[old_tokens[i]] = sorted_heap->Add(heap->Get(old_tokens[i]));
   }

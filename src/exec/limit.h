@@ -10,6 +10,13 @@ namespace tde {
 
 /// Flow operator: passes through the first `limit` rows (Tableau's "top N"
 /// views after an ORDER BY).
+///
+/// The child is shut down as soon as the limit is reached rather than at
+/// the operator's own Close: upstream pipelines with background resources
+/// (Exchange worker threads, pinned cold columns) stop producing instead
+/// of filling queues nobody will drain. A LIMIT 0 never opens the child at
+/// all — that is what lets a metadata-pruned filter stand in for a scan
+/// without faulting a single column.
 class Limit : public Operator {
  public:
   Limit(std::unique_ptr<Operator> child, uint64_t limit)
@@ -17,37 +24,52 @@ class Limit : public Operator {
 
   Status Open() override {
     produced_ = 0;
-    return child_->Open();
+    if (limit_ == 0) return Status::OK();  // child stays closed (and cold)
+    TDE_RETURN_NOT_OK(child_->Open());
+    child_open_ = true;
+    return Status::OK();
   }
 
   Status Next(Block* block, bool* eos) override {
     if (produced_ >= limit_) {
+      ReleaseChild();
       block->columns.clear();
       *eos = true;
       return Status::OK();
     }
     TDE_RETURN_NOT_OK(child_->Next(block, eos));
-    if (*eos) return Status::OK();
+    if (*eos) {
+      ReleaseChild();
+      return Status::OK();
+    }
     const uint64_t n = block->rows();
     if (produced_ + n > limit_) {
       const size_t keep_n = static_cast<size_t>(limit_ - produced_);
       for (auto& col : block->columns) col.lanes.resize(keep_n);
       produced_ = limit_;
+      ReleaseChild();
     } else {
       produced_ += n;
     }
     return Status::OK();
   }
 
-  void Close() override { child_->Close(); }
+  void Close() override { ReleaseChild(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
 
  private:
+  void ReleaseChild() {
+    if (!child_open_) return;
+    child_open_ = false;
+    child_->Close();
+  }
+
   std::unique_ptr<Operator> child_;
   uint64_t limit_;
   uint64_t produced_ = 0;
+  bool child_open_ = false;
 };
 
 }  // namespace tde

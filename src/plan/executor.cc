@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/exec/compressed_predicate.h"
 #include "src/exec/dictionary_table.h"
 #include "src/exec/filter.h"
 #include "src/exec/instrument.h"
@@ -69,16 +70,48 @@ Result<BuiltPlan> BuildScan(const PlanNode& node) {
   return out;
 }
 
+/// Rewrites eligible string-column subtrees of `pred` into dictionary-code
+/// predicates against `schema`, recording the rewrite count in metrics and
+/// `notes`. Returns `pred` unchanged when the plan opted out.
+ExprPtr LowerPredicate(const ExprPtr& pred, bool compressed_eval,
+                       const Schema& schema, std::vector<std::string>* notes,
+                       int* rewrites) {
+  *rewrites = 0;
+  if (!compressed_eval || pred == nullptr) return pred;
+  ExprPtr lowered = expr::RewriteDictPredicates(pred, schema, rewrites);
+  if (*rewrites > 0) {
+    notes->push_back("filter: " + std::to_string(*rewrites) +
+                     " dictionary-code predicate(s)");
+    if (observe::StatsEnabled()) {
+      observe::MetricsRegistry::Global()
+          .GetCounter("filter.dict_rewrites")
+          ->Add(static_cast<uint64_t>(*rewrites));
+    }
+  }
+  return lowered;
+}
+
 Result<BuiltPlan> BuildFilter(const PlanNode& node, BuiltPlan child) {
   BuiltPlan out;
   out.notes = std::move(child.notes);
-  out.op = std::make_unique<Filter>(std::move(child.op), node.predicate);
+  int dict_rewrites = 0;
+  ExprPtr pred =
+      LowerPredicate(node.predicate, node.compressed_eval,
+                     child.op->output_schema(), &out.notes, &dict_rewrites);
+  out.op = std::make_unique<Filter>(std::move(child.op), std::move(pred));
   // Filtering keeps value bounds and order but can destroy density
   // (Sect. 3.4.2: "the filter will remove an existing dense attribute").
   out.props = std::move(child.props);
   for (auto& [name, p] : out.props) p.meta.dense = false;
   out.grouped_on = child.grouped_on;
-  Attach(&out, "Filter", {std::move(child.stats)});
+  std::function<void(observe::OperatorStats*)> on_close;
+  if (dict_rewrites > 0) {
+    on_close = [dict_rewrites](observe::OperatorStats* s) {
+      s->extras.emplace_back("dict_rewrites",
+                             static_cast<uint64_t>(dict_rewrites));
+    };
+  }
+  Attach(&out, "Filter", {std::move(child.stats)}, std::move(on_close));
   return out;
 }
 
@@ -257,14 +290,29 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
   TDE_ASSIGN_OR_RETURN(auto col, node.table->ColumnByName(node.index_column));
   TDE_ASSIGN_OR_RETURN(std::vector<IndexEntry> index, BuildIndexTable(*col));
 
-  // Push the predicate down to the (tiny) index side: evaluate it over the
-  // entry values and keep qualifying ranges.
+  // Share the payload heap for cold columns so it survives eviction; the
+  // index-side predicate below needs it too when the values are tokens.
+  std::shared_ptr<const StringHeap> value_heap;
+  if (col->compression() == CompressionKind::kHeap) {
+    TDE_ASSIGN_OR_RETURN(auto heap_pin, col->Pin());
+    value_heap = heap_pin
+                     ? std::shared_ptr<const StringHeap>(heap_pin->heap)
+                     : std::shared_ptr<const StringHeap>(col, col->heap());
+  }
+
+  // Push the predicate down to the (tiny) index side: evaluate it once per
+  // run over the entry values and keep qualifying ranges — whole runs are
+  // emitted or skipped without ever touching their rows.
+  uint64_t runs_skipped = 0;
+  uint64_t rows_pruned = 0;
+  const size_t total_runs = index.size();
   if (node.index_predicate != nullptr) {
     Schema index_schema;
     index_schema.AddField({node.index_column, col->type()});
     Block b;
     b.columns.resize(1);
     b.columns[0].type = col->type();
+    b.columns[0].heap = value_heap;
     b.columns[0].lanes.reserve(index.size());
     for (const IndexEntry& e : index) b.columns[0].lanes.push_back(e.value);
     TDE_ASSIGN_OR_RETURN(ColumnVector mask,
@@ -272,9 +320,19 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
     std::vector<IndexEntry> kept;
     kept.reserve(index.size());
     for (size_t i = 0; i < index.size(); ++i) {
-      if (mask.lanes[i] == 1) kept.push_back(index[i]);
+      if (mask.lanes[i] == 1) {
+        kept.push_back(index[i]);
+      } else {
+        ++runs_skipped;
+        rows_pruned += index[i].count;
+      }
     }
     index = std::move(kept);
+    if (observe::StatsEnabled() && node.index_predicate != nullptr) {
+      observe::MetricsRegistry& reg = observe::MetricsRegistry::Global();
+      reg.GetCounter("filter.runs_skipped")->Add(runs_skipped);
+      reg.GetCounter("filter.rows_pruned")->Add(rows_pruned);
+    }
   }
 
   // Tactical decision (Sect. 4.2.2): sort the index for ordered retrieval
@@ -291,13 +349,7 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
   IndexedScanOptions opts;
   opts.value_name = node.index_column;
   opts.value_type = col->type();
-  if (col->compression() == CompressionKind::kHeap) {
-    // Share the payload heap for cold columns so it survives eviction.
-    TDE_ASSIGN_OR_RETURN(auto heap_pin, col->Pin());
-    opts.value_heap =
-        heap_pin ? std::shared_ptr<const StringHeap>(heap_pin->heap)
-                 : std::shared_ptr<const StringHeap>(col, col->heap());
-  }
+  opts.value_heap = std::move(value_heap);
   opts.payload = node.payload;
   BuiltPlan out;
   out.notes.push_back(
@@ -305,6 +357,12 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
       std::to_string(index.size()) + " qualifying entries" +
       (choice.sort_index ? ", sorted by value" : "") +
       (choice.ordered_aggregation ? ", enables ordered aggregation" : ""));
+  if (node.index_predicate != nullptr) {
+    out.notes.push_back("run filter(" + node.index_column + "): skipped " +
+                        std::to_string(runs_skipped) + "/" +
+                        std::to_string(total_runs) + " runs (" +
+                        std::to_string(rows_pruned) + " rows)");
+  }
   out.props[node.index_column] = PropsOf(*col);
   for (const std::string& p : node.payload) {
     TDE_ASSIGN_OR_RETURN(auto pc, node.table->ColumnByName(p));
@@ -313,7 +371,15 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
   if (choice.ordered_aggregation) out.grouped_on = node.index_column;
   out.op = std::make_unique<IndexedScan>(node.table, std::move(index),
                                          std::move(opts));
-  Attach(&out, "IndexedScan(" + node.index_column + ")", {});
+  std::function<void(observe::OperatorStats*)> on_close;
+  if (node.index_predicate != nullptr) {
+    on_close = [runs_skipped, rows_pruned](observe::OperatorStats* s) {
+      s->extras.emplace_back("runs_skipped", runs_skipped);
+      s->extras.emplace_back("rows_pruned", rows_pruned);
+    };
+  }
+  Attach(&out, "IndexedScan(" + node.index_column + ")", {},
+         std::move(on_close));
   return out;
 }
 
@@ -325,9 +391,15 @@ Result<BuiltPlan> BuildExchange(const PlanNode& node) {
   opts.workers = node.exchange_workers;
   opts.order_preserving = node.order_preserving;
   BuiltPlan built_child;
+  int dict_rewrites = 0;
   if (child->kind == PlanNodeKind::kFilter) {
-    ExprPtr pred = child->predicate;
     TDE_ASSIGN_OR_RETURN(built_child, BuildExecutable(child->children[0]));
+    // The same dictionary-code lowering as BuildFilter; the wrapper's
+    // translation cache is mutex-guarded, so workers share it safely.
+    ExprPtr pred =
+        LowerPredicate(child->predicate, child->compressed_eval,
+                       built_child.op->output_schema(), &built_child.notes,
+                       &dict_rewrites);
     opts.transform = [pred](const Schema& schema, Block* block) -> Status {
       TDE_ASSIGN_OR_RETURN(ColumnVector mask, pred->Eval(*block, schema));
       std::vector<char> keep(block->rows());
@@ -432,8 +504,25 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
       out.props = std::move(child.props);
       out.grouped_on = child.grouped_on;
       out.op = std::make_unique<Limit>(std::move(child.op), node->limit);
+      std::function<void(observe::OperatorStats*)> on_close;
+      if (node->pruned_rows > 0) {
+        // A metadata-pruned filter: the LIMIT 0 stands in for a scan whose
+        // predicate the directory proved always-false.
+        out.notes.push_back("metadata prune: filter provably false, " +
+                            std::to_string(node->pruned_rows) +
+                            " rows eliminated without scanning");
+        if (observe::StatsEnabled()) {
+          observe::MetricsRegistry::Global()
+              .GetCounter("filter.rows_pruned")
+              ->Add(node->pruned_rows);
+        }
+        const uint64_t pruned = node->pruned_rows;
+        on_close = [pruned](observe::OperatorStats* s) {
+          s->extras.emplace_back("rows_pruned", pruned);
+        };
+      }
       Attach(&out, "Limit(" + std::to_string(node->limit) + ")",
-             {std::move(child.stats)});
+             {std::move(child.stats)}, std::move(on_close));
       return out;
     }
     case PlanNodeKind::kExchange:

@@ -46,6 +46,10 @@ struct PlanNode {
 
   // kFilter
   ExprPtr predicate;
+  /// Lowering may evaluate eligible predicate subtrees in the compressed
+  /// (dictionary-code) domain. Cleared by the strategic optimizer when
+  /// StrategicOptions::enable_dict_predicates is off.
+  bool compressed_eval = true;
 
   // kProject
   std::vector<ProjectedColumn> projections;
@@ -88,6 +92,9 @@ struct PlanNode {
 
   // kLimit
   uint64_t limit = 0;
+  /// Rows a metadata-pruned filter proved away (set on the LIMIT 0 node
+  /// that replaces it, for metrics and EXPLAIN ANALYZE).
+  uint64_t pruned_rows = 0;
 };
 
 /// Fluent builder for logical plans.

@@ -100,6 +100,253 @@ PlanNodePtr TryRankJoin(const PlanNodePtr& agg) {
   return new_agg;
 }
 
+// --- Metadata pruning (Sect. 3.4.2 applied to filtering) ------------------
+
+/// Three-valued verdict of folding a predicate against column metadata:
+/// provably false for every row, provably true for every row, or unknown.
+enum class Tri { kFalse, kTrue, kUnknown };
+
+/// Types whose lanes order like their values. Reals are excluded (lane
+/// bits do not order like doubles) and so are strings (lanes are heap
+/// tokens).
+bool LaneComparable(TypeId t) {
+  return t == TypeId::kInteger || t == TypeId::kDate ||
+         t == TypeId::kDateTime || t == TypeId::kBool;
+}
+
+/// Folds `col OP v` against min/max/nullability. The encoder's min
+/// includes the NULL sentinel when NULLs are present (it is INT64_MIN
+/// then), so min-based always-false tests simply never fire on nullable
+/// columns; max is the true maximum of non-NULL values either way.
+/// Always-TRUE verdicts additionally require a proven absence of NULLs,
+/// because a NULL row makes any comparison false.
+Tri FoldCompare(CompareOp op, const ColumnMetadata& m, Lane v) {
+  if (v == kNullSentinel) return Tri::kFalse;  // x OP NULL is false
+  if (!m.min_max_known) return Tri::kUnknown;
+  const bool no_nulls = m.null_known && !m.has_nulls;
+  const Lane min = m.min_value;
+  const Lane max = m.max_value;
+  switch (op) {
+    case CompareOp::kEq:
+      if (v < min || v > max) return Tri::kFalse;
+      if (no_nulls && min == max && v == min) return Tri::kTrue;
+      break;
+    case CompareOp::kNe:
+      if (no_nulls && min == max && v == min) return Tri::kFalse;
+      if (no_nulls && (v < min || v > max)) return Tri::kTrue;
+      break;
+    case CompareOp::kLt:
+      if (min >= v) return Tri::kFalse;
+      if (no_nulls && max < v) return Tri::kTrue;
+      break;
+    case CompareOp::kLe:
+      if (min > v) return Tri::kFalse;
+      if (no_nulls && max <= v) return Tri::kTrue;
+      break;
+    case CompareOp::kGt:
+      if (max <= v) return Tri::kFalse;
+      if (no_nulls && min > v) return Tri::kTrue;
+      break;
+    case CompareOp::kGe:
+      if (max < v) return Tri::kFalse;
+      if (no_nulls && min >= v) return Tri::kTrue;
+      break;
+  }
+  return Tri::kUnknown;
+}
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;
+  }
+}
+
+/// Recursive fold of a filter predicate against the scan table's column
+/// metadata — every fact consulted (type, metadata) answers from the
+/// directory for cold columns, so pruning never faults data in.
+Tri FoldAgainstMetadata(const ExprPtr& e, const Table& table) {
+  TypeId lt;
+  Lane lv;
+  if (e->AsLiteral(&lt, &lv) && lt == TypeId::kBool) {
+    // A NULL boolean filters like false (the mask keeps lanes == 1 only).
+    return lv == 1 ? Tri::kTrue : Tri::kFalse;
+  }
+  std::vector<ExprPtr> kids = e->Children();
+  CompareOp op;
+  if (e->AsCompare(&op) && kids.size() == 2) {
+    const std::string* col = kids[0]->AsColumnRef();
+    ExprPtr lit = kids[1];
+    if (col == nullptr) {
+      col = kids[1]->AsColumnRef();
+      lit = kids[0];
+      op = FlipCompare(op);
+    }
+    TypeId vt;
+    Lane v;
+    if (col == nullptr || !lit->AsLiteral(&vt, &v)) return Tri::kUnknown;
+    auto c = table.ColumnByName(*col);
+    if (!c.ok() || !LaneComparable(c.value()->type()) ||
+        vt == TypeId::kReal || vt == TypeId::kString) {
+      return Tri::kUnknown;
+    }
+    return FoldCompare(op, c.value()->metadata(), v);
+  }
+  switch (e->Shape()) {
+    case ExprShape::kNot: {
+      const Tri t = FoldAgainstMetadata(kids[0], table);
+      if (t == Tri::kFalse) return Tri::kTrue;
+      if (t == Tri::kTrue) return Tri::kFalse;
+      return Tri::kUnknown;
+    }
+    case ExprShape::kAnd: {
+      const Tri a = FoldAgainstMetadata(kids[0], table);
+      const Tri b = FoldAgainstMetadata(kids[1], table);
+      if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+      if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+      return Tri::kUnknown;
+    }
+    case ExprShape::kOr: {
+      const Tri a = FoldAgainstMetadata(kids[0], table);
+      const Tri b = FoldAgainstMetadata(kids[1], table);
+      if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+      if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+      return Tri::kUnknown;
+    }
+    case ExprShape::kIsNull: {
+      const std::string* col = kids[0]->AsColumnRef();
+      if (col == nullptr) return Tri::kUnknown;
+      auto c = table.ColumnByName(*col);
+      if (!c.ok()) return Tri::kUnknown;
+      const ColumnMetadata& m = c.value()->metadata();
+      if (m.null_known && !m.has_nulls) return Tri::kFalse;
+      if (m.null_known && m.has_nulls && m.min_max_known &&
+          m.max_value == kNullSentinel) {
+        return Tri::kTrue;  // the sentinel is the max: every row is NULL
+      }
+      return Tri::kUnknown;
+    }
+    case ExprShape::kIn: {
+      const std::string* col = kids[0]->AsColumnRef();
+      if (col == nullptr || kids.size() < 2) return Tri::kUnknown;
+      auto c = table.ColumnByName(*col);
+      if (!c.ok() || !LaneComparable(c.value()->type())) return Tri::kUnknown;
+      const ColumnMetadata& m = c.value()->metadata();
+      bool any_unknown = false;
+      for (size_t i = 1; i < kids.size(); ++i) {
+        TypeId vt;
+        Lane v;
+        if (!kids[i]->AsLiteral(&vt, &v)) return Tri::kUnknown;
+        if (v == kNullSentinel) continue;  // a NULL element never matches
+        if (vt == TypeId::kReal || vt == TypeId::kString) return Tri::kUnknown;
+        const Tri t = FoldCompare(CompareOp::kEq, m, v);
+        if (t == Tri::kTrue) return Tri::kTrue;
+        if (t != Tri::kFalse) any_unknown = true;
+      }
+      return any_unknown ? Tri::kUnknown : Tri::kFalse;
+    }
+    case ExprShape::kOther:
+      break;
+  }
+  return Tri::kUnknown;
+}
+
+/// Metadata pruning rule: Filter over Scan whose predicate folds. FALSE
+/// becomes LIMIT 0 over the (never-opened) scan — schema preserved, zero
+/// columns faulted in; TRUE dissolves the filter.
+PlanNodePtr TryMetadataPrune(const PlanNodePtr& filter) {
+  if (filter->kind != PlanNodeKind::kFilter) return nullptr;
+  const PlanNodePtr& scan = filter->children[0];
+  if (scan->kind != PlanNodeKind::kScan || scan->table == nullptr) {
+    return nullptr;
+  }
+  switch (FoldAgainstMetadata(filter->predicate, *scan->table)) {
+    case Tri::kTrue:
+      return scan;
+    case Tri::kFalse: {
+      auto limit = std::make_shared<PlanNode>();
+      limit->kind = PlanNodeKind::kLimit;
+      limit->limit = 0;
+      limit->pruned_rows = scan->table->rows();
+      limit->children = {scan};
+      return limit;
+    }
+    case Tri::kUnknown:
+      break;
+  }
+  return nullptr;
+}
+
+// --- Run-level predicate evaluation (Sect. 4.2 beyond aggregation) --------
+
+/// Filter over Scan, single-column predicate on an uncompressed run-length
+/// column -> IndexedScan evaluating the predicate once per run (emitting
+/// or skipping whole runs, in physical row order) under a Project that
+/// restores the scan's column order. Runs as a separate pass AFTER the
+/// main rewrite so TryRankJoin keeps first claim on aggregate shapes, and
+/// after scan pruning so the payload reflects only the columns actually
+/// read.
+PlanNodePtr TryRunFilter(const PlanNodePtr& filter) {
+  if (filter->kind != PlanNodeKind::kFilter) return nullptr;
+  const PlanNodePtr& scan = filter->children[0];
+  if (scan->kind != PlanNodeKind::kScan || scan->table == nullptr ||
+      !scan->token_columns.empty()) {
+    return nullptr;
+  }
+  std::string c;
+  if (!SingleColumn(filter->predicate, &c)) return nullptr;
+  auto col_r = scan->table->ColumnByName(c);
+  if (!col_r.ok()) return nullptr;
+  const auto& col = col_r.value();
+  // encoding_type() answers from the directory for cold columns. Restrict
+  // to uncompressed scalars: runs of heap/dictionary tokens would need the
+  // dictionary to evaluate, which the dict-code rewrite already covers.
+  if (col->encoding_type() != EncodingType::kRunLength ||
+      col->compression() != CompressionKind::kNone) {
+    return nullptr;
+  }
+  std::vector<std::string> out_cols = scan->columns;
+  if (out_cols.empty()) {
+    for (size_t i = 0; i < scan->table->num_columns(); ++i) {
+      out_cols.push_back(scan->table->column(i).name());
+    }
+  }
+  if (std::find(out_cols.begin(), out_cols.end(), c) == out_cols.end()) {
+    return nullptr;  // predicate column not in the scan's output
+  }
+
+  auto iscan = std::make_shared<PlanNode>();
+  iscan->kind = PlanNodeKind::kIndexedScan;
+  iscan->table = scan->table;
+  iscan->index_column = c;
+  iscan->index_predicate = filter->predicate;
+  // Keep physical row order: a filter must not reorder its input.
+  iscan->sort_index_by_value = false;
+  for (const std::string& n : out_cols) {
+    if (n != c) iscan->payload.push_back(n);
+  }
+  auto project = std::make_shared<PlanNode>();
+  project->kind = PlanNodeKind::kProject;
+  for (const std::string& n : out_cols) {
+    project->projections.push_back({expr::Col(n), n});
+  }
+  project->children = {iscan};
+  return project;
+}
+
+void PushRunFilters(PlanNodePtr* node) {
+  for (auto& c : (*node)->children) PushRunFilters(&c);
+  if (PlanNodePtr next = TryRunFilter(*node)) *node = std::move(next);
+}
+
+void DisableDictPredicates(const PlanNodePtr& node) {
+  node->compressed_eval = false;
+  for (const auto& c : node->children) DisableDictPredicates(c);
+}
+
 /// Rule 3 (Sect. 4.3): encodings are sensitive to data order, so any
 /// exchange feeding an encoding sink must use order-preserving routing.
 void EnforceOrderedExchange(const PlanNodePtr& node, bool under_encoder) {
@@ -331,6 +578,9 @@ PlanNodePtr Rewrite(PlanNodePtr node, const StrategicOptions& options) {
     if (options.enable_filter_pushdown && next == nullptr) {
       next = TryPushFilterThroughProject(node);
     }
+    if (options.enable_metadata_pruning && next == nullptr) {
+      next = TryMetadataPrune(node);
+    }
     if (options.enable_rank_join && next == nullptr) {
       next = TryRankJoin(node);
     }
@@ -358,8 +608,14 @@ Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
   if (options.enable_projection_pruning) {
     PruneScans(root, /*required=*/nullptr);
   }
+  if (options.enable_run_filters) {
+    PushRunFilters(&root);
+  }
   if (options.enforce_order_preserving_exchange) {
     EnforceOrderedExchange(root, /*under_encoder=*/false);
+  }
+  if (!options.enable_dict_predicates) {
+    DisableDictPredicates(root);
   }
   return root;
 }

@@ -27,6 +27,21 @@ struct StrategicOptions {
   /// reads. With the paged v2 format this is what makes a single-column
   /// query materialize a single column: untouched columns stay cold.
   bool enable_projection_pruning = true;
+  /// Metadata pruning (Sect. 3.4.2 applied to filtering): fold predicates
+  /// against per-column min/max/nullability. A provably-false filter over
+  /// a scan becomes LIMIT 0 (the scan never opens, so cold columns stay on
+  /// disk); a provably-true one dissolves. All facts come from the
+  /// directory — deciding never faults data in.
+  bool enable_metadata_pruning = true;
+  /// Run-level predicate evaluation (Sect. 4.2 beyond aggregation): a
+  /// single-column filter over a scan whose column is run-length encoded
+  /// becomes an IndexedScan that evaluates the predicate once per run and
+  /// emits or skips whole runs, preserving row order.
+  bool enable_run_filters = true;
+  /// Dictionary-code predicates: let the tactical lowering translate
+  /// single-string-column boolean predicates into token ranges/sets
+  /// evaluated on integer codes (no per-row heap lookups or collation).
+  bool enable_dict_predicates = true;
 };
 
 /// The strategic (compile-time) optimizer: rule-based rewrites over the

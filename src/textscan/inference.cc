@@ -11,18 +11,27 @@ void SplitRecord(std::string_view record, char sep,
                  std::vector<std::string_view>* fields) {
   fields->clear();
   size_t start = 0;
+  bool in_quotes = false;
   for (size_t i = 0; i <= record.size(); ++i) {
-    if (i == record.size() || record[i] == sep) {
+    if (i == record.size() || (record[i] == sep && !in_quotes)) {
       fields->push_back(record.substr(start, i - start));
       start = i + 1;
+      continue;
     }
+    // A doubled quote inside a quoted field toggles twice — back to
+    // quoted, which is exactly right for an escaped literal quote.
+    if (record[i] == '"') in_quotes = !in_quotes;
   }
 }
 
 bool NextRecord(std::string_view data, size_t* pos, std::string_view* record) {
   if (*pos >= data.size()) return false;
   size_t end = *pos;
-  while (end < data.size() && data[end] != '\n') ++end;
+  bool in_quotes = false;
+  while (end < data.size() && (data[end] != '\n' || in_quotes)) {
+    if (data[end] == '"') in_quotes = !in_quotes;
+    ++end;
+  }
   size_t len = end - *pos;
   if (len > 0 && data[*pos + len - 1] == '\r') --len;
   *record = data.substr(*pos, len);
@@ -47,11 +56,14 @@ char InferSeparator(std::string_view data, size_t sample_rows) {
   for (char sep : kSeps) {
     size_t pos = 0;
     std::string_view rec;
+    std::vector<std::string_view> fields;
     std::vector<size_t> counts;
     while (counts.size() < sample_rows && NextRecord(data, &pos, &rec)) {
       if (rec.empty()) continue;
-      counts.push_back(
-          static_cast<size_t>(std::count(rec.begin(), rec.end(), sep)) + 1);
+      // Quote-aware: a separator inside a quoted field is content and
+      // must not inflate this candidate's field count.
+      SplitRecord(rec, sep, &fields);
+      counts.push_back(fields.size());
     }
     if (counts.empty()) continue;
     const size_t mode = counts[0];
@@ -153,10 +165,11 @@ Result<InferredFormat> InferFormat(std::string_view data,
   }
   out.has_header = header;
 
+  std::string scratch;
   for (size_t c = 0; c < ncols; ++c) {
     std::string name;
     if (header && c < sample[0].size()) {
-      name = std::string(TrimField(sample[0][c]));
+      name = std::string(UnquoteField(sample[0][c], &scratch));
     }
     if (name.empty()) name = "col" + std::to_string(c);
     out.schema.AddField({std::move(name), types[c]});

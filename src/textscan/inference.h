@@ -8,14 +8,18 @@
 
 namespace tde {
 
-/// Splits a record into fields on `sep` (no quoting of separators — the
-/// TPC-H/flat-file subset the paper targets).
+/// Splits a record into fields on `sep`, honoring RFC-4180 quoting: a
+/// separator inside a double-quoted field is field content, not a split
+/// point, and a doubled quote inside a quoted field is a literal quote.
+/// Fields keep their surrounding quotes (UnquoteField strips and
+/// unescapes them at consumption time).
 void SplitRecord(std::string_view record, char sep,
                  std::vector<std::string_view>* fields);
 
 /// Iterates records of a byte buffer (records separated by end-of-line).
-/// Returns the next record and advances *pos past its terminator; false at
-/// end of buffer.
+/// A newline inside a double-quoted field is field content and does not
+/// terminate the record (RFC 4180). Returns the next record and advances
+/// *pos past its terminator; false at end of buffer.
 bool NextRecord(std::string_view data, size_t* pos, std::string_view* record);
 
 /// The format TextScan inferred (Sect. 5.1.1): field separator via simple

@@ -1,9 +1,10 @@
 #include "src/textscan/parsers.h"
 
 #include <bit>
-#include <cmath>
+#include <charconv>
 #include <cstdint>
 #include <limits>
+#include <system_error>
 
 namespace tde {
 
@@ -41,6 +42,20 @@ std::string_view TrimField(std::string_view s) {
   return s;
 }
 
+std::string_view UnquoteField(std::string_view s, std::string* scratch) {
+  while (!s.empty() && IsSpace(s.front())) s.remove_prefix(1);
+  while (!s.empty() && IsSpace(s.back())) s.remove_suffix(1);
+  if (s.size() < 2 || s.front() != '"' || s.back() != '"') return s;
+  s = s.substr(1, s.size() - 2);
+  if (s.find('"') == std::string_view::npos) return s;  // common case
+  scratch->clear();
+  for (size_t i = 0; i < s.size(); ++i) {
+    scratch->push_back(s[i]);
+    if (s[i] == '"' && i + 1 < s.size() && s[i + 1] == '"') ++i;
+  }
+  return *scratch;
+}
+
 bool ParseInt64(std::string_view s, int64_t* out) {
   s = TrimField(s);
   if (s.empty()) return false;
@@ -70,6 +85,12 @@ bool ParseInt64(std::string_view s, int64_t* out) {
 }
 
 bool ParseDouble(std::string_view s, double* out) {
+  // Integer mantissa + decimal exponent, never binary accumulation: the
+  // old digit-by-digit `v = v*10 + d` / `scale *= 0.1` form rounds at
+  // every step (0.1 is not a binary double), drifting up to several ULP
+  // from the correctly-rounded value. Here digits accumulate exactly in a
+  // uint64 and the decimal point only moves the exponent; the single
+  // decimal->binary conversion happens once at the end.
   s = TrimField(s);
   if (s.empty()) return false;
   size_t pos = 0;
@@ -78,27 +99,42 @@ bool ParseDouble(std::string_view s, double* out) {
     neg = s[0] == '-';
     pos = 1;
   }
-  // Mantissa: digits [. digits]
-  double v = 0;
+  const size_t body = pos;  // first mantissa byte (sign stripped)
+  uint64_t mantissa = 0;
+  int exp10 = 0;
   int int_digits = 0;
+  bool saturated = false;  // > 19 significant digits: fold into exponent
   while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
-    v = v * 10 + (s[pos] - '0');
+    const uint64_t d = static_cast<uint64_t>(s[pos] - '0');
+    if (!saturated && mantissa > (std::numeric_limits<uint64_t>::max() - d) / 10) {
+      saturated = true;
+    }
+    if (saturated) {
+      ++exp10;  // dropped integer digit: value is 10x the kept mantissa
+    } else {
+      mantissa = mantissa * 10 + d;
+    }
     ++pos;
     ++int_digits;
   }
   int frac_digits = 0;
   if (pos < s.size() && s[pos] == '.') {
     ++pos;
-    double scale = 0.1;
     while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
-      v += (s[pos] - '0') * scale;
-      scale *= 0.1;
+      const uint64_t d = static_cast<uint64_t>(s[pos] - '0');
+      if (!saturated &&
+          mantissa > (std::numeric_limits<uint64_t>::max() - d) / 10) {
+        saturated = true;
+      }
+      if (!saturated) {  // dropped fraction digits change nothing kept
+        mantissa = mantissa * 10 + d;
+        --exp10;
+      }
       ++pos;
       ++frac_digits;
     }
   }
   if (int_digits + frac_digits == 0) return false;
-  // Optional exponent.
   if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
     ++pos;
     bool eneg = false;
@@ -109,10 +145,50 @@ bool ParseDouble(std::string_view s, double* out) {
     uint64_t e;
     int ed;
     if (!ParseUnsignedDigits(s, &pos, &e, &ed) || e > 400) return false;
-    v *= std::pow(10.0, eneg ? -static_cast<double>(e)
-                             : static_cast<double>(e));
+    exp10 += eneg ? -static_cast<int>(e) : static_cast<int>(e);
   }
   if (pos != s.size()) return false;
+
+  double v;
+  // Fast path (Clinger): a mantissa representable exactly in a double and
+  // a power of ten that is itself exact make one multiply/divide produce
+  // the correctly-rounded result.
+  static constexpr double kExactPow10[] = {
+      1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,  1e8,  1e9,  1e10,
+      1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21,
+      1e22};
+  if (mantissa == 0) {
+    v = 0.0;
+  } else if (mantissa <= (uint64_t{1} << 53) && exp10 >= -22 && exp10 <= 22) {
+    v = exp10 >= 0 ? static_cast<double>(mantissa) * kExactPow10[exp10]
+                   : static_cast<double>(mantissa) / kExactPow10[-exp10];
+  } else if (!saturated) {
+    // Slow path: "<mantissa>e<exp10>" is exactly the input value, so the
+    // library's correctly-rounded conversion finishes the job (locale-free,
+    // no allocation).
+    char buf[48];  // 20-digit mantissa + 'e' + signed 32-bit exponent
+    auto mc = std::to_chars(buf, buf + 24, mantissa);
+    *mc.ptr++ = 'e';
+    auto ec = std::to_chars(mc.ptr, buf + sizeof(buf), exp10);
+    auto r = std::from_chars(buf, ec.ptr, v);
+    if (r.ec == std::errc::result_out_of_range) {
+      // |value| beyond double range: overflow to infinity, underflow to 0.
+      v = exp10 > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+    } else if (r.ec != std::errc()) {
+      return false;
+    }
+  } else {
+    // More significant digits than a uint64 holds: correct rounding needs
+    // the dropped digits (they decide the final ULP), so give the library
+    // the original digit string. The grammar was already validated above;
+    // the sign was stripped so the slice matches from_chars's format.
+    auto r = std::from_chars(s.data() + body, s.data() + s.size(), v);
+    if (r.ec == std::errc::result_out_of_range) {
+      v = exp10 > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+    } else if (r.ec != std::errc()) {
+      return false;
+    }
+  }
   *out = neg ? -v : v;
   return true;
 }
@@ -145,10 +221,18 @@ bool ParseDate(std::string_view s, int64_t* out) {
   }
   if (pos >= s.size() || s[pos] != sep) return false;
   ++pos;
-  if (!ParseUnsignedDigits(s, &pos, &d, &dg) || dg > 2 || d < 1 || d > 31) {
+  if (!ParseUnsignedDigits(s, &pos, &d, &dg) || dg > 2 || d < 1) {
     return false;
   }
   if (pos != s.size()) return false;
+  // Per-month day validation (Gregorian): "2021-02-30" and "2021-04-31"
+  // are parse errors, not dates.
+  static constexpr uint8_t kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                               31, 31, 30, 31, 30, 31};
+  const bool leap = y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+  const uint64_t month_days =
+      kDaysInMonth[m - 1] + ((m == 2 && leap) ? 1 : 0);
+  if (d > month_days) return false;
   *out = DaysFromCivil(static_cast<int>(y), static_cast<unsigned>(m),
                        static_cast<unsigned>(d));
   return true;

@@ -30,6 +30,14 @@ bool ParseField(TypeId type, std::string_view s, Lane* out);
 /// Strips ASCII whitespace and one level of double quotes.
 std::string_view TrimField(std::string_view s);
 
+/// Full RFC-4180 consumption of a field as sliced by SplitRecord: strips
+/// whitespace and the outer quote pair like TrimField, and additionally
+/// collapses doubled quotes ("") inside a quoted field to literal quotes.
+/// Zero-copy when no escape is present; otherwise the unescaped bytes are
+/// written into *scratch and the returned view points there (valid until
+/// the next reuse of the scratch).
+std::string_view UnquoteField(std::string_view s, std::string* scratch);
+
 }  // namespace tde
 
 #endif  // TDE_TEXTSCAN_PARSERS_H_

@@ -117,12 +117,13 @@ Status TextScan::FillBatch() {
     out.resize(nrows);
     if (type == TypeId::kString) {
       auto heap = std::make_shared<StringHeap>();
+      std::string scratch;  // per-column, so parallel workers don't share
       for (size_t r = 0; r < nrows; ++r) {
         if (file_col >= rows[r].size()) {
           out[r] = kNullSentinel;
           continue;
         }
-        const std::string_view f = TrimField(rows[r][file_col]);
+        const std::string_view f = UnquoteField(rows[r][file_col], &scratch);
         out[r] = f.empty() ? kNullSentinel : heap->Add(f);
       }
       heaps[c] = std::move(heap);

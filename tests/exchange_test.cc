@@ -1,8 +1,11 @@
 #include "src/exec/exchange.h"
 
+#include <memory>
 #include <numeric>
 
 #include <gtest/gtest.h>
+
+#include "src/exec/limit.h"
 
 #include "tests/test_util.h"
 
@@ -204,6 +207,92 @@ TEST(Exchange, RunStatsAccountForEveryBlock) {
   }
   EXPECT_EQ(worker_blocks, kBlocks);
   EXPECT_EQ(worker_rows, input.size());
+}
+
+/// Flags whether Open/Close were forwarded (regression harness for Limit's
+/// early child shutdown).
+class ProbeSource : public Operator {
+ public:
+  ProbeSource(std::unique_ptr<Operator> inner, bool* opened, bool* closed)
+      : inner_(std::move(inner)), opened_(opened), closed_(closed) {}
+  Status Open() override {
+    *opened_ = true;
+    return inner_->Open();
+  }
+  Status Next(Block* b, bool* eos) override { return inner_->Next(b, eos); }
+  void Close() override {
+    *closed_ = true;
+    inner_->Close();
+  }
+  const Schema& output_schema() const override {
+    return inner_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Operator> inner_;
+  bool* opened_;
+  bool* closed_;
+};
+
+TEST(Limit, ClosesChildAsSoonAsLimitIsReached) {
+  bool opened = false, closed = false;
+  Limit limit(std::make_unique<ProbeSource>(
+                  VectorSource::Ints({{"x", Ramp(8 * kBlockSize)}}), &opened,
+                  &closed),
+              kBlockSize + 5);
+  ASSERT_TRUE(limit.Open().ok());
+  EXPECT_TRUE(opened);
+  Block b;
+  bool eos = false;
+  ASSERT_TRUE(limit.Next(&b, &eos).ok());
+  ASSERT_FALSE(eos);
+  EXPECT_FALSE(closed);  // limit not reached yet
+  ASSERT_TRUE(limit.Next(&b, &eos).ok());
+  ASSERT_FALSE(eos);
+  EXPECT_EQ(b.rows(), 5u);   // truncated to the limit...
+  EXPECT_TRUE(closed);       // ...and the child is already shut down
+  ASSERT_TRUE(limit.Next(&b, &eos).ok());
+  EXPECT_TRUE(eos);
+  limit.Close();  // idempotent: the child must not be closed twice
+}
+
+TEST(Limit, ZeroNeverOpensChild) {
+  bool opened = false, closed = false;
+  Limit limit(std::make_unique<ProbeSource>(
+                  VectorSource::Ints({{"x", Ramp(kBlockSize)}}), &opened,
+                  &closed),
+              0);
+  ASSERT_TRUE(limit.Open().ok());
+  EXPECT_FALSE(opened);
+  Block b;
+  bool eos = false;
+  ASSERT_TRUE(limit.Next(&b, &eos).ok());
+  EXPECT_TRUE(eos);
+  limit.Close();
+  EXPECT_FALSE(opened);
+  EXPECT_FALSE(closed);  // never opened, so never closed
+}
+
+TEST(Limit, OverExchangeStopsWorkersEarly) {
+  // A small LIMIT over a many-block Exchange: reaching the limit must abort
+  // the exchange mid-stream instead of letting the producer pump all input
+  // through the queues.
+  const size_t kBlocks = 64;
+  ExchangeOptions opts;
+  opts.workers = 4;
+  opts.order_preserving = true;
+  auto exchange = std::make_unique<Exchange>(
+      VectorSource::Ints({{"x", Ramp(kBlocks * kBlockSize)}}), opts);
+  Exchange* raw = exchange.get();
+  Limit limit(std::move(exchange), kBlockSize / 2);
+  std::vector<Block> out;
+  ASSERT_TRUE(DrainOperator(&limit, &out).ok());
+  size_t rows = 0;
+  for (const Block& b : out) rows += b.rows();
+  EXPECT_EQ(rows, kBlockSize / 2);
+  // The exchange was closed after one output block; the producer cannot
+  // have admitted more than the queue bound while we consumed just one.
+  EXPECT_LT(raw->run_stats().blocks_in, kBlocks);
 }
 
 }  // namespace

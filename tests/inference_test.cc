@@ -29,6 +29,50 @@ TEST(Records, SplitRecord) {
   ASSERT_EQ(f.size(), 1u);
 }
 
+TEST(Records, SplitRecordKeepsQuotedSeparators) {
+  std::vector<std::string_view> f;
+  SplitRecord("a,\"b,c\",d", ',', &f);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "\"b,c\"");  // quotes kept; UnquoteField strips them
+  EXPECT_EQ(f[2], "d");
+  // A doubled quote inside a quoted field does not end the quoting.
+  SplitRecord("\"say \"\"hi, there\"\"\",2", ',', &f);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "\"say \"\"hi, there\"\"\"");
+  EXPECT_EQ(f[1], "2");
+}
+
+TEST(Records, NextRecordKeepsQuotedNewlines) {
+  const std::string data = "a,\"line1\nline2\",z\nnext,row,here\n";
+  size_t pos = 0;
+  std::string_view rec;
+  ASSERT_TRUE(NextRecord(data, &pos, &rec));
+  EXPECT_EQ(rec, "a,\"line1\nline2\",z");
+  ASSERT_TRUE(NextRecord(data, &pos, &rec));
+  EXPECT_EQ(rec, "next,row,here");
+  EXPECT_FALSE(NextRecord(data, &pos, &rec));
+}
+
+TEST(Inference, QuotedSeparatorsDoNotSkewSeparatorDetection) {
+  // Every row has commas inside quotes; the real separator is '|'.
+  auto r = InferFormat(
+      "\"a,b,c\"|1\n\"d,e,f\"|2\n\"g,h,i\"|3\n\"j,k,l\"|4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().field_separator, '|');
+  EXPECT_EQ(r.value().schema.num_fields(), 2u);
+}
+
+TEST(Inference, QuotedHeaderNamesAreUnescaped) {
+  auto r = InferFormat(
+      "\"name\",\"the \"\"big\"\" one\"\nx,1\ny,2\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().has_header);
+  ASSERT_EQ(r.value().schema.num_fields(), 2u);
+  EXPECT_EQ(r.value().schema.field(0).name, "name");
+  EXPECT_EQ(r.value().schema.field(1).name, "the \"big\" one");
+}
+
 TEST(Inference, DetectsCommaSeparator) {
   auto r = InferFormat("a,b,c\n1,2,3\n4,5,6\n");
   ASSERT_TRUE(r.ok());

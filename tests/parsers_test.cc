@@ -1,6 +1,11 @@
 #include "src/textscan/parsers.h"
 
 #include <bit>
+#include <charconv>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -136,6 +141,134 @@ TEST(ParseField, TypedLanes) {
   EXPECT_DOUBLE_EQ(std::bit_cast<double>(static_cast<uint64_t>(v)), 2.5);
   EXPECT_FALSE(ParseField(TypeId::kInteger, "x", &v));
   EXPECT_FALSE(ParseField(TypeId::kString, "s", &v));
+}
+
+// ParseDouble must agree bit-for-bit with the library's correctly-rounded
+// conversion — the old binary-accumulation parser drifted by several ULP
+// on values like 0.1 repeated through long fractions.
+TEST(ParseDouble, RoundTripsAgainstFromChars) {
+  const std::vector<std::string> cases = {
+      "0.1",
+      "0.2",
+      "0.3",
+      "1.7976931348623157e308",   // DBL_MAX
+      "2.2250738585072014e-308",  // DBL_MIN
+      "4.9406564584124654e-324",  // smallest denormal
+      "0.000001",
+      "123456789.123456789",
+      "9007199254740993",          // 2^53 + 1: needs the slow path
+      "18446744073709551615",      // UINT64_MAX
+      "184467440737095516159.5",   // > UINT64_MAX: mantissa saturates
+      "3.141592653589793238462643", // more digits than a double holds
+      "1e308",
+      "1e-308",
+      "0.00000000000000000000000000000000000001",
+      "-0.5",
+      "5e-1",
+      "2.5e2",
+      "1234567890123456789012345678901234567890",
+  };
+  for (const std::string& s : cases) {
+    double got;
+    ASSERT_TRUE(ParseDouble(s, &got)) << s;
+    double want;
+    auto r = std::from_chars(s.data(), s.data() + s.size(), want);
+    ASSERT_TRUE(r.ec == std::errc()) << s;
+    EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want))
+        << s << ": got " << got << " want " << want;
+  }
+}
+
+TEST(ParseDouble, RandomRoundTripsAgainstFromChars) {
+  std::mt19937_64 rng(12345);
+  for (int i = 0; i < 5000; ++i) {
+    // Random decimal strings: mantissa digits split around a point, with
+    // an occasional exponent.
+    std::string s;
+    if (rng() % 2) s += '-';
+    const int int_digits = 1 + static_cast<int>(rng() % 20);
+    for (int d = 0; d < int_digits; ++d) {
+      s += static_cast<char>('0' + rng() % 10);
+    }
+    if (rng() % 2) {
+      s += '.';
+      const int frac_digits = 1 + static_cast<int>(rng() % 20);
+      for (int d = 0; d < frac_digits; ++d) {
+        s += static_cast<char>('0' + rng() % 10);
+      }
+    }
+    if (rng() % 3 == 0) {
+      s += 'e';
+      if (rng() % 2) s += '-';
+      s += std::to_string(rng() % 320);
+    }
+    double got;
+    ASSERT_TRUE(ParseDouble(s, &got)) << s;
+    double want;
+    auto r = std::from_chars(s.data(), s.data() + s.size(), want);
+    if (r.ec == std::errc::result_out_of_range) {
+      // from_chars reports overflow/underflow; our parser folds them to
+      // +/-inf and 0 — the values the rounding would produce.
+      continue;
+    }
+    ASSERT_TRUE(r.ec == std::errc()) << s;
+    EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want))
+        << s;
+  }
+}
+
+TEST(ParseDouble, OverflowSaturatesLikeFromChars) {
+  double d;
+  EXPECT_TRUE(ParseDouble("1e309", &d));
+  EXPECT_TRUE(std::isinf(d) && d > 0);
+  EXPECT_TRUE(ParseDouble("-1e309", &d));
+  EXPECT_TRUE(std::isinf(d) && d < 0);
+  EXPECT_TRUE(ParseDouble("1e-324", &d));
+  EXPECT_EQ(d, 0.0);
+  EXPECT_FALSE(ParseDouble("1e401", &d));  // absurd exponents stay errors
+}
+
+TEST(ParseDate, RejectsImpossibleDays) {
+  int64_t v;
+  EXPECT_FALSE(ParseDate("2021-02-30", &v));
+  EXPECT_FALSE(ParseDate("2021-02-29", &v));  // not a leap year
+  EXPECT_FALSE(ParseDate("2021-04-31", &v));
+  EXPECT_FALSE(ParseDate("2021-06-31", &v));
+  EXPECT_FALSE(ParseDate("2021-09-31", &v));
+  EXPECT_FALSE(ParseDate("2021-11-31", &v));
+  EXPECT_FALSE(ParseDate("2020-02-30", &v));
+  EXPECT_TRUE(ParseDate("2021-01-31", &v));
+  EXPECT_TRUE(ParseDate("2021-12-31", &v));
+}
+
+TEST(ParseDate, LeapYearRules) {
+  int64_t v;
+  EXPECT_TRUE(ParseDate("2020-02-29", &v));   // divisible by 4
+  EXPECT_TRUE(ParseDate("2000-02-29", &v));   // divisible by 400
+  EXPECT_FALSE(ParseDate("1900-02-29", &v));  // divisible by 100, not 400
+  EXPECT_FALSE(ParseDate("2100-02-29", &v));
+  EXPECT_TRUE(ParseDate("2400-02-29", &v));
+  EXPECT_TRUE(ParseDate("2020-02-28", &v));
+}
+
+TEST(ParseDateTime, RejectsImpossibleDates) {
+  int64_t v;
+  EXPECT_FALSE(ParseDateTime("2021-02-30 10:00:00", &v));
+  EXPECT_FALSE(ParseDateTime("1900-02-29T00:00", &v));
+  EXPECT_TRUE(ParseDateTime("2020-02-29 23:59:59", &v));
+}
+
+TEST(UnquoteField, UnescapesDoubledQuotes) {
+  std::string scratch;
+  EXPECT_EQ(UnquoteField("plain", &scratch), "plain");
+  EXPECT_EQ(UnquoteField("\"quoted\"", &scratch), "quoted");
+  EXPECT_EQ(UnquoteField("  \"padded\"  ", &scratch), "padded");
+  EXPECT_EQ(UnquoteField("\"say \"\"hi\"\"\"", &scratch), "say \"hi\"");
+  EXPECT_EQ(UnquoteField("\"a,b\"", &scratch), "a,b");
+  EXPECT_EQ(UnquoteField("\"line1\nline2\"", &scratch), "line1\nline2");
+  EXPECT_EQ(UnquoteField("\"\"", &scratch), "");
+  EXPECT_EQ(UnquoteField("\"\"\"\"", &scratch), "\"");
+  EXPECT_EQ(UnquoteField("", &scratch), "");
 }
 
 }  // namespace

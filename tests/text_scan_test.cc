@@ -126,6 +126,44 @@ TEST(TextScan, ParallelMatchesSerial) {
   }
 }
 
+TEST(TextScan, QuotedFieldsRoundTrip) {
+  // RFC-4180: quoted separators, embedded newlines, and doubled quotes
+  // all survive import as literal field content.
+  auto scan = TextScan::FromBuffer(
+      "id,note\n"
+      "1,\"plain\"\n"
+      "2,\"comma, inside\"\n"
+      "3,\"line one\nline two\"\n"
+      "4,\"she said \"\"ok\"\"\"\n"
+      "5,unquoted\n");
+  ASSERT_TRUE(scan->Open().ok());
+  EXPECT_TRUE(scan->has_header());
+  auto blocks = DrainScan(scan.get());
+  ASSERT_EQ(blocks.size(), 1u);
+  const Block& b = blocks[0];
+  ASSERT_EQ(b.rows(), 5u);
+  EXPECT_EQ(b.columns[0].lanes[2], 3);  // ids parse despite the newline row
+  EXPECT_EQ(b.columns[1].GetString(0), "plain");
+  EXPECT_EQ(b.columns[1].GetString(1), "comma, inside");
+  EXPECT_EQ(b.columns[1].GetString(2), "line one\nline two");
+  EXPECT_EQ(b.columns[1].GetString(3), "she said \"ok\"");
+  EXPECT_EQ(b.columns[1].GetString(4), "unquoted");
+  EXPECT_EQ(scan->parse_errors(), 0u);
+}
+
+TEST(TextScan, QuotedNumbersStillParse) {
+  TextScanOptions opts;
+  opts.schema = Schema({{"a", TypeId::kInteger}, {"b", TypeId::kReal}});
+  opts.has_header = false;
+  auto scan = TextScan::FromBuffer("\"1\",\"2.5\"\n\"-3\",\"1e2\"\n", opts);
+  ASSERT_TRUE(scan->Open().ok());
+  auto blocks = DrainScan(scan.get());
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].columns[0].lanes[0], 1);
+  EXPECT_EQ(blocks[0].columns[0].lanes[1], -3);
+  EXPECT_EQ(scan->parse_errors(), 0u);
+}
+
 TEST(TextScan, ReopenRestarts) {
   auto scan = TextScan::FromBuffer("a\n1\n2\n");
   ASSERT_TRUE(scan->Open().ok());

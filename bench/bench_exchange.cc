@@ -64,8 +64,9 @@ namespace {
 /// encode the same filtered column with blocks in scan order vs shuffled
 /// into the arrival order a multi-core unordered exchange would produce.
 void BlockOrderAblation(const std::shared_ptr<Table>& table) {
-  auto scan = std::make_unique<TableScan>(table,
-                                          TableScanOptions{{"primary"}, true, {}});
+  TableScanOptions scan_opts;
+  scan_opts.columns = {"primary"};
+  auto scan = std::make_unique<TableScan>(table, std::move(scan_opts));
   Filter filter(std::move(scan), Lt(Col("primary"), Int(90)));
   std::vector<Block> blocks;
   if (!DrainOperator(&filter, &blocks).ok()) std::exit(1);

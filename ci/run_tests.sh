@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the tier-1 test suite, then run the
-# same suite under ASan+UBSan, and finally run one bench in JSON mode and
-# archive its BENCH_*.json next to the build tree.
+# same suite under ASan+UBSan and under TSan, and finally run one bench in
+# JSON mode and archive its BENCH_*.json next to the build tree.
 #
 # Usage: ci/run_tests.sh [build-dir]
 #
@@ -9,6 +9,7 @@
 #   TDE_BENCH         bench to archive (default: bench_filtering)
 #   TDE_LARGE_ROWS    shrink the bench's large table for CI budgets
 #   TDE_SKIP_SANITIZE set to 1 to skip the ASan+UBSan stage
+#   TDE_SKIP_TSAN     set to 1 to skip the ThreadSanitizer stage
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,6 +34,17 @@ if [[ "${TDE_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake --build "$SAN_BUILD" -j"$(nproc)"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
       ctest --test-dir "$SAN_BUILD" --output-on-failure -j"$(nproc)"
+fi
+
+# Same suite under ThreadSanitizer: the parallel rollup, exchange, and pager
+# paths run multi-threaded and must be race-free.
+if [[ "${TDE_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_BUILD="$BUILD-tsan"
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTDE_SANITIZE=thread
+  cmake --build "$TSAN_BUILD" -j"$(nproc)"
+  TSAN_OPTIONS=halt_on_error=1 \
+      ctest --test-dir "$TSAN_BUILD" --output-on-failure -j"$(nproc)"
 fi
 
 # Archive one bench run with per-operator stats. Keep CI cheap: the bench's

@@ -98,8 +98,14 @@ uint32_t GroupMap::GetOrInsert(Lane key) {
 
 uint32_t GroupMap::Find(Lane key) const {
   switch (algorithm_) {
-    case HashAlgorithm::kDirect:
-      return table_[static_cast<uint32_t>(key) & 0xFFFFu];
+    case HashAlgorithm::kDirect: {
+      // Inserted keys are at most 2 bytes wide, but probe keys may be
+      // arbitrary 64-bit lanes (e.g. the null sentinel): verify the stored
+      // key so wide probes that alias in the low 16 bits do not match.
+      const uint32_t g = table_[static_cast<uint32_t>(key) & 0xFFFFu];
+      if (g == kEmpty || keys_[g] != key) return kEmpty;
+      return g;
+    }
     case HashAlgorithm::kPerfect: {
       const uint64_t idx =
           static_cast<uint64_t>(key) - static_cast<uint64_t>(min_value_);

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <unordered_set>
@@ -162,6 +163,46 @@ void DictStream::DecodeBlock(uint64_t block_idx, Lane* out) const {
   for (uint32_t i = 0; i < kBlockSize; ++i) {
     out[i] = Entry(packed[i]);
   }
+}
+
+bool DictStream::GetCodes(uint64_t row, size_t count, Lane* out) const {
+  if (row + count > size()) return false;
+  size_t produced = 0;
+  uint64_t packed[kBlockSize];
+  // Finalized (packed) region: unpack the indexes, skip the entry decode.
+  while (produced < count && row + produced < finalized_) {
+    const uint64_t abs = row + produced;
+    const uint64_t block = abs / kBlockSize;
+    const uint64_t in_block = abs % kBlockSize;
+    if (in_block == 0 && count - produced >= kBlockSize &&
+        finalized_ - abs >= kBlockSize) {
+      // Aligned full block: unpack straight into the caller's lanes.
+      // Lane is the signed counterpart of uint64_t, so the cast aliases
+      // legally.
+      UnpackBits(BlockData(block), kBlockSize, bits(),
+                 reinterpret_cast<uint64_t*>(out + produced));
+      produced += kBlockSize;
+      continue;
+    }
+    UnpackBits(BlockData(block), kBlockSize, bits(), packed);
+    const size_t take = static_cast<size_t>(
+        std::min<uint64_t>(kBlockSize - in_block,
+                           std::min<uint64_t>(count - produced,
+                                              finalized_ - abs)));
+    for (size_t i = 0; i < take; ++i) {
+      out[produced + i] = static_cast<Lane>(packed[in_block + i]);
+    }
+    produced += take;
+  }
+  // Pending tail: OnCommit registered every committed value, so the map
+  // resolves each one.
+  while (produced < count) {
+    const uint64_t abs = row + produced;
+    const uint32_t c = map_.Find(pending_[abs - finalized_]);
+    if (c == kAbsent) return false;
+    out[produced++] = static_cast<Lane>(c);
+  }
+  return true;
 }
 
 }  // namespace internal

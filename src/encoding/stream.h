@@ -62,6 +62,21 @@ class EncodedStream {
   /// for others). Used to build IndexTables (Sect. 4.2).
   virtual Status GetRuns(std::vector<RleRun>* out) const;
 
+  /// Dictionary-coded fast path: writes the dense dictionary code of rows
+  /// [row, row + count) into `out`, skipping the per-row entry decode.
+  /// Codes index CodeEntries(). Returns false (out unspecified) for
+  /// streams that are not dictionary-coded.
+  virtual bool GetCodes(uint64_t row, size_t count, Lane* out) const {
+    (void)row;
+    (void)count;
+    (void)out;
+    return false;
+  }
+
+  /// Entry table of a dictionary-coded stream: code -> decoded lane, in
+  /// code order. Empty unless GetCodes is supported.
+  virtual std::vector<Lane> CodeEntries() const { return {}; }
+
   EncodingType type() const { return header().algorithm(); }
   uint8_t width() const { return header().width(); }
   uint8_t bits() const { return header().bits(); }

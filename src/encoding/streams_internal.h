@@ -120,6 +120,11 @@ class DictStream : public BlockedStream {
   /// All entries, in index order.
   std::vector<Lane> Entries() const;
 
+  /// Compressed-domain reads: codes are the packed indexes themselves, so
+  /// this skips the per-row entry decode of Get().
+  bool GetCodes(uint64_t row, size_t count, Lane* out) const override;
+  std::vector<Lane> CodeEntries() const override { return Entries(); }
+
  protected:
   size_t BlockBytes() const override;
   Status CheckAppend(const Lane* values, size_t count) const override;

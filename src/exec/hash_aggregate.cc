@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 namespace tde {
 
@@ -10,14 +11,18 @@ namespace agg_internal {
 namespace {
 double AsReal(Lane v) { return std::bit_cast<double>(static_cast<uint64_t>(v)); }
 Lane RealLane(double d) { return static_cast<Lane>(std::bit_cast<uint64_t>(d)); }
+
+Status SumOverflow() {
+  return Status::OutOfRange("integer overflow in SUM: result exceeds int64");
+}
 }  // namespace
 
-void Update(AggKind kind, TypeId type, Lane v, AggState* s) {
+Status Update(AggKind kind, TypeId type, Lane v, AggState* s) {
   if (kind == AggKind::kCountStar) {
     ++s->n;
-    return;
+    return Status::OK();
   }
-  if (v == kNullSentinel) return;  // aggregates ignore NULL inputs
+  if (v == kNullSentinel) return Status::OK();  // aggregates ignore NULLs
   switch (kind) {
     case AggKind::kCountStar:
       break;
@@ -27,8 +32,8 @@ void Update(AggKind kind, TypeId type, Lane v, AggState* s) {
     case AggKind::kSum:
       if (type == TypeId::kReal) {
         s->d += AsReal(v);
-      } else {
-        s->i += v;
+      } else if (__builtin_add_overflow(s->i, v, &s->i)) {
+        return SumOverflow();
       }
       ++s->n;
       break;
@@ -57,6 +62,94 @@ void Update(AggKind kind, TypeId type, Lane v, AggState* s) {
       s->values.push_back(v);
       break;
   }
+  return Status::OK();
+}
+
+Status UpdateColumn(AggKind kind, TypeId type, const Lane* v,
+                    const uint32_t* g, size_t n, size_t stride, AggState* s0) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      for (size_t r = 0; r < n; ++r) ++s0[g[r] * stride].n;
+      return Status::OK();
+    case AggKind::kCount:
+      for (size_t r = 0; r < n; ++r) {
+        if (v[r] != kNullSentinel) ++s0[g[r] * stride].n;
+      }
+      return Status::OK();
+    case AggKind::kSum:
+      if (type == TypeId::kReal) {
+        for (size_t r = 0; r < n; ++r) {
+          if (v[r] == kNullSentinel) continue;
+          AggState& s = s0[g[r] * stride];
+          s.d += AsReal(v[r]);
+          ++s.n;
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          if (v[r] == kNullSentinel) continue;
+          AggState& s = s0[g[r] * stride];
+          if (__builtin_add_overflow(s.i, v[r], &s.i)) return SumOverflow();
+          ++s.n;
+        }
+      }
+      return Status::OK();
+    default:
+      for (size_t r = 0; r < n; ++r) {
+        TDE_RETURN_NOT_OK(Update(kind, type, v[r], &s0[g[r] * stride]));
+      }
+      return Status::OK();
+  }
+}
+
+Status UpdateRun(AggKind kind, TypeId type, Lane v, uint64_t count,
+                 AggState* s) {
+  if (count == 0) return Status::OK();
+  if (kind == AggKind::kCountStar) {
+    s->n += count;
+    return Status::OK();
+  }
+  if (v == kNullSentinel) return Status::OK();
+  switch (kind) {
+    case AggKind::kCountStar:
+      break;
+    case AggKind::kCount:
+      s->n += count;
+      break;
+    case AggKind::kSum:
+      if (type == TypeId::kReal) {
+        s->d += AsReal(v) * static_cast<double>(count);
+      } else {
+        // The row-at-a-time path adds v `count` times and errors on the
+        // first overflowing prefix; prefixes are monotonic within a run, so
+        // checking the run total accepts and rejects exactly the same sums.
+        const __int128 total = static_cast<__int128>(s->i) +
+                               static_cast<__int128>(v) *
+                                   static_cast<__int128>(count);
+        if (total > INT64_MAX || total < INT64_MIN) return SumOverflow();
+        s->i = static_cast<int64_t>(total);
+      }
+      s->n += count;
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return Update(kind, type, v, s);
+    case AggKind::kAvg:
+      s->d += (type == TypeId::kReal ? AsReal(v) : static_cast<double>(v)) *
+              static_cast<double>(count);
+      s->n += count;
+      break;
+    case AggKind::kCountDistinct:
+      s->distinct.insert(v);
+      break;
+    case AggKind::kMedian:
+      s->values.insert(s->values.end(), static_cast<size_t>(count), v);
+      break;
+  }
+  return Status::OK();
+}
+
+bool FoldableOverRuns(AggKind kind) {
+  return kind != AggKind::kMedian;
 }
 
 Lane Finalize(AggKind kind, TypeId type, AggState* s) {
@@ -112,6 +205,94 @@ TypeId OutputType(AggKind kind, TypeId input_type) {
 
 }  // namespace agg_internal
 
+namespace {
+// Direct token->code arrays stop paying off once the heap outgrows the
+// cache; larger heaps fall back to a hash map per heap.
+constexpr uint64_t kDirectCacheBytes = 1u << 22;
+}  // namespace
+
+uint32_t StringKeyNormalizer::Code(
+    const std::shared_ptr<const StringHeap>& heap, Lane token) {
+  if (token == kNullSentinel) {
+    if (null_code_ == UINT32_MAX) {
+      null_code_ = static_cast<uint32_t>(code_tokens_.size());
+      code_tokens_.push_back(kNullSentinel);
+    }
+    return null_code_;
+  }
+  HeapCache* hc =
+      (last_ != nullptr && last_->raw == heap.get()) ? last_ : CacheFor(heap);
+  if (hc->use_direct) {
+    uint32_t& slot = hc->direct[static_cast<size_t>(token)];
+    if (slot != 0) return slot - 1;
+    const uint32_t code = Assign(hc, token);
+    slot = code + 1;
+    return code;
+  }
+  auto it = hc->spill.find(token);
+  if (it != hc->spill.end()) return it->second;
+  const uint32_t code = Assign(hc, token);
+  hc->spill.emplace(token, code);
+  return code;
+}
+
+StringKeyNormalizer::HeapCache* StringKeyNormalizer::CacheFor(
+    const std::shared_ptr<const StringHeap>& heap) {
+  for (const auto& hc : heaps_) {
+    if (hc->raw == heap.get()) {
+      last_ = hc.get();
+      return last_;
+    }
+  }
+  if (!heaps_.empty() && canon_ == nullptr) {
+    // A second heap: tokens are no longer a shared namespace. Re-key every
+    // code onto a canonical heap (first-seen order) — one decode per
+    // distinct value so far, none per row.
+    const StringHeap& first = *heaps_[0]->keep;
+    canon_ = std::make_shared<StringHeap>(first.collation());
+    for (uint32_t c = 0; c < code_tokens_.size(); ++c) {
+      if (code_tokens_[c] == kNullSentinel) continue;  // the NULL code
+      std::string s(first.Get(code_tokens_[c]));
+      code_tokens_[c] = canon_->Add(s);
+      code_by_string_.emplace(std::move(s), c);
+    }
+  }
+  auto hc = std::make_unique<HeapCache>();
+  hc->raw = heap.get();
+  hc->keep = heap;
+  if (heap->byte_size() <= kDirectCacheBytes) {
+    hc->direct.assign(static_cast<size_t>(heap->byte_size()), 0);
+  } else {
+    hc->use_direct = false;
+  }
+  heaps_.push_back(std::move(hc));
+  last_ = heaps_.back().get();
+  return last_;
+}
+
+uint32_t StringKeyNormalizer::Assign(HeapCache* hc, Lane token) {
+  if (canon_ == nullptr) {
+    // Single-heap mode: the input heap is the emit heap, the token itself
+    // renders the group — nothing is decoded.
+    const uint32_t code = static_cast<uint32_t>(code_tokens_.size());
+    code_tokens_.push_back(token);
+    return code;
+  }
+  std::string s(hc->keep->Get(token));
+  auto it = code_by_string_.find(s);
+  if (it != code_by_string_.end()) return it->second;
+  const uint32_t code = static_cast<uint32_t>(code_tokens_.size());
+  const Lane ct = canon_->Add(s);
+  code_tokens_.push_back(ct);
+  code_by_string_.emplace(std::move(s), code);
+  return code;
+}
+
+std::shared_ptr<const StringHeap> StringKeyNormalizer::emit_heap() const {
+  if (canon_ != nullptr) return canon_;
+  return heaps_.empty() ? nullptr : heaps_[0]->keep;
+}
+
 HashAggregate::HashAggregate(std::unique_ptr<Operator> child,
                              AggregateOptions options)
     : child_(std::move(child)), options_(std::move(options)) {}
@@ -164,6 +345,17 @@ Status HashAggregate::Open() {
   out_aggs_.assign(naggs, {});
   key_heaps_.assign(nkeys, nullptr);
   agg_heaps_.assign(naggs, nullptr);
+  groups_late_materialized_ = 0;
+
+  // Dictionary-code grouping (Sect. 4, "decode as late as possible"): each
+  // string key gets a per-heap translation cache; the per-key decision is
+  // made on the first non-empty block, when the key's heap is visible.
+  std::vector<std::unique_ptr<StringKeyNormalizer>> norms(nkeys);
+  // -1 undecided, 0 raw, 1 codes, 2 pre-coded (dict-code scan: lanes are
+  // dense entry-table codes, decoded once per group on first occurrence)
+  std::vector<int> norm_state(nkeys, -1);
+  std::vector<std::shared_ptr<const ArrayDictionary>> key_dicts(nkeys);
+  std::vector<std::vector<uint32_t>> code_groups(nkeys);  // code -> g + 1
 
   // Tactical single-key path: GroupMap with the hinted algorithm.
   std::unique_ptr<GroupMap> single;
@@ -184,6 +376,15 @@ Status HashAggregate::Open() {
   // One state per (group, aggregate) pair, stride naggs.
   uint64_t ngroups = nkeys == 0 ? 1 : 0;
   std::vector<AggState> states(ngroups * naggs);
+  std::vector<Lane> keyrow(nkeys);
+
+  // The update loop below runs once per (row, aggregate): keep its operands
+  // in flat arrays instead of chasing options_/schema indirections per row.
+  std::vector<AggKind> agg_kinds(naggs);
+  for (size_t a = 0; a < naggs; ++a) agg_kinds[a] = options_.aggs[a].kind;
+  std::vector<const Lane*> agg_lanes(naggs, nullptr);
+  const TypeId* agg_ts = agg_types_.data();
+  std::vector<uint32_t> gids;  // per-block row -> group id
 
   while (true) {
     Block b;
@@ -192,29 +393,88 @@ Status HashAggregate::Open() {
     if (eos) break;
     const size_t n = b.rows();
     for (size_t k = 0; k < nkeys; ++k) {
+      if (norm_state[k] == -1 && n > 0) {
+        const ColumnVector& cv = b.columns[key_idx[k]];
+        if (cv.dict != nullptr) {
+          // Pre-coded lanes must be interpreted against the entry table
+          // regardless of the dict_code_keys option — the kill switch
+          // gates the plan rewrite, not this consumption.
+          norm_state[k] = 2;
+          key_dicts[k] = cv.dict;
+          code_groups[k].assign(cv.dict->values.size(), 0);
+        } else {
+          const bool on = options_.dict_code_keys &&
+                          cv.type == TypeId::kString && cv.heap != nullptr;
+          norm_state[k] = on ? 1 : 0;
+          if (on) norms[k] = std::make_unique<StringKeyNormalizer>();
+        }
+      }
       if (key_heaps_[k] == nullptr) key_heaps_[k] = b.columns[key_idx[k]].heap;
     }
     for (size_t a = 0; a < naggs; ++a) {
-      if (agg_heaps_[a] == nullptr &&
-          options_.aggs[a].kind != AggKind::kCountStar) {
+      if (agg_heaps_[a] == nullptr && agg_kinds[a] != AggKind::kCountStar) {
         agg_heaps_[a] = b.columns[agg_idx[a]].heap;
       }
+      agg_lanes[a] = agg_kinds[a] == AggKind::kCountStar
+                         ? nullptr
+                         : b.columns[agg_idx[a]].lanes.data();
     }
+    const Lane* key_lanes = nkeys == 1
+                                ? b.columns[key_idx[0]].lanes.data()
+                                : nullptr;
+    // Group resolution and aggregate updates run column-at-a-time: resolve
+    // every row's group first, then fold each aggregate input with a single
+    // kind/type dispatch for the block.
+    if (gids.size() < n) gids.resize(n);
     for (size_t r = 0; r < n; ++r) {
       uint32_t g;
       if (nkeys == 0) {
         g = 0;
       } else if (nkeys == 1) {
-        g = single->GetOrInsert(b.columns[key_idx[0]].lanes[r]);
-        if (g >= ngroups) {
-          ngroups = g + 1;
-          states.resize(ngroups * naggs);
-          out_keys_[0].push_back(b.columns[key_idx[0]].lanes[r]);
+        const ColumnVector& kv = b.columns[key_idx[0]];
+        if (norm_state[0] == 1) {
+          // Codes are dense and first-occurrence ordered: the code IS the
+          // group id, no hashing at all.
+          g = norms[0]->Code(kv.heap, key_lanes[r]);
+          if (g >= ngroups) {
+            ngroups = g + 1;
+            states.resize(ngroups * naggs);
+          }
+        } else if (norm_state[0] == 2) {
+          // Pre-coded: one array slot per dictionary entry, and the key
+          // token materializes from the entry table once per group.
+          uint32_t& slot = code_groups[0][static_cast<size_t>(key_lanes[r])];
+          if (slot == 0) {
+            out_keys_[0].push_back(
+                key_dicts[0]->values[static_cast<size_t>(key_lanes[r])]);
+            slot = static_cast<uint32_t>(ngroups) + 1;
+            ++ngroups;
+            states.resize(ngroups * naggs);
+          }
+          g = slot - 1;
+        } else {
+          g = single->GetOrInsert(key_lanes[r]);
+          if (g >= ngroups) {
+            ngroups = g + 1;
+            states.resize(ngroups * naggs);
+            out_keys_[0].push_back(key_lanes[r]);
+          }
         }
       } else {
+        for (size_t k = 0; k < nkeys; ++k) {
+          const ColumnVector& kv = b.columns[key_idx[k]];
+          keyrow[k] =
+              norm_state[k] == 1
+                  ? static_cast<Lane>(norms[k]->Code(kv.heap, kv.lanes[r]))
+              : norm_state[k] == 2
+                  // Resolve pre-coded lanes to tokens: multi-key groups
+                  // hash the tuple, so keys must be a stable namespace.
+                  ? key_dicts[k]->values[static_cast<size_t>(kv.lanes[r])]
+                  : kv.lanes[r];
+        }
         uint64_t h = 0xcbf29ce484222325ULL;
         for (size_t k = 0; k < nkeys; ++k) {
-          h = Mix64(h ^ static_cast<uint64_t>(b.columns[key_idx[k]].lanes[r]));
+          h = Mix64(h ^ static_cast<uint64_t>(keyrow[k]));
         }
         uint64_t idx = h & mk_mask;
         while (true) {
@@ -225,7 +485,7 @@ Status HashAggregate::Open() {
             ++ngroups;
             states.resize(ngroups * naggs);
             for (size_t k = 0; k < nkeys; ++k) {
-              out_keys_[k].push_back(b.columns[key_idx[k]].lanes[r]);
+              out_keys_[k].push_back(keyrow[k]);
             }
             // Grow when half full.
             if (ngroups * 2 > mk_slots.size()) {
@@ -247,7 +507,7 @@ Status HashAggregate::Open() {
           const uint32_t cand = static_cast<uint32_t>(mk_slots[idx] - 1);
           bool same = true;
           for (size_t k = 0; k < nkeys; ++k) {
-            if (out_keys_[k][cand] != b.columns[key_idx[k]].lanes[r]) {
+            if (out_keys_[k][cand] != keyrow[k]) {
               same = false;
               break;
             }
@@ -259,18 +519,45 @@ Status HashAggregate::Open() {
           idx = (idx + 1) & mk_mask;
         }
       }
-      for (size_t a = 0; a < naggs; ++a) {
-        const Lane v = options_.aggs[a].kind == AggKind::kCountStar
-                           ? 0
-                           : b.columns[agg_idx[a]].lanes[r];
-        agg_internal::Update(options_.aggs[a].kind, agg_types_[a], v,
-                             &states[g * naggs + a]);
-      }
+      gids[r] = g;
+    }
+    for (size_t a = 0; a < naggs; ++a) {
+      TDE_RETURN_NOT_OK(agg_internal::UpdateColumn(
+          agg_kinds[a], agg_ts[a], agg_lanes[a], gids.data(), n, naggs,
+          states.data() + a));
     }
   }
   child_->Close();
 
   groups_ = ngroups;
+  // Late materialization: resolve group codes back to key tokens — one
+  // string per group, never one per row.
+  bool late = false;
+  for (size_t k = 0; k < nkeys; ++k) {
+    if (norm_state[k] == 2) {
+      // Pre-coded keys materialized from the entry table as groups were
+      // created — already one decode per group.
+      late = true;
+      if (nkeys == 1) algorithm_used_ = HashAlgorithm::kDirect;
+      continue;
+    }
+    if (norm_state[k] != 1) continue;
+    late = true;
+    key_heaps_[k] = norms[k]->emit_heap();
+    if (nkeys == 1) {
+      out_keys_[0].resize(groups_);
+      for (uint64_t g = 0; g < groups_; ++g) {
+        out_keys_[0][g] = norms[0]->Token(static_cast<uint32_t>(g));
+      }
+      algorithm_used_ = HashAlgorithm::kDirect;
+    } else {
+      for (uint64_t g = 0; g < groups_; ++g) {
+        out_keys_[k][g] =
+            norms[k]->Token(static_cast<uint32_t>(out_keys_[k][g]));
+      }
+    }
+  }
+  if (late) groups_late_materialized_ = groups_;
   for (size_t a = 0; a < naggs; ++a) {
     out_aggs_[a].resize(groups_);
     for (uint64_t g = 0; g < groups_; ++g) {

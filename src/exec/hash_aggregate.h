@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -40,6 +41,11 @@ struct AggregateOptions {
   std::optional<HashAlgorithm> hash_algorithm;
   int64_t key_min = 0;
   int64_t key_max = 0;
+  /// Dictionary-code grouping: string group keys are translated per heap
+  /// into dense first-occurrence codes and grouped on those, so the key
+  /// strings materialize once per *group* at finalize instead of once per
+  /// row. Cleared when StrategicOptions::enable_dict_grouping is off.
+  bool dict_code_keys = true;
 };
 
 /// Per-group aggregate state shared by the hash and ordered variants.
@@ -54,14 +60,72 @@ struct AggState {
 
 /// Folds one input lane into the state and finalizes it; shared kernels.
 namespace agg_internal {
-void Update(AggKind kind, TypeId type, Lane v, AggState* s);
+Status Update(AggKind kind, TypeId type, Lane v, AggState* s);
+/// Column-at-a-time Update: folds `v[r]` into the state of group `g[r]` for
+/// all `n` rows with one kind/type dispatch for the whole column. `v` may be
+/// null for COUNT(*). `s0[g * stride]` must be row r's state; row order (and
+/// so first-overflow SUM errors) matches n calls to Update exactly.
+Status UpdateColumn(AggKind kind, TypeId type, const Lane* v,
+                    const uint32_t* g, size_t n, size_t stride, AggState* s0);
+/// Folds `count` copies of `v` in O(1) (SUM adds v*count, COUNT adds count,
+/// MIN/MAX/COUNTD see the value once). MEDIAN degenerates to O(count).
+Status UpdateRun(AggKind kind, TypeId type, Lane v, uint64_t count,
+                 AggState* s);
+/// True when UpdateRun is O(1) for this kind.
+bool FoldableOverRuns(AggKind kind);
 Lane Finalize(AggKind kind, TypeId type, AggState* s);
 TypeId OutputType(AggKind kind, TypeId input_type);
 }  // namespace agg_internal
 
+/// Per-heap translation cache mapping string-key tokens to dense codes
+/// assigned in first-occurrence order (NULL gets a code of its own), so a
+/// single grouping key's code IS its group id. While every input block
+/// shares one heap — the common case, since scans attach the column heap to
+/// each block — no string is ever decoded; if a second heap appears the
+/// cache re-keys itself onto a canonical heap, decoding one string per
+/// distinct value, and keeps going.
+class StringKeyNormalizer {
+ public:
+  /// Dense code for `token` resolved against `heap`. Equal strings map to
+  /// equal codes across heaps; kNullSentinel consistently maps to one code.
+  uint32_t Code(const std::shared_ptr<const StringHeap>& heap, Lane token);
+
+  /// The token (or kNullSentinel) that renders code `c` against emit_heap().
+  Lane Token(uint32_t c) const { return code_tokens_[c]; }
+
+  /// Heap the emitted group keys resolve against: the original input heap
+  /// while only one heap has been seen, a canonical first-seen-order heap
+  /// after that.
+  std::shared_ptr<const StringHeap> emit_heap() const;
+
+  uint32_t distinct() const {
+    return static_cast<uint32_t>(code_tokens_.size());
+  }
+
+ private:
+  struct HeapCache {
+    const StringHeap* raw = nullptr;
+    std::shared_ptr<const StringHeap> keep;       // pins pointer identity
+    std::vector<uint32_t> direct;                 // token offset -> code + 1
+    std::unordered_map<Lane, uint32_t> spill;     // oversized heaps
+    bool use_direct = true;
+  };
+
+  HeapCache* CacheFor(const std::shared_ptr<const StringHeap>& heap);
+  uint32_t Assign(HeapCache* hc, Lane token);
+
+  std::vector<std::unique_ptr<HeapCache>> heaps_;
+  HeapCache* last_ = nullptr;
+  std::vector<Lane> code_tokens_;                 // code -> emit-heap token
+  std::shared_ptr<StringHeap> canon_;             // owned once >1 heap seen
+  std::unordered_map<std::string, uint32_t> code_by_string_;  // canon mode
+  uint32_t null_code_ = UINT32_MAX;               // unassigned until seen
+};
+
 /// Stop-and-go hash aggregation. The group map for single-key grouping is
 /// chosen tactically: direct table for narrow keys, perfect hash when the
-/// key range is known and small, collision hashing otherwise.
+/// key range is known and small, collision hashing otherwise. String keys
+/// group on dictionary codes (see StringKeyNormalizer) unless disabled.
 class HashAggregate : public Operator {
  public:
   HashAggregate(std::unique_ptr<Operator> child, AggregateOptions options);
@@ -71,6 +135,11 @@ class HashAggregate : public Operator {
   const Schema& output_schema() const override { return schema_; }
 
   HashAlgorithm algorithm_used() const { return algorithm_used_; }
+  /// Groups whose key strings were materialized at finalize rather than
+  /// compared per row; 0 when dictionary-code grouping did not engage.
+  uint64_t groups_late_materialized() const {
+    return groups_late_materialized_;
+  }
 
  private:
   Status BuildSchema();
@@ -89,6 +158,7 @@ class HashAggregate : public Operator {
   std::vector<TypeId> agg_types_;
   uint64_t emit_ = 0;
   uint64_t groups_ = 0;
+  uint64_t groups_late_materialized_ = 0;
 };
 
 }  // namespace tde

@@ -185,10 +185,16 @@ Status HashJoin::Next(Block* block, bool* eos) {
       uint32_t row = kNoGroup;
       if (unit_fetch) {
         // The fastest join available (Sect. 2.3.5): row id = key - base.
-        const uint64_t r = static_cast<uint64_t>(keys[i] - fetch_base_);
+        // Unsigned arithmetic: a null-sentinel key must wrap far out of
+        // range, not overflow.
+        const uint64_t r = static_cast<uint64_t>(keys[i]) -
+                           static_cast<uint64_t>(fetch_base_);
         if (r < inner_rows_) row = static_cast<uint32_t>(r);
       } else if (strategy_ == JoinStrategy::kFetch) {
-        const int64_t num = keys[i] - fetch_base_;
+        if (keys[i] == kNullSentinel) continue;
+        const int64_t num = static_cast<int64_t>(
+            static_cast<uint64_t>(keys[i]) -
+            static_cast<uint64_t>(fetch_base_));
         if (num % fetch_delta_ == 0) {
           const int64_t r = num / fetch_delta_;
           if (r >= 0 && static_cast<uint64_t>(r) < inner_rows_) {

@@ -33,6 +33,12 @@ void SortIndexByValue(std::vector<IndexEntry>* index) {
       [](const IndexEntry& a, const IndexEntry& b) { return a.value < b.value; });
 }
 
+uint64_t IndexRowCount(const std::vector<IndexEntry>& index) {
+  uint64_t rows = 0;
+  for (const IndexEntry& e : index) rows += e.count;
+  return rows;
+}
+
 IndexedScan::IndexedScan(std::shared_ptr<const Table> outer,
                          std::vector<IndexEntry> index,
                          IndexedScanOptions options)

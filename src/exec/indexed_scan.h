@@ -30,6 +30,9 @@ Result<std::vector<IndexEntry>> BuildIndexTable(const Column& column);
 /// Sect. 4.2.2 — enables ordered aggregation on a non-primary sort key).
 void SortIndexByValue(std::vector<IndexEntry>* index);
 
+/// Total rows covered by an index (the sum of its run counts).
+uint64_t IndexRowCount(const std::vector<IndexEntry>& index);
+
 struct IndexedScanOptions {
   /// Name for the index value column in the output.
   std::string value_name;

@@ -38,12 +38,16 @@ Status OrderedAggregate::Open() {
   pending_aggs_.assign(options_.aggs.size(), {});
   states_.assign(options_.aggs.size(), AggState{});
   agg_heaps_.assign(options_.aggs.size(), nullptr);
+  norm_.reset();
+  norm_state_ = -1;
+  groups_late_materialized_ = 0;
   return Status::OK();
 }
 
 void OrderedAggregate::CloseGroup() {
   if (!group_open_) return;
   pending_keys_.push_back(group_key_);
+  if (norm_state_ == 1) ++groups_late_materialized_;
   for (size_t a = 0; a < states_.size(); ++a) {
     pending_aggs_[a].push_back(agg_internal::Finalize(
         options_.aggs[a].kind, agg_types_[a], &states_[a]));
@@ -67,6 +71,13 @@ Status OrderedAggregate::Next(Block* block, bool* eos) {
     if (n > 0 && key_type_ == TypeId::kString && key_heap_ == nullptr) {
       key_heap_ = in.columns[key_idx_].heap;
     }
+    if (n > 0 && norm_state_ == -1) {
+      const bool on = options_.dict_code_keys &&
+                      key_type_ == TypeId::kString &&
+                      in.columns[key_idx_].heap != nullptr;
+      norm_state_ = on ? 1 : 0;
+      if (on) norm_ = std::make_unique<StringKeyNormalizer>();
+    }
     if (n > 0) {
       for (size_t a = 0; a < agg_idx_.size(); ++a) {
         if (agg_heaps_[a] == nullptr &&
@@ -77,7 +88,11 @@ Status OrderedAggregate::Next(Block* block, bool* eos) {
       }
     }
     for (size_t r = 0; r < n; ++r) {
-      const Lane key = in.columns[key_idx_].lanes[r];
+      Lane key = in.columns[key_idx_].lanes[r];
+      if (norm_state_ == 1) {
+        key = static_cast<Lane>(
+            norm_->Code(in.columns[key_idx_].heap, key));
+      }
       if (!group_open_ || key != group_key_) {
         CloseGroup();
         group_open_ = true;
@@ -87,8 +102,9 @@ Status OrderedAggregate::Next(Block* block, bool* eos) {
         const Lane v = options_.aggs[a].kind == AggKind::kCountStar
                            ? 0
                            : in.columns[agg_idx_[a]].lanes[r];
-        agg_internal::Update(options_.aggs[a].kind, agg_types_[a], v,
-                             &states_[a]);
+        TDE_RETURN_NOT_OK(agg_internal::Update(options_.aggs[a].kind,
+                                               agg_types_[a], v,
+                                               &states_[a]));
       }
     }
   }
@@ -102,6 +118,14 @@ Status OrderedAggregate::Next(Block* block, bool* eos) {
   keys.heap = key_heap_;
   keys.lanes.assign(pending_keys_.begin(),
                     pending_keys_.begin() + static_cast<ptrdiff_t>(take));
+  if (norm_state_ == 1) {
+    // Late materialization: codes resolve against the normalizer's emit
+    // heap as of this block; earlier blocks keep the heap they captured.
+    keys.heap = norm_->emit_heap();
+    for (Lane& l : keys.lanes) {
+      l = norm_->Token(static_cast<uint32_t>(l));
+    }
+  }
   block->columns.push_back(std::move(keys));
   for (size_t a = 0; a < pending_aggs_.size(); ++a) {
     ColumnVector cv;

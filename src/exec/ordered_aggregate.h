@@ -24,6 +24,12 @@ class OrderedAggregate : public Operator {
   void Close() override { child_->Close(); }
   const Schema& output_schema() const override { return schema_; }
 
+  /// Groups whose key strings were materialized at emit time rather than
+  /// compared per row; 0 when dictionary-code grouping did not engage.
+  uint64_t groups_late_materialized() const {
+    return groups_late_materialized_;
+  }
+
  private:
   /// Finalizes the open group into the pending output row buffer.
   void CloseGroup();
@@ -37,6 +43,13 @@ class OrderedAggregate : public Operator {
   TypeId key_type_ = TypeId::kInteger;
   std::shared_ptr<const StringHeap> key_heap_;
   std::vector<std::shared_ptr<const StringHeap>> agg_heaps_;
+
+  // Dictionary-code grouping: group boundaries compare dense per-heap
+  // codes (stable across heap changes mid-stream); pending keys hold codes
+  // that resolve to tokens at emit. -1 = undecided until the first block.
+  std::unique_ptr<StringKeyNormalizer> norm_;
+  int norm_state_ = -1;
+  uint64_t groups_late_materialized_ = 0;
 
   bool group_open_ = false;
   Lane group_key_ = 0;

@@ -4,8 +4,102 @@
 #include <thread>
 
 #include "src/exec/ordered_aggregate.h"
+#include "src/observe/metrics.h"
 
 namespace tde {
+
+RunFoldAggregate::RunFoldAggregate(std::vector<IndexEntry> index,
+                                   RunFoldOptions options)
+    : index_(std::move(index)), options_(std::move(options)) {}
+
+Status RunFoldAggregate::Open() {
+  schema_ = Schema();
+  if (options_.group_by_value) {
+    schema_.AddField({options_.value_name, options_.value_type});
+  }
+  for (const AggSpec& a : options_.aggs) {
+    if (a.kind != AggKind::kCountStar && a.input != options_.value_name) {
+      return Status::InvalidArgument(
+          "run folding requires every aggregate to read the index value: " +
+          a.input);
+    }
+    schema_.AddField(
+        {a.output, agg_internal::OutputType(a.kind, options_.value_type)});
+  }
+
+  const size_t naggs = options_.aggs.size();
+  // Group in first-occurrence order of run values, exactly like the
+  // row-at-a-time HashAggregate over the expanded rows.
+  GroupMap map(HashAlgorithm::kCollision, 0, 0);
+  uint64_t ngroups = options_.group_by_value ? 0 : 1;
+  std::vector<AggState> states(ngroups * naggs);
+  out_keys_.clear();
+  for (const IndexEntry& e : index_) {
+    uint32_t g = 0;
+    if (options_.group_by_value) {
+      g = map.GetOrInsert(e.value);
+      if (g >= ngroups) {
+        ngroups = g + 1;
+        states.resize(ngroups * naggs);
+        out_keys_.push_back(e.value);
+      }
+    }
+    for (size_t a = 0; a < naggs; ++a) {
+      TDE_RETURN_NOT_OK(agg_internal::UpdateRun(
+          options_.aggs[a].kind, options_.value_type, e.value, e.count,
+          &states[g * naggs + a]));
+    }
+  }
+  runs_folded_ = index_.size();
+  if (observe::StatsEnabled()) {
+    observe::MetricsRegistry::Global()
+        .GetCounter("agg.runs_folded")
+        ->Add(runs_folded_);
+  }
+
+  groups_ = ngroups;
+  out_aggs_.assign(naggs, {});
+  for (size_t a = 0; a < naggs; ++a) {
+    out_aggs_[a].resize(groups_);
+    for (uint64_t g = 0; g < groups_; ++g) {
+      out_aggs_[a][g] = agg_internal::Finalize(
+          options_.aggs[a].kind, options_.value_type, &states[g * naggs + a]);
+    }
+  }
+  emit_ = 0;
+  return Status::OK();
+}
+
+Status RunFoldAggregate::Next(Block* block, bool* eos) {
+  block->columns.clear();
+  if (emit_ >= groups_) {
+    *eos = true;
+    return Status::OK();
+  }
+  const size_t take =
+      static_cast<size_t>(std::min<uint64_t>(kBlockSize, groups_ - emit_));
+  if (options_.group_by_value) {
+    ColumnVector cv;
+    cv.type = options_.value_type;
+    cv.heap = options_.value_heap;
+    cv.lanes.assign(out_keys_.begin() + static_cast<ptrdiff_t>(emit_),
+                    out_keys_.begin() + static_cast<ptrdiff_t>(emit_ + take));
+    block->columns.push_back(std::move(cv));
+  }
+  for (size_t a = 0; a < out_aggs_.size(); ++a) {
+    ColumnVector cv;
+    cv.type = schema_.field((options_.group_by_value ? 1 : 0) + a).type;
+    // Aggregate inputs are the value column, so string outputs (MIN/MAX)
+    // resolve against its heap.
+    if (cv.type == TypeId::kString) cv.heap = options_.value_heap;
+    cv.lanes.assign(out_aggs_[a].begin() + static_cast<ptrdiff_t>(emit_),
+                    out_aggs_[a].begin() + static_cast<ptrdiff_t>(emit_ + take));
+    block->columns.push_back(std::move(cv));
+  }
+  emit_ += take;
+  *eos = false;
+  return Status::OK();
+}
 
 Result<std::vector<IndexEntry>> RollUpIndex(
     const std::vector<IndexEntry>& index,
@@ -50,10 +144,33 @@ Result<ParallelRollupResult> ParallelIndexedAggregate(
     begin = end;
   }
 
+  // Compressed-domain fast path: when no aggregate needs a payload row,
+  // each partition folds its runs in O(1) per entry instead of expanding
+  // rows through IndexedScan. Values within a partition are sorted, so
+  // first-occurrence group order equals the ordered-aggregate order.
+  bool foldable = options.fold_runs && options.value_type != TypeId::kReal;
+  for (const AggSpec& a : options.aggs) {
+    if (a.kind == AggKind::kCountStar) continue;
+    if (a.input != options.value_name ||
+        !agg_internal::FoldableOverRuns(a.kind)) {
+      foldable = false;
+      break;
+    }
+  }
+
   auto run_partition = [&](size_t b, size_t e,
                            std::vector<Block>* out) -> Status {
     std::vector<IndexEntry> slice(index.begin() + static_cast<ptrdiff_t>(b),
                                   index.begin() + static_cast<ptrdiff_t>(e));
+    if (foldable) {
+      RunFoldOptions fold;
+      fold.value_name = options.value_name;
+      fold.value_type = options.value_type;
+      fold.group_by_value = true;
+      fold.aggs = options.aggs;
+      RunFoldAggregate fagg(std::move(slice), fold);
+      return DrainOperator(&fagg, out);
+    }
     IndexedScanOptions scan;
     scan.value_name = options.value_name;
     scan.value_type = options.value_type;
@@ -103,6 +220,7 @@ Result<ParallelRollupResult> ParallelIndexedAggregate(
   for (auto& blocks : results) {
     for (auto& b : blocks) out.blocks.push_back(std::move(b));
   }
+  if (foldable) out.runs_folded = index.size();
   return out;
 }
 

@@ -33,16 +33,63 @@ struct ParallelRollupOptions {
   std::vector<AggSpec> aggs;  // inputs resolved against payload columns
   std::vector<std::string> payload;
   int workers = 2;
+  /// When every aggregate reads the index value itself (or is COUNT(*)),
+  /// fold whole runs in O(1) per index entry instead of expanding rows
+  /// through IndexedScan. Kill switch mirrors
+  /// StrategicOptions::enable_run_aggregation.
+  bool fold_runs = true;
 };
 
 struct ParallelRollupResult {
   Schema schema;
   std::vector<Block> blocks;
+  /// Index entries folded in O(1) instead of row expansion (0 when the
+  /// fold path did not engage).
+  uint64_t runs_folded = 0;
 };
 
 Result<ParallelRollupResult> ParallelIndexedAggregate(
     std::shared_ptr<const Table> table, std::vector<IndexEntry> index,
     const ParallelRollupOptions& options);
+
+/// Options for RunFoldAggregate. Aggregate inputs must all name the index
+/// value column (or be COUNT(*)); there is no payload — that restriction
+/// is what makes every aggregate foldable per run.
+struct RunFoldOptions {
+  std::string value_name;
+  TypeId value_type = TypeId::kInteger;
+  std::shared_ptr<const StringHeap> value_heap;
+  /// Group by the index value: one output row per distinct value in
+  /// first-occurrence order (matching HashAggregate over the expanded
+  /// rows). When false, a single whole-table row.
+  bool group_by_value = true;
+  std::vector<AggSpec> aggs;
+};
+
+/// Aggregation in the compressed domain (Sect. 4): consumes IndexTable
+/// rows directly and folds each (value, count) run in O(1) —
+/// `sum += value * count` — instead of expanding `count` rows through a
+/// scan. Output is identical to HashAggregate over the decoded rows.
+class RunFoldAggregate : public Operator {
+ public:
+  RunFoldAggregate(std::vector<IndexEntry> index, RunFoldOptions options);
+
+  Status Open() override;
+  Status Next(Block* block, bool* eos) override;
+  const Schema& output_schema() const override { return schema_; }
+
+  uint64_t runs_folded() const { return runs_folded_; }
+
+ private:
+  std::vector<IndexEntry> index_;
+  RunFoldOptions options_;
+  Schema schema_;
+  std::vector<Lane> out_keys_;
+  std::vector<std::vector<Lane>> out_aggs_;   // [agg][group]
+  uint64_t groups_ = 0;
+  uint64_t emit_ = 0;
+  uint64_t runs_folded_ = 0;
+};
 
 }  // namespace tde
 

@@ -50,6 +50,27 @@ Status TableScan::Open() {
   for (size_t i = 0; i < cols_.size(); ++i) {
     TDE_ASSIGN_OR_RETURN(pins_[i], cols_[i]->Pin());
   }
+  // Entry tables for code-mode columns. Built once here so every block
+  // shares one table and the mode cannot change mid-scan.
+  code_dicts_.assign(cols_.size(), nullptr);
+  for (size_t i = 0; i < first_token_col_; ++i) {
+    const auto& names = options_.code_columns;
+    if (std::find(names.begin(), names.end(), cols_[i]->name()) ==
+        names.end()) {
+      continue;
+    }
+    const EncodedStream* stream =
+        pins_[i] ? pins_[i]->stream.get() : cols_[i]->data();
+    if (stream == nullptr ||
+        stream->type() != EncodingType::kDictionary ||
+        cols_[i]->compression() == CompressionKind::kArrayDict) {
+      continue;  // not dictionary-coded: the column decodes normally
+    }
+    auto d = std::make_shared<ArrayDictionary>();
+    d->type = cols_[i]->type();
+    d->values = stream->CodeEntries();
+    code_dicts_[i] = std::move(d);
+  }
   return Status::OK();
 }
 
@@ -73,6 +94,19 @@ Status TableScan::Next(Block* block, bool* eos) {
     const EncodedStream* stream = pin ? pin->stream.get() : col.data();
     if (stream == nullptr) {
       return Status::Internal("column has no data stream");
+    }
+    if (code_dicts_[i] != nullptr &&
+        stream->GetCodes(row_, take, out.lanes.data())) {
+      // Compressed-domain emission: lanes are dense dictionary codes into
+      // the attached entry table. Only the dict-grouping rewrite requests
+      // this, and only for columns the aggregate consumes as group keys.
+      out.dict = code_dicts_[i];
+      if (col.compression() == CompressionKind::kHeap) {
+        out.heap = pin ? std::shared_ptr<const StringHeap>(pin->heap)
+                       : std::shared_ptr<const StringHeap>(cols_[i],
+                                                           col.heap());
+      }
+      continue;
     }
     TDE_RETURN_NOT_OK(stream->Get(row_, take, out.lanes.data()));
     if (i >= first_token_col_) {

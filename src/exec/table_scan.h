@@ -21,6 +21,11 @@ struct TableScanOptions {
   /// "<name>$token" (appended after `columns`). These are the outer join
   /// keys of invisible joins against a DictionaryTable.
   std::vector<std::string> token_columns;
+  /// Columns to emit as dense dictionary codes with the code -> token
+  /// entry table attached (ColumnVector::dict). Set by the dict-grouping
+  /// rewrite so the aggregate groups on codes and decodes one key per
+  /// group; ignored for columns whose stream is not dictionary-coded.
+  std::vector<std::string> code_columns;
 };
 
 /// Scans a stored table block by block, decoding each column's encoded
@@ -45,6 +50,9 @@ class TableScan : public Operator {
   /// blocks share them.
   std::vector<std::shared_ptr<const pager::LoadedColumn>> pins_;
   Schema schema_;
+  /// Per-column code -> lane entry table for code_columns, built at Open;
+  /// null for columns emitted normally.
+  std::vector<std::shared_ptr<const ArrayDictionary>> code_dicts_;
   size_t first_token_col_ = 0;
   uint64_t row_ = 0;
   Status init_error_;

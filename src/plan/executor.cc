@@ -9,6 +9,7 @@
 #include "src/exec/instrument.h"
 #include "src/exec/limit.h"
 #include "src/exec/ordered_aggregate.h"
+#include "src/exec/parallel_rollup.h"
 #include "src/exec/table_scan.h"
 #include "src/observe/metrics.h"
 #include "src/observe/trace.h"
@@ -47,6 +48,7 @@ Result<BuiltPlan> BuildScan(const PlanNode& node) {
   TableScanOptions opts;
   opts.columns = node.columns;
   opts.token_columns = node.token_columns;
+  opts.code_columns = node.code_columns;
   BuiltPlan out;
   out.op = std::make_unique<TableScan>(node.table, std::move(opts));
   const auto& names =
@@ -65,6 +67,9 @@ Result<BuiltPlan> BuildScan(const PlanNode& node) {
   for (const std::string& n : node.token_columns) {
     TDE_ASSIGN_OR_RETURN(auto c, node.table->ColumnByName(n));
     out.props[n + "$token"] = PropsOf(*c);
+  }
+  for (const std::string& n : node.code_columns) {
+    out.notes.push_back("scan(" + n + "): dictionary codes (group key)");
   }
   Attach(&out, "TableScan(" + node.table->name() + ")", {});
   return out;
@@ -132,19 +137,36 @@ Result<BuiltPlan> BuildProject(const PlanNode& node, BuiltPlan child) {
 
 Result<BuiltPlan> BuildAggregate(const PlanNode& node, BuiltPlan child) {
   AggregateOptions agg = node.agg;
+  agg.dict_code_keys = node.agg.dict_code_keys && node.compressed_agg;
   BuiltPlan out;
   out.notes = std::move(child.notes);
+  // Dictionary-code grouping engages per string key (the operator decides
+  // against the key's heap at run time); note it when a key is eligible.
+  bool dict_keys = false;
+  if (agg.dict_code_keys) {
+    const Schema& in = child.op->output_schema();
+    for (const std::string& k : agg.group_by) {
+      auto idx = in.FieldIndex(k);
+      if (idx.ok() && in.field(idx.value()).type == TypeId::kString) {
+        dict_keys = true;
+      }
+    }
+  }
   const bool ordered =
       !node.force_hash_agg &&
       (node.grouped_input ||
        (agg.group_by.size() == 1 && child.grouped_on == agg.group_by[0]));
+  HashAggregate* hash_raw = nullptr;
+  OrderedAggregate* ordered_raw = nullptr;
   if (ordered) {
     if (!agg.group_by.empty()) {
       out.notes.push_back("aggregate(" + agg.group_by[0] +
                           "): ordered (grouped input)");
     }
-    out.op =
+    auto op =
         std::make_unique<OrderedAggregate>(std::move(child.op), std::move(agg));
+    ordered_raw = op.get();
+    out.op = std::move(op);
   } else {
     if (agg.group_by.size() == 1 && !agg.hash_algorithm.has_value()) {
       auto it = child.props.find(agg.group_by[0]);
@@ -158,22 +180,150 @@ Result<BuiltPlan> BuildAggregate(const PlanNode& node, BuiltPlan child) {
     if (!agg.group_by.empty()) {
       out.notes.push_back(
           "aggregate(" + agg.group_by[0] + "): " +
-          HashAlgorithmName(
-              agg.hash_algorithm.value_or(HashAlgorithm::kCollision)) +
-          " hash");
+          (dict_keys && agg.group_by.size() == 1
+               ? std::string("dictionary codes (direct, late "
+                             "materialization)")
+               : HashAlgorithmName(
+                     agg.hash_algorithm.value_or(HashAlgorithm::kCollision)) +
+                     std::string(" hash")));
     }
-    out.op =
+    auto op =
         std::make_unique<HashAggregate>(std::move(child.op), std::move(agg));
+    hash_raw = op.get();
+    out.op = std::move(op);
   }
   for (const std::string& k : node.agg.group_by) {
     auto it = child.props.find(k);
     if (it != child.props.end()) out.props[k] = it->second;
   }
+  std::function<void(observe::OperatorStats*)> on_close;
+  if (dict_keys) {
+    // The wrapper's Close runs after the aggregate's pipeline finishes, so
+    // the group count is final here.
+    on_close = [hash_raw, ordered_raw](observe::OperatorStats* s) {
+      const uint64_t groups = hash_raw != nullptr
+                                  ? hash_raw->groups_late_materialized()
+                                  : ordered_raw->groups_late_materialized();
+      if (groups == 0) return;
+      s->extras.emplace_back("groups_late_materialized", groups);
+      observe::MetricsRegistry::Global()
+          .GetCounter("agg.groups_late_materialized")
+          ->Add(groups);
+    };
+  }
   const std::string key =
       node.agg.group_by.empty() ? "" : "(" + node.agg.group_by[0] + ")";
   Attach(&out,
          (ordered ? "OrderedAggregate" : "HashAggregate") + key,
-         {std::move(child.stats)});
+         {std::move(child.stats)}, std::move(on_close));
+  return out;
+}
+
+/// Emits the one answer row of a metadata-answered whole-table aggregate
+/// (TryMetadataAggregate). No scan ever opens — the answers were computed
+/// from directory facts at strategic time.
+class MetadataAggregateSource : public Operator {
+ public:
+  MetadataAggregateSource(Schema schema, std::vector<Lane> row)
+      : schema_(std::move(schema)), row_(std::move(row)) {}
+
+  Status Open() override {
+    done_ = false;
+    return Status::OK();
+  }
+
+  Status Next(Block* block, bool* eos) override {
+    block->columns.clear();
+    if (done_) {
+      *eos = true;
+      return Status::OK();
+    }
+    for (size_t i = 0; i < row_.size(); ++i) {
+      ColumnVector cv;
+      cv.type = schema_.field(i).type;
+      cv.lanes.push_back(row_[i]);
+      block->columns.push_back(std::move(cv));
+    }
+    done_ = true;
+    *eos = false;
+    return Status::OK();
+  }
+
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::vector<Lane> row_;
+  bool done_ = false;
+};
+
+Result<BuiltPlan> BuildMetadataAggregate(const PlanNode& node) {
+  const PlanNode& scan = *node.children[0];
+  Schema schema;
+  for (const AggSpec& a : node.agg.aggs) {
+    TypeId input_type = TypeId::kInteger;
+    if (a.kind != AggKind::kCountStar) {
+      TDE_ASSIGN_OR_RETURN(auto c, scan.table->ColumnByName(a.input));
+      input_type = c->type();
+    }
+    schema.AddField({a.output, agg_internal::OutputType(a.kind, input_type)});
+  }
+  BuiltPlan out;
+  out.notes.push_back("aggregate: " + std::to_string(node.metadata_row.size()) +
+                      " aggregate(s) answered from metadata, scan elided");
+  if (observe::StatsEnabled()) {
+    observe::MetricsRegistry::Global()
+        .GetCounter("agg.metadata_answers")
+        ->Add(node.metadata_row.size());
+  }
+  const uint64_t answers = node.metadata_row.size();
+  out.op = std::make_unique<MetadataAggregateSource>(std::move(schema),
+                                                     node.metadata_row);
+  Attach(&out, "MetadataAggregate(" + scan.table->name() + ")", {},
+         [answers](observe::OperatorStats* s) {
+           s->extras.emplace_back("metadata_answers", answers);
+         });
+  return out;
+}
+
+Result<BuiltPlan> BuildRunFoldAggregate(const PlanNode& node) {
+  const PlanNode& isnode = *node.children[0];
+  TDE_ASSIGN_OR_RETURN(auto col,
+                       isnode.table->ColumnByName(isnode.index_column));
+  TDE_ASSIGN_OR_RETURN(std::vector<IndexEntry> index, BuildIndexTable(*col));
+
+  // Share the heap for cold token columns so it survives eviction (same as
+  // BuildIndexedScan).
+  std::shared_ptr<const StringHeap> value_heap;
+  if (col->compression() == CompressionKind::kHeap) {
+    TDE_ASSIGN_OR_RETURN(auto heap_pin, col->Pin());
+    value_heap = heap_pin
+                     ? std::shared_ptr<const StringHeap>(heap_pin->heap)
+                     : std::shared_ptr<const StringHeap>(col, col->heap());
+  }
+
+  RunFoldOptions opts;
+  opts.value_name = isnode.index_column;
+  opts.value_type = col->type();
+  opts.value_heap = std::move(value_heap);
+  opts.group_by_value = !node.agg.group_by.empty();
+  opts.aggs = node.agg.aggs;
+
+  BuiltPlan out;
+  out.notes.push_back("aggregate(" + isnode.index_column + "): folded " +
+                      std::to_string(index.size()) + " runs (" +
+                      std::to_string(IndexRowCount(index)) +
+                      " rows) in the compressed domain");
+  out.props[isnode.index_column] = PropsOf(*col);
+  if (opts.group_by_value) out.grouped_on = isnode.index_column;
+  auto op = std::make_unique<RunFoldAggregate>(std::move(index),
+                                               std::move(opts));
+  RunFoldAggregate* raw = op.get();
+  out.op = std::move(op);
+  Attach(&out, "RunFoldAggregate(" + isnode.index_column + ")", {},
+         [raw](observe::OperatorStats* s) {
+           s->extras.emplace_back("runs_folded", raw->runs_folded());
+         });
   return out;
 }
 
@@ -465,6 +615,11 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
       return BuildProject(*node, std::move(child));
     }
     case PlanNodeKind::kAggregate: {
+      if (node->metadata_answered) return BuildMetadataAggregate(*node);
+      if (node->fold_runs && !node->children.empty() &&
+          node->children[0]->kind == PlanNodeKind::kIndexedScan) {
+        return BuildRunFoldAggregate(*node);
+      }
       TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
       return BuildAggregate(*node, std::move(child));
     }

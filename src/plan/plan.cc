@@ -110,6 +110,8 @@ void Print(const PlanNodePtr& node, int depth, std::string* out) {
       out->append("(" + node->index_column + ")");
       break;
     case PlanNodeKind::kAggregate:
+      if (node->metadata_answered) out->append("[metadata]");
+      if (node->fold_runs) out->append("[fold-runs]");
       if (node->grouped_input) out->append("[ordered]");
       break;
     case PlanNodeKind::kExchange:

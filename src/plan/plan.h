@@ -43,6 +43,10 @@ struct PlanNode {
   std::shared_ptr<const Table> table;
   std::vector<std::string> columns;        // empty = all
   std::vector<std::string> token_columns;  // emitted as "<c>$token"
+  /// Group-by keys emitted as dense dictionary codes with the entry table
+  /// attached (set by the dict-grouping rewrite; cleared when
+  /// StrategicOptions::enable_dict_grouping is off).
+  std::vector<std::string> code_columns;
 
   // kFilter
   ExprPtr predicate;
@@ -60,6 +64,19 @@ struct PlanNode {
   bool grouped_input = false;
   /// Force hash aggregation even over grouped input (benchmark control).
   bool force_hash_agg = false;
+  /// Lowering may group string keys on per-heap dictionary codes with late
+  /// key materialization. Cleared by the strategic optimizer when
+  /// StrategicOptions::enable_dict_grouping is off.
+  bool compressed_agg = true;
+  /// Set by the run-aggregation rewrite: the child is an IndexedScan over
+  /// the aggregate's only input column, and every aggregate folds whole
+  /// (value, count) runs in O(1) instead of consuming expanded rows.
+  bool fold_runs = false;
+  /// Set by the metadata-aggregate rewrite: one answer lane per aggregate
+  /// spec, computed from directory facts. The scan child is kept for
+  /// schema derivation but never built or opened.
+  bool metadata_answered = false;
+  std::vector<Lane> metadata_row;
 
   // kSort
   std::vector<SortKey> sort_keys;

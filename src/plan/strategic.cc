@@ -347,6 +347,225 @@ void DisableDictPredicates(const PlanNodePtr& node) {
   for (const auto& c : node->children) DisableDictPredicates(c);
 }
 
+void DisableDictGrouping(const PlanNodePtr& node) {
+  node->compressed_agg = false;
+  node->agg.dict_code_keys = false;
+  node->code_columns.clear();
+  for (const auto& c : node->children) DisableDictGrouping(c);
+}
+
+// --- Compressed-domain aggregation (Sect. 4 applied to GROUP BY) ----------
+
+/// Answers one whole-table aggregate from directory facts alone. Every
+/// fact consulted (rows, type, metadata) is a directory read, so answering
+/// never faults a cold column through the pager. Returns false when the
+/// metadata cannot prove the answer.
+bool AnswerAggFromMetadata(const AggSpec& spec, const Table& table,
+                           Lane* out) {
+  const uint64_t rows = table.rows();
+  if (spec.kind == AggKind::kCountStar) {
+    *out = static_cast<Lane>(rows);
+    return true;
+  }
+  auto col_r = table.ColumnByName(spec.input);
+  if (!col_r.ok()) return false;
+  const auto& col = col_r.value();
+  const ColumnMetadata& m = col->metadata();
+  if (rows == 0) {
+    // Empty input: COUNT/COUNTD are 0, every other aggregate is NULL.
+    switch (spec.kind) {
+      case AggKind::kCount:
+      case AggKind::kCountDistinct:
+        *out = 0;
+        return true;
+      default:
+        *out = kNullSentinel;
+        return true;
+    }
+  }
+  const bool no_nulls = m.null_known && !m.has_nulls;
+  // The encoder's min/max span raw lanes, sentinel included: max equals
+  // the sentinel exactly when every row is NULL (the sentinel is the
+  // domain minimum, so any non-NULL value would exceed it).
+  const bool all_null =
+      m.null_known && m.has_nulls && m.min_max_known &&
+      m.max_value == kNullSentinel;
+  switch (spec.kind) {
+    case AggKind::kCount:
+      if (no_nulls) {
+        *out = static_cast<Lane>(rows);
+        return true;
+      }
+      if (all_null) {
+        *out = 0;
+        return true;
+      }
+      return false;
+    case AggKind::kMin:
+      // min includes the sentinel when NULLs are present, so it only
+      // equals MIN over non-NULL values when there are none.
+      if (all_null) {
+        *out = kNullSentinel;
+        return true;
+      }
+      if (LaneComparable(col->type()) && m.min_max_known && no_nulls) {
+        *out = m.min_value;
+        return true;
+      }
+      return false;
+    case AggKind::kMax:
+      // max is the maximum non-NULL lane either way; when every row is
+      // NULL it degenerates to the sentinel, which renders as NULL.
+      if (LaneComparable(col->type()) && m.min_max_known && m.null_known) {
+        *out = m.max_value;
+        return true;
+      }
+      return false;
+    case AggKind::kCountDistinct:
+      if (all_null) {
+        *out = 0;
+        return true;
+      }
+      // cardinality counts distinct raw lanes, the sentinel included.
+      if (m.cardinality_known && m.null_known) {
+        *out = static_cast<Lane>(m.cardinality - (m.has_nulls ? 1 : 0));
+        return true;
+      }
+      // unique: every lane distinct, so at most one of them is the
+      // sentinel.
+      if (m.unique && m.null_known) {
+        *out = static_cast<Lane>(rows - (m.has_nulls ? 1 : 0));
+        return true;
+      }
+      return false;
+    default:
+      return false;  // SUM/AVG/MEDIAN need the data
+  }
+}
+
+/// Metadata short-circuit: a whole-table aggregate (no GROUP BY) over a
+/// bare scan where *every* spec is provable from the directory. The node
+/// keeps its scan child for schema derivation, but the executor emits the
+/// answer row directly and never builds the scan.
+PlanNodePtr TryMetadataAggregate(const PlanNodePtr& agg) {
+  if (agg->kind != PlanNodeKind::kAggregate || agg->metadata_answered ||
+      agg->fold_runs) {
+    return nullptr;
+  }
+  if (!agg->agg.group_by.empty() || agg->agg.aggs.empty()) return nullptr;
+  const PlanNodePtr& scan = agg->children[0];
+  if (scan->kind != PlanNodeKind::kScan || scan->table == nullptr ||
+      !scan->token_columns.empty()) {
+    return nullptr;
+  }
+  std::vector<Lane> row;
+  row.reserve(agg->agg.aggs.size());
+  for (const AggSpec& spec : agg->agg.aggs) {
+    Lane v;
+    if (!AnswerAggFromMetadata(spec, *scan->table, &v)) return nullptr;
+    row.push_back(v);
+  }
+  auto done = std::make_shared<PlanNode>(*agg);
+  done->metadata_answered = true;
+  done->metadata_row = std::move(row);
+  return done;
+}
+
+/// Run-level aggregate folding (Sect. 4.2): Aggregate over a bare Scan
+/// where every aggregate reads one run-length encoded column (or is
+/// COUNT(*)) and the GROUP BY is empty or on that same column. The
+/// aggregation then consumes the IndexTable and folds each (value, count)
+/// run in O(1) instead of expanding rows.
+PlanNodePtr TryRunFoldAggregate(const PlanNodePtr& agg) {
+  if (agg->kind != PlanNodeKind::kAggregate || agg->metadata_answered ||
+      agg->fold_runs) {
+    return nullptr;
+  }
+  if (agg->agg.group_by.size() > 1) return nullptr;
+  const PlanNodePtr& scan = agg->children[0];
+  if (scan->kind != PlanNodeKind::kScan || scan->table == nullptr ||
+      !scan->token_columns.empty()) {
+    return nullptr;
+  }
+  // The fold column: the grouping key, or the single column every
+  // whole-table aggregate reads.
+  std::string c;
+  if (!agg->agg.group_by.empty()) {
+    c = agg->agg.group_by[0];
+  }
+  for (const AggSpec& a : agg->agg.aggs) {
+    if (a.kind == AggKind::kCountStar) continue;
+    if (c.empty()) c = a.input;
+    if (a.input != c) return nullptr;
+    if (!agg_internal::FoldableOverRuns(a.kind)) return nullptr;
+  }
+  if (c.empty()) return nullptr;  // COUNT(*) only: metadata rule territory
+  if (agg->agg.group_by.empty() && agg->agg.aggs.empty()) return nullptr;
+  auto col_r = scan->table->ColumnByName(c);
+  if (!col_r.ok()) return nullptr;
+  const auto& col = col_r.value();
+  // Directory facts only. kArrayDict runs carry dictionary codes, not
+  // values, and folding a real SUM multiplies where the row path adds —
+  // different rounding — so both stay on the row path.
+  if (col->encoding_type() != EncodingType::kRunLength) return nullptr;
+  if (col->compression() == CompressionKind::kArrayDict) return nullptr;
+  if (col->type() == TypeId::kReal) return nullptr;
+
+  auto iscan = std::make_shared<PlanNode>();
+  iscan->kind = PlanNodeKind::kIndexedScan;
+  iscan->table = scan->table;
+  iscan->index_column = c;
+  iscan->sort_index_by_value = false;  // fold in physical run order
+  auto new_agg = std::make_shared<PlanNode>(*agg);
+  new_agg->fold_runs = true;
+  new_agg->children = {iscan};
+  return new_agg;
+}
+
+/// Dict-code scans for group-by keys: a dictionary-encoded string key is
+/// emitted as dense codes (the scan skips the per-row entry decode) and
+/// the aggregate decodes one key per group at first occurrence. Keys an
+/// aggregate also reads as input stay decoded — COUNT/MIN/MAX over codes
+/// would see indexes, not values.
+PlanNodePtr TryDictCodeScan(const PlanNodePtr& agg) {
+  if (agg->kind != PlanNodeKind::kAggregate || agg->metadata_answered ||
+      agg->fold_runs || agg->grouped_input || !agg->compressed_agg ||
+      !agg->agg.dict_code_keys || agg->agg.group_by.empty()) {
+    return nullptr;
+  }
+  const PlanNodePtr& scan = agg->children[0];
+  if (scan->kind != PlanNodeKind::kScan || scan->table == nullptr ||
+      !scan->token_columns.empty() || !scan->code_columns.empty()) {
+    return nullptr;
+  }
+  std::vector<std::string> coded;
+  for (const std::string& c : agg->agg.group_by) {
+    bool read_by_agg = false;
+    for (const AggSpec& a : agg->agg.aggs) {
+      if (a.kind != AggKind::kCountStar && a.input == c) {
+        read_by_agg = true;
+        break;
+      }
+    }
+    if (read_by_agg) continue;
+    auto col_r = scan->table->ColumnByName(c);
+    if (!col_r.ok()) continue;
+    const auto& col = col_r.value();
+    if (col->type() != TypeId::kString ||
+        col->compression() != CompressionKind::kHeap ||
+        col->encoding_type() != EncodingType::kDictionary) {
+      continue;
+    }
+    coded.push_back(c);
+  }
+  if (coded.empty()) return nullptr;
+  auto new_scan = std::make_shared<PlanNode>(*scan);
+  new_scan->code_columns = std::move(coded);
+  auto new_agg = std::make_shared<PlanNode>(*agg);
+  new_agg->children = {new_scan};
+  return new_agg;
+}
+
 /// Rule 3 (Sect. 4.3): encodings are sensitive to data order, so any
 /// exchange feeding an encoding sink must use order-preserving routing.
 void EnforceOrderedExchange(const PlanNodePtr& node, bool under_encoder) {
@@ -581,8 +800,17 @@ PlanNodePtr Rewrite(PlanNodePtr node, const StrategicOptions& options) {
     if (options.enable_metadata_pruning && next == nullptr) {
       next = TryMetadataPrune(node);
     }
+    if (options.enable_metadata_aggregates && next == nullptr) {
+      next = TryMetadataAggregate(node);
+    }
     if (options.enable_rank_join && next == nullptr) {
       next = TryRankJoin(node);
+    }
+    if (options.enable_run_aggregation && next == nullptr) {
+      next = TryRunFoldAggregate(node);
+    }
+    if (options.enable_dict_grouping && next == nullptr) {
+      next = TryDictCodeScan(node);
     }
     if (options.enable_invisible_join && next == nullptr) {
       next = TryInvisibleJoin(node);
@@ -616,6 +844,9 @@ Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
   }
   if (!options.enable_dict_predicates) {
     DisableDictPredicates(root);
+  }
+  if (!options.enable_dict_grouping) {
+    DisableDictGrouping(root);
   }
   return root;
 }

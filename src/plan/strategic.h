@@ -42,6 +42,20 @@ struct StrategicOptions {
   /// single-string-column boolean predicates into token ranges/sets
   /// evaluated on integer codes (no per-row heap lookups or collation).
   bool enable_dict_predicates = true;
+  /// Dictionary-code grouping (Sect. 4 applied to aggregation): string
+  /// group-by keys are grouped on dense per-heap codes via a translation
+  /// cache and one key string per *group* materializes at finalize time,
+  /// instead of one heap lookup per row.
+  bool enable_dict_grouping = true;
+  /// Run-level aggregate folding: Aggregate-over-Scan whose aggregates all
+  /// read one run-length encoded column (or are COUNT(*)) becomes an
+  /// aggregation over the IndexTable that folds each run in O(1)
+  /// (`sum += value * count`).
+  bool enable_run_aggregation = true;
+  /// Metadata aggregate short-circuits: whole-table COUNT(*) / COUNT /
+  /// MIN / MAX / COUNTD answered from directory facts at strategic time.
+  /// The scan is never built, so cold columns stay on disk.
+  bool enable_metadata_aggregates = true;
 };
 
 /// The strategic (compile-time) optimizer: rule-based rewrites over the

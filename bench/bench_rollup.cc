@@ -136,13 +136,27 @@ double RunSumCount(const std::shared_ptr<Table>& table, bool compressed,
   return t.Seconds();
 }
 
+/// One gate-able record: a named measurement in milliseconds. The names are
+/// the stable contract with ci/BENCH_baseline.json — renaming one means
+/// re-baselining (ci/check_bench.sh --rebaseline).
+void Report(bench::JsonReport* report, const char* name, double seconds,
+            uint64_t groups) {
+  if (!report->enabled()) return;
+  char rec[160];
+  std::snprintf(rec, sizeof(rec),
+                "{\"name\":\"%s\",\"ms\":%.4f,\"groups\":%llu}", name,
+                seconds * 1000, static_cast<unsigned long long>(groups));
+  report->Add(rec);
+}
+
 }  // namespace
 }  // namespace tde
 
-int main() {
+int main(int argc, char** argv) {
+  tde::bench::JsonReport report("rollup", argc, argv);
   tde::bench::PrintHeader(
       "Sect. 8 — index roll-up & parallel ordered aggregation");
-  auto table = tde::DailyTable(4000000);
+  auto table = tde::DailyTable(tde::bench::RollupRows());
   std::printf("table: %llu rows, day column %s\n",
               static_cast<unsigned long long>(table->rows()),
               tde::EncodingName(
@@ -162,6 +176,9 @@ int main() {
               static_cast<unsigned long long>(g2));
   std::printf("%-44s %8.3fs\n",
               "index roll-up + ordered aggregation (4 workers)", idx4_s / 3);
+  tde::Report(&report, "rowlevel_rollup", row_s / 3, g1);
+  tde::Report(&report, "index_rollup_1w", idx1_s / 3, g2);
+  tde::Report(&report, "index_rollup_4w", idx4_s / 3, g2);
   std::printf(
       "\nshape: the roll-up computes TRUNC_MONTH once per distinct day "
       "(~3.7k) instead of once per row (4M), so plan (b) should win "
@@ -169,7 +186,7 @@ int main() {
 
   tde::bench::PrintHeader(
       "Compressed-domain aggregation vs decoded controls");
-  auto fruit = tde::FruitTable(4000000);
+  auto fruit = tde::FruitTable(tde::bench::RollupRows());
   uint64_t gd = 0;
   double dict_on = 0, dict_off = 0;
   for (int i = 0; i < 3; ++i) {
@@ -182,8 +199,10 @@ int main() {
   std::printf("%-44s %8.3fs  speedup %.2fx\n",
               "string GROUP BY, per-row heap keys", dict_off / 3,
               dict_off / dict_on);
+  tde::Report(&report, "dict_groupby_compressed", dict_on / 3, gd);
+  tde::Report(&report, "dict_groupby_decoded", dict_off / 3, gd);
 
-  auto runs = tde::RunTable(4000000);
+  auto runs = tde::RunTable(tde::bench::RollupRows());
   std::printf("run table: %llu rows, g column %s\n",
               static_cast<unsigned long long>(runs->rows()),
               tde::EncodingName(
@@ -200,5 +219,7 @@ int main() {
   std::printf("%-44s %8.3fs  speedup %.2fx\n",
               "SUM+COUNT over RLE, expanded rows", fold_off / 3,
               fold_off / fold_on);
+  tde::Report(&report, "run_fold_compressed", fold_on / 3, gr);
+  tde::Report(&report, "run_fold_decoded", fold_off / 3, gr);
   return 0;
 }

@@ -34,6 +34,15 @@ inline uint64_t LargeRleRows() {
   return 16000000;
 }
 
+/// Rows of bench_rollup's tables (paper shape: 4M). Override with
+/// TDE_ROLLUP_ROWS; ci/check_bench.sh shrinks it for the regression gate.
+inline uint64_t RollupRows() {
+  if (const char* e = std::getenv("TDE_ROLLUP_ROWS")) {
+    return static_cast<uint64_t>(std::atoll(e));
+  }
+  return 4000000;
+}
+
 class Timer {
  public:
   Timer() : start_(std::chrono::steady_clock::now()) {}

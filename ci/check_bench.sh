@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run bench_rollup in JSON mode and compare every
+# named measurement against the committed baseline (ci/BENCH_baseline.json).
+# A measurement fails the gate when it is BOTH more than TDE_BENCH_TOLERANCE
+# slower relatively AND more than TDE_BENCH_MIN_MS slower absolutely — the
+# absolute floor keeps sub-millisecond timer noise from failing CI.
+#
+# Usage: ci/check_bench.sh <build-dir> [--rebaseline]
+#
+# Knobs (all optional):
+#   TDE_BENCH_TOLERANCE  relative slowdown allowed (default: 0.25 = 25%)
+#   TDE_BENCH_MIN_MS     absolute slowdown floor in ms (default: 20)
+#   TDE_ROLLUP_ROWS      bench table size (default: 1000000 for the gate;
+#                        must match the baseline's "rows" or the gate
+#                        refuses to compare)
+#
+# --rebaseline replaces the committed baseline with this run's numbers
+# (use after an intentional perf change, on the reference machine).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:?usage: ci/check_bench.sh <build-dir> [--rebaseline]}"
+BUILD="$(cd "$BUILD" && pwd)"
+MODE="${2:-check}"
+BASELINE="$ROOT/ci/BENCH_baseline.json"
+ROWS="${TDE_ROLLUP_ROWS:-1000000}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+(cd "$WORK" && TDE_ROLLUP_ROWS="$ROWS" "$BUILD/bench/bench_rollup" --json \
+    > bench.out) || { cat "$WORK/bench.out"; exit 1; }
+FRESH="$WORK/BENCH_rollup.json"
+[[ -f "$FRESH" ]] || { echo "bench_rollup wrote no BENCH_rollup.json"; exit 1; }
+
+if [[ "$MODE" == "--rebaseline" ]]; then
+  python3 - "$FRESH" "$BASELINE" "$ROWS" <<'EOF'
+import json, sys
+fresh, baseline, rows = sys.argv[1], sys.argv[2], int(sys.argv[3])
+doc = json.load(open(fresh))
+doc["rows"] = rows
+json.dump(doc, open(baseline, "w"), indent=1)
+open(baseline, "a").write("\n")
+print(f"rebaselined {baseline} at {rows} rows "
+      f"({len(doc['results'])} measurements)")
+EOF
+  exit 0
+fi
+
+[[ -f "$BASELINE" ]] || {
+  echo "no baseline at $BASELINE; run: ci/check_bench.sh $BUILD --rebaseline"
+  exit 1
+}
+
+python3 - "$FRESH" "$BASELINE" "$ROWS" <<'EOF'
+import json, os, sys
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+rows = int(sys.argv[3])
+tol = float(os.environ.get("TDE_BENCH_TOLERANCE", "0.25"))
+floor_ms = float(os.environ.get("TDE_BENCH_MIN_MS", "20"))
+
+if base.get("rows") != rows:
+    sys.exit(f"baseline was recorded at rows={base.get('rows')}, this run "
+             f"used rows={rows}; set TDE_ROLLUP_ROWS to match or rebaseline")
+
+old = {r["name"]: r for r in base["results"]}
+new = {r["name"]: r for r in fresh["results"]}
+missing = sorted(set(old) - set(new))
+if missing:
+    sys.exit(f"measurements missing from this run: {missing}")
+
+failed = []
+print(f"{'measurement':<28}{'base_ms':>10}{'new_ms':>10}{'delta':>8}")
+for name in sorted(old):
+    b, n = old[name]["ms"], new[name]["ms"]
+    if old[name].get("groups") != new[name].get("groups"):
+        failed.append(f"{name}: groups changed "
+                      f"{old[name].get('groups')} -> {new[name].get('groups')}"
+                      " (bench output drifted; rebaseline deliberately)")
+    rel = (n - b) / b if b > 0 else 0.0
+    mark = ""
+    if n - b > floor_ms and rel > tol:
+        failed.append(f"{name}: {b:.1f}ms -> {n:.1f}ms (+{rel:.0%}, "
+                      f"tolerance {tol:.0%})")
+        mark = "  REGRESSION"
+    print(f"{name:<28}{b:>10.1f}{n:>10.1f}{rel:>+8.0%}{mark}")
+
+added = sorted(set(new) - set(old))
+if added:
+    print(f"note: new measurements not in baseline (rebaseline to gate "
+          f"them): {added}")
+if failed:
+    print("\nperf-regression gate FAILED:")
+    for f in failed:
+        print(f"  {f}")
+    sys.exit(1)
+print("\nperf-regression gate passed "
+      f"(tolerance {tol:.0%}, floor {floor_ms:.0f}ms)")
+EOF

@@ -10,6 +10,9 @@
 #   TDE_LARGE_ROWS    shrink the bench's large table for CI budgets
 #   TDE_SKIP_SANITIZE set to 1 to skip the ASan+UBSan stage
 #   TDE_SKIP_TSAN     set to 1 to skip the ThreadSanitizer stage
+#
+# The suite runs twice up front: once with stats on (default) and once with
+# TDE_STATS=0, then the perf-regression gate (ci/check_bench.sh) runs last.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,6 +23,12 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j"$(nproc)"
 
 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+# Second pass with the observability layer off: TDE_STATS=0 drops the
+# journal, per-query scopes, and registry counters; every query must still
+# produce identical answers (tests that assert on telemetry re-enable it
+# explicitly via SetStatsEnabled).
+TDE_STATS=0 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
 # Second pass with mmap disabled: the pager's read()-fallback path must
 # produce identical results — lazy column loads go through plain I/O.
@@ -54,3 +63,7 @@ mkdir -p "$ARCHIVE"
 (cd "$ARCHIVE" && TDE_LARGE_ROWS="${TDE_LARGE_ROWS:-2000000}" \
     "$BUILD/bench/$BENCH" --json)
 ls -l "$ARCHIVE"/BENCH_*.json
+
+# Perf-regression gate: bench_rollup against the committed baseline
+# (>25% relative AND >20ms absolute slowdown fails; see ci/check_bench.sh).
+"$ROOT/ci/check_bench.sh" "$BUILD"

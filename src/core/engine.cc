@@ -5,9 +5,15 @@
 #include <algorithm>
 #include <cstdio>
 
+#include <cinttypes>
+#include <functional>
+#include <unordered_map>
+
 #include "src/encoding/manipulate.h"
 #include "src/storage/pager/format.h"
 #include "src/exec/sort.h"
+#include "src/observe/introspect.h"
+#include "src/observe/journal.h"
 #include "src/observe/metrics.h"
 #include "src/sql/parser.h"
 
@@ -131,6 +137,193 @@ const char* KindName(observe::MetricKind kind) {
   return "?";
 }
 
+/// Column-input makers for the virtual tables, all built through the same
+/// per-column encoding pipeline as any other table.
+ColumnBuildInput StrCol(const char* name) {
+  ColumnBuildInput in;
+  in.name = name;
+  in.type = TypeId::kString;
+  in.heap = std::make_shared<StringHeap>();
+  return in;
+}
+
+ColumnBuildInput IntCol(const char* name) {
+  ColumnBuildInput in;
+  in.name = name;
+  in.type = TypeId::kInteger;
+  return in;
+}
+
+Result<std::shared_ptr<Table>> BuildVirtualTable(
+    const char* name, std::vector<ColumnBuildInput> inputs) {
+  FlowTableOptions opt;
+  auto table = std::make_shared<Table>(name);
+  for (ColumnBuildInput& in : inputs) {
+    if (in.heap != nullptr) {
+      // The builders above append without interning, but downstream
+      // dictionary-code machinery (GROUP BY, string predicates) compares
+      // codes, not bytes — equal strings must share one heap entry.
+      auto interned = std::make_shared<StringHeap>();
+      std::unordered_map<std::string, Lane> seen;
+      for (Lane& t : in.lanes) {
+        std::string s(in.heap->Get(t));
+        auto it = seen.find(s);
+        if (it == seen.end()) it = seen.emplace(s, interned->Add(s)).first;
+        t = it->second;
+      }
+      in.heap = std::move(interned);
+    }
+    TDE_ASSIGN_OR_RETURN(auto col, BuildColumn(std::move(in), opt));
+    table->AddColumn(std::move(col));
+  }
+  return table;
+}
+
+/// Materializes the tde_queries virtual table: one row per journal entry
+/// (most recent queries last), the per-query counter deltas as columns.
+Result<std::shared_ptr<Table>> BuildQueriesTable() {
+  std::vector<ColumnBuildInput> cols;
+  cols.push_back(IntCol("id"));
+  cols.push_back(StrCol("sql"));
+  cols.push_back(StrCol("fingerprint"));
+  cols.push_back(IntCol("wall_us"));
+  cols.push_back(IntCol("cpu_us"));
+  cols.push_back(IntCol("rows_out"));
+  cols.push_back(IntCol("ok"));
+  for (int i = 0; i < observe::kNumQueryCounters; ++i) {
+    cols.push_back(IntCol(observe::QueryCounterColumnName(
+        static_cast<observe::QueryCounter>(i))));
+  }
+  for (const observe::QueryJournalEntry& e :
+       observe::QueryJournal::Global().Snapshot()) {
+    size_t c = 0;
+    cols[c].lanes.push_back(static_cast<Lane>(e.id));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(e.sql));
+    ++c;
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016" PRIx64, e.plan_fingerprint);
+    cols[c].lanes.push_back(cols[c].heap->Add(fp));
+    ++c;
+    cols[c].lanes.push_back(static_cast<Lane>(e.wall_ns / 1000));
+    ++c;
+    cols[c].lanes.push_back(static_cast<Lane>(e.cpu_ns / 1000));
+    ++c;
+    cols[c].lanes.push_back(static_cast<Lane>(e.rows_out));
+    ++c;
+    cols[c].lanes.push_back(e.ok ? 1 : 0);
+    ++c;
+    for (int i = 0; i < observe::kNumQueryCounters; ++i) {
+      cols[c].lanes.push_back(
+          static_cast<Lane>(e.counters[static_cast<size_t>(i)]));
+      ++c;
+    }
+  }
+  return BuildVirtualTable("tde_queries", std::move(cols));
+}
+
+/// Materializes the tde_columns virtual table: one row per stored column
+/// with its physical shape. Unknowable fields of unloaded cold columns
+/// (bit width, run count) surface as NULL.
+Result<std::shared_ptr<Table>> BuildColumnsTable(const Database& db) {
+  std::vector<ColumnBuildInput> cols;
+  cols.push_back(StrCol("table_name"));
+  cols.push_back(StrCol("column_name"));
+  cols.push_back(StrCol("type"));
+  cols.push_back(StrCol("encoding"));
+  cols.push_back(StrCol("compression"));
+  cols.push_back(StrCol("residency"));
+  cols.push_back(IntCol("rows"));
+  cols.push_back(IntCol("bits"));
+  cols.push_back(IntCol("runs"));
+  cols.push_back(IntCol("dict_entries"));
+  cols.push_back(IntCol("heap_entries"));
+  cols.push_back(IntCol("compressed_bytes"));
+  cols.push_back(IntCol("logical_bytes"));
+  cols.push_back(IntCol("ratio_ppt"));
+  for (const observe::ColumnReport& r : observe::BuildColumnReports(db)) {
+    size_t c = 0;
+    cols[c].lanes.push_back(cols[c].heap->Add(r.table));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(r.column));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(r.type));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(r.encoding));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(r.compression));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(r.residency));
+    ++c;
+    cols[c++].lanes.push_back(static_cast<Lane>(r.rows));
+    cols[c++].lanes.push_back(r.bits < 0 ? kNullSentinel : r.bits);
+    cols[c++].lanes.push_back(r.runs < 0 ? kNullSentinel : r.runs);
+    cols[c++].lanes.push_back(r.dict_entries < 0 ? kNullSentinel
+                                                 : r.dict_entries);
+    cols[c++].lanes.push_back(static_cast<Lane>(r.heap_entries));
+    cols[c++].lanes.push_back(static_cast<Lane>(r.compressed_bytes));
+    cols[c++].lanes.push_back(static_cast<Lane>(r.logical_bytes));
+    cols[c++].lanes.push_back(r.ratio_ppt());
+  }
+  return BuildVirtualTable("tde_columns", std::move(cols));
+}
+
+/// Materializes the tde_cache virtual table: the column cache's residency
+/// set in LRU order (empty for engines without a lazily opened database).
+Result<std::shared_ptr<Table>> BuildCacheTable(
+    const pager::ColumnCache* cache) {
+  std::vector<ColumnBuildInput> cols;
+  cols.push_back(IntCol("lru_position"));
+  cols.push_back(StrCol("table_name"));
+  cols.push_back(StrCol("column_name"));
+  cols.push_back(IntCol("bytes"));
+  cols.push_back(IntCol("pinned"));
+  for (const observe::CacheEntryReport& e :
+       observe::BuildCacheReport(cache).entries) {
+    size_t c = 0;
+    cols[c++].lanes.push_back(e.lru_position);
+    cols[c].lanes.push_back(cols[c].heap->Add(e.table));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(e.column));
+    ++c;
+    cols[c++].lanes.push_back(static_cast<Lane>(e.bytes));
+    cols[c++].lanes.push_back(e.pinned ? 1 : 0);
+  }
+  return BuildVirtualTable("tde_cache", std::move(cols));
+}
+
+/// Materializes the tde_metrics virtual table: one row per registered
+/// metric, histogram percentiles as columns (NULL for counters/gauges).
+Result<std::shared_ptr<Table>> BuildMetricsTable() {
+  std::vector<ColumnBuildInput> cols;
+  cols.push_back(StrCol("metric"));
+  cols.push_back(StrCol("kind"));
+  cols.push_back(IntCol("value"));
+  cols.push_back(IntCol("sum"));
+  cols.push_back(IntCol("p50"));
+  cols.push_back(IntCol("p90"));
+  cols.push_back(IntCol("p99"));
+  for (const observe::MetricSample& s :
+       observe::MetricsRegistry::Global().Snapshot()) {
+    const bool hist = s.kind == observe::MetricKind::kHistogram;
+    size_t c = 0;
+    cols[c].lanes.push_back(cols[c].heap->Add(s.name));
+    ++c;
+    cols[c].lanes.push_back(cols[c].heap->Add(KindName(s.kind)));
+    ++c;
+    cols[c++].lanes.push_back(s.value);
+    cols[c++].lanes.push_back(hist ? static_cast<Lane>(s.sum)
+                                   : kNullSentinel);
+    cols[c++].lanes.push_back(hist ? static_cast<Lane>(s.p50)
+                                   : kNullSentinel);
+    cols[c++].lanes.push_back(hist ? static_cast<Lane>(s.p90)
+                                   : kNullSentinel);
+    cols[c++].lanes.push_back(hist ? static_cast<Lane>(s.p99)
+                                   : kNullSentinel);
+  }
+  return BuildVirtualTable("tde_metrics", std::move(cols));
+}
+
 /// Materializes the tde_stats virtual table (metric, kind, value): the
 /// global registry snapshot plus per-import telemetry, built through the
 /// same per-column encoding pipeline as any other table.
@@ -179,31 +372,49 @@ Result<std::shared_ptr<Table>> BuildStatsTable(
     }
   }
 
-  FlowTableOptions opt;
-  auto table = std::make_shared<Table>("tde_stats");
-  for (ColumnBuildInput* in : {&metric, &kind, &value}) {
-    TDE_ASSIGN_OR_RETURN(auto col, BuildColumn(std::move(*in), opt));
-    table->AddColumn(std::move(col));
-  }
-  return table;
+  std::vector<ColumnBuildInput> inputs;
+  inputs.push_back(std::move(metric));
+  inputs.push_back(std::move(kind));
+  inputs.push_back(std::move(value));
+  return BuildVirtualTable("tde_stats", std::move(inputs));
 }
 
 }  // namespace
 
 Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
-  // The tde_stats virtual table: when the query mentions it (and no real
-  // table shadows the name), parse against a database copy — cheap, tables
-  // are shared — extended with a freshly materialized snapshot. The plan
-  // pins the snapshot table through its shared_ptr.
+  // The journal stamps each recorded query with the statement that spawned
+  // it; the view stays valid for the whole call.
+  observe::ScopedQueryText query_text(sql);
+  // The virtual tables: when the query mentions one (and no real table
+  // shadows the name), parse against a database copy — cheap, tables are
+  // shared — extended with freshly materialized snapshots. The plan pins
+  // each snapshot table through its shared_ptr.
   auto parse = [&]() -> Result<sql::ParsedQuery> {
-    if (sql.find("tde_stats") != std::string::npos &&
-        !db_.GetTable("tde_stats").ok()) {
-      Database with_stats = db_;
-      TDE_ASSIGN_OR_RETURN(auto stats_table, BuildStatsTable(import_stats_));
-      with_stats.AddTable(std::move(stats_table));
-      return sql::ParseQuery(sql, with_stats);
+    struct VirtualTable {
+      const char* name;
+      std::function<Result<std::shared_ptr<Table>>()> build;
+    };
+    const VirtualTable virtuals[] = {
+        {"tde_stats", [&] { return BuildStatsTable(import_stats_); }},
+        {"tde_queries", [] { return BuildQueriesTable(); }},
+        {"tde_columns", [&] { return BuildColumnsTable(db_); }},
+        {"tde_cache", [&] { return BuildCacheTable(cache_.get()); }},
+        {"tde_metrics", [] { return BuildMetricsTable(); }},
+    };
+    auto mentioned = [&](const VirtualTable& v) {
+      return sql.find(v.name) != std::string::npos &&
+             !db_.GetTable(v.name).ok();
+    };
+    bool any = false;
+    for (const VirtualTable& v : virtuals) any = any || mentioned(v);
+    if (!any) return sql::ParseQuery(sql, db_);
+    Database extended = db_;
+    for (const VirtualTable& v : virtuals) {
+      if (!mentioned(v)) continue;
+      TDE_ASSIGN_OR_RETURN(auto table, v.build());
+      extended.AddTable(std::move(table));
     }
-    return sql::ParseQuery(sql, db_);
+    return sql::ParseQuery(sql, extended);
   };
   TDE_ASSIGN_OR_RETURN(sql::ParsedQuery q, parse());
 
@@ -216,6 +427,10 @@ Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
     return TextResult("plan", text);
   }
   return Execute(q.plan);
+}
+
+std::string Engine::StorageReportJson() const {
+  return observe::StorageReportJson(db_, cache_.get());
 }
 
 std::string Engine::StatsJson() const {

@@ -70,9 +70,14 @@ class Engine {
   /// returns the optimized plan and tactical decisions as a single-column
   /// result instead of executing; `EXPLAIN ANALYZE` executes the query and
   /// returns the operator tree annotated with actual rows/blocks/time.
-  /// Queries may also reference the `tde_stats` virtual table
-  /// (metric/kind/value), a snapshot of the global metrics registry plus
-  /// this engine's per-import telemetry.
+  ///
+  /// Queries may also reference the observability virtual tables, each
+  /// materialized as a snapshot at parse time:
+  ///   tde_stats    metric/kind/value registry dump + per-import telemetry
+  ///   tde_metrics  one row per metric, histogram percentiles as columns
+  ///   tde_queries  the query journal: per-query times and counter deltas
+  ///   tde_columns  one row per stored column: encoding, runs, bytes, ratio
+  ///   tde_cache    column-cache residency in LRU order
   Result<QueryResult> ExecuteSql(const std::string& sql) const;
 
   Database* database() { return &db_; }
@@ -126,6 +131,11 @@ class Engine {
   /// All collected telemetry as one JSON document: the global metrics
   /// registry snapshot plus this engine's per-import records.
   std::string StatsJson() const;
+
+  /// The storage picture as one JSON document: every column's physical
+  /// shape (encoding, runs, compressed vs logical bytes, residency) plus
+  /// the column cache's residency set. {"columns":[...],"cache":{...}}.
+  std::string StorageReportJson() const;
 
  private:
   struct Attachment {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/observe/journal.h"
+
 namespace tde {
 
 namespace {
@@ -53,9 +55,17 @@ Status Exchange::Open() {
   run_stats_ = ExchangeRunStats{};
   run_stats_.workers.resize(static_cast<size_t>(options_.workers));
   shared_->workers_running = options_.workers;
-  threads_.emplace_back([this]() { ProducerLoop(); });
+  // Producer and workers adopt the opening thread's query scope, so the
+  // counters they bump (scan bytes, pager faults, prunes) are attributed
+  // to the query that spawned them.
+  observe::StatsScope* scope = observe::StatsScope::Current();
+  threads_.emplace_back([this, scope]() {
+    observe::StatsScope::Bind bind(scope);
+    ProducerLoop();
+  });
   for (int i = 0; i < options_.workers; ++i) {
-    threads_.emplace_back([this, i]() {
+    threads_.emplace_back([this, i, scope]() {
+      observe::StatsScope::Bind bind(scope);
       WorkerLoop(static_cast<size_t>(i));
     });
   }

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/exec/ordered_aggregate.h"
+#include "src/observe/journal.h"
 #include "src/observe/metrics.h"
 
 namespace tde {
@@ -51,11 +52,7 @@ Status RunFoldAggregate::Open() {
     }
   }
   runs_folded_ = index_.size();
-  if (observe::StatsEnabled()) {
-    observe::MetricsRegistry::Global()
-        .GetCounter("agg.runs_folded")
-        ->Add(runs_folded_);
-  }
+  observe::QueryCount(observe::QueryCounter::kRunsFolded, runs_folded_);
 
   groups_ = ngroups;
   out_aggs_.assign(naggs, {});
@@ -187,9 +184,13 @@ Result<ParallelRollupResult> ParallelIndexedAggregate(
   std::vector<std::vector<Block>> results(parts.size());
   std::vector<Status> statuses(parts.size());
   if (parts.size() > 1) {
+    // Partition workers count against the spawning query's scope (runs
+    // folded, scan bytes), and their CPU time folds into it on join.
+    observe::StatsScope* scope = observe::StatsScope::Current();
     std::vector<std::thread> pool;
     for (size_t i = 0; i < parts.size(); ++i) {
-      pool.emplace_back([&, i]() {
+      pool.emplace_back([&, scope, i]() {
+        observe::StatsScope::Bind bind(scope);
         statuses[i] =
             run_partition(parts[i].first, parts[i].second, &results[i]);
       });

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/observe/journal.h"
+
 namespace tde {
 
 TableScan::TableScan(std::shared_ptr<const Table> table,
@@ -43,7 +45,15 @@ TableScan::TableScan(std::shared_ptr<const Table> table,
 
 Status TableScan::Open() {
   row_ = 0;
+  rows_scanned_ = 0;
   TDE_RETURN_NOT_OK(init_error_);
+  // Per-row stored width across the scanned columns, priced once: the
+  // decode loop only bumps a row count, and Close converts rows into the
+  // compressed/decoded byte counters.
+  stored_bytes_per_block_row_ = 0;
+  for (const auto& col : cols_) {
+    stored_bytes_per_block_row_ += col->TokenWidth();
+  }
   // Pin cold columns for the whole scan: one cache touch per column per
   // query, and the payload cannot be evicted while blocks reference it.
   pins_.assign(cols_.size(), nullptr);
@@ -74,7 +84,14 @@ Status TableScan::Open() {
   return Status::OK();
 }
 
-void TableScan::Close() { pins_.clear(); }
+void TableScan::Close() {
+  pins_.clear();
+  observe::QueryCount(observe::QueryCounter::kBytesScannedCompressed,
+                      rows_scanned_ * stored_bytes_per_block_row_);
+  observe::QueryCount(observe::QueryCounter::kBytesScannedDecoded,
+                      rows_scanned_ * cols_.size() * sizeof(Lane));
+  rows_scanned_ = 0;
+}
 
 Status TableScan::Next(Block* block, bool* eos) {
   block->columns.assign(cols_.size(), ColumnVector{});
@@ -132,6 +149,7 @@ Status TableScan::Next(Block* block, bool* eos) {
     }
   }
   row_ += take;
+  rows_scanned_ += take;
   *eos = false;
   return Status::OK();
 }

@@ -55,6 +55,10 @@ class TableScan : public Operator {
   std::vector<std::shared_ptr<const ArrayDictionary>> code_dicts_;
   size_t first_token_col_ = 0;
   uint64_t row_ = 0;
+  /// Scan-volume accounting, flushed to the query counters at Close: plain
+  /// members updated per block so the decode loop touches no atomics.
+  uint64_t rows_scanned_ = 0;
+  uint64_t stored_bytes_per_block_row_ = 0;  // sum of per-row stored widths
   Status init_error_;
 };
 

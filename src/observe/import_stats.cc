@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/observe/json.h"
+
 namespace tde {
 namespace observe {
 
@@ -57,7 +59,7 @@ std::string ImportStats::ToString() const {
 }
 
 std::string ImportStats::ToJson() const {
-  std::string out = "{\"table\":\"" + table_name +
+  std::string out = "{\"table\":\"" + JsonEscape(table_name) +
                     "\",\"rows\":" + std::to_string(rows) +
                     ",\"bytes_parsed\":" + std::to_string(bytes_parsed) +
                     ",\"parse_errors\":" + std::to_string(parse_errors) +
@@ -70,8 +72,8 @@ std::string ImportStats::ToJson() const {
   for (const ColumnImportStats& c : columns) {
     if (!first) out += ",";
     first = false;
-    out += "{\"column\":\"" + c.column + "\",\"type\":\"" + c.type +
-           "\",\"encoding\":\"" + c.encoding +
+    out += "{\"column\":\"" + JsonEscape(c.column) + "\",\"type\":\"" +
+           JsonEscape(c.type) + "\",\"encoding\":\"" + JsonEscape(c.encoding) +
            "\",\"rows\":" + std::to_string(c.rows) +
            ",\"input_bytes\":" + std::to_string(c.input_bytes) +
            ",\"encoded_bytes\":" + std::to_string(c.encoded_bytes) +

@@ -1,0 +1,162 @@
+#include "src/observe/introspect.h"
+
+#include "src/observe/json.h"
+#include "src/storage/column.h"
+#include "src/storage/database_file.h"
+#include "src/storage/pager/column_cache.h"
+#include "src/storage/table.h"
+
+namespace tde {
+namespace observe {
+
+namespace {
+
+const char* CompressionName(CompressionKind k) {
+  switch (k) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kHeap:
+      return "heap";
+    case CompressionKind::kArrayDict:
+      return "array-dict";
+  }
+  return "unknown";
+}
+
+ColumnReport ReportColumn(const std::string& table_name, const Column& col) {
+  ColumnReport r;
+  r.table = table_name;
+  r.column = col.name();
+  r.type = TypeName(col.type());
+  r.encoding = EncodingName(col.encoding_type());
+  r.compression = CompressionName(col.compression());
+  // Residency is probed before PinIfResident below: our own transient pin
+  // must not make every warm column report as pinned.
+  r.residency = ResidencyName(col.residency_state());
+  r.rows = col.rows();
+  r.compressed_bytes = col.PhysicalSize();
+  r.logical_bytes = col.LogicalSize();
+
+  auto pin = col.PinIfResident();
+  const EncodedStream* stream =
+      pin != nullptr ? pin->stream.get() : (col.cold() ? nullptr : col.data());
+  const StringHeap* heap = pin != nullptr ? pin->heap.get() : col.heap();
+  const ArrayDictionary* dict =
+      pin != nullptr ? pin->dict.get() : col.array_dict();
+
+  if (stream != nullptr) {
+    r.bits = stream->bits();
+    std::vector<RleRun> runs;
+    if (stream->GetRuns(&runs).ok()) {
+      r.runs = static_cast<int64_t>(runs.size());
+    }
+    if (dict != nullptr) {
+      r.dict_entries = static_cast<int64_t>(dict->values.size());
+    } else if (stream->type() == EncodingType::kDictionary) {
+      r.dict_entries = static_cast<int64_t>(stream->CodeEntries().size());
+    } else {
+      r.dict_entries = 0;
+    }
+    r.heap_entries = heap != nullptr ? heap->entry_count() : 0;
+    return r;
+  }
+
+  // Unloaded cold column: answer from directory facts only. The encoding
+  // dictionary's entry count lives inside the stream blob, so it is
+  // unknown (-1) unless the directory records a compression dictionary.
+  const pager::ColdSource* src = col.cold_source();
+  if (src != nullptr) {
+    r.heap_entries = src->heap_entries;
+    if (src->has_dict) {
+      r.dict_entries = static_cast<int64_t>(src->dict_entries);
+    } else {
+      r.dict_entries =
+          src->encoding == EncodingType::kDictionary ? -1 : 0;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<ColumnReport> BuildColumnReports(const Database& db) {
+  std::vector<ColumnReport> out;
+  for (const auto& table : db.tables()) {
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      out.push_back(ReportColumn(table->name(), table->column(i)));
+    }
+  }
+  return out;
+}
+
+CacheReport BuildCacheReport(const pager::ColumnCache* cache) {
+  CacheReport r;
+  if (cache == nullptr) return r;
+  r.present = true;
+  r.budget_bytes = cache->budget_bytes();
+  r.bytes_resident = cache->bytes_resident();
+  int64_t pos = 0;
+  for (const auto& e : cache->EntriesSnapshot()) {
+    CacheEntryReport entry;
+    entry.lru_position = pos++;
+    if (const pager::ColdSource* src = e.column->cold_source()) {
+      entry.table = src->table_name;
+      entry.column = src->column_name;
+    }
+    entry.bytes = e.bytes;
+    entry.pinned = e.column->residency_state() == ColumnResidency::kPinned;
+    r.entries.push_back(std::move(entry));
+  }
+  return r;
+}
+
+std::string StorageReportJson(const Database& db,
+                              const pager::ColumnCache* cache) {
+  std::string out = "{\"columns\":[";
+  bool first = true;
+  for (const ColumnReport& c : BuildColumnReports(db)) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"table\":";
+    AppendJsonString(&out, c.table);
+    out += ",\"column\":";
+    AppendJsonString(&out, c.column);
+    out += ",\"type\":\"" + std::string(c.type) + "\",\"encoding\":\"" +
+           c.encoding + "\",\"compression\":\"" + c.compression +
+           "\",\"residency\":\"" + c.residency +
+           "\",\"rows\":" + std::to_string(c.rows) +
+           ",\"bits\":" + std::to_string(c.bits) +
+           ",\"runs\":" + std::to_string(c.runs) +
+           ",\"dict_entries\":" + std::to_string(c.dict_entries) +
+           ",\"heap_entries\":" + std::to_string(c.heap_entries) +
+           ",\"compressed_bytes\":" + std::to_string(c.compressed_bytes) +
+           ",\"logical_bytes\":" + std::to_string(c.logical_bytes) +
+           ",\"ratio_ppt\":" + std::to_string(c.ratio_ppt()) + "}";
+  }
+  out += "],\"cache\":";
+  const CacheReport cache_r = BuildCacheReport(cache);
+  if (!cache_r.present) {
+    out += "null}";
+    return out;
+  }
+  out += "{\"budget_bytes\":" + std::to_string(cache_r.budget_bytes) +
+         ",\"bytes_resident\":" + std::to_string(cache_r.bytes_resident) +
+         ",\"entries\":[";
+  bool first_e = true;
+  for (const CacheEntryReport& e : cache_r.entries) {
+    if (!first_e) out += ",";
+    first_e = false;
+    out += "{\"lru_position\":" + std::to_string(e.lru_position) +
+           ",\"table\":";
+    AppendJsonString(&out, e.table);
+    out += ",\"column\":";
+    AppendJsonString(&out, e.column);
+    out += ",\"bytes\":" + std::to_string(e.bytes) +
+           ",\"pinned\":" + (e.pinned ? "true" : "false") + "}";
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace observe
+}  // namespace tde

@@ -1,0 +1,85 @@
+#ifndef TDE_OBSERVE_INTROSPECT_H_
+#define TDE_OBSERVE_INTROSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tde {
+
+class Database;
+
+namespace pager {
+class ColumnCache;
+}  // namespace pager
+
+namespace observe {
+
+/// One stored column's physical shape, as reported by the tde_columns
+/// virtual table and StorageReportJson. Built from directory facts and
+/// already-resident streams only: introspection never faults a cold
+/// column's data in (fields that would require it are "unknown").
+struct ColumnReport {
+  std::string table;
+  std::string column;
+  const char* type = "";         // logical type ("integer", "string", ...)
+  const char* encoding = "";     // encoding algorithm (EncodingName)
+  const char* compression = "";  // "none" / "heap" / "array-dict"
+  const char* residency = "";    // "hot" / "cold" / "warm" / "pinned"
+  uint64_t rows = 0;
+  /// Packed bit width of the main stream; -1 when not resident.
+  int64_t bits = -1;
+  /// Runs in the main stream (derived for non-RLE encodings); -1 when not
+  /// resident.
+  int64_t runs = -1;
+  /// Entries of the attached dictionary: the compression array dictionary
+  /// if present, otherwise the encoding dictionary's entry table; -1 when
+  /// the column is not resident and the directory records no dictionary.
+  int64_t dict_entries = 0;
+  uint64_t heap_entries = 0;
+  /// Stored bytes (stream + heap + dictionary) vs un-encoded bytes.
+  uint64_t compressed_bytes = 0;
+  uint64_t logical_bytes = 0;
+
+  /// compressed/logical in parts-per-thousand (0 when logical is 0).
+  int64_t ratio_ppt() const {
+    return logical_bytes == 0
+               ? 0
+               : static_cast<int64_t>(compressed_bytes * 1000 /
+                                      logical_bytes);
+  }
+};
+
+/// One row per stored column across every table of `db`, in table order.
+/// Skips nothing: virtual tables are not in `db` and never appear here.
+std::vector<ColumnReport> BuildColumnReports(const Database& db);
+
+/// One resident entry of the column cache, LRU order (MRU first).
+struct CacheEntryReport {
+  int64_t lru_position = 0;  // 0 = most recently used
+  std::string table;
+  std::string column;
+  uint64_t bytes = 0;  // compressed bytes charged against the budget
+  bool pinned = false;
+};
+
+/// Residency snapshot of a column cache (empty report for null `cache`,
+/// i.e. an engine without a lazily opened v2 database).
+struct CacheReport {
+  bool present = false;
+  uint64_t budget_bytes = 0;
+  uint64_t bytes_resident = 0;
+  std::vector<CacheEntryReport> entries;
+};
+
+CacheReport BuildCacheReport(const pager::ColumnCache* cache);
+
+/// The whole storage picture as one JSON document:
+/// {"columns":[...],"cache":{...}}.
+std::string StorageReportJson(const Database& db,
+                              const pager::ColumnCache* cache);
+
+}  // namespace observe
+}  // namespace tde
+
+#endif  // TDE_OBSERVE_INTROSPECT_H_

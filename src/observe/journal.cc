@@ -1,0 +1,219 @@
+#include "src/observe/journal.h"
+
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/observe/json.h"
+#include "src/observe/metrics.h"
+
+namespace tde {
+namespace observe {
+
+namespace {
+
+struct QueryCounterNames {
+  const char* metric;
+  const char* column;
+};
+
+constexpr QueryCounterNames kQueryCounterNames[kNumQueryCounters] = {
+    {"scan.bytes_compressed", "bytes_scanned_compressed"},
+    {"scan.bytes_decoded", "bytes_scanned_decoded"},
+    {"pager.hits", "cache_hits"},
+    {"pager.misses", "cache_misses"},
+    {"pager.bytes_read", "cache_bytes_read"},
+    {"filter.rows_pruned", "rows_pruned"},
+    {"filter.runs_skipped", "runs_skipped"},
+    {"filter.dict_rewrites", "dict_rewrites"},
+    {"agg.runs_folded", "runs_folded"},
+    {"agg.groups_late_materialized", "groups_late_materialized"},
+    {"agg.metadata_answers", "metadata_answers"},
+};
+
+/// Registry handles looked up once: QueryCount stays two relaxed adds.
+Counter* GlobalQueryCounterHandle(QueryCounter c) {
+  static Counter* handles[kNumQueryCounters] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int i = 0; i < kNumQueryCounters; ++i) {
+      handles[i] = MetricsRegistry::Global().GetCounter(
+          kQueryCounterNames[i].metric);
+    }
+  });
+  return handles[static_cast<int>(c)];
+}
+
+thread_local StatsScope* t_current_scope = nullptr;
+thread_local std::string_view t_query_text;
+thread_local uint64_t t_last_journal_id = 0;
+
+std::atomic<int64_t>& SlowThresholdMs() {
+  static std::atomic<int64_t> ms = [] {
+    const char* e = std::getenv("TDE_SLOW_QUERY_MS");
+    return e != nullptr && e[0] != '\0' ? std::atoll(e) : int64_t{-1};
+  }();
+  return ms;
+}
+
+}  // namespace
+
+const char* QueryCounterMetricName(QueryCounter c) {
+  return kQueryCounterNames[static_cast<int>(c)].metric;
+}
+
+const char* QueryCounterColumnName(QueryCounter c) {
+  return kQueryCounterNames[static_cast<int>(c)].column;
+}
+
+void QueryCount(QueryCounter c, uint64_t n) {
+  if (n == 0 || !StatsEnabled()) return;
+  GlobalQueryCounterHandle(c)->Add(n);
+  if (StatsScope* s = t_current_scope) s->Add(c, n);
+}
+
+uint64_t ThreadCpuNs() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+StatsScope::StatsScope() : parent_(t_current_scope) {
+  own_cpu0_ = ThreadCpuNs();
+  t_current_scope = this;
+}
+
+StatsScope::~StatsScope() { t_current_scope = parent_; }
+
+uint64_t StatsScope::CpuNs() const {
+  return (ThreadCpuNs() - own_cpu0_) +
+         worker_cpu_ns_.load(std::memory_order_relaxed);
+}
+
+StatsScope* StatsScope::Current() { return t_current_scope; }
+
+StatsScope::Bind::Bind(StatsScope* scope)
+    : scope_(scope), prev_(t_current_scope) {
+  if (scope_ == nullptr) return;
+  cpu0_ = ThreadCpuNs();
+  t_current_scope = scope_;
+}
+
+StatsScope::Bind::~Bind() {
+  if (scope_ == nullptr) return;
+  scope_->worker_cpu_ns_.fetch_add(ThreadCpuNs() - cpu0_,
+                                   std::memory_order_relaxed);
+  t_current_scope = prev_;
+}
+
+std::string QueryJournalEntry::ToJson() const {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"sql\":";
+  AppendJsonString(&out, sql);
+  char fp[24];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(plan_fingerprint));
+  out += ",\"fingerprint\":\"";
+  out += fp;
+  out += "\",\"wall_us\":" + std::to_string(wall_ns / 1000) +
+         ",\"cpu_us\":" + std::to_string(cpu_ns / 1000) +
+         ",\"rows\":" + std::to_string(rows_out) +
+         ",\"ok\":" + (ok ? "true" : "false");
+  for (int i = 0; i < kNumQueryCounters; ++i) {
+    out += ",\"";
+    out += kQueryCounterNames[i].column;
+    out += "\":" + std::to_string(counters[static_cast<size_t>(i)]);
+  }
+  out += "}";
+  return out;
+}
+
+QueryJournal& QueryJournal::Global() {
+  static QueryJournal* j = new QueryJournal();
+  return *j;
+}
+
+QueryJournal::QueryJournal(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t QueryJournal::NextId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void QueryJournal::Record(QueryJournalEntry entry) {
+  const int64_t slow_ms = SlowQueryThresholdMs();
+  if (slow_ms >= 0 && entry.wall_ns / 1000000 >=
+                          static_cast<uint64_t>(slow_ms)) {
+    // Full counter breakdown on one line: grep-able, and the journal entry
+    // itself may have been evicted by the time someone looks.
+    std::string line =
+        "[tde] slow query id=" + std::to_string(entry.id) +
+        " wall_ms=" + std::to_string(entry.wall_ns / 1000000) +
+        " cpu_ms=" + std::to_string(entry.cpu_ns / 1000000) +
+        " rows=" + std::to_string(entry.rows_out);
+    for (int i = 0; i < kNumQueryCounters; ++i) {
+      if (entry.counters[static_cast<size_t>(i)] == 0) continue;
+      line += std::string(" ") + kQueryCounterNames[i].column + "=" +
+              std::to_string(entry.counters[static_cast<size_t>(i)]);
+    }
+    if (!entry.sql.empty()) line += " sql=" + entry.sql;
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<QueryJournalEntry> QueryJournal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::string QueryJournal::ToNdjson() const {
+  std::string out;
+  for (const QueryJournalEntry& e : Snapshot()) {
+    out += e.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+void QueryJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t QueryJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void QueryJournal::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n == 0 ? 1 : n;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+int64_t QueryJournal::SlowQueryThresholdMs() {
+  return SlowThresholdMs().load(std::memory_order_relaxed);
+}
+
+void QueryJournal::SetSlowQueryThresholdMs(int64_t ms) {
+  SlowThresholdMs().store(ms, std::memory_order_relaxed);
+}
+
+ScopedQueryText::ScopedQueryText(std::string_view sql) : prev_(t_query_text) {
+  t_query_text = sql;
+}
+
+ScopedQueryText::~ScopedQueryText() { t_query_text = prev_; }
+
+std::string_view CurrentQueryText() { return t_query_text; }
+
+uint64_t LastJournalIdOnThread() { return t_last_journal_id; }
+
+void SetLastJournalIdOnThread(uint64_t id) { t_last_journal_id = id; }
+
+}  // namespace observe
+}  // namespace tde

@@ -1,0 +1,26 @@
+#ifndef TDE_OBSERVE_JSON_H_
+#define TDE_OBSERVE_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace tde {
+namespace observe {
+
+/// Appends `s` to `out` escaped for embedding inside a JSON string literal
+/// (no surrounding quotes): quote, backslash, and every control character
+/// below 0x20 (including \b \f \r, which ad-hoc escapers tend to forget).
+/// Non-ASCII bytes pass through untouched — the engine's strings are UTF-8
+/// and JSON permits raw UTF-8.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Returns the escaped form of `s` (convenience over AppendJsonEscaped).
+std::string JsonEscape(std::string_view s);
+
+/// Appends a complete JSON string literal: quote, escaped bytes, quote.
+void AppendJsonString(std::string* out, std::string_view s);
+
+}  // namespace observe
+}  // namespace tde
+
+#endif  // TDE_OBSERVE_JSON_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cctype>
 #include <cstdlib>
 #include <tuple>
+
+#include "src/observe/json.h"
 
 namespace tde {
 namespace observe {
@@ -125,6 +128,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
       s.value = static_cast<int64_t>(h.count());
       s.sum = h.sum();
       s.p50 = h.ApproxQuantile(0.5);
+      s.p90 = h.ApproxQuantile(0.9);
       s.p99 = h.ApproxQuantile(0.99);
       out.push_back(std::move(s));
     }
@@ -142,16 +146,50 @@ std::string MetricsRegistry::ToJson() const {
   for (const MetricSample& s : Snapshot()) {
     if (!first) out += ",";
     first = false;
-    out += "{\"name\":\"" + s.name + "\",\"kind\":\"" + KindName(s.kind) +
-           "\",\"value\":" + std::to_string(s.value);
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"kind\":\"" +
+           KindName(s.kind) + "\",\"value\":" + std::to_string(s.value);
     if (s.kind == MetricKind::kHistogram) {
       out += ",\"sum\":" + std::to_string(s.sum) +
              ",\"p50\":" + std::to_string(s.p50) +
+             ",\"p90\":" + std::to_string(s.p90) +
              ",\"p99\":" + std::to_string(s.p99);
     }
     out += "}";
   }
   out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  auto family = [](const std::string& name) {
+    std::string out = "tde_";
+    for (char c : name) {
+      out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    }
+    return out;
+  };
+  std::string out;
+  for (const MetricSample& s : Snapshot()) {
+    const std::string f = family(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + f + " counter\n";
+        out += f + " " + std::to_string(s.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + f + " gauge\n";
+        out += f + " " + std::to_string(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + f + " summary\n";
+        out += f + "{quantile=\"0.5\"} " + std::to_string(s.p50) + "\n";
+        out += f + "{quantile=\"0.9\"} " + std::to_string(s.p90) + "\n";
+        out += f + "{quantile=\"0.99\"} " + std::to_string(s.p99) + "\n";
+        out += f + "_sum " + std::to_string(s.sum) + "\n";
+        out += f + "_count " + std::to_string(s.value) + "\n";
+        break;
+    }
+  }
   return out;
 }
 

@@ -84,6 +84,7 @@ struct MetricSample {
   /// Histogram only.
   uint64_t sum = 0;
   uint64_t p50 = 0;
+  uint64_t p90 = 0;
   uint64_t p99 = 0;
 };
 
@@ -105,6 +106,11 @@ class MetricsRegistry {
 
   /// {"metrics":[{"name":...,"kind":...,"value":...},...]}
   std::string ToJson() const;
+
+  /// Prometheus text exposition format (version 0.0.4): one family per
+  /// metric, names sanitized to [a-zA-Z0-9_] and prefixed "tde_".
+  /// Histograms export as summaries (quantile series + _sum + _count).
+  std::string RenderPrometheus() const;
 
   /// Zeroes every metric (tests, bench repetitions). Handles stay valid.
   void Reset();

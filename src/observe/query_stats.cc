@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/observe/json.h"
+
 namespace tde {
 namespace observe {
 
@@ -32,7 +34,7 @@ void RenderNode(const OperatorStats& node, int depth, std::string* out) {
 }
 
 void JsonNode(const OperatorStats& node, std::string* out) {
-  *out += "{\"name\":\"" + node.name +
+  *out += "{\"name\":\"" + JsonEscape(node.name) +
           "\",\"rows\":" + std::to_string(node.rows) +
           ",\"blocks\":" + std::to_string(node.blocks) +
           ",\"open_ns\":" + std::to_string(node.open_ns) +
@@ -44,7 +46,7 @@ void JsonNode(const OperatorStats& node, std::string* out) {
     for (const auto& [label, value] : node.extras) {
       if (!first) *out += ",";
       first = false;
-      *out += "\"" + label + "\":" + std::to_string(value);
+      *out += "\"" + JsonEscape(label) + "\":" + std::to_string(value);
     }
     *out += "}";
   }
@@ -73,6 +75,9 @@ std::string QueryStats::ToString() const {
   std::string out;
   if (root != nullptr) RenderNode(*root, 0, &out);
   out += "total: " + Ms(total_ns) + "\n";
+  if (journal_id != 0) {
+    out += "journal query id: " + std::to_string(journal_id) + "\n";
+  }
   if (!notes.empty()) {
     out += "tactical decisions:\n";
     for (const std::string& n : notes) {

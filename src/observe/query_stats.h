@@ -40,6 +40,10 @@ struct QueryStats {
   std::shared_ptr<OperatorStats> root;
   uint64_t total_ns = 0;
   std::vector<std::string> notes;
+  /// Id of this query's entry in the global QueryJournal (0 when the
+  /// journal did not record it). Printed by EXPLAIN ANALYZE so the plan
+  /// can be joined against tde_queries after the fact.
+  uint64_t journal_id = 0;
 
   /// The operator tree annotated with rows/blocks/ms per node, one node
   /// per line, followed by the tactical notes:

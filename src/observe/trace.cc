@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/observe/json.h"
+
 namespace tde {
 namespace observe {
 
@@ -12,37 +14,6 @@ uint64_t CurrentThreadId() {
   static std::atomic<uint64_t> next{0};
   thread_local uint64_t id = next.fetch_add(1);
   return id;
-}
-
-/// Escapes a string for embedding in a JSON literal.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace

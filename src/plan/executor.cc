@@ -11,6 +11,7 @@
 #include "src/exec/ordered_aggregate.h"
 #include "src/exec/parallel_rollup.h"
 #include "src/exec/table_scan.h"
+#include "src/observe/journal.h"
 #include "src/observe/metrics.h"
 #include "src/observe/trace.h"
 #include "src/plan/strategic.h"
@@ -87,11 +88,8 @@ ExprPtr LowerPredicate(const ExprPtr& pred, bool compressed_eval,
   if (*rewrites > 0) {
     notes->push_back("filter: " + std::to_string(*rewrites) +
                      " dictionary-code predicate(s)");
-    if (observe::StatsEnabled()) {
-      observe::MetricsRegistry::Global()
-          .GetCounter("filter.dict_rewrites")
-          ->Add(static_cast<uint64_t>(*rewrites));
-    }
+    observe::QueryCount(observe::QueryCounter::kDictRewrites,
+                        static_cast<uint64_t>(*rewrites));
   }
   return lowered;
 }
@@ -206,9 +204,8 @@ Result<BuiltPlan> BuildAggregate(const PlanNode& node, BuiltPlan child) {
                                   : ordered_raw->groups_late_materialized();
       if (groups == 0) return;
       s->extras.emplace_back("groups_late_materialized", groups);
-      observe::MetricsRegistry::Global()
-          .GetCounter("agg.groups_late_materialized")
-          ->Add(groups);
+      observe::QueryCount(observe::QueryCounter::kGroupsLateMaterialized,
+                          groups);
     };
   }
   const std::string key =
@@ -271,11 +268,8 @@ Result<BuiltPlan> BuildMetadataAggregate(const PlanNode& node) {
   BuiltPlan out;
   out.notes.push_back("aggregate: " + std::to_string(node.metadata_row.size()) +
                       " aggregate(s) answered from metadata, scan elided");
-  if (observe::StatsEnabled()) {
-    observe::MetricsRegistry::Global()
-        .GetCounter("agg.metadata_answers")
-        ->Add(node.metadata_row.size());
-  }
+  observe::QueryCount(observe::QueryCounter::kMetadataAnswers,
+                      node.metadata_row.size());
   const uint64_t answers = node.metadata_row.size();
   out.op = std::make_unique<MetadataAggregateSource>(std::move(schema),
                                                      node.metadata_row);
@@ -478,11 +472,8 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
       }
     }
     index = std::move(kept);
-    if (observe::StatsEnabled() && node.index_predicate != nullptr) {
-      observe::MetricsRegistry& reg = observe::MetricsRegistry::Global();
-      reg.GetCounter("filter.runs_skipped")->Add(runs_skipped);
-      reg.GetCounter("filter.rows_pruned")->Add(rows_pruned);
-    }
+    observe::QueryCount(observe::QueryCounter::kRunsSkipped, runs_skipped);
+    observe::QueryCount(observe::QueryCounter::kRowsPruned, rows_pruned);
   }
 
   // Tactical decision (Sect. 4.2.2): sort the index for ordered retrieval
@@ -666,11 +657,8 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
         out.notes.push_back("metadata prune: filter provably false, " +
                             std::to_string(node->pruned_rows) +
                             " rows eliminated without scanning");
-        if (observe::StatsEnabled()) {
-          observe::MetricsRegistry::Global()
-              .GetCounter("filter.rows_pruned")
-              ->Add(node->pruned_rows);
-        }
+        observe::QueryCount(observe::QueryCounter::kRowsPruned,
+                            node->pruned_rows);
         const uint64_t pruned = node->pruned_rows;
         on_close = [pruned](observe::OperatorStats* s) {
           s->extras.emplace_back("rows_pruned", pruned);
@@ -751,17 +739,83 @@ std::string QueryResult::ToString(uint64_t max_rows) const {
   return out;
 }
 
+namespace {
+
+/// FNV-1a over the optimized plan's rendering: a stable shape fingerprint
+/// that lets journal entries of recurring queries be grouped.
+uint64_t PlanFingerprint(const PlanNodePtr& root) {
+  const std::string text = PlanToString(root);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 Result<QueryResult> ExecutePlanNode(const PlanNodePtr& root) {
-  TDE_ASSIGN_OR_RETURN(BuiltPlan built, BuildExecutable(root));
-  observe::TraceSpan span("execute", "query");
+  if (!observe::StatsEnabled()) {
+    // Stats-off hot path: no scope, no journal, no fingerprint — identical
+    // to the pre-journal executor (the overhead-measurement mode).
+    TDE_ASSIGN_OR_RETURN(BuiltPlan built, BuildExecutable(root));
+    observe::TraceSpan span("execute", "query");
+    std::vector<Block> blocks;
+    TDE_RETURN_NOT_OK(DrainOperator(built.op.get(), &blocks));
+    return QueryResult(built.op->output_schema(), std::move(blocks));
+  }
+
+  // The scope opens before lowering: strategic/tactical attribution (rows
+  // pruned at plan time, dictionary rewrites, metadata answers) belongs to
+  // this query too. Everything the operators and the pager count on this
+  // thread — or on worker threads bound via StatsScope::Bind — lands here.
+  observe::QueryJournal& journal = observe::QueryJournal::Global();
+  observe::QueryJournalEntry entry;
+  entry.id = journal.NextId();
+  entry.sql = std::string(observe::CurrentQueryText()
+                              .substr(0, observe::QueryJournal::kMaxSqlBytes));
+  entry.plan_fingerprint = PlanFingerprint(root);
+  observe::StatsScope scope;
   const auto t0 = std::chrono::steady_clock::now();
+  auto finish = [&](bool ok, uint64_t rows) {
+    entry.ok = ok;
+    entry.rows_out = rows;
+    entry.wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    entry.cpu_ns = scope.CpuNs();
+    for (int i = 0; i < observe::kNumQueryCounters; ++i) {
+      entry.counters[static_cast<size_t>(i)] =
+          scope.value(static_cast<observe::QueryCounter>(i));
+    }
+    observe::SetLastJournalIdOnThread(entry.id);
+    journal.Record(std::move(entry));
+  };
+
+  Result<BuiltPlan> build = BuildExecutable(root);
+  if (!build.ok()) {
+    finish(false, 0);
+    return build.status();
+  }
+  BuiltPlan built = build.MoveValue();
+  observe::TraceSpan span("execute", "query");
   std::vector<Block> blocks;
-  TDE_RETURN_NOT_OK(DrainOperator(built.op.get(), &blocks));
+  if (Status st = DrainOperator(built.op.get(), &blocks); !st.ok()) {
+    // A failed drain skips Close, so tear the tree down first: operator
+    // destructors join any worker threads, completing attribution before
+    // the entry's counters are snapshotted.
+    built.op.reset();
+    finish(false, 0);
+    return st;
+  }
   QueryResult result(built.op->output_schema(), std::move(blocks));
   if (built.stats != nullptr) {
     auto qs = std::make_shared<observe::QueryStats>();
     qs->root = std::move(built.stats);
     qs->notes = std::move(built.notes);
+    qs->journal_id = entry.id;
     qs->total_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
@@ -772,6 +826,7 @@ Result<QueryResult> ExecutePlanNode(const PlanNodePtr& root) {
     reg.GetHistogram("query.latency_us")->Record(qs->total_ns / 1000);
     result.set_stats(std::move(qs));
   }
+  finish(true, result.num_rows());
   return result;
 }
 

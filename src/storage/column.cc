@@ -5,6 +5,20 @@
 
 namespace tde {
 
+const char* ResidencyName(ColumnResidency r) {
+  switch (r) {
+    case ColumnResidency::kHot:
+      return "hot";
+    case ColumnResidency::kCold:
+      return "cold";
+    case ColumnResidency::kWarm:
+      return "warm";
+    case ColumnResidency::kPinned:
+      return "pinned";
+  }
+  return "unknown";
+}
+
 Column::~Column() {
   // `cold_` is never cleared (Warm only flips `warmed_`), so a cold-born
   // column always detaches from its cache — including a payload a racing
@@ -28,6 +42,17 @@ bool Column::resident() const {
   if (cold_ == nullptr) return true;
   std::lock_guard<std::mutex> lock(load_mu_);
   return warmed_ || resident_ != nullptr;
+}
+
+ColumnResidency Column::residency_state() const {
+  if (cold_ == nullptr) return ColumnResidency::kHot;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (warmed_) return ColumnResidency::kHot;
+  if (resident_ == nullptr) return ColumnResidency::kCold;
+  // The column's own reference is one; anything above it is a query pin
+  // (or a load in flight, which counts as pinned for reporting purposes).
+  return resident_.use_count() > 1 ? ColumnResidency::kPinned
+                                   : ColumnResidency::kWarm;
 }
 
 Status Column::EnsureLoaded() const {

@@ -25,6 +25,14 @@ enum class CompressionKind : uint8_t {
   kArrayDict = 2,  // lanes are indexes into an ArrayDictionary
 };
 
+/// Pager residency of a column's payload, as reported by introspection:
+/// hot columns own their data directly; cold ones are either unloaded
+/// (kCold), cached and evictable (kWarm), or cached and held by at least
+/// one query pin (kPinned).
+enum class ColumnResidency : uint8_t { kHot, kCold, kWarm, kPinned };
+
+const char* ResidencyName(ColumnResidency r);
+
 /// A stored column: a fixed-width encoded stream, optional dictionary
 /// (array or heap), and the metadata extracted while it was built.
 ///
@@ -112,6 +120,9 @@ class Column {
   /// Cold column whose payload is currently materialized (hot columns are
   /// trivially resident).
   bool resident() const;
+  /// Residency state for introspection; a single lock acquisition, never
+  /// faults data in.
+  ColumnResidency residency_state() const;
   const pager::ColdSource* cold_source() const { return cold_.get(); }
 
   /// Materializes a cold column's payload through the cache (no-op when hot

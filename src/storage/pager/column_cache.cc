@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/observe/journal.h"
 #include "src/observe/metrics.h"
 #include "src/storage/column.h"
 #include "src/storage/pager/crc32c.h"
@@ -40,10 +41,13 @@ Result<std::vector<uint8_t>> FetchBlob(const ColdSource& src,
 
 Result<std::shared_ptr<const LoadedColumn>> LoadPayloadImpl(
     const ColdSource& src, const ColumnCache::BlobReadFn& read,
-    observe::Counter* bytes_read, observe::Counter* checksum_failures) {
+    bool count_bytes_read, observe::Counter* checksum_failures) {
   auto payload = std::make_shared<LoadedColumn>();
   payload->compressed_bytes = src.CompressedBytes();
-  if (bytes_read != nullptr) bytes_read->Add(payload->compressed_bytes);
+  if (count_bytes_read) {
+    observe::QueryCount(observe::QueryCounter::kCacheBytesRead,
+                        payload->compressed_bytes);
+  }
 
   TDE_ASSIGN_OR_RETURN(
       auto stream_bytes, FetchBlob(src, read, src.stream, "stream",
@@ -104,10 +108,7 @@ ColumnCache::BlobReadFn FileReadFn(const ColdSource& src) {
 
 ColumnCache::ColumnCache(uint64_t budget_bytes) : budget_(budget_bytes) {
   auto& reg = observe::MetricsRegistry::Global();
-  hits_ = reg.GetCounter("pager.hits");
-  misses_ = reg.GetCounter("pager.misses");
   evictions_ = reg.GetCounter("pager.evictions");
-  bytes_read_ = reg.GetCounter("pager.bytes_read");
   checksum_failures_ = reg.GetCounter("pager.checksum_failures");
   bytes_resident_gauge_ = reg.GetGauge("pager.bytes_resident");
 }
@@ -116,7 +117,7 @@ ColumnCache::~ColumnCache() = default;
 
 Result<std::shared_ptr<const LoadedColumn>> ColumnCache::LoadPayloadFrom(
     const ColdSource& src, const BlobReadFn& read) {
-  return LoadPayloadImpl(src, read, nullptr, nullptr);
+  return LoadPayloadImpl(src, read, /*count_bytes_read=*/false, nullptr);
 }
 
 Status ColumnCache::Ensure(const Column* col) {
@@ -126,7 +127,7 @@ Status ColumnCache::Ensure(const Column* col) {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
       if (col->resident()) {
-        hits_->Add();
+        observe::QueryCount(observe::QueryCounter::kCacheHits);
         auto it = entries_.find(col);
         if (it != entries_.end()) {
           lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -139,13 +140,14 @@ Status ColumnCache::Ensure(const Column* col) {
       if (loading_.insert(col).second) break;
       load_cv_.wait(lock);
     }
-    misses_->Add();
+    observe::QueryCount(observe::QueryCounter::kCacheMisses);
   }
 
   // Blob fetch, checksum and decode run outside the cache lock, so one slow
   // cold materialization never serializes unrelated queries.
-  auto payload_r =
-      LoadPayloadImpl(*src, FileReadFn(*src), bytes_read_, checksum_failures_);
+  auto payload_r = LoadPayloadImpl(*src, FileReadFn(*src),
+                                   /*count_bytes_read=*/true,
+                                   checksum_failures_);
 
   std::lock_guard<std::mutex> lock(mu_);
   loading_.erase(col);
@@ -204,6 +206,17 @@ uint64_t ColumnCache::bytes_resident() const {
 uint64_t ColumnCache::budget_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return budget_;
+}
+
+std::vector<ColumnCache::EntrySnapshot> ColumnCache::EntriesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntrySnapshot> out;
+  out.reserve(lru_.size());
+  for (const Column* col : lru_) {
+    auto it = entries_.find(col);
+    out.push_back({col, it != entries_.end() ? it->second.bytes : 0});
+  }
+  return out;
 }
 
 void ColumnCache::set_budget_bytes(uint64_t budget) {

@@ -10,6 +10,7 @@
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/storage/pager/pager_types.h"
@@ -74,6 +75,16 @@ class ColumnCache {
   /// Adjusts the budget and immediately evicts down to it.
   void set_budget_bytes(uint64_t budget);
 
+  /// One resident entry as seen by introspection. The column pointer stays
+  /// valid as long as the caller holds the owning Database's tables (cache
+  /// entries are erased before their column is destroyed).
+  struct EntrySnapshot {
+    const Column* column = nullptr;
+    uint64_t bytes = 0;
+  };
+  /// Residency snapshot in LRU order, most recently used first.
+  std::vector<EntrySnapshot> EntriesSnapshot() const;
+
   /// Fetches the bytes of one blob into a span (possibly backed by
   /// `*scratch`). Abstracts over mmap files, pread files, and in-memory
   /// images.
@@ -104,10 +115,10 @@ class ColumnCache {
   uint64_t bytes_resident_ = 0;
   uint64_t budget_ = 0;
 
-  observe::Counter* hits_;
-  observe::Counter* misses_;
+  // Hits/misses/bytes_read flow through observe::QueryCount so they are
+  // attributed to the faulting query; only the cache-global observations
+  // keep direct registry handles.
   observe::Counter* evictions_;
-  observe::Counter* bytes_read_;
   observe::Counter* checksum_failures_;
   observe::Gauge* bytes_resident_gauge_;
 };

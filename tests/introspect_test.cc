@@ -1,0 +1,282 @@
+#include "src/observe/introspect.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/observe/metrics.h"
+#include "src/plan/executor.h"
+#include "tests/test_util.h"
+
+namespace tde {
+namespace {
+
+using testutil::VectorSource;
+
+/// A table whose columns drive the dynamic encoder into every encoding it
+/// produces: runs, small domains, arithmetic progressions, sorted values,
+/// narrow ranges, and incompressible noise.
+Result<std::shared_ptr<Table>> BuildMixedTable() {
+  std::vector<Lane> rle, dict, affine, delta, forr, raw;
+  uint64_t state = 88172645463325252ull;
+  auto rnd = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 6000; ++i) {
+    rle.push_back(i / 500);                      // 12 long runs
+    dict.push_back(static_cast<Lane>(rnd() % 5) * 100003);  // 5 values
+    affine.push_back(7 + 5 * i);                 // exact progression
+    delta.push_back(1000000 + i * 3 +
+                    static_cast<Lane>(rnd() % 3));  // sorted, small gaps
+    forr.push_back(5000000 + static_cast<Lane>(rnd() % 200));  // narrow
+    raw.push_back(static_cast<Lane>(rnd() >> 1));  // noise
+  }
+  return FlowTable::Build(
+      VectorSource::Ints({{"rle", rle},
+                          {"dict", dict},
+                          {"affine", affine},
+                          {"delta", delta},
+                          {"forr", forr},
+                          {"raw", raw}}),
+      {.table_name = "mixed"});
+}
+
+/// The differential check: every report field that claims to describe the
+/// stored stream must equal what the stream itself answers.
+TEST(Introspect, ColumnReportsMatchActualStreams) {
+  auto table_r = BuildMixedTable();
+  ASSERT_TRUE(table_r.ok()) << table_r.status().ToString();
+  auto table = table_r.MoveValue();
+  Database db;
+  db.AddTable(table);
+
+  const auto reports = observe::BuildColumnReports(db);
+  ASSERT_EQ(reports.size(), table->num_columns());
+  std::set<std::string> encodings_seen;
+  for (const observe::ColumnReport& r : reports) {
+    SCOPED_TRACE(r.column);
+    auto col_r = table->ColumnByName(r.column);
+    ASSERT_TRUE(col_r.ok());
+    const Column& col = *col_r.value();
+    const EncodedStream* stream = col.data();
+    ASSERT_NE(stream, nullptr);
+
+    EXPECT_EQ(r.table, "mixed");
+    EXPECT_EQ(std::string(r.encoding), EncodingName(stream->type()));
+    EXPECT_EQ(std::string(r.residency), "hot");
+    EXPECT_EQ(r.rows, col.rows());
+    EXPECT_EQ(r.bits, stream->bits());
+    EXPECT_EQ(r.compressed_bytes, col.PhysicalSize());
+    EXPECT_EQ(r.logical_bytes, col.LogicalSize());
+    std::vector<RleRun> runs;
+    ASSERT_TRUE(stream->GetRuns(&runs).ok());
+    EXPECT_EQ(r.runs, static_cast<int64_t>(runs.size()));
+    encodings_seen.insert(r.encoding);
+  }
+  // The inputs above must actually fan out across the encoder's repertoire.
+  EXPECT_GE(encodings_seen.size(), 4u) << [&] {
+    std::string all;
+    for (const auto& e : encodings_seen) all += e + " ";
+    return all;
+  }();
+  EXPECT_TRUE(encodings_seen.count("run-length"));
+  EXPECT_TRUE(encodings_seen.count("affine"));
+}
+
+TEST(Introspect, TdeColumnsVirtualTable) {
+  observe::SetStatsEnabled(true);
+  auto table_r = BuildMixedTable();
+  ASSERT_TRUE(table_r.ok()) << table_r.status().ToString();
+  Engine engine;
+  engine.database()->AddTable(table_r.MoveValue());
+
+  auto rows = engine.ExecuteSql(
+      "SELECT column_name, runs, compressed_bytes FROM tde_columns "
+      "WHERE encoding = 'run-length'");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().num_rows(), 1u);
+  EXPECT_EQ(rows.value().ValueString(0, 0), "rle");
+  EXPECT_EQ(rows.value().Value(0, 1), 12);
+  EXPECT_GT(rows.value().Value(0, 2), 0);
+
+  auto count = engine.ExecuteSql("SELECT COUNT(*) AS n FROM tde_columns");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value().Value(0, 0), 6);
+}
+
+TEST(Introspect, ColdColumnsReportFromDirectoryAndWarmOnTouch) {
+  observe::SetStatsEnabled(true);
+  const std::string path = ::testing::TempDir() + "/introspect_cold.tde";
+  {
+    Engine writer;
+    auto table_r = BuildMixedTable();
+    ASSERT_TRUE(table_r.ok()) << table_r.status().ToString();
+    writer.database()->AddTable(table_r.MoveValue());
+    ASSERT_TRUE(writer.SaveDatabase(path).ok());
+  }
+  auto opened = Engine::OpenDatabase(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine engine = std::move(opened.value());
+  ASSERT_NE(engine.column_cache(), nullptr);
+
+  // Untouched: every column is cold, stream-only facts are unknown, and
+  // the directory still answers sizes.
+  for (const observe::ColumnReport& r :
+       observe::BuildColumnReports(*engine.database())) {
+    SCOPED_TRACE(r.column);
+    EXPECT_EQ(std::string(r.residency), "cold");
+    EXPECT_EQ(r.runs, -1);
+    EXPECT_EQ(r.bits, -1);
+    EXPECT_GT(r.compressed_bytes, 0u);
+    EXPECT_EQ(r.rows, 6000u);
+  }
+  EXPECT_TRUE(observe::BuildCacheReport(engine.column_cache()).entries.empty());
+
+  // One query warms exactly the touched column; the cache now reports it
+  // and the report flips to stream-backed facts.
+  ASSERT_TRUE(
+      engine.ExecuteSql("SELECT COUNT(*) AS n FROM mixed WHERE rle = 3")
+          .ok());
+  bool saw_warm_rle = false;
+  for (const observe::ColumnReport& r :
+       observe::BuildColumnReports(*engine.database())) {
+    if (r.column != "rle") continue;
+    saw_warm_rle = true;
+    EXPECT_EQ(std::string(r.residency), "warm");
+    EXPECT_EQ(r.runs, 12);
+    EXPECT_GE(r.bits, 0);
+  }
+  EXPECT_TRUE(saw_warm_rle);
+  const observe::CacheReport cache =
+      observe::BuildCacheReport(engine.column_cache());
+  ASSERT_TRUE(cache.present);
+  ASSERT_EQ(cache.entries.size(), 1u);
+  EXPECT_EQ(cache.entries[0].table, "mixed");
+  EXPECT_EQ(cache.entries[0].column, "rle");
+  EXPECT_GT(cache.entries[0].bytes, 0u);
+  EXPECT_FALSE(cache.entries[0].pinned);
+  EXPECT_EQ(cache.bytes_resident, cache.entries[0].bytes);
+
+  // The same picture through SQL.
+  auto rows = engine.ExecuteSql(
+      "SELECT table_name, column_name, pinned FROM tde_cache");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().num_rows(), 1u);
+  EXPECT_EQ(rows.value().ValueString(0, 1), "rle");
+  auto cold_rows = engine.ExecuteSql(
+      "SELECT COUNT(*) AS n FROM tde_columns WHERE residency = 'cold'");
+  ASSERT_TRUE(cold_rows.ok()) << cold_rows.status().ToString();
+  EXPECT_EQ(cold_rows.value().Value(0, 0), 5);
+
+  // And as one JSON document.
+  const std::string json = engine.StorageReportJson();
+  EXPECT_NE(json.find("\"columns\":["), std::string::npos);
+  EXPECT_NE(json.find("\"residency\":\"warm\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"budget_bytes\":"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Introspect, GroupByOnVirtualTableStringColumns) {
+  // Regression: the virtual-table builders append strings row by row, and
+  // without interning equal strings landed on distinct heap entries —
+  // dictionary-code grouping then split one group per row.
+  observe::SetStatsEnabled(true);
+  auto table_r = BuildMixedTable();
+  ASSERT_TRUE(table_r.ok()) << table_r.status().ToString();
+  Engine engine;
+  engine.database()->AddTable(table_r.MoveValue());
+
+  auto rows = engine.ExecuteSql(
+      "SELECT residency, COUNT(*) AS n FROM tde_columns GROUP BY residency");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().num_rows(), 1u);
+  EXPECT_EQ(rows.value().ValueString(0, 0), "hot");
+  EXPECT_EQ(rows.value().Value(0, 1), 6);
+
+  auto kinds = engine.ExecuteSql(
+      "SELECT kind, COUNT(*) AS n FROM tde_stats GROUP BY kind");
+  ASSERT_TRUE(kinds.ok()) << kinds.status().ToString();
+  // However many kinds the registry currently holds, each appears once.
+  std::set<std::string> seen;
+  for (uint64_t r = 0; r < kinds.value().num_rows(); ++r) {
+    EXPECT_TRUE(seen.insert(kinds.value().ValueString(r, 0)).second)
+        << "duplicate group " << kinds.value().ValueString(r, 0);
+  }
+}
+
+TEST(Introspect, StorageReportJsonWithoutCache) {
+  auto table_r = BuildMixedTable();
+  ASSERT_TRUE(table_r.ok()) << table_r.status().ToString();
+  Engine engine;
+  engine.database()->AddTable(table_r.MoveValue());
+  const std::string json = engine.StorageReportJson();
+  EXPECT_NE(json.find("\"cache\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"encoding\":\"run-length\""), std::string::npos);
+  // Balanced structure.
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Introspect, TdeMetricsVirtualTableExposesPercentiles) {
+  observe::SetStatsEnabled(true);
+  Engine engine;
+  auto table_r = BuildMixedTable();
+  ASSERT_TRUE(table_r.ok()) << table_r.status().ToString();
+  engine.database()->AddTable(table_r.MoveValue());
+  // Run a query first so query.latency_us exists and has a sample.
+  ASSERT_TRUE(engine.ExecuteSql("SELECT COUNT(*) AS n FROM mixed").ok());
+  auto rows = engine.ExecuteSql(
+      "SELECT metric, value, p50, p99 FROM tde_metrics "
+      "WHERE metric = 'query.latency_us'");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().num_rows(), 1u);
+  EXPECT_GT(rows.value().Value(0, 1), 0);
+  EXPECT_LE(rows.value().Value(0, 2), rows.value().Value(0, 3));
+}
+
+TEST(Introspect, PrometheusRendering) {
+  observe::MetricsRegistry reg;
+  reg.GetCounter("scan.bytes_compressed")->Add(123);
+  reg.GetGauge("pager.bytes_resident")->Set(456);
+  observe::Histogram* h = reg.GetHistogram("query.latency_us");
+  for (int i = 0; i < 100; ++i) h->Record(static_cast<uint64_t>(i));
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE tde_scan_bytes_compressed counter\n"
+                      "tde_scan_bytes_compressed 123\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE tde_pager_bytes_resident gauge\n"
+                      "tde_pager_bytes_resident 456\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tde_query_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("tde_query_latency_us{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("tde_query_latency_us_count 100"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace tde

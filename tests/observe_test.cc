@@ -1,11 +1,14 @@
 #include "src/observe/metrics.h"
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
+#include "src/observe/import_stats.h"
+#include "src/observe/json.h"
 #include "src/observe/query_stats.h"
 #include "src/observe/trace.h"
 #include "src/plan/executor.h"
@@ -245,6 +248,124 @@ TEST(ImportStats, TelemetryAndStatsTable) {
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
   ASSERT_EQ(rows.value().num_rows(), 1u);
   EXPECT_EQ(rows.value().Value(0, 1), 4);
+}
+
+
+TEST(Metrics, ApproxQuantileEdgeCases) {
+  observe::Histogram h;
+  // Empty histogram: every quantile answers 0.
+  EXPECT_EQ(h.ApproxQuantile(0.0), 0u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 0u);
+
+  // A single sample: all quantiles land in its bucket.
+  h.Record(7);
+  const uint64_t only = h.ApproxQuantile(0.5);
+  EXPECT_EQ(h.ApproxQuantile(0.0), only);
+  EXPECT_EQ(h.ApproxQuantile(1.0), only);
+  // Bucket midpoints stay in the sample's power-of-two bucket [4, 7].
+  EXPECT_GE(only, 4u);
+  EXPECT_LE(only, 7u);
+
+  // Out-of-range q clamps instead of reading past the bucket array.
+  EXPECT_EQ(h.ApproxQuantile(-3.0), h.ApproxQuantile(0.0));
+  EXPECT_EQ(h.ApproxQuantile(42.0), h.ApproxQuantile(1.0));
+
+  // Quantiles are monotone in q even across a wide value spread.
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  for (uint64_t v : {1ull, 10ull, 100ull, 1000ull, 100000ull}) h.Record(v);
+  uint64_t prev = 0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const uint64_t cur = h.ApproxQuantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  // The extremes bracket the data (to bucket resolution).
+  EXPECT_LE(h.ApproxQuantile(0.0), 1u);
+  EXPECT_GE(h.ApproxQuantile(1.0), 65536u);
+
+  // Values at and beyond the last bucket boundary don't overflow.
+  h.Reset();
+  h.Record(~0ull);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.ApproxQuantile(0.5), 0u);
+}
+
+TEST(Metrics, ConcurrentRecordAndReset) {
+  // Record/Reset race freely; TSan (ci/run_tests.sh) checks the atomics,
+  // this test checks the counts stay coherent: after the dust settles, a
+  // final Reset+Record sequence observes exactly its own data.
+  observe::Histogram h;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      uint64_t v = static_cast<uint64_t>(t) + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Record(v);
+        v = v * 2 + 1;
+        if (v > (1ull << 40)) v = 1;
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) h.Reset();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  h.Reset();
+  for (int i = 0; i < 10; ++i) h.Record(5);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 50u);
+}
+
+TEST(Json, EscapesControlAndSpecialCharacters) {
+  using observe::JsonEscape;
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  // The ones ad-hoc escapers forget: \b \f \r and low control bytes.
+  EXPECT_EQ(JsonEscape("\b\f\r"), "\\b\\f\\r");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+  // NUL embedded mid-string survives as an escape, not a truncation.
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+  // High-bit bytes (UTF-8 payload) pass through untouched; in particular
+  // 0x81 must not sign-extend into \uffffff81 (the old %04x-of-char bug).
+  EXPECT_EQ(JsonEscape("\xc3\xa9"), "\xc3\xa9");
+  EXPECT_EQ(JsonEscape(std::string("\x81", 1)), std::string("\x81", 1));
+
+  std::string quoted;
+  observe::AppendJsonString(&quoted, "say \"hi\"\n");
+  EXPECT_EQ(quoted, "\"say \\\"hi\\\"\\n\"");
+}
+
+TEST(Json, ExportersEscapeEmbeddedStrings) {
+  // Trace names with quotes/newlines used to corrupt the Chrome JSON.
+  observe::TraceRecorder& rec = observe::TraceRecorder::Global();
+  rec.set_enabled(true);
+  rec.Clear();
+  {
+    observe::TraceSpan span("evil\"name\nline", "cat\\egory");
+  }
+  rec.set_enabled(false);
+  const std::string json = rec.ToChromeJson();
+  rec.Clear();
+  EXPECT_NE(json.find("evil\\\"name\\nline"), std::string::npos) << json;
+  EXPECT_NE(json.find("cat\\\\egory"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  // Import stats: a table name with a quote stays one JSON document.
+  observe::ImportStats st;
+  st.table_name = "t\"bl";
+  observe::ColumnImportStats c;
+  c.column = "c\\1";
+  c.type = "integer";
+  c.encoding = "delta";
+  st.columns.push_back(c);
+  const std::string sj = st.ToJson();
+  EXPECT_NE(sj.find("\"table\":\"t\\\"bl\""), std::string::npos) << sj;
+  EXPECT_NE(sj.find("\"column\":\"c\\\\1\""), std::string::npos) << sj;
 }
 
 }  // namespace

@@ -179,6 +179,9 @@ TEST(FormatV2, DirectorySurvivesWithoutFaultingData) {
 }
 
 TEST(FormatV2, ColdOpenMaterializesOnlyTouchedColumns) {
+  // The assertions below read pager counters, which only move with the
+  // stats layer on (a TDE_STATS=0 CI pass runs this suite too).
+  observe::SetStatsEnabled(true);
   const std::string path = TempPath("pager_cold.tde");
   ASSERT_TRUE(pager::WriteDatabaseV2(MakeDatabase(), path).ok());
   auto& reg = observe::MetricsRegistry::Global();
@@ -483,6 +486,7 @@ TEST(EngineV2, OpenDatabaseIsLazyAndStatsAreVisibleInSql) {
   const std::string path = TempPath("pager_engine.tde");
   ASSERT_TRUE(engine.SaveDatabase(path).ok());
 
+  observe::SetStatsEnabled(true);  // the test reads pager.misses below
   observe::MetricsRegistry::Global().Reset();
   Engine::OpenOptions oopts;
   oopts.cache_budget_bytes = 32ull << 20;

@@ -34,6 +34,12 @@ TDE_STATS=0 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 # produce identical results — lazy column loads go through plain I/O.
 TDE_NO_MMAP=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
+# Pass with a tiny sealing threshold: every FlowTable build and append in
+# the suite runs segmented (512-row segments), so the whole test surface —
+# scans, filters, joins, aggregates, persistence — exercises segmented
+# storage, not just segment_test.
+TDE_SEGMENT_ROWS=512 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
 # Same suite under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # storage pager and the corruption sweeps must be clean under both.
 if [[ "${TDE_SKIP_SANITIZE:-0}" != "1" ]]; then

@@ -11,6 +11,8 @@
 
 #include "src/encoding/manipulate.h"
 #include "src/storage/pager/format.h"
+#include "src/storage/segment/segment_builder.h"
+#include "src/storage/segment/segmented_stream.h"
 #include "src/exec/sort.h"
 #include "src/observe/introspect.h"
 #include "src/observe/journal.h"
@@ -268,6 +270,67 @@ Result<std::shared_ptr<Table>> BuildColumnsTable(const Database& db) {
   return BuildVirtualTable("tde_columns", std::move(cols));
 }
 
+/// Materializes the tde_segments virtual table: one row per stored
+/// segment across every column — position, per-segment encoding, zone map
+/// and residency. Monolithic columns contribute their single
+/// pseudo-segment. Built from directory facts; never faults data in.
+Result<std::shared_ptr<Table>> BuildSegmentsTable(const Database& db) {
+  std::vector<ColumnBuildInput> cols;
+  cols.push_back(StrCol("table_name"));
+  cols.push_back(StrCol("column_name"));
+  cols.push_back(IntCol("segment"));
+  cols.push_back(IntCol("start_row"));
+  cols.push_back(IntCol("rows"));
+  cols.push_back(StrCol("encoding"));
+  cols.push_back(IntCol("width"));
+  cols.push_back(IntCol("bits"));
+  cols.push_back(IntCol("physical_bytes"));
+  cols.push_back(IntCol("resident"));
+  cols.push_back(IntCol("open_tail"));
+  cols.push_back(IntCol("min_value"));
+  cols.push_back(IntCol("max_value"));
+  cols.push_back(IntCol("sorted"));
+  cols.push_back(IntCol("cardinality"));
+  cols.push_back(IntCol("null_count"));
+  for (const auto& table : db.tables()) {
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      const Column& col = table->column(i);
+      const std::vector<SegmentShape> shapes = col.SegmentShapes();
+      for (size_t s = 0; s < shapes.size(); ++s) {
+        const SegmentShape& sh = shapes[s];
+        const ColumnMetadata& z = sh.zone.meta;
+        size_t c = 0;
+        cols[c].lanes.push_back(cols[c].heap->Add(table->name()));
+        ++c;
+        cols[c].lanes.push_back(cols[c].heap->Add(col.name()));
+        ++c;
+        cols[c++].lanes.push_back(static_cast<Lane>(s));
+        cols[c++].lanes.push_back(static_cast<Lane>(sh.start_row));
+        cols[c++].lanes.push_back(static_cast<Lane>(sh.rows));
+        cols[c].lanes.push_back(cols[c].heap->Add(EncodingName(sh.encoding)));
+        ++c;
+        cols[c++].lanes.push_back(sh.width);
+        cols[c++].lanes.push_back(sh.bits);
+        cols[c++].lanes.push_back(static_cast<Lane>(sh.physical_bytes));
+        cols[c++].lanes.push_back(sh.resident ? 1 : 0);
+        cols[c++].lanes.push_back(sh.open_tail ? 1 : 0);
+        cols[c++].lanes.push_back(
+            z.min_max_known ? static_cast<Lane>(z.min_value) : kNullSentinel);
+        cols[c++].lanes.push_back(
+            z.min_max_known ? static_cast<Lane>(z.max_value) : kNullSentinel);
+        cols[c++].lanes.push_back(z.sorted ? 1 : 0);
+        cols[c++].lanes.push_back(z.cardinality_known
+                                      ? static_cast<Lane>(z.cardinality)
+                                      : kNullSentinel);
+        cols[c++].lanes.push_back(sh.zone.null_count >= 0
+                                      ? static_cast<Lane>(sh.zone.null_count)
+                                      : kNullSentinel);
+      }
+    }
+  }
+  return BuildVirtualTable("tde_segments", std::move(cols));
+}
+
 /// Materializes the tde_cache virtual table: the column cache's residency
 /// set in LRU order (empty for engines without a lazily opened database).
 Result<std::shared_ptr<Table>> BuildCacheTable(
@@ -398,6 +461,7 @@ Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
         {"tde_stats", [&] { return BuildStatsTable(import_stats_); }},
         {"tde_queries", [] { return BuildQueriesTable(); }},
         {"tde_columns", [&] { return BuildColumnsTable(db_); }},
+        {"tde_segments", [&] { return BuildSegmentsTable(db_); }},
         {"tde_cache", [&] { return BuildCacheTable(cache_.get()); }},
         {"tde_metrics", [] { return BuildMetricsTable(); }},
     };
@@ -524,6 +588,124 @@ Result<int> Engine::RefreshChanged() {
   return rebuilt;
 }
 
+Result<uint64_t> Engine::AppendRows(const std::string& table_name,
+                                    const Block& rows) {
+  TDE_ASSIGN_OR_RETURN(auto table, db_.GetTable(table_name));
+  if (rows.num_columns() != table->num_columns()) {
+    return Status::InvalidArgument(
+        "append block has " + std::to_string(rows.num_columns()) +
+        " columns, table '" + table_name + "' has " +
+        std::to_string(table->num_columns()));
+  }
+  const size_t n = rows.rows();
+  for (size_t i = 0; i < rows.num_columns(); ++i) {
+    const ColumnVector& in = rows.columns[i];
+    const Column& col = table->column(i);
+    if (in.lanes.size() != n) {
+      return Status::InvalidArgument("ragged append block: column '" +
+                                     col.name() + "'");
+    }
+    if (in.type != col.type()) {
+      return Status::InvalidArgument("type mismatch appending to column '" +
+                                     col.name() + "'");
+    }
+    if (col.compression() == CompressionKind::kArrayDict) {
+      return Status::NotImplemented(
+          "append to dictionary-compressed column '" + col.name() + "'");
+    }
+    if (col.type() == TypeId::kString && in.heap == nullptr) {
+      return Status::InvalidArgument("string column '" + col.name() +
+                                     "' appended without a heap");
+    }
+  }
+  if (n == 0) return table->rows();
+
+  for (size_t i = 0; i < rows.num_columns(); ++i) {
+    const ColumnVector& in = rows.columns[i];
+    Column* col = table->mutable_column(i);
+    // Append mutates in place: a cold column must leave the cache first.
+    TDE_RETURN_NOT_OK(col->Warm());
+    std::shared_ptr<EncodedStream> cur = col->data_ptr();
+    if (cur == nullptr) {
+      return Status::Internal("column '" + col->name() +
+                              "' has no stream to append to");
+    }
+    SegmentedStream* seg = nullptr;
+    if (cur->segmented()) {
+      seg = static_cast<SegmentedStream*>(cur.get());
+    } else {
+      // First append: the whole existing stream becomes sealed segment 0,
+      // with the column-level metadata as its zone map.
+      auto wrapped = std::make_shared<SegmentedStream>();
+      if (cur->size() > 0) {
+        SegmentZone zone;
+        zone.meta = col->metadata();
+        TDE_RETURN_NOT_OK(wrapped->AddSealed(std::move(cur), std::move(zone)));
+      }
+      seg = wrapped.get();
+      col->set_data(std::move(wrapped));
+    }
+
+    bool any_null = false;
+    bool have_mm = false;
+    int64_t mn = 0, mx = 0;
+    if (col->type() == TypeId::kString) {
+      // Re-intern through the column's heap; appended entries land behind
+      // the sorted prefix, so token order stops implying string order.
+      StringHeap* heap = col->mutable_heap();
+      if (heap == nullptr) {
+        auto h = std::make_shared<StringHeap>();
+        heap = h.get();
+        col->set_heap(std::move(h));
+      }
+      std::vector<Lane> lanes(n);
+      for (size_t r = 0; r < n; ++r) {
+        if (in.lanes[r] == kNullSentinel) {
+          lanes[r] = kNullSentinel;
+          any_null = true;
+        } else {
+          lanes[r] = heap->Add(in.heap->Get(in.lanes[r]));
+        }
+      }
+      heap->set_sorted(false);
+      TDE_RETURN_NOT_OK(seg->Append(lanes.data(), n));
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        if (in.lanes[r] == kNullSentinel) {
+          any_null = true;
+          continue;
+        }
+        const int64_t v = static_cast<int64_t>(in.lanes[r]);
+        if (!have_mm || v < mn) mn = v;
+        if (!have_mm || v > mx) mx = v;
+        have_mm = true;
+      }
+      TDE_RETURN_NOT_OK(seg->Append(in.lanes.data(), n));
+    }
+
+    // Conservative column-level metadata merge: ordering/density/
+    // cardinality facts no longer hold; the value envelope extends.
+    ColumnMetadata* m = col->mutable_metadata();
+    m->sorted = false;
+    m->dense = false;
+    m->unique = false;
+    m->cardinality_known = false;
+    if (col->type() == TypeId::kString) {
+      m->min_max_known = false;
+    } else if (m->min_max_known && have_mm) {
+      m->min_value = std::min(m->min_value, mn);
+      m->max_value = std::max(m->max_value, mx);
+    } else {
+      m->min_max_known = false;
+    }
+    if (any_null) {
+      m->null_known = true;
+      m->has_nulls = true;
+    }
+  }
+  return table->rows();
+}
+
 Result<int> Engine::OptimizeTable(const std::string& table_name) {
   TDE_ASSIGN_OR_RETURN(auto table, db_.GetTable(table_name));
   int converted = 0;
@@ -576,6 +758,18 @@ Status AlterColumnToDictionary(Column* column) {
   // plain hot column (materialize, detach from the cache).
   TDE_RETURN_NOT_OK(column->Warm());
   EncodedStream* stream = column->mutable_data();
+  if (stream != nullptr && stream->segmented()) {
+    // Dictionary compression spans the whole column, so a segmented stream
+    // first collapses to one monolithic stream (re-encoded under the same
+    // encoder configuration its segments sealed with). AlterColumn is
+    // already the heavyweight rebuild path, and the result — like every
+    // dictionary-compressed column — is frozen against further appends.
+    auto* seg = static_cast<SegmentedStream*>(stream);
+    TDE_ASSIGN_OR_RETURN(
+        auto flat, MaterializeMonolithic(*seg, seg->encoder_options()));
+    column->set_data(std::shared_ptr<EncodedStream>(std::move(flat)));
+    stream = column->mutable_data();
+  }
   const bool signed_values = IsSignedType(column->type());
 
   if (stream->type() == EncodingType::kDictionary) {

@@ -77,8 +77,22 @@ class Engine {
   ///   tde_metrics  one row per metric, histogram percentiles as columns
   ///   tde_queries  the query journal: per-query times and counter deltas
   ///   tde_columns  one row per stored column: encoding, runs, bytes, ratio
+  ///   tde_segments one row per stored segment: encoding, zone map, residency
   ///   tde_cache    column-cache residency in LRU order
   Result<QueryResult> ExecuteSql(const std::string& sql) const;
+
+  /// Incremental append (segmented storage's write path): appends `rows` —
+  /// one ColumnVector per table column in declared order; string lanes are
+  /// resolved through the vector's own heap and re-added to the column's —
+  /// to an existing table. On a column's first append its current stream
+  /// is adopted as sealed segment 0 (the column metadata becomes its zone
+  /// map); appended values accumulate in an open tail that seals into an
+  /// independently-encoded segment every TDE_SEGMENT_ROWS rows. Cold
+  /// columns are warmed first (append mutates in place);
+  /// dictionary-compressed columns are not appendable. Returns the table's
+  /// new row count.
+  Result<uint64_t> AppendRows(const std::string& table_name,
+                              const Block& rows);
 
   Database* database() { return &db_; }
   const Database& database() const { return db_; }
@@ -160,6 +174,9 @@ class Engine {
 /// scalar dimensions such as dates. Run-length encoded columns take the
 /// decompose/rebuild route of Sect. 3.4.1 so the result is a scalar
 /// dictionary-compressed column with a run-length encoded token stream.
+/// Segmented columns first collapse to one monolithic stream (re-encoded
+/// under their own encoder configuration); the converted column is frozen
+/// against further appends like every dictionary-compressed column.
 Status AlterColumnToDictionary(Column* column);
 
 }  // namespace tde

@@ -16,6 +16,8 @@ const char* EncodingName(EncodingType t) {
       return "affine";
     case EncodingType::kRunLength:
       return "run-length";
+    case EncodingType::kSegmented:
+      return "segmented";
   }
   return "unknown";
 }

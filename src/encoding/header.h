@@ -8,7 +8,7 @@
 
 namespace tde {
 
-/// The lightweight encodings of Sect. 3.1.
+/// The lightweight encodings of Sect. 3.1, plus the segmented container.
 enum class EncodingType : uint8_t {
   kUncompressed = 0,
   kFrameOfReference = 1,
@@ -16,6 +16,12 @@ enum class EncodingType : uint8_t {
   kDictionary = 3,
   kAffine = 4,
   kRunLength = 5,
+  /// A column stored as an ordered list of independently-encoded segments
+  /// (SegmentedStream). Never a serialized stream-blob algorithm: segment
+  /// payloads are one of the five physical encodings above. This value
+  /// appears only in synthetic headers and in the format-v3 directory as
+  /// the "mixed encodings" representative.
+  kSegmented = 6,
 };
 
 const char* EncodingName(EncodingType t);

@@ -105,6 +105,9 @@ Result<uint8_t> NarrowStreamWidth(std::vector<uint8_t>* buf,
       return old_width;
     case EncodingType::kUncompressed:
       return old_width;
+    case EncodingType::kSegmented:
+      // Narrowing applies per segment, to each segment's own buffer.
+      return old_width;
   }
   return Status::InvalidArgument("unknown encoding");
 }

@@ -109,6 +109,10 @@ uint64_t EncodingStats::EstimateSize(EncodingType type, uint8_t width) const {
       const uint8_t value_width = MinSignedWidth(min_, max_);
       return 26 + run_count() * (count_width + value_width);
     }
+    case EncodingType::kSegmented:
+      // The container has no physical layout of its own; segments are
+      // estimated individually.
+      return kImpossible;
   }
   return kImpossible;
 }

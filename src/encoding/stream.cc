@@ -179,8 +179,26 @@ Result<std::unique_ptr<EncodedStream>> EncodedStream::Create(
       return {std::unique_ptr<EncodedStream>(internal::RleStream::Make(
           width, sign_extend, count_width, value_width))};
     }
+    case EncodingType::kSegmented:
+      // Segmented is a container over the physical encodings above, built
+      // through SegmentedStream, never through the dynamic encoder.
+      return {Status::InvalidArgument(
+          "segmented streams are built via SegmentedStream")};
   }
   return {Status::InvalidArgument("unknown encoding type")};
+}
+
+uint8_t EncodedStream::TokenWidthBytes() const {
+  switch (type()) {
+    case EncodingType::kDictionary:
+      // The per-row data of a dictionary-encoded stream is its packed index.
+      return static_cast<uint8_t>((bits() + 7) / 8);
+    case EncodingType::kRunLength:
+      // Per-row values occupy the run value field width.
+      return buf_[internal::RleStream::kValueWidthOffset];
+    default:
+      return width();
+  }
 }
 
 namespace {
@@ -292,6 +310,10 @@ Result<std::unique_ptr<EncodedStream>> EncodedStream::Open(
     case EncodingType::kRunLength:
       return {std::unique_ptr<EncodedStream>(
           internal::RleStream::FromBuffer(std::move(buf)))};
+    case EncodingType::kSegmented:
+      // A segmented column is recorded as a directory segment table, never
+      // as one serialized stream blob (ValidateStreamBuffer rejects it too).
+      return {Status::IOError("segmented container is not a stream blob")};
   }
   return {Status::InvalidArgument("unknown encoding in stream header")};
 }

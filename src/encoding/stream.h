@@ -81,11 +81,22 @@ class EncodedStream {
   uint8_t width() const { return header().width(); }
   uint8_t bits() const { return header().bits(); }
 
+  /// True for SegmentedStream: the column is an ordered list of
+  /// independently-encoded segments rather than one serialized buffer, and
+  /// buffer() holds only a synthetic header (no packed data).
+  virtual bool segmented() const { return false; }
+
+  /// Bytes one logical value occupies in the packed representation: the
+  /// packed code width for dictionaries, the run value field width for
+  /// run-length, the element width otherwise. Prices scans in compressed
+  /// bytes (Sect. 6.5).
+  virtual uint8_t TokenWidthBytes() const;
+
   /// Logical number of values (including not-yet-finalized ones).
   virtual uint64_t size() const = 0;
 
   /// Serialized bytes (header + packed data) — the on-disk footprint.
-  uint64_t PhysicalSize() const { return buf_.size(); }
+  virtual uint64_t PhysicalSize() const { return buf_.size(); }
   /// Physical size once pending values are flushed into complete blocks
   /// (equals PhysicalSize() after Finalize).
   virtual uint64_t ProjectedPhysicalSize() const { return buf_.size(); }

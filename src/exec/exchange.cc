@@ -46,10 +46,18 @@ struct Exchange::Shared {
 Exchange::Exchange(std::unique_ptr<Operator> child, ExchangeOptions options)
     : child_(std::move(child)), options_(std::move(options)) {}
 
+Exchange::Exchange(std::vector<std::unique_ptr<Operator>> partitions,
+                   ExchangeOptions options)
+    : partitions_(std::move(partitions)), options_(std::move(options)) {
+  // Partitions drain independently and interleave as they finish; there is
+  // no global sequence numbering to restore, so ordered merge is off.
+  options_.order_preserving = false;
+  options_.workers = static_cast<int>(partitions_.size());
+}
+
 Exchange::~Exchange() { StopThreads(); }
 
 Status Exchange::Open() {
-  TDE_RETURN_NOT_OK(child_->Open());
   shared_ = std::make_unique<Shared>();
   next_to_emit_ = 0;
   run_stats_ = ExchangeRunStats{};
@@ -59,6 +67,17 @@ Status Exchange::Open() {
   // counters they bump (scan bytes, pager faults, prunes) are attributed
   // to the query that spawned them.
   observe::StatsScope* scope = observe::StatsScope::Current();
+  if (!partitions_.empty()) {
+    for (auto& p : partitions_) TDE_RETURN_NOT_OK(p->Open());
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      threads_.emplace_back([this, i, scope]() {
+        observe::StatsScope::Bind bind(scope);
+        PartitionWorkerLoop(i);
+      });
+    }
+    return Status::OK();
+  }
+  TDE_RETURN_NOT_OK(child_->Open());
   threads_.emplace_back([this, scope]() {
     observe::StatsScope::Bind bind(scope);
     ProducerLoop();
@@ -157,6 +176,50 @@ void Exchange::WorkerLoop(size_t worker_index) {
   }
 }
 
+void Exchange::PartitionWorkerLoop(size_t worker_index) {
+  ExchangeWorkerStats& ws = run_stats_.workers[worker_index];
+  Operator* source = partitions_[worker_index].get();
+  while (true) {
+    {
+      // Same admission bound as the shared-queue mode: a worker reserves
+      // in-flight headroom before pulling its next block, so a slow
+      // consumer throttles all partitions instead of buffering them.
+      std::unique_lock<std::mutex> lock(shared_->mu);
+      const uint64_t t0 = NowNs();
+      shared_->cv_output.wait(lock, [this]() {
+        return shared_->admitted - shared_->emitted < Shared::kInFlightLimit ||
+               shared_->aborted();
+      });
+      ws.queue_wait_ns += NowNs() - t0;
+      if (shared_->aborted()) {
+        --shared_->workers_running;
+        shared_->cv_output.notify_all();
+        return;
+      }
+      ++shared_->admitted;
+    }
+    Block b;
+    bool eos = false;
+    Status st = source->Next(&b, &eos);
+    if (st.ok() && !eos && options_.transform) {
+      st = options_.transform(source->output_schema(), &b);
+    }
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    if (!st.ok() || eos) {
+      --shared_->admitted;  // the reserved slot was never filled
+      if (!st.ok() && shared_->error.ok()) shared_->error = st;
+      --shared_->workers_running;
+      shared_->cv_output.notify_all();
+      return;
+    }
+    run_stats_.blocks_in++;
+    ws.blocks++;
+    ws.rows_emitted += b.rows();
+    shared_->unordered_output.push_back(std::move(b));
+    shared_->cv_output.notify_all();
+  }
+}
+
 Status Exchange::Next(Block* block, bool* eos) {
   if (shared_ == nullptr) {
     return Status::Internal("Exchange::Next before successful Open");
@@ -218,7 +281,8 @@ void Exchange::StopThreads() {
 
 void Exchange::Close() {
   StopThreads();
-  child_->Close();
+  if (child_ != nullptr) child_->Close();
+  for (auto& p : partitions_) p->Close();
 }
 
 }  // namespace tde

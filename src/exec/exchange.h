@@ -60,13 +60,23 @@ struct ExchangeRunStats {
 class Exchange : public Operator {
  public:
   Exchange(std::unique_ptr<Operator> child, ExchangeOptions options);
+
+  /// Segment-partitioned exchange: one worker per source operator, each
+  /// draining its own disjoint partition (range-restricted TableScans over
+  /// segment subsets) — no shared producer queue, so workers never contend
+  /// for input. Inherently unordered (partitions interleave as they
+  /// finish); order_preserving is forced off. `partitions` must be
+  /// non-empty; options.workers is overridden to the partition count.
+  Exchange(std::vector<std::unique_ptr<Operator>> partitions,
+           ExchangeOptions options);
   ~Exchange() override;
 
   Status Open() override;
   Status Next(Block* block, bool* eos) override;
   void Close() override;
   const Schema& output_schema() const override {
-    return child_->output_schema();
+    return child_ != nullptr ? child_->output_schema()
+                             : partitions_.front()->output_schema();
   }
 
   /// Run observations; final once Close() (or the destructor) has joined
@@ -76,10 +86,12 @@ class Exchange : public Operator {
  private:
   struct Shared;
   void WorkerLoop(size_t worker_index);
+  void PartitionWorkerLoop(size_t worker_index);
   void ProducerLoop();
   void StopThreads();
 
-  std::unique_ptr<Operator> child_;
+  std::unique_ptr<Operator> child_;            // null in partition mode
+  std::vector<std::unique_ptr<Operator>> partitions_;
   ExchangeOptions options_;
   std::unique_ptr<Shared> shared_;
   std::vector<std::thread> threads_;

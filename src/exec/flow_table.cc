@@ -4,12 +4,14 @@
 #include <map>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include <chrono>
 
 #include "src/encoding/manipulate.h"
 #include "src/observe/metrics.h"
 #include "src/storage/heap_accelerator.h"
+#include "src/storage/segment/segmented_stream.h"
 
 namespace tde {
 
@@ -19,24 +21,46 @@ namespace {
 /// the dictionary entries are the distinct heap tokens; sort their strings
 /// (cheap — the domain is small), rebuild the heap in collation order and
 /// write the new tokens back into the dictionary header. The rows of the
-/// column — which can be arbitrarily many — are never touched. `*applied`
-/// reports whether a remap actually happened (import telemetry).
+/// column — which can be arbitrarily many — are never touched. For a
+/// segmented column the remap runs over every segment's own dictionary
+/// (all segments must be dictionary-encoded, else the heap stays unsorted).
+/// `*applied` reports whether a remap actually happened (import telemetry).
 Status SortColumnHeap(Column* col, bool* applied) {
   *applied = false;
   auto* stream = col->mutable_data();
-  if (stream->type() != EncodingType::kDictionary) return Status::OK();
   StringHeap* heap = col->mutable_heap();
   if (heap == nullptr || heap->sorted()) return Status::OK();
+
+  // The dictionary buffers to remap: one per segment, or the single
+  // monolithic stream buffer.
+  std::vector<std::vector<uint8_t>*> bufs;
+  SegmentedStream* seg = nullptr;
+  if (stream->segmented()) {
+    seg = static_cast<SegmentedStream*>(stream);
+    const std::vector<SegmentShape> shapes = seg->Shapes();
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      if (shapes[i].encoding != EncodingType::kDictionary) return Status::OK();
+      std::vector<uint8_t>* b = seg->MutableSegmentBuffer(i);
+      if (b == nullptr) return Status::OK();
+      bufs.push_back(b);
+    }
+    if (bufs.empty()) return Status::OK();
+  } else {
+    if (stream->type() != EncodingType::kDictionary) return Status::OK();
+    bufs.push_back(stream->mutable_buffer());
+  }
   *applied = true;
 
-  std::vector<uint8_t>* buf = stream->mutable_buffer();
   // Collect the distinct tokens from the dictionary entries (an identity
-  // remap that records what it sees).
+  // remap that records what it sees; segments may share tokens).
   std::vector<Lane> old_tokens;
-  TDE_RETURN_NOT_OK(RemapDictEntries(buf, [&](Lane v) {
-    if (v != kNullSentinel) old_tokens.push_back(v);
-    return v;
-  }));
+  std::unordered_set<Lane> seen;
+  for (std::vector<uint8_t>* buf : bufs) {
+    TDE_RETURN_NOT_OK(RemapDictEntries(buf, [&](Lane v) {
+      if (v != kNullSentinel && seen.insert(v).second) old_tokens.push_back(v);
+      return v;
+    }));
+  }
 
   std::vector<size_t> order(old_tokens.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -52,10 +76,13 @@ Status SortColumnHeap(Column* col, bool* applied) {
   for (size_t i : order) {
     remap[old_tokens[i]] = sorted_heap->Add(heap->Get(old_tokens[i]));
   }
-  TDE_RETURN_NOT_OK(RemapDictEntries(
-      buf, [&](Lane v) { return remap.find(v)->second; }));
+  for (std::vector<uint8_t>* buf : bufs) {
+    TDE_RETURN_NOT_OK(RemapDictEntries(
+        buf, [&](Lane v) { return remap.find(v)->second; }));
+  }
   sorted_heap->set_sorted(true);
   col->set_heap(std::move(sorted_heap));
+  if (seg != nullptr) seg->RefreshSegmentFacts();
   return Status::OK();
 }
 
@@ -70,17 +97,42 @@ Result<std::shared_ptr<Column>> BuildColumn(
   enc.width = 8;
   enc.sign_extend = in.type != TypeId::kString && IsSignedType(in.type);
   enc.prefer_dictionary = in.type == TypeId::kString;
-  DynamicEncoder encoder(enc);
   const size_t n = in.lanes.size();
-  for (size_t row = 0; row < n; row += kBlockSize) {
-    const size_t take = std::min<size_t>(kBlockSize, n - row);
-    TDE_RETURN_NOT_OK(encoder.Append(in.lanes.data() + row, take));
-  }
-  TDE_ASSIGN_OR_RETURN(EncodedColumn encoded, encoder.Finalize());
+  const uint64_t seg_rows =
+      options.segment_rows != 0 ? options.segment_rows : DefaultSegmentRows();
+  // Columns longer than one segment are built as a SegmentedStream: the
+  // drain-accumulated lanes stream through Append, which seals (and
+  // independently encodes) each full segment as its boundary passes.
+  const bool segmented = static_cast<uint64_t>(n) > seg_rows;
 
   auto col = std::make_shared<Column>(in.name, in.type);
-  col->set_data(std::move(encoded.stream));
-  col->set_encoding_changes(encoded.encoding_changes);
+  EncodingStats stats;
+  int encoding_changes = 0;
+  uint64_t bytes_written = 0;
+  if (segmented) {
+    auto seg = std::make_shared<SegmentedStream>(enc, seg_rows);
+    for (size_t row = 0; row < n; row += kBlockSize) {
+      const size_t take = std::min<size_t>(kBlockSize, n - row);
+      stats.Update(in.lanes.data() + row, take);
+      TDE_RETURN_NOT_OK(seg->Append(in.lanes.data() + row, take));
+    }
+    TDE_RETURN_NOT_OK(seg->Finalize());
+    encoding_changes = seg->encoding_changes();
+    bytes_written = seg->bytes_written();
+    col->set_data(std::move(seg));
+  } else {
+    DynamicEncoder encoder(enc);
+    for (size_t row = 0; row < n; row += kBlockSize) {
+      const size_t take = std::min<size_t>(kBlockSize, n - row);
+      TDE_RETURN_NOT_OK(encoder.Append(in.lanes.data() + row, take));
+    }
+    TDE_ASSIGN_OR_RETURN(EncodedColumn encoded, encoder.Finalize());
+    stats = encoded.stats;
+    encoding_changes = encoded.encoding_changes;
+    bytes_written = encoded.bytes_written;
+    col->set_data(std::move(encoded.stream));
+  }
+  col->set_encoding_changes(encoding_changes);
   if (in.type == TypeId::kString) {
     col->set_compression(CompressionKind::kHeap);
     col->set_heap(in.heap);
@@ -88,7 +140,7 @@ Result<std::shared_ptr<Column>> BuildColumn(
 
   ColumnMetadata meta;
   if (options.enable_encodings) {
-    meta = ExtractMetadata(encoded.stats);
+    meta = ExtractMetadata(stats);
   } else if (in.type == TypeId::kString && in.accel_active) {
     // With encodings off, the only metadata comes from fortuitous
     // circumstances: the accelerator's statistics (Sect. 6.4).
@@ -112,12 +164,29 @@ Result<std::shared_ptr<Column>> BuildColumn(
     TDE_RETURN_NOT_OK(SortColumnHeap(col.get(), &heap_sorted));
     const bool signed_values =
         in.type != TypeId::kString && IsSignedType(in.type);
-    const uint8_t before = col->data()->width();
-    TDE_ASSIGN_OR_RETURN(
-        uint8_t w,
-        NarrowStreamWidth(col->mutable_data()->mutable_buffer(),
-                          signed_values));
-    manipulations += (heap_sorted ? 1 : 0) + (w != before ? 1 : 0);
+    bool narrowed = false;
+    if (col->data()->segmented()) {
+      // Narrowing is a header manipulation on one stream buffer; for a
+      // segmented column it applies per segment (each may narrow to a
+      // different width — that is the point of per-segment encodings).
+      auto* seg = static_cast<SegmentedStream*>(col->mutable_data());
+      const std::vector<SegmentShape> shapes = seg->Shapes();
+      for (size_t i = 0; i < shapes.size(); ++i) {
+        std::vector<uint8_t>* b = seg->MutableSegmentBuffer(i);
+        if (b == nullptr) continue;
+        TDE_ASSIGN_OR_RETURN(uint8_t w, NarrowStreamWidth(b, signed_values));
+        narrowed |= w != shapes[i].width;
+      }
+      seg->RefreshSegmentFacts();
+    } else {
+      const uint8_t before = col->data()->width();
+      TDE_ASSIGN_OR_RETURN(
+          uint8_t w,
+          NarrowStreamWidth(col->mutable_data()->mutable_buffer(),
+                            signed_values));
+      narrowed = w != before;
+    }
+    manipulations += (heap_sorted ? 1 : 0) + (narrowed ? 1 : 0);
   }
 
   if (stats_out != nullptr && observe::StatsEnabled()) {
@@ -127,8 +196,8 @@ Result<std::shared_ptr<Column>> BuildColumn(
     stats_out->rows = col->rows();
     stats_out->input_bytes = col->LogicalSize();
     stats_out->encoded_bytes = col->PhysicalSize();
-    stats_out->encoding_changes = encoded.encoding_changes;
-    stats_out->bytes_written = encoded.bytes_written;
+    stats_out->encoding_changes = encoding_changes;
+    stats_out->bytes_written = bytes_written;
     stats_out->header_manipulations = manipulations;
     stats_out->token_width = col->TokenWidth();
   }

@@ -30,6 +30,9 @@ struct FlowTableOptions {
   /// Encode columns on separate threads (encoding of each column is
   /// independent, Sect. 3.3).
   bool parallel_columns = false;
+  /// Rows per sealed segment (0 = the TDE_SEGMENT_ROWS knob / 64K
+  /// default). Columns no longer than one segment stay monolithic.
+  uint64_t segment_rows = 0;
   std::string table_name = "flow";
 };
 

@@ -44,9 +44,20 @@ TableScan::TableScan(std::shared_ptr<const Table> table,
 }
 
 Status TableScan::Open() {
-  row_ = 0;
   rows_scanned_ = 0;
   TDE_RETURN_NOT_OK(init_error_);
+  // Normalize the visit list once: sorted, disjoint, clamped to the table.
+  ranges_ = NormalizeRanges(options_.ranges);
+  const uint64_t total = table_->rows();
+  if (ranges_.empty()) {
+    ranges_.push_back({0, total});
+  } else {
+    for (RowRange& r : ranges_) r.end = std::min(r.end, total);
+    ranges_ = NormalizeRanges(std::move(ranges_));
+    if (ranges_.empty()) ranges_.push_back({0, 0});  // fully pruned scan
+  }
+  range_idx_ = 0;
+  row_ = ranges_.front().begin;
   // Per-row stored width across the scanned columns, priced once: the
   // decode loop only bumps a row count, and Close converts rows into the
   // compressed/decoded byte counters.
@@ -95,13 +106,16 @@ void TableScan::Close() {
 
 Status TableScan::Next(Block* block, bool* eos) {
   block->columns.assign(cols_.size(), ColumnVector{});
-  const uint64_t total = table_->rows();
-  if (row_ >= total) {
+  while (range_idx_ < ranges_.size() && row_ >= ranges_[range_idx_].end) {
+    ++range_idx_;
+    if (range_idx_ < ranges_.size()) row_ = ranges_[range_idx_].begin;
+  }
+  if (range_idx_ >= ranges_.size()) {
     *eos = true;
     return Status::OK();
   }
-  const size_t take =
-      static_cast<size_t>(std::min<uint64_t>(kBlockSize, total - row_));
+  const size_t take = static_cast<size_t>(
+      std::min<uint64_t>(kBlockSize, ranges_[range_idx_].end - row_));
   for (size_t i = 0; i < cols_.size(); ++i) {
     const Column& col = *cols_[i];
     const pager::LoadedColumn* pin = pins_[i].get();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/exec/block.h"
+#include "src/storage/segment/segment.h"
 #include "src/storage/table.h"
 
 namespace tde {
@@ -26,6 +27,11 @@ struct TableScanOptions {
   /// rewrite so the aggregate groups on codes and decodes one key per
   /// group; ignored for columns whose stream is not dictionary-coded.
   std::vector<std::string> code_columns;
+  /// Row ranges to visit (empty = the whole table). Set by the segment
+  /// pruner and the exchange partitioner; normalized (sorted, disjoint,
+  /// clamped to the table) at Open. Rows outside the ranges are never
+  /// decoded — for a segmented cold column their segments never fault in.
+  std::vector<RowRange> ranges;
 };
 
 /// Scans a stored table block by block, decoding each column's encoded
@@ -54,6 +60,10 @@ class TableScan : public Operator {
   /// null for columns emitted normally.
   std::vector<std::shared_ptr<const ArrayDictionary>> code_dicts_;
   size_t first_token_col_ = 0;
+  /// Normalized visit list (always non-empty after Open; one full-table
+  /// range when options_.ranges is empty) and the cursor into it.
+  std::vector<RowRange> ranges_;
+  size_t range_idx_ = 0;
   uint64_t row_ = 0;
   /// Scan-volume accounting, flushed to the query counters at Close: plain
   /// members updated per block so the decode loop touches no atomics.

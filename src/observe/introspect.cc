@@ -36,6 +36,7 @@ ColumnReport ReportColumn(const std::string& table_name, const Column& col) {
   r.rows = col.rows();
   r.compressed_bytes = col.PhysicalSize();
   r.logical_bytes = col.LogicalSize();
+  if (col.segmented_storage()) r.segments = col.SegmentShapes();
 
   auto pin = col.PinIfResident();
   const EncodedStream* stream =
@@ -131,7 +132,37 @@ std::string StorageReportJson(const Database& db,
            ",\"heap_entries\":" + std::to_string(c.heap_entries) +
            ",\"compressed_bytes\":" + std::to_string(c.compressed_bytes) +
            ",\"logical_bytes\":" + std::to_string(c.logical_bytes) +
-           ",\"ratio_ppt\":" + std::to_string(c.ratio_ppt()) + "}";
+           ",\"ratio_ppt\":" + std::to_string(c.ratio_ppt());
+    if (!c.segments.empty()) {
+      out += ",\"segments\":[";
+      bool first_s = true;
+      for (const SegmentShape& s : c.segments) {
+        if (!first_s) out += ",";
+        first_s = false;
+        out += "{\"start_row\":" + std::to_string(s.start_row) +
+               ",\"rows\":" + std::to_string(s.rows) + ",\"encoding\":\"" +
+               EncodingName(s.encoding) +
+               "\",\"bits\":" + std::to_string(s.bits) +
+               ",\"physical_bytes\":" + std::to_string(s.physical_bytes) +
+               ",\"resident\":" + (s.resident ? "true" : "false") +
+               ",\"open_tail\":" + (s.open_tail ? "true" : "false");
+        const ColumnMetadata& z = s.zone.meta;
+        if (z.min_max_known) {
+          out += ",\"min\":" + std::to_string(z.min_value) +
+                 ",\"max\":" + std::to_string(z.max_value);
+        }
+        if (z.cardinality_known) {
+          out += ",\"cardinality\":" + std::to_string(z.cardinality);
+        }
+        if (s.zone.null_count >= 0) {
+          out += ",\"null_count\":" + std::to_string(s.zone.null_count);
+        }
+        out += ",\"sorted\":" + std::string(z.sorted ? "true" : "false") +
+               "}";
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += "],\"cache\":";
   const CacheReport cache_r = BuildCacheReport(cache);

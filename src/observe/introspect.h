@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/storage/segment/segment.h"
+
 namespace tde {
 
 class Database;
@@ -40,6 +42,11 @@ struct ColumnReport {
   /// Stored bytes (stream + heap + dictionary) vs un-encoded bytes.
   uint64_t compressed_bytes = 0;
   uint64_t logical_bytes = 0;
+
+  /// Per-segment shapes of a segmented column (position, encoding, zone
+  /// map, residency), in row order. Empty for monolithic columns. From
+  /// directory facts — populating this never faults data in.
+  std::vector<SegmentShape> segments;
 
   /// compressed/logical in parts-per-thousand (0 when logical is 0).
   int64_t ratio_ppt() const {

@@ -26,6 +26,7 @@ constexpr QueryCounterNames kQueryCounterNames[kNumQueryCounters] = {
     {"pager.bytes_read", "cache_bytes_read"},
     {"filter.rows_pruned", "rows_pruned"},
     {"filter.runs_skipped", "runs_skipped"},
+    {"filter.segments_pruned", "segments_pruned"},
     {"filter.dict_rewrites", "dict_rewrites"},
     {"agg.runs_folded", "runs_folded"},
     {"agg.groups_late_materialized", "groups_late_materialized"},

@@ -28,6 +28,7 @@ enum class QueryCounter : int {
   kCacheBytesRead,              // pager.bytes_read — blob bytes fetched
   kRowsPruned,                  // filter.rows_pruned — metadata/run prunes
   kRunsSkipped,                 // filter.runs_skipped
+  kSegmentsPruned,              // filter.segments_pruned — zone-map skips
   kDictRewrites,                // filter.dict_rewrites
   kRunsFolded,                  // agg.runs_folded
   kGroupsLateMaterialized,      // agg.groups_late_materialized

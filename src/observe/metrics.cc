@@ -4,6 +4,7 @@
 #include <bit>
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <tuple>
 
 #include "src/observe/json.h"
@@ -57,9 +58,13 @@ uint64_t Histogram::ApproxQuantile(double q) const {
   for (int i = 0; i < kBuckets; ++i) {
     const uint64_t b = bucket(i);
     if (rank < b) {
-      // Midpoint of the bucket's value range.
+      // Midpoint of the bucket's value range. The last bucket's range is
+      // [2^63, UINT64_MAX]; 1 << kBuckets-1 would overflow.
       const uint64_t lo = BucketLow(i);
-      const uint64_t hi = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      const uint64_t hi = i == 0            ? 0
+                          : i >= kBuckets - 1
+                              ? std::numeric_limits<uint64_t>::max()
+                              : (uint64_t{1} << i) - 1;
       return lo + (hi - lo) / 2;
     }
     rank -= b;

@@ -45,34 +45,87 @@ void Attach(BuiltPlan* out, std::string name,
   out->stats = std::move(node);
 }
 
-Result<BuiltPlan> BuildScan(const PlanNode& node) {
-  TableScanOptions opts;
-  opts.columns = node.columns;
-  opts.token_columns = node.token_columns;
-  opts.code_columns = node.code_columns;
-  BuiltPlan out;
-  out.op = std::make_unique<TableScan>(node.table, std::move(opts));
-  const auto& names =
-      node.columns.empty() ? std::vector<std::string>{} : node.columns;
-  if (names.empty()) {
+/// Fills `out->props` with the column properties a scan of `node` exposes.
+Status ScanProps(const PlanNode& node, BuiltPlan* out) {
+  if (node.columns.empty()) {
     for (size_t i = 0; i < node.table->num_columns(); ++i) {
       const Column& c = node.table->column(i);
-      out.props[c.name()] = PropsOf(c);
+      out->props[c.name()] = PropsOf(c);
     }
   } else {
-    for (const std::string& n : names) {
+    for (const std::string& n : node.columns) {
       TDE_ASSIGN_OR_RETURN(auto c, node.table->ColumnByName(n));
-      out.props[n] = PropsOf(*c);
+      out->props[n] = PropsOf(*c);
     }
   }
   for (const std::string& n : node.token_columns) {
     TDE_ASSIGN_OR_RETURN(auto c, node.table->ColumnByName(n));
-    out.props[n + "$token"] = PropsOf(*c);
+    out->props[n + "$token"] = PropsOf(*c);
   }
+  return Status::OK();
+}
+
+/// Segment boundaries of the first multi-segment column the scan reads, as
+/// row ranges. Any consistent partition of the row space is correct for
+/// parallel scans; aligning with one column's segments keeps that column's
+/// blob faults partition-local. Empty when every scanned column is
+/// monolithic.
+std::vector<RowRange> SegmentAlignedRanges(const PlanNode& node) {
+  std::vector<std::string> names = node.columns;
+  if (names.empty()) {
+    for (size_t i = 0; i < node.table->num_columns(); ++i) {
+      names.push_back(node.table->column(i).name());
+    }
+  }
+  for (const std::string& n : names) {
+    auto c = node.table->ColumnByName(n);
+    if (!c.ok()) continue;
+    const std::vector<SegmentShape> shapes = c.value()->SegmentShapes();
+    if (shapes.size() <= 1) continue;
+    std::vector<RowRange> out;
+    out.reserve(shapes.size());
+    for (const SegmentShape& s : shapes) {
+      out.push_back({s.start_row, s.start_row + s.rows});
+    }
+    return out;
+  }
+  return {};
+}
+
+Result<BuiltPlan> BuildScan(const PlanNode& node,
+                            const SegmentPruneResult* prune = nullptr) {
+  TableScanOptions opts;
+  opts.columns = node.columns;
+  opts.token_columns = node.token_columns;
+  opts.code_columns = node.code_columns;
+  if (prune != nullptr && prune->segments_pruned > 0) {
+    opts.ranges = prune->ranges;
+  }
+  BuiltPlan out;
+  out.op = std::make_unique<TableScan>(node.table, std::move(opts));
+  TDE_RETURN_NOT_OK(ScanProps(node, &out));
   for (const std::string& n : node.code_columns) {
     out.notes.push_back("scan(" + n + "): dictionary codes (group key)");
   }
-  Attach(&out, "TableScan(" + node.table->name() + ")", {});
+  std::function<void(observe::OperatorStats*)> on_close;
+  if (prune != nullptr && prune->segments_pruned > 0) {
+    out.notes.push_back("scan: " + std::to_string(prune->segments_pruned) +
+                        " segment(s) zone-map pruned (" +
+                        std::to_string(prune->rows_pruned) +
+                        " rows skipped)");
+    observe::QueryCount(observe::QueryCounter::kSegmentsPruned,
+                        prune->segments_pruned);
+    observe::QueryCount(observe::QueryCounter::kRowsPruned,
+                        prune->rows_pruned);
+    const uint64_t segs = prune->segments_pruned;
+    const uint64_t rows = prune->rows_pruned;
+    on_close = [segs, rows](observe::OperatorStats* s) {
+      s->extras.emplace_back("segments_pruned", segs);
+      s->extras.emplace_back("rows_pruned", rows);
+    };
+  }
+  Attach(&out, "TableScan(" + node.table->name() + ")", {},
+         std::move(on_close));
   return out;
 }
 
@@ -534,6 +587,101 @@ Result<BuiltPlan> BuildExchange(const PlanNode& node) {
   BuiltPlan built_child;
   int dict_rewrites = 0;
   if (child->kind == PlanNodeKind::kFilter) {
+    const PlanNodePtr& grand = child->children[0];
+    // Segment-partitioned route: an unordered exchange over filter(scan)
+    // of a segmented table gives each worker its own range-restricted
+    // TableScan over a disjoint subset of segments. Workers never contend
+    // for a shared input queue, and zone-map pruning drops whole segments
+    // before they are even assigned.
+    if (!opts.order_preserving && opts.workers >= 2 &&
+        grand->kind == PlanNodeKind::kScan && grand->table != nullptr &&
+        child->predicate != nullptr) {
+      SegmentPruneResult prune =
+          PruneScanSegments(*grand->table, child->predicate);
+      const std::vector<RowRange> visit =
+          prune.segments_pruned > 0
+              ? prune.ranges
+              : std::vector<RowRange>{{0, grand->table->rows()}};
+      std::vector<RowRange> pieces;
+      for (const RowRange& s : SegmentAlignedRanges(*grand)) {
+        for (const RowRange& v : visit) {
+          const uint64_t b = std::max(s.begin, v.begin);
+          const uint64_t e = std::min(s.end, v.end);
+          if (b < e) pieces.push_back({b, e});
+        }
+      }
+      if (pieces.size() >= 2) {
+        const size_t nparts = std::min<size_t>(
+            static_cast<size_t>(opts.workers), pieces.size());
+        std::vector<std::vector<RowRange>> parts(nparts);
+        for (size_t i = 0; i < pieces.size(); ++i) {
+          parts[i % nparts].push_back(pieces[i]);
+        }
+        BuiltPlan out;
+        TDE_RETURN_NOT_OK(ScanProps(*grand, &out));
+        std::vector<std::unique_ptr<Operator>> sources;
+        for (size_t p = 0; p < nparts; ++p) {
+          TableScanOptions sopts;
+          sopts.columns = grand->columns;
+          sopts.token_columns = grand->token_columns;
+          sopts.code_columns = grand->code_columns;
+          sopts.ranges = NormalizeRanges(std::move(parts[p]));
+          sources.push_back(
+              std::make_unique<TableScan>(grand->table, std::move(sopts)));
+        }
+        ExprPtr pred = LowerPredicate(child->predicate, child->compressed_eval,
+                                      sources[0]->output_schema(), &out.notes,
+                                      &dict_rewrites);
+        opts.transform = [pred](const Schema& schema,
+                                Block* block) -> Status {
+          TDE_ASSIGN_OR_RETURN(ColumnVector mask, pred->Eval(*block, schema));
+          std::vector<char> keep(block->rows());
+          for (size_t i = 0; i < keep.size(); ++i) {
+            keep[i] = mask.lanes[i] == 1;
+          }
+          block->Compact(keep);
+          return Status::OK();
+        };
+        for (auto& [name, p] : out.props) p.meta.dense = false;
+        if (prune.segments_pruned > 0) {
+          out.notes.push_back(
+              "scan: " + std::to_string(prune.segments_pruned) +
+              " segment(s) zone-map pruned (" +
+              std::to_string(prune.rows_pruned) + " rows skipped)");
+          observe::QueryCount(observe::QueryCounter::kSegmentsPruned,
+                              prune.segments_pruned);
+          observe::QueryCount(observe::QueryCounter::kRowsPruned,
+                              prune.rows_pruned);
+        }
+        out.notes.push_back("exchange: segment-partitioned scan, " +
+                            std::to_string(nparts) + " partitions over " +
+                            std::to_string(pieces.size()) +
+                            " segment ranges");
+        auto exchange = std::make_unique<Exchange>(std::move(sources), opts);
+        Exchange* raw = exchange.get();
+        out.op = std::move(exchange);
+        const uint64_t segs = prune.segments_pruned;
+        const uint64_t rows = prune.rows_pruned;
+        Attach(&out,
+               "Exchange(partitioned, " + std::to_string(nparts) + " scans)",
+               {}, [raw, segs, rows](observe::OperatorStats* s) {
+                 const ExchangeRunStats& rs = raw->run_stats();
+                 s->extras.emplace_back("blocks_in", rs.blocks_in);
+                 if (segs > 0) {
+                   s->extras.emplace_back("segments_pruned", segs);
+                   s->extras.emplace_back("rows_pruned", rows);
+                 }
+                 for (size_t i = 0; i < rs.workers.size(); ++i) {
+                   s->extras.emplace_back("w" + std::to_string(i) + "_blocks",
+                                          rs.workers[i].blocks);
+                   s->extras.emplace_back(
+                       "w" + std::to_string(i) + "_rows_emitted",
+                       rs.workers[i].rows_emitted);
+                 }
+               });
+        return out;
+      }
+    }
     TDE_ASSIGN_OR_RETURN(built_child, BuildExecutable(child->children[0]));
     // The same dictionary-code lowering as BuildFilter; the wrapper's
     // translation cache is mutex-guarded, so workers share it safely.
@@ -598,6 +746,20 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
     case PlanNodeKind::kScan:
       return BuildScan(*node);
     case PlanNodeKind::kFilter: {
+      // Zone-map segment pruning: when the filter sits directly on a scan
+      // of a segmented table, fold the predicate against each segment's
+      // zone map and hand the scan the surviving row ranges. Pruned
+      // segments' blobs never fault in on the lazy v3 path.
+      const PlanNodePtr& c = node->children[0];
+      if (c->kind == PlanNodeKind::kScan && c->table != nullptr &&
+          node->predicate != nullptr) {
+        const SegmentPruneResult prune =
+            PruneScanSegments(*c->table, node->predicate);
+        if (prune.segments_pruned > 0) {
+          TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildScan(*c, &prune));
+          return BuildFilter(*node, std::move(child));
+        }
+      }
       TDE_ASSIGN_OR_RETURN(BuiltPlan child, BuildExecutable(node->children[0]));
       return BuildFilter(*node, std::move(child));
     }

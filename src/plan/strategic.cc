@@ -165,10 +165,24 @@ CompareOp FlipCompare(CompareOp op) {
   }
 }
 
+/// Substitutes one column's metadata during a fold: segment pruning folds
+/// the same predicate once per segment with that segment's zone map in
+/// place of the column-level metadata.
+struct MetaOverride {
+  const std::string* column = nullptr;
+  const ColumnMetadata* meta = nullptr;
+};
+
+const ColumnMetadata& MetaFor(const Column& c, const MetaOverride* ov) {
+  if (ov != nullptr && c.name() == *ov->column) return *ov->meta;
+  return c.metadata();
+}
+
 /// Recursive fold of a filter predicate against the scan table's column
 /// metadata — every fact consulted (type, metadata) answers from the
 /// directory for cold columns, so pruning never faults data in.
-Tri FoldAgainstMetadata(const ExprPtr& e, const Table& table) {
+Tri FoldAgainstMetadata(const ExprPtr& e, const Table& table,
+                        const MetaOverride* ov = nullptr) {
   TypeId lt;
   Lane lv;
   if (e->AsLiteral(&lt, &lv) && lt == TypeId::kBool) {
@@ -193,25 +207,25 @@ Tri FoldAgainstMetadata(const ExprPtr& e, const Table& table) {
         vt == TypeId::kReal || vt == TypeId::kString) {
       return Tri::kUnknown;
     }
-    return FoldCompare(op, c.value()->metadata(), v);
+    return FoldCompare(op, MetaFor(*c.value(), ov), v);
   }
   switch (e->Shape()) {
     case ExprShape::kNot: {
-      const Tri t = FoldAgainstMetadata(kids[0], table);
+      const Tri t = FoldAgainstMetadata(kids[0], table, ov);
       if (t == Tri::kFalse) return Tri::kTrue;
       if (t == Tri::kTrue) return Tri::kFalse;
       return Tri::kUnknown;
     }
     case ExprShape::kAnd: {
-      const Tri a = FoldAgainstMetadata(kids[0], table);
-      const Tri b = FoldAgainstMetadata(kids[1], table);
+      const Tri a = FoldAgainstMetadata(kids[0], table, ov);
+      const Tri b = FoldAgainstMetadata(kids[1], table, ov);
       if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
       if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
       return Tri::kUnknown;
     }
     case ExprShape::kOr: {
-      const Tri a = FoldAgainstMetadata(kids[0], table);
-      const Tri b = FoldAgainstMetadata(kids[1], table);
+      const Tri a = FoldAgainstMetadata(kids[0], table, ov);
+      const Tri b = FoldAgainstMetadata(kids[1], table, ov);
       if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
       if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
       return Tri::kUnknown;
@@ -221,7 +235,7 @@ Tri FoldAgainstMetadata(const ExprPtr& e, const Table& table) {
       if (col == nullptr) return Tri::kUnknown;
       auto c = table.ColumnByName(*col);
       if (!c.ok()) return Tri::kUnknown;
-      const ColumnMetadata& m = c.value()->metadata();
+      const ColumnMetadata& m = MetaFor(*c.value(), ov);
       if (m.null_known && !m.has_nulls) return Tri::kFalse;
       if (m.null_known && m.has_nulls && m.min_max_known &&
           m.max_value == kNullSentinel) {
@@ -234,7 +248,7 @@ Tri FoldAgainstMetadata(const ExprPtr& e, const Table& table) {
       if (col == nullptr || kids.size() < 2) return Tri::kUnknown;
       auto c = table.ColumnByName(*col);
       if (!c.ok() || !LaneComparable(c.value()->type())) return Tri::kUnknown;
-      const ColumnMetadata& m = c.value()->metadata();
+      const ColumnMetadata& m = MetaFor(*c.value(), ov);
       bool any_unknown = false;
       for (size_t i = 1; i < kids.size(); ++i) {
         TypeId vt;
@@ -849,6 +863,59 @@ Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
     DisableDictGrouping(root);
   }
   return root;
+}
+
+namespace {
+
+void CollectPredicateColumns(const ExprPtr& e, std::vector<std::string>* out) {
+  if (const std::string* c = e->AsColumnRef()) {
+    if (std::find(out->begin(), out->end(), *c) == out->end()) {
+      out->push_back(*c);
+    }
+    return;
+  }
+  for (const ExprPtr& k : e->Children()) CollectPredicateColumns(k, out);
+}
+
+}  // namespace
+
+SegmentPruneResult PruneScanSegments(const Table& table,
+                                     const ExprPtr& predicate) {
+  SegmentPruneResult out;
+  if (predicate == nullptr) return out;
+
+  std::vector<std::string> cols;
+  CollectPredicateColumns(predicate, &cols);
+
+  // A segment is skippable when the predicate, folded with that segment's
+  // zone map substituted for its column's metadata, is provably false:
+  // every row of the segment fails, whatever the other columns hold. Skip
+  // verdicts from different columns union.
+  std::vector<RowRange> skip;
+  for (const std::string& name : cols) {
+    auto c = table.ColumnByName(name);
+    if (!c.ok()) continue;
+    const std::vector<SegmentShape> shapes = c.value()->SegmentShapes();
+    // Monolithic columns (one pseudo-segment) are TryMetadataPrune's job.
+    if (shapes.size() <= 1) continue;
+    for (const SegmentShape& s : shapes) {
+      const MetaOverride ov{&name, &s.zone.meta};
+      if (FoldAgainstMetadata(predicate, table, &ov) == Tri::kFalse) {
+        ++out.segments_pruned;
+        skip.push_back({s.start_row, s.start_row + s.rows});
+      }
+    }
+  }
+  skip = NormalizeRanges(std::move(skip));
+  if (skip.empty()) return out;
+  for (const RowRange& r : skip) out.rows_pruned += r.rows();
+  out.ranges = ComplementRanges(skip, table.rows());
+  if (out.ranges.empty()) {
+    // Everything pruned: a degenerate visit list (an empty options.ranges
+    // would mean "scan all").
+    out.ranges.push_back({0, 0});
+  }
+  return out;
 }
 
 }  // namespace tde

@@ -1,7 +1,10 @@
 #ifndef TDE_PLAN_STRATEGIC_H_
 #define TDE_PLAN_STRATEGIC_H_
 
+#include <vector>
+
 #include "src/plan/plan.h"
+#include "src/storage/segment/segment.h"
 
 namespace tde {
 
@@ -64,6 +67,27 @@ struct StrategicOptions {
 /// here; their implementations are chosen tactically at run time.
 Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
                                       const StrategicOptions& options = {});
+
+/// Outcome of folding a filter predicate against per-segment zone maps.
+struct SegmentPruneResult {
+  /// Row ranges the scan must still visit. Empty when nothing was pruned
+  /// (scan everything); the degenerate {0,0} when every segment was
+  /// pruned.
+  std::vector<RowRange> ranges;
+  /// Zone-map verdicts that skipped a segment (counted per predicate
+  /// column — the EXPLAIN ANALYZE `filter.segments_pruned` figure).
+  uint64_t segments_pruned = 0;
+  /// Rows inside the skipped ranges.
+  uint64_t rows_pruned = 0;
+};
+
+/// Segment pruning (the tentpole of zone-map filtering): folds `predicate`
+/// once per segment of every segmented column it references, substituting
+/// the segment's zone map for the column's metadata. Segments whose fold is
+/// provably false are dropped from the scan's visit list — their blobs
+/// never fault in on the lazy v3 path. Consults directory facts only.
+SegmentPruneResult PruneScanSegments(const Table& table,
+                                     const ExprPtr& predicate);
 
 }  // namespace tde
 

@@ -2,6 +2,7 @@
 
 #include "src/encoding/streams_internal.h"
 #include "src/storage/pager/column_cache.h"
+#include "src/storage/segment/segmented_stream.h"
 
 namespace tde {
 
@@ -158,6 +159,18 @@ const EncodedStream* Column::data() const {
   return data_.get();
 }
 
+std::shared_ptr<EncodedStream> Column::data_ptr() const {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) return nullptr;
+  return data_;
+}
+
+bool Column::segmented_storage() const {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (cold_ != nullptr && !warmed_) return !cold_->segments.empty();
+  return data_ != nullptr && data_->segmented();
+}
+
 const StringHeap* Column::heap() const {
   std::lock_guard<std::mutex> lock(load_mu_);
   if (cold_ != nullptr && !warmed_) {
@@ -204,16 +217,67 @@ uint8_t Column::TokenWidth() const {
   std::lock_guard<std::mutex> lock(load_mu_);
   if (cold_ != nullptr && !warmed_) return cold_->token_width;
   if (data_ == nullptr) return 8;
-  switch (data_->type()) {
-    case EncodingType::kDictionary:
-      // The per-row data of a dictionary-encoded stream is its packed index.
-      return static_cast<uint8_t>((data_->bits() + 7) / 8);
-    case EncodingType::kRunLength:
-      // Per-row values occupy the run value field width.
-      return data_->buffer()[internal::RleStream::kValueWidthOffset];
-    default:
-      return data_->width();
+  return data_->TokenWidthBytes();
+}
+
+std::vector<SegmentShape> Column::SegmentShapes() const {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  const EncodedStream* stream = nullptr;
+  bool from_cold = false;
+  if (cold_ != nullptr && !warmed_) {
+    stream = resident_ != nullptr ? resident_->stream.get() : nullptr;
+    from_cold = true;
+  } else {
+    stream = data_.get();
   }
+  if (stream != nullptr && stream->segmented()) {
+    return static_cast<const SegmentedStream*>(stream)->Shapes();
+  }
+  if (stream == nullptr && from_cold && !cold_->segments.empty()) {
+    // Segmented but not materialized: directory facts only.
+    std::vector<SegmentShape> out;
+    out.reserve(cold_->segments.size());
+    for (const pager::ColdSegment& s : cold_->segments) {
+      out.push_back(s.shape);
+      out.back().resident = false;
+    }
+    return out;
+  }
+  // Monolithic: one pseudo-segment covering the whole column, with the
+  // column-level metadata as its zone map.
+  SegmentShape s;
+  if (stream != nullptr) {
+    s.rows = stream->size();
+    s.encoding = stream->type();
+    s.width = stream->width();
+    s.bits = stream->bits();
+    s.token_width = stream->TokenWidthBytes();
+    s.physical_bytes = stream->PhysicalSize();
+    s.resident = true;
+  } else if (from_cold) {
+    s.rows = cold_->rows;
+    s.encoding = cold_->encoding;
+    s.width = cold_->width;
+    s.token_width = cold_->token_width;
+    s.physical_bytes = cold_->stream.length;
+    s.resident = false;
+  } else {
+    return {};
+  }
+  if (s.rows == 0) return {};
+  s.zone.meta = meta_;
+  s.zone.null_count =
+      (meta_.null_known && !meta_.has_nulls) ? 0 : int64_t{-1};
+  return {s};
+}
+
+uint64_t Column::ReleaseEvictableSegments() const {
+  std::unique_lock<std::mutex> lock(load_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return 0;
+  if (warmed_ || resident_ == nullptr) return 0;
+  EncodedStream* stream = resident_->stream.get();
+  if (stream == nullptr || !stream->segmented()) return 0;
+  return static_cast<SegmentedStream*>(stream)->ReleaseColdSegments();
 }
 
 uint64_t Column::PhysicalSize() const {

@@ -67,6 +67,9 @@ class Column {
   const EncodedStream* data() const;
   EncodedStream* mutable_data() { return data_.get(); }
   void set_data(std::shared_ptr<EncodedStream> s);
+  /// Shared reference to the hot stream (null for unwarmed cold columns).
+  /// Lets AppendRows adopt the current stream as a sealed segment.
+  std::shared_ptr<EncodedStream> data_ptr() const;
 
   const StringHeap* heap() const;
   StringHeap* mutable_heap() { return heap_.get(); }
@@ -88,6 +91,20 @@ class Column {
   /// streams the packed index width (what Fig. 8/9 report), otherwise the
   /// element width.
   uint8_t TokenWidth() const;
+
+  /// Per-segment shapes (position, encoding, zone map, residency) for the
+  /// planner's segment pruning and for introspection. Monolithic columns
+  /// report one pseudo-segment covering every row. Never faults data in.
+  std::vector<SegmentShape> SegmentShapes() const;
+
+  /// True when the column's storage is genuinely segmented — from
+  /// directory facts for cold columns; never faults data in.
+  bool segmented_storage() const;
+
+  /// Drops faulted-in payloads of unpinned cold segments (segmented cold
+  /// columns only) and returns the bytes freed. Called by the column cache
+  /// when whole-column eviction fails because the column itself is pinned.
+  uint64_t ReleaseEvictableSegments() const;
 
   /// Encoding algorithm of the main stream — from the directory for cold
   /// columns, so the optimizers can consult it without faulting data in.

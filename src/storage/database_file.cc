@@ -6,6 +6,8 @@
 #include <span>
 
 #include "src/storage/pager/format.h"
+#include "src/storage/segment/segment_builder.h"
+#include "src/storage/segment/segmented_stream.h"
 
 namespace tde {
 
@@ -164,6 +166,16 @@ Status SerializeDatabase(const Database& db, std::vector<uint8_t>* out) {
       if (stream == nullptr) {
         return Status::Internal("column '" + t->name() + "." + c.name() +
                                 "' has no data stream to serialize");
+      }
+      // The v1 format stores one stream blob per column; segmented columns
+      // collapse back to a monolithic re-encode under the same encoder
+      // configuration their segments sealed with.
+      std::unique_ptr<EncodedStream> flat;
+      if (stream->segmented()) {
+        const auto* seg = static_cast<const SegmentedStream*>(stream);
+        TDE_ASSIGN_OR_RETURN(
+            flat, MaterializeMonolithic(*stream, seg->encoder_options()));
+        stream = flat.get();
       }
       w.Str(c.name());
       w.U8(static_cast<uint8_t>(c.type()));

@@ -1,5 +1,6 @@
 #include "src/storage/pager/column_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/observe/journal.h"
@@ -7,11 +8,17 @@
 #include "src/storage/column.h"
 #include "src/storage/pager/crc32c.h"
 #include "src/storage/pager/file_reader.h"
+#include "src/storage/segment/segmented_stream.h"
 
 namespace tde {
 namespace pager {
 
 namespace {
+
+/// Budget charge of one cold (unloaded) segment descriptor in a lazily
+/// opened segmented column's shell — an approximation of its in-memory
+/// footprint (shape + loader closure).
+constexpr uint64_t kSegmentShellCharge = 64;
 
 /// Fetches one blob, verifies its checksum, and copies it into an owned
 /// buffer. Errors name the table and column so a corrupt file is
@@ -39,26 +46,124 @@ Result<std::vector<uint8_t>> FetchBlob(const ColdSource& src,
   return std::vector<uint8_t>(span.begin(), span.end());
 }
 
+/// Self-contained loader for one cold segment. Captures everything by
+/// value (the file reader by shared_ptr), so it stays valid for as long as
+/// the SegmentedStream that holds it — independent of the ColdSource
+/// reference it was built from.
+SegmentedStream::Loader MakeSegmentLoader(
+    const ColdSource& src, const ColdSegment& seg, size_t index,
+    observe::Counter* checksum_failures) {
+  std::shared_ptr<FileReader> file = src.file;
+  const BlobRef blob = seg.blob;
+  const uint64_t rows = seg.shape.rows;
+  const std::string name =
+      src.table_name + "." + src.column_name + " segment " +
+      std::to_string(index);
+  return [file, blob, rows, name,
+          checksum_failures]() -> Result<std::shared_ptr<EncodedStream>> {
+    std::vector<uint8_t> scratch;
+    auto span_r = file->Read(blob.offset, blob.length, &scratch);
+    if (!span_r.ok()) {
+      return {Status::IOError("column " + name + " blob: " +
+                              span_r.status().message())};
+    }
+    const std::span<const uint8_t> span = span_r.value();
+    if (Crc32c(span.data(), span.size()) != blob.crc32c) {
+      if (checksum_failures != nullptr) checksum_failures->Add();
+      return {Status::IOError("checksum mismatch in column " + name + " (" +
+                              std::to_string(blob.length) +
+                              " bytes at offset " +
+                              std::to_string(blob.offset) + ")")};
+    }
+    std::vector<uint8_t> owned =
+        scratch.empty() ? std::vector<uint8_t>(span.begin(), span.end())
+                        : std::move(scratch);
+    auto stream_r = EncodedStream::Open(std::move(owned));
+    if (!stream_r.ok()) {
+      return {Status::IOError("column " + name + ": " +
+                              stream_r.status().message())};
+    }
+    std::shared_ptr<EncodedStream> stream(stream_r.MoveValue());
+    if (stream->size() != rows) {
+      return {Status::IOError("column " + name + " holds " +
+                              std::to_string(stream->size()) +
+                              " rows, directory says " +
+                              std::to_string(rows))};
+    }
+    observe::QueryCount(observe::QueryCounter::kCacheBytesRead, blob.length);
+    return stream;
+  };
+}
+
 Result<std::shared_ptr<const LoadedColumn>> LoadPayloadImpl(
     const ColdSource& src, const ColumnCache::BlobReadFn& read,
-    bool count_bytes_read, observe::Counter* checksum_failures) {
+    bool count_bytes_read, bool lazy_segments,
+    observe::Counter* checksum_failures) {
   auto payload = std::make_shared<LoadedColumn>();
-  payload->compressed_bytes = src.CompressedBytes();
+
+  if (src.segments.empty()) {
+    payload->compressed_bytes = src.CompressedBytes();
+    TDE_ASSIGN_OR_RETURN(
+        auto stream_bytes, FetchBlob(src, read, src.stream, "stream",
+                                     checksum_failures));
+    auto stream_r = EncodedStream::Open(std::move(stream_bytes));
+    if (!stream_r.ok()) {
+      return {Status::IOError("column " + src.table_name + "." +
+                              src.column_name + " stream: " +
+                              stream_r.status().message())};
+    }
+    payload->stream = std::shared_ptr<EncodedStream>(stream_r.MoveValue());
+  } else {
+    // Segmented (format v3): the shell is built from directory facts; lazy
+    // mode defers each segment's blob to first touch so a pruned query
+    // faults in only the segments it scans.
+    auto seg = std::make_shared<SegmentedStream>();
+    uint64_t segment_bytes = 0;
+    for (size_t i = 0; i < src.segments.size(); ++i) {
+      const ColdSegment& s = src.segments[i];
+      if (lazy_segments) {
+        TDE_RETURN_NOT_OK(seg->AddCold(
+            s.shape, MakeSegmentLoader(src, s, i, checksum_failures)));
+      } else {
+        TDE_ASSIGN_OR_RETURN(
+            auto bytes, FetchBlob(src, read, s.blob, "segment",
+                                  checksum_failures));
+        auto stream_r = EncodedStream::Open(std::move(bytes));
+        if (!stream_r.ok()) {
+          return {Status::IOError("column " + src.table_name + "." +
+                                  src.column_name + " segment " +
+                                  std::to_string(i) + ": " +
+                                  stream_r.status().message())};
+        }
+        std::shared_ptr<EncodedStream> stream(stream_r.MoveValue());
+        if (stream->size() != s.shape.rows) {
+          return {Status::IOError("column " + src.table_name + "." +
+                                  src.column_name + " segment " +
+                                  std::to_string(i) + " holds " +
+                                  std::to_string(stream->size()) +
+                                  " rows, directory says " +
+                                  std::to_string(s.shape.rows))};
+        }
+        TDE_RETURN_NOT_OK(seg->AddSealed(std::move(stream), s.shape.zone));
+        segment_bytes += s.blob.length;
+      }
+    }
+    // In lazy mode no segment blob is resident yet, but the shell itself
+    // (cold descriptors + loaders) is, and it must carry a nonzero charge:
+    // a zero-cost entry would survive any budget, leaving the column
+    // permanently "resident" even at budget 0.
+    if (lazy_segments) {
+      segment_bytes = src.segments.size() * kSegmentShellCharge;
+    }
+    payload->stream = std::move(seg);
+    payload->compressed_bytes = (src.has_heap ? src.heap.length : 0) +
+                                (src.has_dict ? src.dict.length : 0) +
+                                segment_bytes;
+  }
   if (count_bytes_read) {
     observe::QueryCount(observe::QueryCounter::kCacheBytesRead,
                         payload->compressed_bytes);
   }
-
-  TDE_ASSIGN_OR_RETURN(
-      auto stream_bytes, FetchBlob(src, read, src.stream, "stream",
-                                   checksum_failures));
-  auto stream_r = EncodedStream::Open(std::move(stream_bytes));
-  if (!stream_r.ok()) {
-    return {Status::IOError("column " + src.table_name + "." +
-                            src.column_name + " stream: " +
-                            stream_r.status().message())};
-  }
-  payload->stream = std::shared_ptr<EncodedStream>(stream_r.MoveValue());
   if (payload->stream->size() != src.rows) {
     return {Status::IOError("column " + src.table_name + "." +
                             src.column_name + " stream holds " +
@@ -117,7 +222,8 @@ ColumnCache::~ColumnCache() = default;
 
 Result<std::shared_ptr<const LoadedColumn>> ColumnCache::LoadPayloadFrom(
     const ColdSource& src, const BlobReadFn& read) {
-  return LoadPayloadImpl(src, read, /*count_bytes_read=*/false, nullptr);
+  return LoadPayloadImpl(src, read, /*count_bytes_read=*/false,
+                         /*lazy_segments=*/false, nullptr);
 }
 
 Status ColumnCache::Ensure(const Column* col) {
@@ -147,7 +253,16 @@ Status ColumnCache::Ensure(const Column* col) {
   // cold materialization never serializes unrelated queries.
   auto payload_r = LoadPayloadImpl(*src, FileReadFn(*src),
                                    /*count_bytes_read=*/true,
+                                   /*lazy_segments=*/true,
                                    checksum_failures_);
+  if (payload_r.ok() && (*payload_r.value()).stream->segmented()) {
+    // Segment fault-ins charge the cache as they happen. The cache outlives
+    // every column it serves (each ColdSource holds a shared_ptr to it), so
+    // capturing `this` raw mirrors the raw Column* keys in `entries_`.
+    auto* seg = static_cast<SegmentedStream*>((*payload_r.value()).stream.get());
+    seg->set_charge_hook(
+        [this, col](uint64_t bytes) { AddSegmentBytes(col, bytes); });
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   loading_.erase(col);
@@ -179,13 +294,39 @@ void ColumnCache::EvictLocked(const Column* keep) {
     --it;
     const Column* victim = *it;
     if (victim == keep) continue;
-    if (!victim->TryUnload()) continue;
+    if (!victim->TryUnload()) {
+      // Whole-column eviction blocked (a query pins the payload). A
+      // segmented column can still shed individual cold segments nobody is
+      // reading right now.
+      const uint64_t freed = victim->ReleaseEvictableSegments();
+      if (freed > 0) {
+        auto e = entries_.find(victim);
+        if (e != entries_.end()) {
+          const uint64_t delta = std::min(freed, e->second.bytes);
+          e->second.bytes -= delta;
+          bytes_resident_ -= delta;
+          evictions_->Add();
+        }
+      }
+      continue;
+    }
     auto e = entries_.find(victim);
     bytes_resident_ -= e->second.bytes;
     it = lru_.erase(it);
     entries_.erase(e);
     evictions_->Add();
   }
+}
+
+void ColumnCache::AddSegmentBytes(const Column* col, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(col);
+  if (it == entries_.end()) return;  // warmed/forgotten — not ours to track
+  it->second.bytes += bytes;
+  bytes_resident_ += bytes;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  EvictLocked(/*keep=*/col);
+  bytes_resident_gauge_->Set(static_cast<int64_t>(bytes_resident_));
 }
 
 void ColumnCache::Forget(const Column* col) {

@@ -70,6 +70,12 @@ class ColumnCache {
   /// itself lives on as long as the column/pins reference it.
   void Forget(const Column* col);
 
+  /// Charge hook for segment-granular faults: a cold segment of `col` just
+  /// materialized `bytes` compressed bytes. Bumps the column's entry and
+  /// LRU position and evicts past-budget victims. No-op if the column has
+  /// no entry (warmed or forgotten — it owns its bytes then).
+  void AddSegmentBytes(const Column* col, uint64_t bytes);
+
   uint64_t bytes_resident() const;
   uint64_t budget_bytes() const;
   /// Adjusts the budget and immediately evicts down to it.

@@ -10,6 +10,7 @@
 #include "src/storage/pager/column_cache.h"
 #include "src/storage/pager/crc32c.h"
 #include "src/storage/pager/file_reader.h"
+#include "src/storage/segment/segmented_stream.h"
 #include "src/storage/table.h"
 
 namespace tde {
@@ -163,7 +164,8 @@ Status ValidateBlob(const BlobRef& b, uint64_t file_size, const char* what) {
   return Status::OK();
 }
 
-Status ReadColumnEntry(DirReader* r, uint64_t file_size, ColumnEntry* e) {
+Status ReadColumnEntry(DirReader* r, uint64_t file_size, uint32_t version,
+                       ColumnEntry* e) {
   TDE_RETURN_NOT_OK(r->Str(&e->name));
   uint8_t type_raw, comp_raw, enc_raw;
   TDE_RETURN_NOT_OK(r->U8(&type_raw));
@@ -179,7 +181,13 @@ Status ReadColumnEntry(DirReader* r, uint64_t file_size, ColumnEntry* e) {
     return Status::IOError("v2 directory: bad compression byte for column '" +
                            e->name + "'");
   }
-  if (enc_raw > static_cast<uint8_t>(EncodingType::kRunLength)) {
+  // kSegmented (6) is a legal *representative* encoding byte in v3 — the
+  // column must then carry a segment table, checked below.
+  const bool segmented_enc =
+      version >= kFormatVersion3 &&
+      enc_raw == static_cast<uint8_t>(EncodingType::kSegmented);
+  if (enc_raw > static_cast<uint8_t>(EncodingType::kRunLength) &&
+      !segmented_enc) {
     return Status::IOError("v2 directory: bad encoding byte for column '" +
                            e->name + "'");
   }
@@ -248,6 +256,71 @@ Status ReadColumnEntry(DirReader* r, uint64_t file_size, ColumnEntry* e) {
                              " bytes");
     }
   }
+
+  if (version >= kFormatVersion3) {
+    uint32_t segment_count;
+    TDE_RETURN_NOT_OK(r->U32(&segment_count));
+    if (segment_count > e->rows) {
+      return Status::IOError("v3 directory: column '" + e->name +
+                             "' claims " + std::to_string(segment_count) +
+                             " segments over " + std::to_string(e->rows) +
+                             " rows");
+    }
+    // Each serialized segment occupies >= 60 directory bytes, so a hostile
+    // count cannot reserve past the directory length anyway; still, cap the
+    // up-front reservation and let push_back grow.
+    e->segments.reserve(std::min<uint32_t>(segment_count, 4096));
+    uint64_t covered = 0;
+    for (uint32_t si = 0; si < segment_count; ++si) {
+      SegmentEntry s;
+      TDE_RETURN_NOT_OK(r->Blob(&s.blob));
+      TDE_RETURN_NOT_OK(ValidateBlob(s.blob, file_size, "segment"));
+      TDE_RETURN_NOT_OK(r->U64(&s.rows));
+      uint8_t senc;
+      TDE_RETURN_NOT_OK(r->U8(&senc));
+      TDE_RETURN_NOT_OK(r->U8(&s.width));
+      TDE_RETURN_NOT_OK(r->U8(&s.bits));
+      TDE_RETURN_NOT_OK(r->U8(&s.token_width));
+      // Segment blobs are real stream blobs: never the container value.
+      if (senc > static_cast<uint8_t>(EncodingType::kRunLength)) {
+        return Status::IOError(
+            "v3 directory: bad segment encoding byte for column '" + e->name +
+            "'");
+      }
+      s.encoding = static_cast<EncodingType>(senc);
+      uint8_t zflags;
+      TDE_RETURN_NOT_OK(r->U8(&zflags));
+      UnpackMetadataFlags(zflags, &s.zone);
+      TDE_RETURN_NOT_OK(r->I64(&s.zone.min_value));
+      TDE_RETURN_NOT_OK(r->I64(&s.zone.max_value));
+      TDE_RETURN_NOT_OK(r->U64(&s.zone.cardinality));
+      TDE_RETURN_NOT_OK(r->I64(&s.null_count));
+      if (s.rows == 0) {
+        return Status::IOError("v3 directory: empty segment in column '" +
+                               e->name + "'");
+      }
+      if (s.rows > e->rows - covered) {
+        return Status::IOError(
+            "v3 directory: segment row counts of column '" + e->name +
+            "' overflow its " + std::to_string(e->rows) + " rows");
+      }
+      covered += s.rows;
+      e->segments.push_back(std::move(s));
+    }
+    if (segment_count > 0 && covered != e->rows) {
+      return Status::IOError("v3 directory: segments of column '" + e->name +
+                             "' cover " + std::to_string(covered) + " of " +
+                             std::to_string(e->rows) + " rows");
+    }
+    if (!e->segments.empty() && e->stream.length != 0) {
+      return Status::IOError("v3 directory: segmented column '" + e->name +
+                             "' carries a monolithic stream blob");
+    }
+  }
+  if (e->encoding == EncodingType::kSegmented && e->segments.empty()) {
+    return Status::IOError("v3 directory: column '" + e->name +
+                           "' marked segmented but has no segment table");
+  }
   return Status::OK();
 }
 
@@ -264,6 +337,24 @@ ColdSource MakeColdSource(const ColumnEntry& e, const std::string& table_name,
   src.token_width = e.token_width;
   src.encoding = e.encoding;
   src.stream = e.stream;
+  uint64_t start = 0;
+  src.segments.reserve(e.segments.size());
+  for (const SegmentEntry& s : e.segments) {
+    ColdSegment cs;
+    cs.blob = s.blob;
+    cs.shape.start_row = start;
+    cs.shape.rows = s.rows;
+    cs.shape.encoding = s.encoding;
+    cs.shape.width = s.width;
+    cs.shape.bits = s.bits;
+    cs.shape.token_width = s.token_width;
+    cs.shape.physical_bytes = s.blob.length;
+    cs.shape.resident = false;
+    cs.shape.zone.meta = s.zone;
+    cs.shape.zone.null_count = s.null_count;
+    src.segments.push_back(std::move(cs));
+    start += s.rows;
+  }
   src.has_heap = e.has_heap;
   src.heap = e.heap;
   src.heap_entries = e.heap_entries;
@@ -325,6 +416,9 @@ Status SerializeDatabaseV2(const Database& db, std::vector<uint8_t>* out,
   out->assign(kHeaderSizeV2, 0);
 
   // Pass 1: blobs, collecting directory entries as they are placed.
+  // The header version is decided here: any segmented column promotes the
+  // whole file to v3; otherwise the bytes are identical to a v2 write.
+  bool any_segmented = false;
   std::vector<TableEntry> tables;
   for (const auto& t : db.tables()) {
     TableEntry te;
@@ -349,8 +443,43 @@ Status SerializeDatabaseV2(const Database& db, std::vector<uint8_t>* out,
       e.metadata = c.metadata();
       e.encoding_changes = static_cast<uint32_t>(c.encoding_changes());
       e.rows = stream->size();
-      AppendBlob(out, options.page_size, stream->buffer().data(),
-                 stream->buffer().size(), &e.stream);
+      if (stream->segmented()) {
+        any_segmented = true;
+        const auto* seg = static_cast<const SegmentedStream*>(stream);
+        const std::vector<SegmentShape> shapes = seg->Shapes();
+        if (shapes.empty()) {
+          return Status::Internal("segmented column '" + te.name + "." +
+                                  c.name() + "' has no segments");
+        }
+        // `e.stream` stays empty — each segment owns a blob. The open tail
+        // (if any) is encoded from a copy and written as the last sealed
+        // entry; the in-memory column is not mutated.
+        for (size_t si = 0; si < shapes.size(); ++si) {
+          SegmentEntry se;
+          std::shared_ptr<EncodedStream> sstream;
+          if (shapes[si].open_tail) {
+            SegmentZone zone;
+            TDE_ASSIGN_OR_RETURN(sstream, seg->EncodeTailCopy(&zone));
+            se.zone = zone.meta;
+            se.null_count = zone.null_count;
+          } else {
+            TDE_ASSIGN_OR_RETURN(sstream, seg->SegmentStreamForRead(si));
+            se.zone = shapes[si].zone.meta;
+            se.null_count = shapes[si].zone.null_count;
+          }
+          se.rows = sstream->size();
+          se.encoding = sstream->type();
+          se.width = sstream->width();
+          se.bits = sstream->bits();
+          se.token_width = sstream->TokenWidthBytes();
+          AppendBlob(out, options.page_size, sstream->buffer().data(),
+                     sstream->buffer().size(), &se.blob);
+          e.segments.push_back(std::move(se));
+        }
+      } else {
+        AppendBlob(out, options.page_size, stream->buffer().data(),
+                   stream->buffer().size(), &e.stream);
+      }
       if (c.compression() == CompressionKind::kHeap) {
         const StringHeap* h = c.heap();
         if (h == nullptr) {
@@ -421,6 +550,24 @@ Status SerializeDatabaseV2(const Database& db, std::vector<uint8_t>* out,
           w.U8(e.dict_sorted ? 1 : 0);
           w.U64(e.dict_entries);
         }
+        if (any_segmented) {
+          // v3 extension: every column carries a segment table (count 0
+          // for monolithic columns).
+          w.U32(static_cast<uint32_t>(e.segments.size()));
+          for (const SegmentEntry& s : e.segments) {
+            w.Blob(s.blob);
+            w.U64(s.rows);
+            w.U8(static_cast<uint8_t>(s.encoding));
+            w.U8(s.width);
+            w.U8(s.bits);
+            w.U8(s.token_width);
+            w.U8(PackMetadataFlags(s.zone));
+            w.I64(s.zone.min_value);
+            w.I64(s.zone.max_value);
+            w.U64(s.zone.cardinality);
+            w.I64(s.null_count);
+          }
+        }
       }
     }
   }
@@ -429,7 +576,7 @@ Status SerializeDatabaseV2(const Database& db, std::vector<uint8_t>* out,
   // Header last: it seals the directory placement and both CRCs.
   uint8_t* h = out->data();
   std::memcpy(h, kMagicV2, sizeof(kMagicV2));
-  PutU32(h + kVersionOff, kFormatVersion2);
+  PutU32(h + kVersionOff, any_segmented ? kFormatVersion3 : kFormatVersion2);
   PutU32(h + kPageSizeOff, options.page_size);
   PutU64(h + kDirOffsetOff, dir_offset);
   PutU64(h + kDirLengthOff, dir_length);
@@ -451,6 +598,7 @@ namespace {
 /// Validated header facts: where the directory lives and what it must hash
 /// to. Produced from the 64 header bytes alone, before any blob is touched.
 struct HeaderV2 {
+  uint32_t version = kFormatVersion2;
   uint32_t page_size = 0;
   uint64_t file_size = 0;
   uint64_t dir_offset = 0;
@@ -471,10 +619,11 @@ Status ParseHeaderV2(std::span<const uint8_t> header, uint64_t actual_size,
     return Status::IOError("v2 header checksum mismatch");
   }
   const uint32_t version = GetU32(h + kVersionOff);
-  if (version != kFormatVersion2) {
+  if (version != kFormatVersion2 && version != kFormatVersion3) {
     return Status::IOError("unsupported v2 format version " +
                            std::to_string(version));
   }
+  out->version = version;
   out->page_size = GetU32(h + kPageSizeOff);
   if (!ValidPageSize(out->page_size)) {
     return Status::IOError("v2 header: bad page size " +
@@ -506,6 +655,7 @@ Result<DirectoryV2> ParseDirectoryBody(const HeaderV2& header,
   DirectoryV2 dir;
   dir.page_size = header.page_size;
   dir.file_size = header.file_size;
+  dir.version = header.version;
 
   DirReader r(dir_span);
   uint32_t table_count;
@@ -518,7 +668,7 @@ Result<DirectoryV2> ParseDirectoryBody(const HeaderV2& header,
     TDE_RETURN_NOT_OK(r.U32(&column_count));
     for (uint32_t ci = 0; ci < column_count; ++ci) {
       ColumnEntry e;
-      TDE_RETURN_NOT_OK(ReadColumnEntry(&r, dir.file_size, &e));
+      TDE_RETURN_NOT_OK(ReadColumnEntry(&r, dir.file_size, dir.version, &e));
       te.columns.push_back(std::move(e));
     }
     dir.tables.push_back(std::move(te));

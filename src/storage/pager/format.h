@@ -31,12 +31,36 @@ class ColumnCache;
 ///
 /// The directory is everything the planner needs; opening a database is
 /// O(directory) regardless of data volume.
+///
+/// Format v3 is a directory extension of v2 under the same magic: when any
+/// column is segmented the header version reads 3 and every column entry
+/// carries a trailing segment table — a u32 segment count (0 for
+/// monolithic columns) followed by, per segment, its blob {offset, length,
+/// CRC}, row count, physical encoding, width/bits/token width, and zone
+/// map (metadata flags, min, max, cardinality, NULL count). Databases
+/// without segmented columns serialize byte-identically to v2, and v2
+/// readers are never handed a v3 file they would misparse (the version
+/// gate rejects it).
 constexpr uint8_t kMagicV2[8] = {'T', 'D', 'E', 'D', 'B', '0', '0', '2'};
 constexpr uint32_t kFormatVersion2 = 2;
+constexpr uint32_t kFormatVersion3 = 3;
 constexpr size_t kHeaderSizeV2 = 64;
 
 /// True when `bytes` starts with the v2 magic.
 bool IsV2Magic(const uint8_t* bytes, size_t n);
+
+/// Directory entry for one segment of a segmented column (format v3).
+struct SegmentEntry {
+  BlobRef blob;
+  uint64_t rows = 0;
+  EncodingType encoding = EncodingType::kUncompressed;
+  uint8_t width = 8;
+  uint8_t bits = 0;
+  uint8_t token_width = 8;
+  /// Zone map: the segment's own EncodingStats-derived metadata.
+  ColumnMetadata zone;
+  int64_t null_count = -1;  // -1 = unknown
+};
 
 /// Directory entry for one column — the serialized twin of ColdSource.
 struct ColumnEntry {
@@ -51,6 +75,10 @@ struct ColumnEntry {
   uint64_t rows = 0;
 
   BlobRef stream;
+
+  /// Format v3: non-empty for segmented columns (`stream` is then empty —
+  /// each segment owns its blob).
+  std::vector<SegmentEntry> segments;
 
   bool has_heap = false;
   BlobRef heap;
@@ -74,6 +102,8 @@ struct TableEntry {
 struct DirectoryV2 {
   uint32_t page_size = 0;
   uint64_t file_size = 0;
+  /// 2 or 3; 3 means column entries carry segment tables.
+  uint32_t version = kFormatVersion2;
   std::vector<TableEntry> tables;
 };
 

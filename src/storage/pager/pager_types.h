@@ -10,6 +10,7 @@
 #include "src/encoding/header.h"
 #include "src/encoding/stream.h"
 #include "src/storage/dictionary.h"
+#include "src/storage/segment/segment.h"
 #include "src/storage/string_heap.h"
 
 namespace tde {
@@ -23,6 +24,14 @@ struct BlobRef {
   uint64_t offset = 0;
   uint64_t length = 0;
   uint32_t crc32c = 0;
+};
+
+/// Directory facts of one segment of a format-v3 segmented column: the
+/// blob holding its encoded stream plus the SegmentShape (rows, encoding,
+/// zone map) recorded at write time.
+struct ColdSegment {
+  BlobRef blob;
+  SegmentShape shape;
 };
 
 /// The materialized pieces of one column, built from its blobs on first
@@ -56,6 +65,10 @@ struct ColdSource {
 
   BlobRef stream;
 
+  /// Format v3: the column is segmented — `stream` is empty and each
+  /// segment has its own blob. v1/v2 columns leave this empty.
+  std::vector<ColdSegment> segments;
+
   bool has_heap = false;
   BlobRef heap;
   uint64_t heap_entries = 0;
@@ -69,8 +82,10 @@ struct ColdSource {
   uint64_t dict_entries = 0;
 
   uint64_t CompressedBytes() const {
-    return stream.length + (has_heap ? heap.length : 0) +
-           (has_dict ? dict.length : 0);
+    uint64_t n = stream.length + (has_heap ? heap.length : 0) +
+                 (has_dict ? dict.length : 0);
+    for (const ColdSegment& s : segments) n += s.blob.length;
+    return n;
   }
 };
 

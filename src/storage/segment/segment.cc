@@ -1,0 +1,47 @@
+#include "src/storage/segment/segment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tde {
+
+uint64_t DefaultSegmentRows() {
+  const char* env = std::getenv("TDE_SEGMENT_ROWS");
+  if (env == nullptr || *env == '\0') return kDefaultSegmentRows;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return kDefaultSegmentRows;
+  return static_cast<uint64_t>(v);
+}
+
+std::vector<RowRange> NormalizeRanges(std::vector<RowRange> ranges) {
+  std::erase_if(ranges, [](const RowRange& r) { return r.end <= r.begin; });
+  std::sort(ranges.begin(), ranges.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<RowRange> out;
+  for (const RowRange& r : ranges) {
+    if (!out.empty() && r.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, r.end);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<RowRange> ComplementRanges(const std::vector<RowRange>& skip,
+                                       uint64_t rows) {
+  std::vector<RowRange> out;
+  uint64_t at = 0;
+  for (const RowRange& r : skip) {
+    if (r.begin > at) out.push_back({at, std::min(r.begin, rows)});
+    at = std::max(at, r.end);
+    if (at >= rows) break;
+  }
+  if (at < rows) out.push_back({at, rows});
+  return out;
+}
+
+}  // namespace tde

@@ -1,0 +1,68 @@
+#ifndef TDE_STORAGE_SEGMENT_SEGMENT_H_
+#define TDE_STORAGE_SEGMENT_SEGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/encoding/header.h"
+#include "src/encoding/metadata.h"
+
+namespace tde {
+
+/// A half-open row interval [begin, end) of a table scan. Segment pruning
+/// and the exchange partitioner express their decisions as lists of these.
+struct RowRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t rows() const { return end - begin; }
+};
+
+/// Per-segment zone map (the paper's Sect. 3.4.2 metadata, kept at segment
+/// rather than column granularity): min/max/cardinality/sorted derived from
+/// the segment's own EncodingStats, plus the NULL-sentinel count.
+/// `null_count < 0` means unknown (a monolithic column adopted as one
+/// sealed segment only knows has_nulls).
+struct SegmentZone {
+  ColumnMetadata meta;
+  int64_t null_count = -1;
+};
+
+/// The externally visible shape of one segment: where it sits in the
+/// column, how it is physically encoded, and its zone map. Answerable from
+/// directory facts alone — building a list of these never faults data in.
+struct SegmentShape {
+  uint64_t start_row = 0;
+  uint64_t rows = 0;
+  EncodingType encoding = EncodingType::kUncompressed;
+  uint8_t width = 8;
+  uint8_t bits = 0;
+  uint8_t token_width = 8;
+  /// Serialized bytes of the segment's stream blob (0 while the tail is
+  /// still open and unencoded).
+  uint64_t physical_bytes = 0;
+  /// Whether the segment's decoded stream is in memory right now.
+  bool resident = true;
+  /// True for the open (still appendable, not yet encoded) tail segment.
+  bool open_tail = false;
+  SegmentZone zone;
+};
+
+/// Rows per sealed segment: the TDE_SEGMENT_ROWS environment knob, or the
+/// 64K default. A value of 0 (or garbage) falls back to the default.
+uint64_t DefaultSegmentRows();
+
+/// The compiled-in default for TDE_SEGMENT_ROWS.
+inline constexpr uint64_t kDefaultSegmentRows = 65536;
+
+/// Merges overlapping/adjacent ranges and drops empty ones; the result is
+/// sorted and disjoint.
+std::vector<RowRange> NormalizeRanges(std::vector<RowRange> ranges);
+
+/// Complements `skip` (sorted, disjoint) over [0, rows): the ranges a scan
+/// must still visit. An empty skip list yields the single full range.
+std::vector<RowRange> ComplementRanges(const std::vector<RowRange>& skip,
+                                       uint64_t rows);
+
+}  // namespace tde
+
+#endif  // TDE_STORAGE_SEGMENT_SEGMENT_H_

@@ -1,0 +1,44 @@
+#include "src/storage/segment/segment_builder.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace tde {
+
+Result<SealedSegment> EncodeSegment(const Lane* values, uint64_t count,
+                                    const DynamicEncoderOptions& options) {
+  DynamicEncoder encoder(options);
+  // Feed in kBlockSize chunks so the encoder's stats lead each insert,
+  // exactly like the monolithic build path.
+  for (uint64_t at = 0; at < count; at += kBlockSize) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kBlockSize, count - at));
+    TDE_RETURN_NOT_OK(encoder.Append(values + at, n));
+  }
+  TDE_ASSIGN_OR_RETURN(EncodedColumn col, encoder.Finalize());
+  SealedSegment out;
+  out.stream = std::shared_ptr<EncodedStream>(std::move(col.stream));
+  out.zone.meta = ExtractMetadata(col.stats);
+  out.zone.null_count = static_cast<int64_t>(col.stats.null_count());
+  out.encoding_changes = col.encoding_changes;
+  out.bytes_written = col.bytes_written;
+  return out;
+}
+
+Result<std::unique_ptr<EncodedStream>> MaterializeMonolithic(
+    const EncodedStream& stream, DynamicEncoderOptions options) {
+  DynamicEncoder encoder(options);
+  const uint64_t rows = stream.size();
+  Lane block[kBlockSize];
+  for (uint64_t at = 0; at < rows; at += kBlockSize) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kBlockSize, rows - at));
+    TDE_RETURN_NOT_OK(stream.Get(at, n, block));
+    TDE_RETURN_NOT_OK(encoder.Append(block, n));
+  }
+  TDE_ASSIGN_OR_RETURN(EncodedColumn col, encoder.Finalize());
+  return {std::move(col.stream)};
+}
+
+}  // namespace tde

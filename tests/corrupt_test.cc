@@ -8,6 +8,8 @@
 #include "src/encoding/stream.h"
 #include "src/exec/flow_table.h"
 #include "src/storage/database_file.h"
+#include "src/storage/pager/column_cache.h"
+#include "src/storage/pager/crc32c.h"
 #include "src/storage/pager/format.h"
 #include "src/textscan/text_scan.h"
 #include "src/storage/heap_accelerator.h"
@@ -113,18 +115,24 @@ TEST(CorruptStream, RleZeroFieldWidthRejected) {
 }
 
 /// Parametrized over the file format version: the sweeps must hold for the
-/// eager v1 layout and the paged, checksummed v2 layout alike
-/// (DeserializeDatabase sniffs the magic and takes the right path).
+/// eager v1 layout, the paged, checksummed v2 layout, and the segmented v3
+/// directory extension alike (DeserializeDatabase sniffs the magic and
+/// takes the right path).
 class CorruptDatabase : public ::testing::TestWithParam<int> {
  protected:
   std::vector<uint8_t> GoodDatabase() {
     Database db;
     auto t = std::make_shared<Table>("t");
+    FlowTableOptions fopt;
+    // v3: segment the columns (2000 rows / 400 = 5 segments each). The
+    // other formats pin a threshold above the row count so the fixture
+    // stays monolithic whatever TDE_SEGMENT_ROWS the suite runs under.
+    fopt.segment_rows = GetParam() == 3 ? 400 : 1 << 20;
     ColumnBuildInput in;
     in.name = "x";
     in.type = TypeId::kInteger;
     for (int i = 0; i < 2000; ++i) in.lanes.push_back(i % 10);
-    t->AddColumn(BuildColumn(std::move(in), FlowTableOptions{}).MoveValue());
+    t->AddColumn(BuildColumn(std::move(in), fopt).MoveValue());
 
     ColumnBuildInput sin;
     sin.name = "s";
@@ -134,10 +142,13 @@ class CorruptDatabase : public ::testing::TestWithParam<int> {
     for (int i = 0; i < 2000; ++i) {
       sin.lanes.push_back(acc.Add("v" + std::to_string(i % 5)));
     }
-    t->AddColumn(BuildColumn(std::move(sin), FlowTableOptions{}).MoveValue());
+    sin.accel_active = true;
+    sin.accel_distinct = acc.distinct_count();
+    sin.accel_arrived_sorted = acc.arrived_sorted();
+    t->AddColumn(BuildColumn(std::move(sin), fopt).MoveValue());
     db.AddTable(t);
     std::vector<uint8_t> bytes;
-    if (GetParam() == 2) {
+    if (GetParam() >= 2) {
       // Small pages keep the sweep positions dense across real content.
       pager::WriteOptionsV2 opts;
       opts.page_size = 512;
@@ -203,7 +214,8 @@ TEST_P(CorruptDatabase, DenseBitFlipsNearTheFrontFailCleanlyOrRoundTrip) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Formats, CorruptDatabase, ::testing::Values(1, 2),
+INSTANTIATE_TEST_SUITE_P(Formats, CorruptDatabase,
+                         ::testing::Values(1, 2, 3),
                          [](const auto& info) {
                            return "v" + std::to_string(info.param);
                          });
@@ -217,7 +229,9 @@ TEST(CorruptDatabaseV2, BlobCorruptionIsCaughtByChecksumOnEagerLoad) {
   in.name = "x";
   in.type = TypeId::kInteger;
   for (int i = 0; i < 2000; ++i) in.lanes.push_back(i);
-  t->AddColumn(BuildColumn(std::move(in), FlowTableOptions{}).MoveValue());
+  FlowTableOptions fopt;
+  fopt.segment_rows = 1 << 20;  // monolithic whatever TDE_SEGMENT_ROWS is
+  t->AddColumn(BuildColumn(std::move(in), fopt).MoveValue());
   db.AddTable(t);
   pager::WriteOptionsV2 opts;
   opts.page_size = 512;
@@ -237,6 +251,123 @@ TEST(CorruptDatabaseV2, BlobCorruptionIsCaughtByChecksumOnEagerLoad) {
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
   EXPECT_NE(r.status().ToString().find("t.x"), std::string::npos)
       << r.status().ToString();
+}
+
+// ------------------------------------------------- v3 segment corruption
+
+std::vector<uint8_t> GoodSegmentedV3() {
+  Database db;
+  auto t = std::make_shared<Table>("t");
+  ColumnBuildInput in;
+  in.name = "x";
+  in.type = TypeId::kInteger;
+  for (int i = 0; i < 2000; ++i) in.lanes.push_back(i);
+  FlowTableOptions fopt;
+  fopt.segment_rows = 400;
+  auto col = BuildColumn(std::move(in), fopt);
+  EXPECT_TRUE(col.ok()) << col.status().ToString();
+  t->AddColumn(col.MoveValue());
+  db.AddTable(t);
+  pager::WriteOptionsV2 opts;
+  opts.page_size = 512;
+  std::vector<uint8_t> bytes;
+  EXPECT_TRUE(pager::SerializeDatabaseV2(db, &bytes, opts).ok());
+  return bytes;
+}
+
+TEST(CorruptDatabaseV3, SegmentBlobCorruptionCaughtByChecksum) {
+  const auto good = GoodSegmentedV3();
+  const auto dir = pager::ParseDirectoryV2(good);
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+  EXPECT_EQ(dir.value().version, pager::kFormatVersion3);
+  const auto& segs = dir.value().tables[0].columns[0].segments;
+  ASSERT_EQ(segs.size(), 5u);
+  ASSERT_GT(segs[2].blob.length, 0u);
+
+  // Flip one byte in the middle of segment 2's blob: the eager load must
+  // reject the file, naming the column.
+  std::vector<uint8_t> bad = good;
+  bad[segs[2].blob.offset + segs[2].blob.length / 2] ^= 0x01;
+  const auto r = DeserializeDatabase(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().ToString().find("t.x"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CorruptDatabaseV3, CorruptSegmentLeavesSiblingSegmentsReadable) {
+  const auto good = GoodSegmentedV3();
+  const auto dir = pager::ParseDirectoryV2(good);
+  ASSERT_TRUE(dir.ok());
+  const auto& segs = dir.value().tables[0].columns[0].segments;
+  ASSERT_EQ(segs.size(), 5u);
+  std::vector<uint8_t> bad = good;
+  bad[segs[2].blob.offset + segs[2].blob.length / 2] ^= 0x01;
+
+  const std::string path = ::testing::TempDir() + "/corrupt_seg_v3.tde";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bad.data(), 1, bad.size(), f), bad.size());
+    std::fclose(f);
+  }
+
+  // On the lazy path a segment faults in only when touched: rows in the
+  // corrupt segment fail with a clean Status, rows in its siblings keep
+  // answering correctly.
+  auto cache = std::make_shared<pager::ColumnCache>(64ull << 20);
+  auto db = pager::OpenDatabaseV2(path, cache);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto col = db.value().GetTable("t").value()->ColumnByName("x").value();
+
+  std::vector<Lane> lanes(64);
+  ASSERT_TRUE(col->GetLanes(0, 64, lanes.data()).ok());      // segment 0
+  EXPECT_EQ(lanes[63], 63);
+  ASSERT_TRUE(col->GetLanes(1700, 64, lanes.data()).ok());   // segment 4
+  EXPECT_EQ(lanes[0], 1700);
+  const Status corrupt = col->GetLanes(900, 64, lanes.data());  // segment 2
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.code(), StatusCode::kIOError);
+  // The siblings stay readable afterwards too.
+  EXPECT_TRUE(col->GetLanes(400, 64, lanes.data()).ok());    // segment 1
+  std::remove(path.c_str());
+}
+
+TEST(CorruptDatabaseV3, DirectoryFlipsWithFixedCrcsFailCleanlyOrRoundTrip) {
+  // Byte flips inside the segment directory with the directory and header
+  // CRCs recomputed: this drives the structural validation itself —
+  // truncated segment tables, segment row-count overflows, dangling blob
+  // refs — rather than the checksum. Every flip must either be rejected
+  // with a Status or produce a database that walks without faulting.
+  const auto good = GoodSegmentedV3();
+  auto u64 = [](const uint8_t* p) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  };
+  const uint64_t dir_offset = u64(good.data() + 16);
+  const uint64_t dir_length = u64(good.data() + 24);
+  ASSERT_EQ(dir_offset + dir_length, good.size());
+
+  for (uint64_t pos = dir_offset; pos < dir_offset + dir_length; ++pos) {
+    std::vector<uint8_t> bad = good;
+    bad[pos] ^= 0x5A;
+    const uint32_t dir_crc =
+        pager::Crc32c(bad.data() + dir_offset, dir_length);
+    std::memcpy(bad.data() + 32, &dir_crc, 4);
+    const uint32_t header_crc = pager::Crc32c(bad.data(), 56);
+    std::memcpy(bad.data() + 56, &header_crc, 4);
+
+    auto r = DeserializeDatabase(bad);
+    if (!r.ok()) continue;
+    for (const auto& t : r.value().tables()) {
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        const Column& col = t->column(c);
+        std::vector<Lane> lanes(std::min<uint64_t>(col.rows(), 64));
+        (void)col.GetLanes(0, lanes.size(), lanes.data());
+      }
+    }
+  }
 }
 
 TEST(CorruptDatabase2, EmptyFileRejected) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Extended differential sweep (nightly / on demand): the tier-1 suite runs
+# a bounded differential_test; this script fans the same harness out over
+# dataset seeds × row counts × segment sizes, with a seed budget split
+# across the matrix. Any divergence fails with the harness's self-contained
+# repro line (see README "Differential testing").
+#
+# Usage: ci/fuzz_extended.sh [build-dir]
+#
+# Knobs (all optional):
+#   TDE_FUZZ_SEEDS   total query-seed budget across the matrix (default 9600)
+#   TDE_FUZZ_DATA    dataset seeds to sweep (default "1 3 7 11")
+#   TDE_FUZZ_ROWS    fact-table row counts (default "40 150 900 2500")
+#   TDE_FUZZ_SEGS    segment sizes (default "64 256 1024")
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-"$ROOT/build"}"
+BIN="$BUILD/tests/differential_test"
+
+if [[ ! -x "$BIN" ]]; then
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$(nproc)" --target differential_test
+fi
+
+TOTAL="${TDE_FUZZ_SEEDS:-9600}"
+read -r -a DATA <<< "${TDE_FUZZ_DATA:-1 3 7 11}"
+read -r -a ROWS <<< "${TDE_FUZZ_ROWS:-40 150 900 2500}"
+read -r -a SEGS <<< "${TDE_FUZZ_SEGS:-64 256 1024}"
+
+CELLS=$(( ${#DATA[@]} * ${#ROWS[@]} * ${#SEGS[@]} ))
+PER_CELL=$(( TOTAL / CELLS ))
+if (( PER_CELL < 1 )); then PER_CELL=1; fi
+
+echo "differential fuzz: $CELLS cells x $PER_CELL seeds"
+for ds in "${DATA[@]}"; do
+  for rows in "${ROWS[@]}"; do
+    for seg in "${SEGS[@]}"; do
+      echo "--- data_seed=$ds rows=$rows seg_rows=$seg seeds=$PER_CELL"
+      TDE_DIFF_DATA_SEED="$ds" TDE_DIFF_ROWS="$rows" \
+      TDE_DIFF_SEG_ROWS="$seg" TDE_DIFF_SEEDS="$PER_CELL" \
+          "$BIN" --gtest_filter='DifferentialTest.*'
+    done
+  done
+done
+echo "differential fuzz: clean"

@@ -40,6 +40,14 @@ TDE_NO_MMAP=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 # storage, not just segment_test.
 TDE_SEGMENT_ROWS=512 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
+# Bounded differential sweep beyond the tier-1 default: more query seeds
+# against a second dataset shape. The long multi-dataset sweep lives in
+# ci/fuzz_extended.sh (nightly); this stage keeps a meaningful slice on
+# every commit.
+TDE_DIFF_SEEDS="${TDE_DIFF_SEEDS:-800}" TDE_DIFF_DATA_SEED=3 \
+TDE_DIFF_ROWS=300 TDE_DIFF_SEG_ROWS=100 \
+    "$BUILD/tests/differential_test"
+
 # Same suite under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # storage pager and the corruption sweeps must be clean under both.
 if [[ "${TDE_SKIP_SANITIZE:-0}" != "1" ]]; then

@@ -98,8 +98,12 @@ Result<std::shared_ptr<Table>> Engine::ImportTextBuffer(
 
 Result<QueryResult> Engine::Execute(const Plan& plan,
                                     const StrategicOptions& strategic) const {
+  // StrategicOptimize rewrites nodes in place (predicates reassigned, scan
+  // column lists narrowed, rewrite flags cleared), so optimize a private
+  // deep copy: the caller's plan stays pristine and can be re-executed,
+  // possibly under different options.
   TDE_ASSIGN_OR_RETURN(PlanNodePtr optimized,
-                       StrategicOptimize(plan.root(), strategic));
+                       StrategicOptimize(ClonePlan(plan.root()), strategic));
   return ExecutePlanNode(optimized);
 }
 
@@ -445,6 +449,11 @@ Result<std::shared_ptr<Table>> BuildStatsTable(
 }  // namespace
 
 Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
+  return ExecuteSql(sql, StrategicOptions{});
+}
+
+Result<QueryResult> Engine::ExecuteSql(const std::string& sql,
+                                       const StrategicOptions& strategic) const {
   // The journal stamps each recorded query with the statement that spawned
   // it; the view stays valid for the whole call.
   observe::ScopedQueryText query_text(sql);
@@ -490,7 +499,7 @@ Result<QueryResult> Engine::ExecuteSql(const std::string& sql) const {
     TDE_ASSIGN_OR_RETURN(std::string text, ExplainPlan(q.plan));
     return TextResult("plan", text);
   }
-  return Execute(q.plan);
+  return Execute(q.plan, strategic);
 }
 
 std::string Engine::StorageReportJson() const {

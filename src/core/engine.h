@@ -81,6 +81,13 @@ class Engine {
   ///   tde_cache    column-cache residency in LRU order
   Result<QueryResult> ExecuteSql(const std::string& sql) const;
 
+  /// ExecuteSql with explicit strategic options — the differential-testing
+  /// hook: the correctness harness re-runs one statement under a matrix of
+  /// kill switches (rewrites disabled one by one) and cross-checks the
+  /// results against the reference interpreter.
+  Result<QueryResult> ExecuteSql(const std::string& sql,
+                                 const StrategicOptions& strategic) const;
+
   /// Incremental append (segmented storage's write path): appends `rows` —
   /// one ColumnVector per table column in declared order; string lanes are
   /// resolved through the vector's own heap and re-added to the column's —

@@ -7,7 +7,7 @@
 namespace tde {
 
 Result<std::shared_ptr<Table>> BuildDictionaryTable(
-    std::shared_ptr<const Column> column) {
+    std::shared_ptr<const Column> column, bool include_null_row) {
   FlowTableOptions opts;
   opts.post_process = false;  // dictionary tables are already minimal
   opts.table_name = column->name() + "$dict";
@@ -23,6 +23,7 @@ Result<std::shared_ptr<Table>> BuildDictionaryTable(
     // Variable-width data: the value column shares the original heap and
     // its data is the set of unique tokens in heap order (Fig. 2).
     std::vector<Lane> tokens = column->heap()->AllTokens();
+    if (include_null_row) tokens.push_back(kNullSentinel);
 
     ColumnBuildInput token_in;
     token_in.name = column->name() + "$token";
@@ -30,9 +31,12 @@ Result<std::shared_ptr<Table>> BuildDictionaryTable(
     token_in.lanes = tokens;
     TDE_ASSIGN_OR_RETURN(auto token_col,
                          BuildColumn(std::move(token_in), opts));
-    // Heap tokens ascend by construction; record it for the tactical layer.
-    token_col->mutable_metadata()->sorted = true;
-    token_col->mutable_metadata()->unique = true;
+    if (!include_null_row) {
+      // Heap tokens ascend by construction; record it for the tactical
+      // layer. The trailing sentinel row breaks both properties.
+      token_col->mutable_metadata()->sorted = true;
+      token_col->mutable_metadata()->unique = true;
+    }
     table->AddColumn(std::move(token_col));
 
     ColumnBuildInput value_in;
@@ -54,6 +58,7 @@ Result<std::shared_ptr<Table>> BuildDictionaryTable(
     const ArrayDictionary& dict = *column->array_dict();
     std::vector<Lane> indexes(dict.values.size());
     std::iota(indexes.begin(), indexes.end(), 0);
+    if (include_null_row) indexes.push_back(kNullSentinel);
 
     ColumnBuildInput token_in;
     token_in.name = column->name() + "$token";
@@ -67,6 +72,7 @@ Result<std::shared_ptr<Table>> BuildDictionaryTable(
     value_in.name = column->name();
     value_in.type = dict.type;
     value_in.lanes = dict.values;
+    if (include_null_row) value_in.lanes.push_back(kNullSentinel);
     TDE_ASSIGN_OR_RETURN(auto value_col,
                          BuildColumn(std::move(value_in), opts));
     if (dict.sorted) value_col->mutable_metadata()->sorted = true;

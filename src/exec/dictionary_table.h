@@ -21,8 +21,16 @@ namespace tde {
 ///                    data a string column sharing the original heap; for
 ///                    fixed-width data a copy of the original column's
 ///                    fixed-width dictionary.
+///
+/// When `include_null_row` is set, a final row with the NULL sentinel in
+/// both columns is appended. NULL lanes in the main table carry the
+/// sentinel as their token, so this row is what they join against: pushed
+/// down predicates and computations then see the NULL and decide its fate
+/// with ordinary expression semantics (IS NULL keeps it, comparisons drop
+/// it, LENGTH maps it to NULL) instead of the join silently dropping every
+/// NULL row.
 Result<std::shared_ptr<Table>> BuildDictionaryTable(
-    std::shared_ptr<const Column> column);
+    std::shared_ptr<const Column> column, bool include_null_row = false);
 
 }  // namespace tde
 

@@ -87,6 +87,7 @@ class StringLiteralExpr : public Expression {
   }
   std::string ToString() const override { return "'" + text_ + "'"; }
   void CollectColumns(std::vector<std::string>*) const override {}
+  const std::string* AsStringLiteral() const override { return &text_; }
 
  private:
   std::shared_ptr<const StringHeap> heap_;
@@ -257,6 +258,10 @@ class ArithExpr : public Expression {
   std::vector<ExprPtr> Children() const override { return {l_, r_}; }
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<ArithExpr>(op_, std::move(c[0]), std::move(c[1]));
+  }
+  bool AsArith(ArithOp* op) const override {
+    *op = op_;
+    return true;
   }
 
  private:
@@ -457,7 +462,19 @@ class LikeExpr : public Expression {
   LikeExpr(ExprPtr input, std::string pattern)
       : input_(std::move(input)), pattern_(std::move(pattern)) {}
 
-  /// Classic two-pointer glob matcher ('%' = any run, '_' = one byte).
+  static size_t CodePointLen(unsigned char lead) {
+    if (lead < 0x80) return 1;
+    if ((lead >> 5) == 0x6) return 2;
+    if ((lead >> 4) == 0xe) return 3;
+    if ((lead >> 3) == 0x1e) return 4;
+    return 1;  // stray continuation byte: treat as one character
+  }
+
+  /// Classic two-pointer glob matcher ('%' = any run of code points,
+  /// '_' = exactly one code point). Wildcards count UTF-8 code points, not
+  /// bytes; literals compare byte-wise with ASCII case folding, which
+  /// matches multi-byte code points exactly (continuation bytes are
+  /// fold-invariant).
   static bool Match(std::string_view s, std::string_view p, bool fold_case) {
     auto eq = [fold_case](char a, char b) {
       if (!fold_case) return a == b;
@@ -467,15 +484,19 @@ class LikeExpr : public Expression {
     size_t si = 0, pi = 0;
     size_t star_p = std::string_view::npos, star_s = 0;
     while (si < s.size()) {
-      if (pi < p.size() && (p[pi] == '_' || eq(p[pi], s[si]))) {
-        ++si;
-        ++pi;
-      } else if (pi < p.size() && p[pi] == '%') {
+      if (pi < p.size() && p[pi] == '%') {
         star_p = pi++;
         star_s = si;
+      } else if (pi < p.size() && p[pi] == '_') {
+        si += CodePointLen(static_cast<unsigned char>(s[si]));
+        ++pi;
+      } else if (pi < p.size() && eq(p[pi], s[si])) {
+        ++si;
+        ++pi;
       } else if (star_p != std::string_view::npos) {
         pi = star_p + 1;
-        si = ++star_s;
+        star_s += CodePointLen(static_cast<unsigned char>(s[star_s]));
+        si = star_s;
       } else {
         return false;
       }
@@ -516,6 +537,7 @@ class LikeExpr : public Expression {
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<LikeExpr>(std::move(c[0]), pattern_);
   }
+  const std::string* AsLikePattern() const override { return &pattern_; }
 
  private:
   ExprPtr input_;
@@ -543,19 +565,51 @@ class CaseExpr : public Expression {
     ColumnVector out;
     TDE_ASSIGN_OR_RETURN(TypeId t, ResultType(schema));
     out.type = t;
-    if (!vals.empty() && vals[0].heap != nullptr) out.heap = vals[0].heap;
     const size_t n = block.rows();
     out.lanes.assign(n, kNullSentinel);
+    // String branches may carry tokens into *different* heaps (each string
+    // literal owns its own), so the selected lane cannot be copied as-is
+    // under a single output heap: resolve it to text and re-add it into a
+    // merged heap. Fast path: every string source already shares one heap.
+    bool same_heap = true;
+    const StringHeap* first_heap =
+        !vals.empty() ? vals[0].heap.get() : nullptr;
+    for (const ColumnVector& v : vals) {
+      same_heap = same_heap && v.heap.get() == first_heap;
+    }
+    if (otherwise_ != nullptr) {
+      same_heap = same_heap && other.heap.get() == first_heap;
+    }
+    std::shared_ptr<StringHeap> merged;
+    if (t == TypeId::kString && !same_heap) {
+      merged = std::make_shared<StringHeap>(
+          first_heap != nullptr ? first_heap->collation()
+                                : Collation::kLocale);
+    }
+    auto emit = [&](size_t i, const ColumnVector& src) {
+      const Lane lane = src.lanes[i];
+      if (merged == nullptr || lane == kNullSentinel ||
+          src.heap == nullptr) {
+        out.lanes[i] = lane;
+        return;
+      }
+      out.lanes[i] = merged->Add(src.heap->Get(lane));
+    };
     for (size_t i = 0; i < n; ++i) {
       bool taken = false;
       for (size_t b = 0; b < branches_.size(); ++b) {
         if (conds[b].lanes[i] == 1) {
-          out.lanes[i] = vals[b].lanes[i];
+          emit(i, vals[b]);
           taken = true;
           break;
         }
       }
-      if (!taken && otherwise_ != nullptr) out.lanes[i] = other.lanes[i];
+      if (!taken && otherwise_ != nullptr) emit(i, other);
+    }
+    if (merged != nullptr) {
+      out.heap = std::move(merged);
+    } else if (!vals.empty() && vals[0].heap != nullptr) {
+      out.heap = vals[0].heap;
     }
     return out;
   }
@@ -596,6 +650,11 @@ class CaseExpr : public Expression {
         otherwise_ != nullptr ? std::move(c.back()) : nullptr;
     return std::make_shared<CaseExpr>(std::move(branches),
                                       std::move(otherwise));
+  }
+  bool AsCase(size_t* branches, bool* has_else) const override {
+    *branches = branches_.size();
+    *has_else = otherwise_ != nullptr;
+    return true;
   }
 
  private:
@@ -648,6 +707,10 @@ class DateFuncExpr : public Expression {
   std::vector<ExprPtr> Children() const override { return {e_}; }
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<DateFuncExpr>(f_, std::move(c[0]));
+  }
+  bool AsDateFunc(DateFunc* f) const override {
+    *f = f_;
+    return true;
   }
 
  private:
@@ -739,6 +802,10 @@ class StrFuncExpr : public Expression {
   std::vector<ExprPtr> Children() const override { return {e_}; }
   ExprPtr WithChildren(std::vector<ExprPtr> c) const override {
     return std::make_shared<StrFuncExpr>(f_, std::move(c[0]));
+  }
+  bool AsStrFunc(StrFunc* f) const override {
+    *f = f_;
+    return true;
   }
 
  private:

@@ -69,6 +69,38 @@ class Expression {
     return false;
   }
 
+  // Introspection for the reference interpreter (src/testing): the
+  // differential-testing oracle re-implements evaluation row-at-a-time from
+  // scratch, so it must recover each node's identity from outside without
+  // dynamic_cast. Each returns false/nullptr except on the matching node.
+
+  /// True iff this is an arithmetic node; fills the operator when so.
+  virtual bool AsArith(ArithOp* op) const {
+    (void)op;
+    return false;
+  }
+  /// Non-null iff this is LIKE; returns the pattern (child 0 is the input).
+  virtual const std::string* AsLikePattern() const { return nullptr; }
+  /// Non-null iff this is a string literal; returns the text.
+  virtual const std::string* AsStringLiteral() const { return nullptr; }
+  /// True iff this is a date function; fills the function when so.
+  virtual bool AsDateFunc(DateFunc* f) const {
+    (void)f;
+    return false;
+  }
+  /// True iff this is a string function; fills the function when so.
+  virtual bool AsStrFunc(StrFunc* f) const {
+    (void)f;
+    return false;
+  }
+  /// True iff this is CASE; fills the branch count and whether an ELSE
+  /// exists. Children are cond0, val0, cond1, val1, ..., [otherwise].
+  virtual bool AsCase(size_t* branches, bool* has_else) const {
+    (void)branches;
+    (void)has_else;
+    return false;
+  }
+
   /// Child expressions (empty for leaves).
   virtual std::vector<ExprPtr> Children() const { return {}; }
   /// Rebuilds this node over replacement children (same arity); leaves

@@ -17,7 +17,25 @@ Status SumOverflow() {
 }
 }  // namespace
 
-Status Update(AggKind kind, TypeId type, Lane v, AggState* s) {
+namespace {
+/// Three-way comparison of two input lanes under the input's semantics:
+/// collated text for string tokens (O(1) on a sorted heap), double for
+/// reals, raw int64 otherwise.
+int CompareLanes(TypeId type, const StringHeap* heap, Lane a, Lane b) {
+  if (type == TypeId::kString && heap != nullptr) {
+    return heap->CompareTokens(a, b);
+  }
+  if (type == TypeId::kReal) {
+    const double da = AsReal(a);
+    const double db = AsReal(b);
+    return da < db ? -1 : (da > db ? 1 : 0);
+  }
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+}  // namespace
+
+Status Update(AggKind kind, TypeId type, Lane v, AggState* s,
+              const StringHeap* heap) {
   if (kind == AggKind::kCountStar) {
     ++s->n;
     return Status::OK();
@@ -38,17 +56,11 @@ Status Update(AggKind kind, TypeId type, Lane v, AggState* s) {
       ++s->n;
       break;
     case AggKind::kMin:
-      if (!s->seen ||
-          (type == TypeId::kReal ? AsReal(v) < AsReal(s->i) : v < s->i)) {
-        s->i = v;
-      }
+      if (!s->seen || CompareLanes(type, heap, v, s->i) < 0) s->i = v;
       s->seen = true;
       break;
     case AggKind::kMax:
-      if (!s->seen ||
-          (type == TypeId::kReal ? AsReal(v) > AsReal(s->i) : v > s->i)) {
-        s->i = v;
-      }
+      if (!s->seen || CompareLanes(type, heap, v, s->i) > 0) s->i = v;
       s->seen = true;
       break;
     case AggKind::kAvg:
@@ -66,7 +78,8 @@ Status Update(AggKind kind, TypeId type, Lane v, AggState* s) {
 }
 
 Status UpdateColumn(AggKind kind, TypeId type, const Lane* v,
-                    const uint32_t* g, size_t n, size_t stride, AggState* s0) {
+                    const uint32_t* g, size_t n, size_t stride, AggState* s0,
+                    const StringHeap* heap) {
   switch (kind) {
     case AggKind::kCountStar:
       for (size_t r = 0; r < n; ++r) ++s0[g[r] * stride].n;
@@ -95,14 +108,14 @@ Status UpdateColumn(AggKind kind, TypeId type, const Lane* v,
       return Status::OK();
     default:
       for (size_t r = 0; r < n; ++r) {
-        TDE_RETURN_NOT_OK(Update(kind, type, v[r], &s0[g[r] * stride]));
+        TDE_RETURN_NOT_OK(Update(kind, type, v[r], &s0[g[r] * stride], heap));
       }
       return Status::OK();
   }
 }
 
 Status UpdateRun(AggKind kind, TypeId type, Lane v, uint64_t count,
-                 AggState* s) {
+                 AggState* s, const StringHeap* heap) {
   if (count == 0) return Status::OK();
   if (kind == AggKind::kCountStar) {
     s->n += count;
@@ -132,7 +145,7 @@ Status UpdateRun(AggKind kind, TypeId type, Lane v, uint64_t count,
       break;
     case AggKind::kMin:
     case AggKind::kMax:
-      return Update(kind, type, v, s);
+      return Update(kind, type, v, s, heap);
     case AggKind::kAvg:
       s->d += (type == TypeId::kReal ? AsReal(v) : static_cast<double>(v)) *
               static_cast<double>(count);
@@ -152,7 +165,8 @@ bool FoldableOverRuns(AggKind kind) {
   return kind != AggKind::kMedian;
 }
 
-Lane Finalize(AggKind kind, TypeId type, AggState* s) {
+Lane Finalize(AggKind kind, TypeId type, AggState* s,
+              const StringHeap* heap) {
   switch (kind) {
     case AggKind::kCountStar:
     case AggKind::kCount:
@@ -170,15 +184,10 @@ Lane Finalize(AggKind kind, TypeId type, AggState* s) {
     case AggKind::kMedian: {
       if (s->values.empty()) return kNullSentinel;
       const size_t mid = (s->values.size() - 1) / 2;
-      if (type == TypeId::kReal) {
-        std::nth_element(s->values.begin(), s->values.begin() + mid,
-                         s->values.end(), [](Lane a, Lane b) {
-                           return AsReal(a) < AsReal(b);
-                         });
-      } else {
-        std::nth_element(s->values.begin(), s->values.begin() + mid,
-                         s->values.end());
-      }
+      std::nth_element(s->values.begin(), s->values.begin() + mid,
+                       s->values.end(), [&](Lane a, Lane b) {
+                         return CompareLanes(type, heap, a, b) < 0;
+                       });
       return s->values[mid];
     }
   }
@@ -524,7 +533,7 @@ Status HashAggregate::Open() {
     for (size_t a = 0; a < naggs; ++a) {
       TDE_RETURN_NOT_OK(agg_internal::UpdateColumn(
           agg_kinds[a], agg_ts[a], agg_lanes[a], gids.data(), n, naggs,
-          states.data() + a));
+          states.data() + a, agg_heaps_[a].get()));
     }
   }
   child_->Close();
@@ -562,7 +571,8 @@ Status HashAggregate::Open() {
     out_aggs_[a].resize(groups_);
     for (uint64_t g = 0; g < groups_; ++g) {
       out_aggs_[a][g] = agg_internal::Finalize(
-          options_.aggs[a].kind, agg_types_[a], &states[g * naggs + a]);
+          options_.aggs[a].kind, agg_types_[a], &states[g * naggs + a],
+          agg_heaps_[a].get());
     }
   }
   emit_ = 0;

@@ -60,20 +60,27 @@ struct AggState {
 
 /// Folds one input lane into the state and finalizes it; shared kernels.
 namespace agg_internal {
-Status Update(AggKind kind, TypeId type, Lane v, AggState* s);
+/// `heap` is the string-token context of the input column (may be null for
+/// non-string inputs). MIN/MAX/MEDIAN over strings order tokens *by their
+/// collated text* through it; without it tokens would compare as raw byte
+/// offsets, which is insertion order on an unsorted heap.
+Status Update(AggKind kind, TypeId type, Lane v, AggState* s,
+              const StringHeap* heap = nullptr);
 /// Column-at-a-time Update: folds `v[r]` into the state of group `g[r]` for
 /// all `n` rows with one kind/type dispatch for the whole column. `v` may be
 /// null for COUNT(*). `s0[g * stride]` must be row r's state; row order (and
 /// so first-overflow SUM errors) matches n calls to Update exactly.
 Status UpdateColumn(AggKind kind, TypeId type, const Lane* v,
-                    const uint32_t* g, size_t n, size_t stride, AggState* s0);
+                    const uint32_t* g, size_t n, size_t stride, AggState* s0,
+                    const StringHeap* heap = nullptr);
 /// Folds `count` copies of `v` in O(1) (SUM adds v*count, COUNT adds count,
 /// MIN/MAX/COUNTD see the value once). MEDIAN degenerates to O(count).
 Status UpdateRun(AggKind kind, TypeId type, Lane v, uint64_t count,
-                 AggState* s);
+                 AggState* s, const StringHeap* heap = nullptr);
 /// True when UpdateRun is O(1) for this kind.
 bool FoldableOverRuns(AggKind kind);
-Lane Finalize(AggKind kind, TypeId type, AggState* s);
+Lane Finalize(AggKind kind, TypeId type, AggState* s,
+              const StringHeap* heap = nullptr);
 TypeId OutputType(AggKind kind, TypeId input_type);
 }  // namespace agg_internal
 

@@ -102,6 +102,23 @@ Status HashJoin::ChooseStrategy() {
     strategy_ = choice.strategy;
   }
 
+  // Find the NULL-sentinel inner row, if the inner table carries one (a
+  // DictionaryTable built with include_null_row); it never
+  // enters the hash map — NULL outer keys are matched to it directly.
+  null_row_.reset();
+  std::vector<Lane> keys(inner_rows_);
+  if (inner_rows_ > 0) {
+    TDE_RETURN_NOT_OK(key_col->GetLanes(0, inner_rows_, keys.data()));
+  }
+  for (uint64_t r = 0; r < inner_rows_; ++r) {
+    if (keys[r] != kNullSentinel) continue;
+    if (null_row_.has_value()) {
+      return Status::InvalidArgument(
+          "inner join key is not unique (many-to-one join required)");
+    }
+    null_row_ = static_cast<uint32_t>(r);
+  }
+
   if (strategy_ != JoinStrategy::kFetch) {
     HashAlgorithm algo = HashAlgorithm::kCollision;
     if (strategy_ == JoinStrategy::kHashDirect) algo = HashAlgorithm::kDirect;
@@ -109,10 +126,9 @@ Status HashJoin::ChooseStrategy() {
       algo = HashAlgorithm::kPerfect;
     }
     map_ = std::make_unique<GroupMap>(algo, meta.min_value, meta.max_value);
-    std::vector<Lane> keys(inner_rows_);
-    TDE_RETURN_NOT_OK(key_col->GetLanes(0, inner_rows_, keys.data()));
     group_to_row_.resize(inner_rows_);
     for (uint64_t r = 0; r < inner_rows_; ++r) {
+      if (keys[r] == kNullSentinel) continue;
       const uint32_t before = map_->group_count();
       const uint32_t g = map_->GetOrInsert(keys[r]);
       if (map_->group_count() == before) {
@@ -183,7 +199,11 @@ Status HashJoin::Next(Block* block, bool* eos) {
         strategy_ == JoinStrategy::kFetch && fetch_delta_ == 1;
     for (size_t i = 0; i < n; ++i) {
       uint32_t row = kNoGroup;
-      if (unit_fetch) {
+      if (keys[i] == kNullSentinel) {
+        // NULL keys match only the designated NULL inner row (if any);
+        // the strategies below must not see the sentinel as a value.
+        if (null_row_.has_value()) row = *null_row_;
+      } else if (unit_fetch) {
         // The fastest join available (Sect. 2.3.5): row id = key - base.
         // Unsigned arithmetic: a null-sentinel key must wrap far out of
         // range, not overflow.
@@ -191,7 +211,6 @@ Status HashJoin::Next(Block* block, bool* eos) {
                            static_cast<uint64_t>(fetch_base_);
         if (r < inner_rows_) row = static_cast<uint32_t>(r);
       } else if (strategy_ == JoinStrategy::kFetch) {
-        if (keys[i] == kNullSentinel) continue;
         const int64_t num = static_cast<int64_t>(
             static_cast<uint64_t>(keys[i]) -
             static_cast<uint64_t>(fetch_base_));

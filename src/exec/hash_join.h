@@ -85,6 +85,10 @@ class HashJoin : public Operator {
   // Hash strategies.
   std::unique_ptr<GroupMap> map_;
   std::vector<uint32_t> group_to_row_;
+  // Inner row keyed by the NULL sentinel, if any (a DictionaryTable built
+  // with include_null_row). NULL outer keys join against it; without one
+  // they are dropped like any other miss.
+  std::optional<uint32_t> null_row_;
   // Materialized inner payload columns.
   struct InnerColumn {
     std::vector<Lane> lanes;

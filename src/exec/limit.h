@@ -14,9 +14,12 @@ namespace tde {
 /// The child is shut down as soon as the limit is reached rather than at
 /// the operator's own Close: upstream pipelines with background resources
 /// (Exchange worker threads, pinned cold columns) stop producing instead
-/// of filling queues nobody will drain. A LIMIT 0 never opens the child at
-/// all — that is what lets a metadata-pruned filter stand in for a scan
-/// without faulting a single column.
+/// of filling queues nobody will drain. A LIMIT 0 keeps the child closed
+/// whenever it can already name its schema — that is what lets a
+/// metadata-pruned filter stand in for a scan without faulting a single
+/// column; a child that only learns its schema at Open (a Project, say) is
+/// opened just long enough to capture it, because an empty result still
+/// carries the query's column list.
 class Limit : public Operator {
  public:
   Limit(std::unique_ptr<Operator> child, uint64_t limit)
@@ -24,7 +27,16 @@ class Limit : public Operator {
 
   Status Open() override {
     produced_ = 0;
-    if (limit_ == 0) return Status::OK();  // child stays closed (and cold)
+    if (limit_ == 0) {
+      if (child_->output_schema().num_fields() == 0) {
+        TDE_RETURN_NOT_OK(child_->Open());
+        schema_ = child_->output_schema();
+        child_->Close();
+      } else {
+        schema_ = child_->output_schema();
+      }
+      return Status::OK();
+    }
     TDE_RETURN_NOT_OK(child_->Open());
     child_open_ = true;
     return Status::OK();
@@ -56,7 +68,7 @@ class Limit : public Operator {
 
   void Close() override { ReleaseChild(); }
   const Schema& output_schema() const override {
-    return child_->output_schema();
+    return limit_ == 0 ? schema_ : child_->output_schema();
   }
 
  private:
@@ -68,6 +80,7 @@ class Limit : public Operator {
 
   std::unique_ptr<Operator> child_;
   uint64_t limit_;
+  Schema schema_;  // captured at Open when limit_ == 0
   uint64_t produced_ = 0;
   bool child_open_ = false;
 };

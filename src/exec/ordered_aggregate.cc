@@ -50,7 +50,8 @@ void OrderedAggregate::CloseGroup() {
   if (norm_state_ == 1) ++groups_late_materialized_;
   for (size_t a = 0; a < states_.size(); ++a) {
     pending_aggs_[a].push_back(agg_internal::Finalize(
-        options_.aggs[a].kind, agg_types_[a], &states_[a]));
+        options_.aggs[a].kind, agg_types_[a], &states_[a],
+        agg_heaps_[a].get()));
     states_[a] = AggState{};
   }
   group_open_ = false;
@@ -103,8 +104,8 @@ Status OrderedAggregate::Next(Block* block, bool* eos) {
                            ? 0
                            : in.columns[agg_idx_[a]].lanes[r];
         TDE_RETURN_NOT_OK(agg_internal::Update(options_.aggs[a].kind,
-                                               agg_types_[a], v,
-                                               &states_[a]));
+                                               agg_types_[a], v, &states_[a],
+                                               agg_heaps_[a].get()));
       }
     }
   }

@@ -43,6 +43,14 @@ Status Sort::Open() {
       const ColumnVector& col = cols_[key_idx[k]];
       const Lane va = col.lanes[a];
       const Lane vb = col.lanes[b];
+      // NULL orders below every value — before the type dispatch, because
+      // the sentinel would otherwise masquerade as a value (-0.0 for reals,
+      // INT64_MIN for integers, an out-of-range token for strings).
+      if (va == kNullSentinel || vb == kNullSentinel) {
+        if (va == vb) continue;
+        const int cmp = va == kNullSentinel ? -1 : 1;
+        return keys_[k].ascending ? cmp < 0 : cmp > 0;
+      }
       int cmp;
       if (col.type == TypeId::kString && col.heap != nullptr) {
         cmp = col.heap->CompareTokens(va, vb);

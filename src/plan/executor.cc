@@ -421,7 +421,13 @@ Result<BuiltPlan> BuildInvisibleJoin(const PlanNode& node) {
 
   // Inner side: DictionaryTable -> pushed-down filter/computations ->
   // FlowTable (restricted to random-access encodings, Sect. 4.3).
-  TDE_ASSIGN_OR_RETURN(auto dict_table, BuildDictionaryTable(col));
+  // A possibly-nullable column gets an explicit NULL dictionary row so the
+  // pushed-down predicate/computations decide the fate of NULL main-table
+  // rows with ordinary expression semantics (IS NULL keeps them, LENGTH
+  // maps them to NULL) instead of the join dropping them unconditionally.
+  const ColumnMetadata& cmeta = col->metadata();
+  const bool null_row = !cmeta.null_known || cmeta.has_nulls;
+  TDE_ASSIGN_OR_RETURN(auto dict_table, BuildDictionaryTable(col, null_row));
   std::unique_ptr<Operator> inner_flow =
       std::make_unique<TableScan>(dict_table);
   if (node.inner_predicate != nullptr) {
@@ -460,13 +466,27 @@ Result<BuiltPlan> BuildInvisibleJoin(const PlanNode& node) {
     note += std::string(", ") + JoinStrategyName(choice.value().strategy);
   }
 
-  // Drop the token column from the output.
+  // Drop the token column from the output and restore the scan's column
+  // order: the dictionary column comes back at its original position, not
+  // appended after the outer columns, so SELECT * keeps its shape. Pushed
+  // computations (not part of the scan's schema) follow at the end.
+  std::vector<std::string> original;
+  if (scan.columns.empty()) {
+    for (size_t i = 0; i < scan.table->num_columns(); ++i) {
+      original.push_back(scan.table->column(i).name());
+    }
+  } else {
+    original = scan.columns;
+  }
+  if (std::find(original.begin(), original.end(), c) == original.end()) {
+    original.push_back(c);
+  }
   std::vector<ProjectedColumn> keep;
-  for (const std::string& n : outer_opts.columns) {
+  for (const std::string& n : original) {
     keep.push_back({expr::Col(n), n});
   }
   for (const std::string& n : payload) {
-    keep.push_back({expr::Col(n), n});
+    if (n != c) keep.push_back({expr::Col(n), n});
   }
   BuiltPlan out;
   out.notes.push_back(std::move(note));

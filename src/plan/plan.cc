@@ -131,4 +131,11 @@ std::string PlanToString(const PlanNodePtr& node) {
   return out;
 }
 
+PlanNodePtr ClonePlan(const PlanNodePtr& node) {
+  if (node == nullptr) return nullptr;
+  auto copy = std::make_shared<PlanNode>(*node);
+  for (PlanNodePtr& child : copy->children) child = ClonePlan(child);
+  return copy;
+}
+
 }  // namespace tde

@@ -139,6 +139,13 @@ class Plan {
 /// Pretty-prints a plan tree (one node per line, indented).
 std::string PlanToString(const PlanNodePtr& node);
 
+/// Deep-copies a plan tree. Strategic optimization rewrites node fields in
+/// place (predicates are reassigned, scan column lists narrowed, rewrite
+/// flags cleared), so executing one parsed plan twice — or under different
+/// StrategicOptions — requires a fresh tree each time. Expressions and
+/// tables are immutable after construction and stay shared.
+PlanNodePtr ClonePlan(const PlanNodePtr& node);
+
 }  // namespace tde
 
 #endif  // TDE_PLAN_PLAN_H_

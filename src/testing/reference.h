@@ -1,0 +1,85 @@
+#ifndef TDE_TESTING_REFERENCE_H_
+#define TDE_TESTING_REFERENCE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/plan/plan.h"
+
+namespace tde {
+namespace testing {
+
+/// One cell of the reference interpreter's world: a plain tagged value.
+/// No sentinels, no heaps, no tokens — nullness is an explicit flag and
+/// strings are owned text, so the oracle cannot share a bug with the
+/// engine's lane representation.
+struct RefValue {
+  TypeId type = TypeId::kInteger;
+  bool null = true;
+  int64_t i = 0;    // kBool / kInteger / kDate / kDateTime
+  double d = 0.0;   // kReal
+  std::string s;    // kString
+};
+
+struct RefField {
+  std::string name;
+  TypeId type = TypeId::kInteger;
+};
+
+/// A fully decoded row-major table. The harness hands the same row data to
+/// the import path (as CSV text) and to the oracle (as a RefTable), so the
+/// two sides never share storage or decoding code.
+struct RefTable {
+  std::vector<RefField> fields;
+  std::vector<std::vector<RefValue>> rows;
+};
+
+/// An oracle answer: schema plus row-major values, in the deterministic
+/// order the reference semantics produce (input order; groups in
+/// first-seen order; sorted output after an ORDER BY).
+struct RefResult {
+  std::vector<RefField> fields;
+  std::vector<std::vector<RefValue>> rows;
+};
+
+/// The semantics contract the oracle implements — and the engine is held
+/// to — is written down in DESIGN.md ("The reference semantics contract").
+/// Highlights: comparisons involving NULL are false and NOT is two-valued
+/// (NOT of a NULL comparison is TRUE); strings compare under the locale
+/// collation; NULL sorts below every value (first ASC, last DESC); sorts
+/// are stable; aggregates ignore NULLs; SUM over integers reports overflow
+/// as an error; MEDIAN is the lower median.
+///
+/// Evaluates a *logical* plan row-at-a-time over the decoded tables: scan
+/// resolves `PlanNode::table` by name in `tables`. Rewritten node kinds
+/// (InvisibleJoin, IndexedScan) and rewrite-only fields are rejected — the
+/// oracle interprets pre-optimization plans only.
+Result<RefResult> EvalReference(
+    const PlanNodePtr& node,
+    const std::map<std::string, const RefTable*>& tables);
+
+/// Renders one value exactly like QueryResult::ValueString renders the
+/// engine's lanes ("NULL", raw string text, FormatLane otherwise), so
+/// differential comparison is string equality per cell.
+std::string RefValueString(const RefValue& v);
+
+/// The oracle's LIKE matcher, exposed for the LikeExpr audit tests:
+/// textbook glob semantics where '%' matches any run of *characters*,
+/// '_' exactly one character (a full UTF-8 code point, never a lone
+/// continuation byte), and literals match code point by code point with
+/// ASCII case folding when `fold_case` is set.
+bool ReferenceLikeMatch(std::string_view s, std::string_view pattern,
+                        bool fold_case);
+
+/// Three-way comparison under the reference semantics, for non-null
+/// values: strings collate under the locale collation, a real on either
+/// side compares as double, everything else as int64. Exposed for the
+/// harness's ordering checks.
+int CompareRefValues(const RefValue& a, const RefValue& b);
+
+}  // namespace testing
+}  // namespace tde
+
+#endif  // TDE_TESTING_REFERENCE_H_

@@ -57,6 +57,12 @@ Status TextScan::Open() {
     inf.field_separator = options_.field_separator;
     TDE_ASSIGN_OR_RETURN(format_, InferFormat(data_, inf));
     if (options_.has_header.has_value()) {
+      // Inference only names columns from a header it detected itself; a
+      // caller overriding its verdict (an all-string table defeats the
+      // competitive-parsing heuristic) still wants the first row's names.
+      if (*options_.has_header && !format_.has_header) {
+        AdoptHeaderNames();
+      }
       format_.has_header = *options_.has_header;
     }
   }
@@ -82,6 +88,34 @@ Status TextScan::Open() {
     NextRecord(data_, &pos_, &rec);
   }
   return Status::OK();
+}
+
+void TextScan::AdoptHeaderNames() {
+  size_t pos = 0;
+  std::string_view rec;
+  if (!NextRecord(data_, &pos, &rec)) return;
+  std::vector<std::string_view> fields;
+  SplitRecord(rec, format_.field_separator, &fields);
+  Schema renamed;
+  for (size_t c = 0; c < format_.schema.num_fields(); ++c) {
+    std::string name;
+    if (c < fields.size()) {
+      std::string_view f = fields[c];
+      if (f.size() >= 2 && f.front() == '"' && f.back() == '"') {
+        f.remove_prefix(1);
+        f.remove_suffix(1);
+        for (size_t i = 0; i < f.size(); ++i) {
+          name += f[i];
+          if (f[i] == '"' && i + 1 < f.size() && f[i + 1] == '"') ++i;
+        }
+      } else {
+        name = std::string(f);
+      }
+    }
+    if (name.empty()) name = format_.schema.field(c).name;
+    renamed.AddField({std::move(name), format_.schema.field(c).type});
+  }
+  format_.schema = std::move(renamed);
 }
 
 Status TextScan::FillBatch() {

@@ -67,6 +67,9 @@ class TextScan : public Operator {
       : data_(std::move(data)), options_(std::move(options)) {}
 
   Status FillBatch();
+  /// Renames format_.schema's fields from the first record — for callers
+  /// forcing has_header=true past inference's verdict.
+  void AdoptHeaderNames();
 
   std::string data_;
   TextScanOptions options_;

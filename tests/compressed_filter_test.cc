@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/engine.h"
 #include "src/exec/compressed_predicate.h"
 #include "src/observe/metrics.h"
 #include "src/plan/executor.h"
@@ -357,6 +358,130 @@ TEST(CompressedFilter, DictPredicatesDisableOptionFallsBack) {
               .MoveValue())
           .MoveValue();
   ExpectIdentical(plain, control, "dict predicates disabled");
+}
+
+// --- Regressions from the differential harness (tests/differential_test) --
+
+/// A small engine table with a nullable low-cardinality string column so
+/// the strategic optimizer rewrites filters/computations on `s` into an
+/// invisible join against its dictionary.
+void FillNullableDict(Engine* e) {
+  std::string csv = "v,s\n";
+  static const char* kColors[] = {"red", "green", "blue"};
+  for (int i = 0; i < 40; ++i) {
+    csv += std::to_string(i) + ",";
+    if (i % 5 != 0) csv += kColors[i % 3];  // every fifth row: NULL
+    csv += "\n";
+  }
+  ASSERT_TRUE(e->ImportTextBuffer(csv, "t").ok());
+}
+
+/// Found by differential seed 10: the invisible join dropped every NULL
+/// row of the dictionary column because the dictionary had no NULL entry.
+TEST(CompressedFilter, InvisibleJoinKeepsNullRowsForIsNull) {
+  Engine e;
+  FillNullableDict(&e);
+  auto r = e.ExecuteSql("SELECT * FROM t WHERE s IS NULL");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 8u);  // i % 5 == 0 for i in [0, 40)
+  // SELECT * keeps the table's column order even though the invisible
+  // join routes `s` through the inner side.
+  ASSERT_EQ(r.value().schema().num_fields(), 2u);
+  EXPECT_EQ(r.value().schema().field(0).name, "v");
+  EXPECT_EQ(r.value().schema().field(1).name, "s");
+  for (uint64_t row = 0; row < r.value().num_rows(); ++row) {
+    EXPECT_EQ(r.value().ValueString(row, 1), "NULL");
+  }
+}
+
+/// Same root cause through the computation-pushdown rewrite: a projection
+/// of a NULL value is NULL, not a dropped row.
+TEST(CompressedFilter, InvisibleJoinComputePushdownKeepsNullRows) {
+  Engine e;
+  FillNullableDict(&e);
+  auto r = e.ExecuteSql("SELECT LENGTH(s) AS n, v FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 40u);
+  int nulls = 0;
+  for (uint64_t row = 0; row < 40; ++row) {
+    if (r.value().ValueString(row, 0) == "NULL") ++nulls;
+  }
+  EXPECT_EQ(nulls, 8);
+}
+
+/// A pushed-down CASE with an ELSE branch is NOT null on NULL input; the
+/// NULL dictionary row must flow through the expression, not be replaced
+/// by a hard-wired NULL payload.
+TEST(CompressedFilter, InvisibleJoinPushedCaseEvaluatesNullBranch) {
+  Engine e;
+  FillNullableDict(&e);
+  auto r = e.ExecuteSql(
+      "SELECT CASE WHEN (s = 'red') THEN 'hot' ELSE 'cold' END AS m "
+      "FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 40u);
+  for (uint64_t row = 0; row < 40; ++row) {
+    const std::string m = r.value().ValueString(row, 0);
+    EXPECT_TRUE(m == "hot" || m == "cold") << m;  // never NULL
+  }
+}
+
+/// Found by differential seed 37: LIKE '_' consumed one byte, so
+/// multi-byte UTF-8 code points never matched width-based patterns.
+TEST(CompressedFilter, LikeWildcardsCountCodePointsNotBytes) {
+  Engine e;
+  ImportOptions opts;
+  opts.text.has_header = true;  // an all-string table defeats inference
+  ASSERT_TRUE(
+      e.ImportTextBuffer("s\némigré\nnaïve\nfjord\nüber\n", "w", opts).ok());
+  auto six = e.ExecuteSql("SELECT s FROM w WHERE s LIKE '______'");
+  ASSERT_TRUE(six.ok()) << six.status().ToString();
+  ASSERT_EQ(six.value().num_rows(), 1u);  // émigré: 6 code points, 8 bytes
+  EXPECT_EQ(six.value().ValueString(0, 0), "émigré");
+  auto mid = e.ExecuteSql("SELECT s FROM w WHERE s LIKE 'na_ve'");
+  ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+  ASSERT_EQ(mid.value().num_rows(), 1u);  // '_' spans the two-byte ï
+  EXPECT_EQ(mid.value().ValueString(0, 0), "naïve");
+  auto pct = e.ExecuteSql("SELECT s FROM w WHERE s LIKE '%ber'");
+  ASSERT_TRUE(pct.ok()) << pct.status().ToString();
+  ASSERT_EQ(pct.value().num_rows(), 1u);
+  EXPECT_EQ(pct.value().ValueString(0, 0), "über");
+}
+
+/// Found by differential seed 171 (data seed 3): LIMIT 0 over a Project
+/// returned a result with no columns at all — the child was never opened,
+/// so its schema was never built.
+TEST(CompressedFilter, LimitZeroPreservesProjectedSchema) {
+  Engine e;
+  FillNullableDict(&e);
+  auto r = e.ExecuteSql("SELECT s, v, s FROM t LIMIT 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 0u);
+  ASSERT_EQ(r.value().schema().num_fields(), 3u);
+  EXPECT_EQ(r.value().schema().field(0).name, "s");
+  EXPECT_EQ(r.value().schema().field(1).name, "v");
+  EXPECT_EQ(r.value().schema().field(2).name, "s");
+}
+
+/// Found by differential seed 2: a string CASE whose branches read
+/// different columns stamped branch 0's heap on the output, so every lane
+/// rendered through the wrong heap.
+TEST(CompressedFilter, CaseAcrossColumnsMergesBranchHeaps) {
+  Engine e;
+  ImportOptions opts;
+  opts.text.has_header = true;  // mostly-string rows defeat inference
+  ASSERT_TRUE(e.ImportTextBuffer(
+                   "v,a,b\n1,one-a,one-b\n2,two-a,two-b\n3,three-a,three-b\n",
+                   "c", opts)
+                  .ok());
+  auto r = e.ExecuteSql(
+      "SELECT v, CASE WHEN (v = 2) THEN a ELSE b END AS m "
+      "FROM c ORDER BY v");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 3u);
+  EXPECT_EQ(r.value().ValueString(0, 1), "one-b");
+  EXPECT_EQ(r.value().ValueString(1, 1), "two-a");
+  EXPECT_EQ(r.value().ValueString(2, 1), "three-b");
 }
 
 }  // namespace

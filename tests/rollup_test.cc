@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "src/exec/flow_table.h"
+#include "src/exec/hash_aggregate.h"
+#include "src/storage/heap_accelerator.h"
 #include "tests/test_util.h"
 
 namespace tde {
@@ -132,6 +134,42 @@ TEST(ParallelRollup, PartitionBoundariesRespectGroups) {
   auto r = ParallelIndexedAggregate(t, index, opts).MoveValue();
   EXPECT_EQ(testutil::Flatten(r.blocks, 0), (std::vector<Lane>{1, 2}));
   EXPECT_EQ(testutil::Flatten(r.blocks, 1), (std::vector<Lane>{2500, 2500}));
+}
+
+// --- Regressions from the differential harness (tests/differential_test) --
+
+/// Found by differential seeds 5/8: MIN/MAX/MEDIAN over strings compared
+/// raw heap tokens — insertion order — instead of collation order. A heap
+/// built in arrival order (fed straight to the operator, no FlowTable
+/// re-sort) makes the two orders disagree.
+TEST(AggregateStrings, MinMaxMedianFollowCollationNotTokenOrder) {
+  Schema schema;
+  schema.AddField({"s", TypeId::kString});
+  std::vector<ColumnVector> cols(1);
+  cols[0].type = TypeId::kString;
+  auto heap = std::make_shared<StringHeap>();
+  HeapAccelerator acc(heap.get());
+  for (const char* w : {"pear", "apple", "zucchini", "mango", "fig"}) {
+    cols[0].lanes.push_back(acc.Add(w));
+  }
+  cols[0].heap = heap;
+  auto src = std::make_unique<testutil::VectorSource>(std::move(schema),
+                                                      std::move(cols));
+  AggregateOptions opts;
+  opts.aggs = {{AggKind::kMin, "s", "mn"},
+               {AggKind::kMax, "s", "mx"},
+               {AggKind::kMedian, "s", "md"}};
+  HashAggregate agg(std::move(src), opts);
+  auto blocks = testutil::Drain(&agg);
+  ASSERT_EQ(blocks.size(), 1u);
+  ASSERT_EQ(blocks[0].rows(), 1u);
+  auto render = [&](size_t c) {
+    const ColumnVector& cv = blocks[0].columns[c];
+    return std::string(cv.heap->Get(cv.lanes[0]));
+  };
+  EXPECT_EQ(render(0), "apple");
+  EXPECT_EQ(render(1), "zucchini");
+  EXPECT_EQ(render(2), "mango");  // apple fig [mango] pear zucchini
 }
 
 }  // namespace

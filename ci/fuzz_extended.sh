@@ -12,15 +12,20 @@
 #   TDE_FUZZ_DATA    dataset seeds to sweep (default "1 3 7 11")
 #   TDE_FUZZ_ROWS    fact-table row counts (default "40 150 900 2500")
 #   TDE_FUZZ_SEGS    segment sizes (default "64 256 1024")
+#   TDE_FUZZ_THREADS concurrency stress thread counts (default "2 4 8";
+#                    set to "" to skip the concurrent-query stage)
+#   TDE_FUZZ_STRESS_ITERS  iterations per concurrency cell (default 50)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-"$ROOT/build"}"
 BIN="$BUILD/tests/differential_test"
+STRESS_BIN="$BUILD/tests/concurrency_test"
 
-if [[ ! -x "$BIN" ]]; then
+if [[ ! -x "$BIN" || ! -x "$STRESS_BIN" ]]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$BUILD" -j"$(nproc)" --target differential_test
+  cmake --build "$BUILD" -j"$(nproc)" --target differential_test \
+      --target concurrency_test
 fi
 
 TOTAL="${TDE_FUZZ_SEEDS:-9600}"
@@ -44,3 +49,15 @@ for ds in "${DATA[@]}"; do
   done
 done
 echo "differential fuzz: clean"
+
+# Concurrent-query stress axis: the bounded tier-1 concurrency test soaked
+# with long iteration counts across several thread counts, all contending
+# one pinned four-worker scheduler pool.
+read -r -a THREADS <<< "${TDE_FUZZ_THREADS:-2 4 8}"
+ITERS="${TDE_FUZZ_STRESS_ITERS:-50}"
+for t in "${THREADS[@]}"; do
+  echo "--- concurrency stress: threads=$t iters=$ITERS workers=4"
+  TDE_WORKERS=4 TDE_STRESS_THREADS="$t" TDE_STRESS_ITERS="$ITERS" \
+      "$STRESS_BIN"
+done
+echo "concurrency stress: clean"

@@ -59,14 +59,16 @@ if [[ "${TDE_SKIP_SANITIZE:-0}" != "1" ]]; then
       ctest --test-dir "$SAN_BUILD" --output-on-failure -j"$(nproc)"
 fi
 
-# Same suite under ThreadSanitizer: the parallel rollup, exchange, and pager
-# paths run multi-threaded and must be race-free.
+# Same suite under ThreadSanitizer: the shared scheduler pool, parallel
+# rollup, exchange, and pager paths run multi-threaded and must be
+# race-free. TDE_WORKERS=4 pins the pool size so the concurrency stress
+# test contends a known number of workers regardless of the CI host.
 if [[ "${TDE_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD="$BUILD-tsan"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DTDE_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j"$(nproc)"
-  TSAN_OPTIONS=halt_on_error=1 \
+  TSAN_OPTIONS=halt_on_error=1 TDE_WORKERS=4 \
       ctest --test-dir "$TSAN_BUILD" --output-on-failure -j"$(nproc)"
 fi
 

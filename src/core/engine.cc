@@ -98,6 +98,10 @@ Result<std::shared_ptr<Table>> Engine::ImportTextBuffer(
 
 Result<QueryResult> Engine::Execute(const Plan& plan,
                                     const StrategicOptions& strategic) const {
+  // Readers hold the append/query lock shared for the whole run: an
+  // AppendRows (exclusive) can never mutate a column mid-query, and
+  // concurrent queries proceed in parallel on the shared pool.
+  std::shared_lock<std::shared_mutex> read(*exec_mu_);
   // StrategicOptimize rewrites nodes in place (predicates reassigned, scan
   // column lists narrowed, rewrite flags cleared), so optimize a private
   // deep copy: the caller's plan stays pristine and can be re-executed,
@@ -362,6 +366,10 @@ Result<std::shared_ptr<Table>> BuildCacheTable(
 /// Materializes the tde_metrics virtual table: one row per registered
 /// metric, histogram percentiles as columns (NULL for counters/gauges).
 Result<std::shared_ptr<Table>> BuildMetricsTable() {
+  // Touch the shared pool so its scheduler.* metrics (pool size, tasks
+  // run, queue waits) exist in the snapshot even before the first
+  // parallel query constructs it.
+  TaskScheduler::Global();
   std::vector<ColumnBuildInput> cols;
   cols.push_back(StrCol("metric"));
   cols.push_back(StrCol("kind"));
@@ -396,6 +404,7 @@ Result<std::shared_ptr<Table>> BuildMetricsTable() {
 /// same per-column encoding pipeline as any other table.
 Result<std::shared_ptr<Table>> BuildStatsTable(
     const std::vector<observe::ImportStats>& imports) {
+  TaskScheduler::Global();  // scheduler.* metrics exist from first snapshot
   ColumnBuildInput metric, kind, value;
   metric.name = "metric";
   metric.type = TypeId::kString;
@@ -493,6 +502,9 @@ Result<QueryResult> Engine::ExecuteSql(const std::string& sql,
 
   if (q.explain) {
     if (q.analyze) {
+      // EXPLAIN ANALYZE executes the plan without going through Execute(),
+      // so it takes the append/query read lock itself.
+      std::shared_lock<std::shared_mutex> read(*exec_mu_);
       TDE_ASSIGN_OR_RETURN(std::string text, ExplainAnalyzePlan(q.plan));
       return TextResult("plan", text);
     }
@@ -599,6 +611,10 @@ Result<int> Engine::RefreshChanged() {
 
 Result<uint64_t> Engine::AppendRows(const std::string& table_name,
                                     const Block& rows) {
+  // Appends mutate streams, heaps and metadata in place, so they exclude
+  // queries (and one another) for their duration: readers see the table
+  // before or after the append, never a torn middle.
+  std::unique_lock<std::shared_mutex> write(*exec_mu_);
   TDE_ASSIGN_OR_RETURN(auto table, db_.GetTable(table_name));
   if (rows.num_columns() != table->num_columns()) {
     return Status::InvalidArgument(
@@ -716,6 +732,8 @@ Result<uint64_t> Engine::AppendRows(const std::string& table_name,
 }
 
 Result<int> Engine::OptimizeTable(const std::string& table_name) {
+  // AlterColumn rewrites columns in place — same exclusion as AppendRows.
+  std::unique_lock<std::shared_mutex> write(*exec_mu_);
   TDE_ASSIGN_OR_RETURN(auto table, db_.GetTable(table_name));
   int converted = 0;
   for (size_t i = 0; i < table->num_columns(); ++i) {

@@ -2,8 +2,10 @@
 #define TDE_CORE_ENGINE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
+#include "src/exec/scheduler.h"
 #include "src/exec/sort.h"
 #include "src/observe/import_stats.h"
 #include "src/plan/executor.h"
@@ -104,6 +106,13 @@ class Engine {
   Database* database() { return &db_; }
   const Database& database() const { return db_; }
 
+  /// The shared worker pool every engine in the process executes on: all
+  /// parallel operators (Exchange, ParallelRollup, parallel import) submit
+  /// task groups here instead of spawning threads, so total parallelism is
+  /// bounded by the pool regardless of how many queries run concurrently.
+  /// Sized once from TDE_WORKERS / hardware_concurrency.
+  TaskScheduler& scheduler() const { return TaskScheduler::Global(); }
+
   /// Persists the whole database as a single file (Sect. 2.3.3), in the
   /// paged v2 format: page-aligned checksummed column blobs behind a
   /// directory, so a later open is O(directory) and queries fault in only
@@ -173,6 +182,13 @@ class Engine {
   std::shared_ptr<pager::ColumnCache> cache_;
   std::vector<Attachment> attachments_;
   std::vector<observe::ImportStats> import_stats_;
+  /// Append/query isolation: queries hold it shared for their whole run,
+  /// in-place mutators (AppendRows, OptimizeTable) exclusively — so a
+  /// reader observes a table either entirely before or entirely after an
+  /// append, never mid-mutation. shared_ptr keeps Engine movable
+  /// (OpenDatabase returns by value).
+  std::shared_ptr<std::shared_mutex> exec_mu_ =
+      std::make_shared<std::shared_mutex>();
 };
 
 /// The heavyweight AlterColumn transformation of Sect. 3.4.3: converts a

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <map>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include <chrono>
 
 #include "src/encoding/manipulate.h"
+#include "src/exec/scheduler.h"
 #include "src/observe/metrics.h"
 #include "src/storage/heap_accelerator.h"
 #include "src/storage/segment/segmented_stream.h"
@@ -276,15 +276,16 @@ Status FlowTable::Open() {
       ncols, Result<std::shared_ptr<Column>>(Status::OK()));
   column_stats_.assign(ncols, observe::ColumnImportStats{});
   if (options_.parallel_columns && ncols > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(ncols);
+    // One task per column on the shared pool (bounded parallelism even
+    // when several imports run concurrently); Wait() helps drain.
+    auto group = TaskScheduler::Global().CreateGroup();
     for (size_t i = 0; i < ncols; ++i) {
-      workers.emplace_back([&, i]() {
+      group->Submit([&, i]() {
         results[i] =
             BuildColumn(std::move(inputs[i]), options_, &column_stats_[i]);
       });
     }
-    for (auto& t : workers) t.join();
+    group->Wait();
   } else {
     for (size_t i = 0; i < ncols; ++i) {
       results[i] =

@@ -1,9 +1,9 @@
 #include "src/exec/parallel_rollup.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "src/exec/ordered_aggregate.h"
+#include "src/exec/scheduler.h"
 #include "src/observe/journal.h"
 #include "src/observe/metrics.h"
 
@@ -128,7 +128,10 @@ Result<ParallelRollupResult> ParallelIndexedAggregate(
     const ParallelRollupOptions& options) {
   // Partition the index range at group boundaries so each worker owns
   // whole groups and partition outputs concatenate in order.
-  const int workers = std::max(1, options.workers);
+  const int workers =
+      options.workers > 0
+          ? options.workers
+          : TaskScheduler::Global().SuggestedQueryParallelism();
   std::vector<std::pair<size_t, size_t>> parts;  // [begin, end) into index
   const size_t per = std::max<size_t>(1, index.size() / workers);
   size_t begin = 0;
@@ -184,18 +187,18 @@ Result<ParallelRollupResult> ParallelIndexedAggregate(
   std::vector<std::vector<Block>> results(parts.size());
   std::vector<Status> statuses(parts.size());
   if (parts.size() > 1) {
-    // Partition workers count against the spawning query's scope (runs
-    // folded, scan bytes), and their CPU time folds into it on join.
-    observe::StatsScope* scope = observe::StatsScope::Current();
-    std::vector<std::thread> pool;
+    // One task per partition on the shared pool. The group adopts the
+    // spawning query's scope, so partition workers count against it (runs
+    // folded, scan bytes) and their CPU time folds into it; Wait() helps
+    // drain the group inline, so this is safe even on a pool thread.
+    auto group = TaskScheduler::Global().CreateGroup();
     for (size_t i = 0; i < parts.size(); ++i) {
-      pool.emplace_back([&, scope, i]() {
-        observe::StatsScope::Bind bind(scope);
+      group->Submit([&, i]() {
         statuses[i] =
             run_partition(parts[i].first, parts[i].second, &results[i]);
       });
     }
-    for (auto& t : pool) t.join();
+    group->Wait();
   } else if (parts.size() == 1) {
     statuses[0] = run_partition(parts[0].first, parts[0].second, &results[0]);
   }

@@ -24,15 +24,18 @@ Result<std::vector<IndexEntry>> RollUpIndex(
 
 /// Parallel ordered aggregation over an index (Sect. 8): partitions the
 /// value-sorted index across `workers` at group boundaries, runs
-/// IndexedScan + OrderedAggregate per partition on its own thread, and
-/// concatenates the partition results — which are globally ordered because
-/// the partitions are value-disjoint.
+/// IndexedScan + OrderedAggregate per partition as a task group on the
+/// shared TaskScheduler pool, and concatenates the partition results —
+/// which are globally ordered because the partitions are value-disjoint.
 struct ParallelRollupOptions {
   std::string value_name;
   TypeId value_type = TypeId::kInteger;
   std::vector<AggSpec> aggs;  // inputs resolved against payload columns
   std::vector<std::string> payload;
-  int workers = 2;
+  /// <= 0 derives the partition count from the shared pool's size, clamped
+  /// so one query cannot monopolize the pool
+  /// (TaskScheduler::SuggestedQueryParallelism).
+  int workers = 0;
   /// When every aggregate reads the index value itself (or is COUNT(*)),
   /// fold whole runs in O(1) per index entry instead of expanding rows
   /// through IndexedScan. Kill switch mirrors

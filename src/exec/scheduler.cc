@@ -1,0 +1,259 @@
+#include "src/exec/scheduler.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "src/observe/journal.h"
+#include "src/observe/metrics.h"
+
+namespace tde {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int PoolSizeFromEnv(int requested) {
+  if (requested <= 0) {
+    if (const char* env = std::getenv("TDE_WORKERS")) {
+      requested = std::atoi(env);
+    }
+  }
+  if (requested <= 0) {
+    requested = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (requested <= 0) requested = 4;
+  if (requested > 256) requested = 256;
+  return requested;
+}
+
+// True on any scheduler's pool threads (set for the thread's lifetime).
+thread_local bool t_on_worker_thread = false;
+
+std::atomic<TaskScheduler*> g_override{nullptr};
+
+}  // namespace
+
+TaskScheduler::TaskScheduler(int workers) {
+  auto& registry = observe::MetricsRegistry::Global();
+  tasks_run_metric_ = registry.GetCounter("scheduler.tasks_run");
+  tasks_cancelled_metric_ = registry.GetCounter("scheduler.tasks_cancelled");
+  queue_wait_metric_ = registry.GetHistogram("scheduler.queue_wait_us");
+  groups_active_metric_ = registry.GetGauge("scheduler.groups_active");
+
+  const int n = PoolSizeFromEnv(workers);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i]() { WorkerMain(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Retire whatever is still queued so Wait()ers (if any) wake instead
+    // of hanging on a dead pool. Running tasks finish on their own.
+    while (!ready_.empty()) {
+      std::shared_ptr<Group> g = std::move(ready_.front());
+      ready_.pop_front();
+      g->in_ready_ = false;
+      while (!g->queue_.empty()) {
+        g->queue_.pop_front();
+        g->stats_.tasks_cancelled++;
+        FinishTaskLocked(g.get());
+      }
+    }
+    cv_work_.notify_all();
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+TaskScheduler& TaskScheduler::Global() {
+  if (TaskScheduler* o = g_override.load(std::memory_order_acquire)) {
+    return *o;
+  }
+  // Leaked on purpose: pool threads may still be parked in their wait at
+  // process exit, and destroying the pool during static teardown would
+  // race them against already-destroyed globals.
+  static TaskScheduler* scheduler = [] {
+    auto* s = new TaskScheduler();
+    observe::MetricsRegistry::Global().GetGauge("scheduler.workers")
+        ->Set(s->workers());
+    return s;
+  }();
+  return *scheduler;
+}
+
+TaskScheduler::ScopedOverride::ScopedOverride(TaskScheduler* scheduler) {
+  prev_ = g_override.exchange(scheduler, std::memory_order_acq_rel);
+}
+
+TaskScheduler::ScopedOverride::~ScopedOverride() {
+  g_override.store(prev_, std::memory_order_release);
+}
+
+std::shared_ptr<TaskScheduler::Group> TaskScheduler::CreateGroup() {
+  std::shared_ptr<Group> g(new Group(this));
+  g->scope_ = observe::StatsScope::Current();
+  g->shared_self_ = g;
+  return g;
+}
+
+int TaskScheduler::SuggestedQueryParallelism() const {
+  const int n = workers();
+  int suggested = n / 2;
+  if (suggested < 2) suggested = 2;
+  if (suggested > n) suggested = n;
+  if (suggested < 1) suggested = 1;
+  return suggested;
+}
+
+bool TaskScheduler::OnWorkerThread() { return t_on_worker_thread; }
+
+void TaskScheduler::FinishTaskLocked(Group* group) {
+  if (--group->outstanding_ == 0) {
+    if (observe::StatsEnabled()) groups_active_metric_->Set(--groups_active_);
+    group->cv_done_.notify_all();
+  }
+}
+
+bool TaskScheduler::RunOneReadyTaskLocked(std::unique_lock<std::mutex>& lock) {
+  while (!ready_.empty()) {
+    std::shared_ptr<Group> g = std::move(ready_.front());
+    ready_.pop_front();
+    g->in_ready_ = false;
+    if (g->queue_.empty()) continue;  // drained by Cancel or Wait-helping
+    Group::Item item = std::move(g->queue_.front());
+    g->queue_.pop_front();
+    if (!g->queue_.empty()) {
+      // Rotate to the back: one task per turn keeps concurrent queries
+      // interleaving instead of the front group draining the pool.
+      ready_.push_back(g);
+      g->in_ready_ = true;
+      cv_work_.notify_one();
+    }
+    if (g->cancelled_) {
+      g->stats_.tasks_cancelled++;
+      if (observe::StatsEnabled()) tasks_cancelled_metric_->Add(1);
+      FinishTaskLocked(g.get());
+      continue;
+    }
+    const uint64_t start_ns = NowNs();
+    const uint64_t wait_ns = start_ns - item.submit_ns;
+    g->stats_.queue_wait_ns += wait_ns;
+    observe::StatsScope* scope = g->scope_;
+    lock.unlock();
+    if (observe::StatsEnabled()) {
+      queue_wait_metric_->Record(wait_ns / 1000);
+      tasks_run_metric_->Add(1);
+    }
+    {
+      observe::StatsScope::Bind bind(
+          scope == observe::StatsScope::Current() ? nullptr : scope);
+      item.fn();
+    }
+    const uint64_t run_ns = NowNs() - start_ns;
+    lock.lock();
+    g->stats_.tasks_run++;
+    g->stats_.run_ns += run_ns;
+    FinishTaskLocked(g.get());
+    return true;
+  }
+  return false;
+}
+
+void TaskScheduler::WorkerMain(int index) {
+  (void)index;
+  t_on_worker_thread = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [this]() { return shutdown_ || !ready_.empty(); });
+    if (shutdown_) return;
+    RunOneReadyTaskLocked(lock);
+  }
+}
+
+bool TaskScheduler::TryRunOneTask() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return RunOneReadyTaskLocked(lock);
+}
+
+void TaskScheduler::Group::Submit(Task task) {
+  std::unique_lock<std::mutex> lock(sched_->mu_);
+  if (cancelled_ || sched_->shutdown_) {
+    stats_.tasks_cancelled++;
+    if (observe::StatsEnabled()) sched_->tasks_cancelled_metric_->Add(1);
+    return;
+  }
+  if (outstanding_++ == 0) {
+    if (observe::StatsEnabled()) {
+      sched_->groups_active_metric_->Set(++sched_->groups_active_);
+    }
+  }
+  queue_.push_back(Item{std::move(task), NowNs()});
+  if (!in_ready_) {
+    sched_->ready_.push_back(shared_self_.lock());
+    in_ready_ = true;
+    sched_->cv_work_.notify_one();
+  }
+}
+
+void TaskScheduler::Group::Cancel() {
+  std::unique_lock<std::mutex> lock(sched_->mu_);
+  cancelled_ = true;
+  while (!queue_.empty()) {
+    queue_.pop_front();
+    stats_.tasks_cancelled++;
+    if (observe::StatsEnabled()) sched_->tasks_cancelled_metric_->Add(1);
+    sched_->FinishTaskLocked(this);
+  }
+}
+
+void TaskScheduler::Group::Wait() {
+  std::unique_lock<std::mutex> lock(sched_->mu_);
+  while (outstanding_ > 0) {
+    if (!queue_.empty()) {
+      // Help: drain our own queued tasks inline. Never blocks the pool
+      // even when Wait is called from a pool worker (nested parallelism).
+      Item item = std::move(queue_.front());
+      queue_.pop_front();
+      if (cancelled_) {
+        stats_.tasks_cancelled++;
+        if (observe::StatsEnabled()) sched_->tasks_cancelled_metric_->Add(1);
+        sched_->FinishTaskLocked(this);
+        continue;
+      }
+      const uint64_t start_ns = NowNs();
+      stats_.queue_wait_ns += start_ns - item.submit_ns;
+      observe::StatsScope* scope = scope_;
+      lock.unlock();
+      if (observe::StatsEnabled()) sched_->tasks_run_metric_->Add(1);
+      {
+        observe::StatsScope::Bind bind(
+            scope == observe::StatsScope::Current() ? nullptr : scope);
+        item.fn();
+      }
+      const uint64_t run_ns = NowNs() - start_ns;
+      lock.lock();
+      stats_.tasks_run++;
+      stats_.run_ns += run_ns;
+      sched_->FinishTaskLocked(this);
+      continue;
+    }
+    cv_done_.wait(lock);
+  }
+}
+
+TaskScheduler::GroupStats TaskScheduler::Group::stats() const {
+  std::unique_lock<std::mutex> lock(sched_->mu_);
+  return stats_;
+}
+
+}  // namespace tde

@@ -1,0 +1,188 @@
+#ifndef TDE_EXEC_SCHEDULER_H_
+#define TDE_EXEC_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tde {
+
+namespace observe {
+class Counter;
+class Gauge;
+class Histogram;
+class StatsScope;
+}  // namespace observe
+
+/// Engine-wide shared worker pool (morsel-driven scheduling, Leis et al.
+/// SIGMOD 2014): a fixed set of threads sized once from TDE_WORKERS (or
+/// hardware_concurrency), with work expressed as finite tasks grouped per
+/// query. Before the pool, every parallel site (Exchange, ParallelRollup,
+/// TextScan import) spawned its own std::threads per query, so two
+/// concurrent queries oversubscribed the machine; the pool bounds total
+/// parallelism regardless of how many queries are in flight.
+///
+/// Fairness: ready groups are served FIFO — a worker takes one task from
+/// the front group, then rotates the group to the back of the ready list,
+/// so N concurrent queries interleave at task granularity instead of the
+/// first query draining the pool.
+///
+/// Tasks must be finite and non-blocking: an operator that would block
+/// (e.g. an Exchange producer out of in-flight headroom) parks — records
+/// its state and returns — and is resubmitted by whichever event unblocks
+/// it. A task that blocked on a condition serviced by another task of the
+/// same pool could deadlock a fixed pool; parking makes that impossible by
+/// construction. Consumers that must wait on a pool thread help instead
+/// (TryRunOneTask / Group::Wait's inline draining).
+///
+/// Cancellation is cooperative: Group::Cancel retires the group's queued
+/// tasks without running them (counted in stats().tasks_cancelled) and
+/// without touching any other group's work; tasks already running keep
+/// their own stop flags and finish on their own.
+///
+/// Observability: pool workers adopt the submitting query's StatsScope
+/// (captured at CreateGroup) around every task, so per-query journal
+/// deltas keep summing exactly to the global counters. Global metrics:
+/// scheduler.tasks_run / scheduler.tasks_cancelled counters, a
+/// scheduler.queue_wait_us histogram (submit-to-start latency), and
+/// scheduler.workers / scheduler.groups_active gauges.
+class TaskScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  /// Per-group observations, final once Wait() has returned.
+  struct GroupStats {
+    uint64_t tasks_run = 0;        // tasks executed (pool, helping, or Wait)
+    uint64_t tasks_cancelled = 0;  // tasks retired unrun by Cancel
+    uint64_t queue_wait_ns = 0;    // total submit-to-start latency
+    uint64_t run_ns = 0;           // total task execution time
+  };
+
+  /// One query's (or one operator's) slice of the pool. Created via
+  /// CreateGroup; must not outlive the scheduler. All members are
+  /// thread-safe.
+  class Group {
+   public:
+    /// Enqueues a task. If the group is cancelled the task is retired
+    /// immediately (never runs). Tasks run under StatsScope::Bind of the
+    /// scope that was current when the group was created.
+    void Submit(Task task);
+
+    /// Retires every queued task unrun; running tasks are unaffected
+    /// (cooperative cancellation — they observe their own stop flags).
+    /// Subsequent Submits retire immediately.
+    void Cancel();
+
+    /// Blocks until every submitted task has run or been retired.
+    /// Wait helps: queued tasks of *this* group are drained inline on the
+    /// calling thread before blocking, so Wait from a pool thread (nested
+    /// parallelism) cannot deadlock the pool.
+    void Wait();
+
+    /// Snapshot of the group's stats so far.
+    GroupStats stats() const;
+
+   private:
+    friend class TaskScheduler;
+    struct Item {
+      Task fn;
+      uint64_t submit_ns = 0;
+    };
+
+    explicit Group(TaskScheduler* sched) : sched_(sched) {}
+
+    TaskScheduler* sched_;
+    observe::StatsScope* scope_ = nullptr;
+    /// Self-reference so Submit can place the owning shared_ptr on the
+    /// scheduler's ready list (set by CreateGroup).
+    std::weak_ptr<Group> shared_self_;
+    // All below guarded by sched_->mu_.
+    std::deque<Item> queue_;
+    uint64_t outstanding_ = 0;  // queued + running
+    bool cancelled_ = false;
+    bool in_ready_ = false;
+    GroupStats stats_;
+    std::condition_variable cv_done_;
+  };
+
+  /// workers <= 0 sizes the pool from TDE_WORKERS, falling back to
+  /// hardware_concurrency (clamped to [1, 256]).
+  explicit TaskScheduler(int workers = 0);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// The process-wide pool every engine shares (created on first use,
+  /// intentionally never destroyed so in-flight work at exit is safe).
+  /// Tests can reroute it with ScopedOverride.
+  static TaskScheduler& Global();
+
+  /// Creates a task group bound to the calling thread's StatsScope.
+  std::shared_ptr<Group> CreateGroup();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// How many virtual workers one query should use so a single query
+  /// cannot monopolize the pool: half the pool (at least 2, capped at the
+  /// pool size). Exchange/ParallelRollup resolve `workers = 0` through
+  /// this.
+  int SuggestedQueryParallelism() const;
+
+  /// True when the calling thread is one of this-or-any scheduler's pool
+  /// workers (operators use it to degrade to inline execution or to help
+  /// instead of blocking).
+  static bool OnWorkerThread();
+
+  /// Runs one ready task (any group) on the calling thread. Returns false
+  /// if nothing was ready. Lets a consumer stuck waiting for pool-produced
+  /// output make the pool's progress itself instead of blocking a slot.
+  bool TryRunOneTask();
+
+  /// Redirects Global() to `scheduler` for the current process until
+  /// destruction (tests: pin a pool of 2 and run the whole executor
+  /// through it). Not reentrancy-safe across threads — install before
+  /// spawning concurrent queries.
+  class ScopedOverride {
+   public:
+    explicit ScopedOverride(TaskScheduler* scheduler);
+    ~ScopedOverride();
+    ScopedOverride(const ScopedOverride&) = delete;
+    ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+   private:
+    TaskScheduler* prev_;
+  };
+
+ private:
+  void WorkerMain(int index);
+  /// Pops the front ready group's next task and runs it on the calling
+  /// thread. `lock` must hold mu_; it is released while the task runs and
+  /// reacquired before returning. Returns false if nothing was ready.
+  bool RunOneReadyTaskLocked(std::unique_lock<std::mutex>& lock);
+  void FinishTaskLocked(Group* group);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::deque<std::shared_ptr<Group>> ready_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+
+  // Registry handles (process lifetime; see MetricsRegistry).
+  observe::Counter* tasks_run_metric_;
+  observe::Counter* tasks_cancelled_metric_;
+  observe::Histogram* queue_wait_metric_;
+  observe::Gauge* groups_active_metric_;
+  int64_t groups_active_ = 0;  // guarded by mu_
+};
+
+}  // namespace tde
+
+#endif  // TDE_EXEC_SCHEDULER_H_

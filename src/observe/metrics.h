@@ -37,6 +37,8 @@ class Counter {
 class Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  /// Relative adjustment (e.g. inflight counts: +1 on entry, -1 on exit).
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
   int64_t value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { v_.store(0, std::memory_order_relaxed); }
 

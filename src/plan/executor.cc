@@ -10,6 +10,7 @@
 #include "src/exec/limit.h"
 #include "src/exec/ordered_aggregate.h"
 #include "src/exec/parallel_rollup.h"
+#include "src/exec/scheduler.h"
 #include "src/exec/table_scan.h"
 #include "src/observe/journal.h"
 #include "src/observe/metrics.h"
@@ -602,7 +603,11 @@ Result<BuiltPlan> BuildExchange(const PlanNode& node) {
   // the workers (that is the parallelized segment).
   const PlanNodePtr& child = node.children[0];
   ExchangeOptions opts;
-  opts.workers = node.exchange_workers;
+  // <= 0 means "size from the shared pool": half the pool per query, so
+  // concurrent queries cannot each claim every worker.
+  opts.workers = node.exchange_workers > 0
+                     ? node.exchange_workers
+                     : TaskScheduler::Global().SuggestedQueryParallelism();
   opts.order_preserving = node.order_preserving;
   BuiltPlan built_child;
   int dict_rewrites = 0;
@@ -952,6 +957,15 @@ Result<QueryResult> ExecutePlanNode(const PlanNodePtr& root) {
   // pruned at plan time, dictionary rewrites, metadata answers) belongs to
   // this query too. Everything the operators and the pager count on this
   // thread — or on worker threads bound via StatsScope::Bind — lands here.
+  // Concurrency gauge: how many queries this process is executing right
+  // now (the load the shared TaskScheduler pool is divided across).
+  struct InflightGuard {
+    observe::Gauge* g;
+    explicit InflightGuard(observe::Gauge* gauge) : g(gauge) { g->Add(1); }
+    ~InflightGuard() { g->Add(-1); }
+  } inflight(
+      observe::MetricsRegistry::Global().GetGauge("queries_inflight"));
+
   observe::QueryJournal& journal = observe::QueryJournal::Global();
   observe::QueryJournalEntry entry;
   entry.id = journal.NextId();

@@ -101,7 +101,9 @@ struct PlanNode {
   std::vector<std::string> payload;
 
   // kExchange
-  int exchange_workers = 2;
+  /// <= 0 sizes the exchange from the shared scheduler pool at build time
+  /// (TaskScheduler::SuggestedQueryParallelism).
+  int exchange_workers = 0;
   bool order_preserving = false;
 
   // kMaterialize

@@ -3,8 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <thread>
 
+#include "src/exec/scheduler.h"
 #include "src/textscan/parsers.h"
 
 namespace tde {
@@ -178,12 +178,15 @@ Status TextScan::FillBatch() {
   };
 
   if (options_.parallel && ncols > 1) {
-    const int workers =
-        std::min<int>(options_.workers, static_cast<int>(ncols));
-    std::vector<std::thread> pool;
+    // One task per column on the shared pool; options_.workers survives as
+    // an upper bound on this batch's fan-out. Wait() helps drain, so a
+    // saturated pool cannot stall the import.
+    const size_t fanout = std::min<size_t>(
+        ncols, static_cast<size_t>(std::max(1, options_.workers)));
+    auto group = TaskScheduler::Global().CreateGroup();
     std::atomic<size_t> next{0};
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&]() {
+    for (size_t w = 0; w < fanout; ++w) {
+      group->Submit([&]() {
         while (true) {
           const size_t c = next.fetch_add(1);
           if (c >= ncols) return;
@@ -191,7 +194,7 @@ Status TextScan::FillBatch() {
         }
       });
     }
-    for (auto& t : pool) t.join();
+    group->Wait();
   } else {
     for (size_t c = 0; c < ncols; ++c) parse_column(c);
   }

@@ -19,6 +19,7 @@
 
 #include "gtest/gtest.h"
 #include "src/core/engine.h"
+#include "src/exec/scheduler.h"
 #include "src/plan/strategic.h"
 #include "src/sql/parser.h"
 #include "src/testing/genquery.h"
@@ -297,6 +298,11 @@ TEST_F(DifferentialTest, RandomizedSweep) {
   BuildDatasets(data_seed, fact_rows, seg_rows);
   const std::vector<Config> configs = MakeConfigs();
 
+  // A deliberately tiny shared pool for the pool2-exchange leg: with two
+  // workers serving four-way exchanges, admission parking, task rotation
+  // and consumer helping all fire on every query.
+  TaskScheduler pool2(2);
+
   uint64_t executed = 0;
   int failures = 0;
   for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
@@ -347,6 +353,26 @@ TEST_F(DifferentialTest, RandomizedSweep) {
         } else {
           runs.push_back({e == &mono_ ? "monolithic" : "segmented",
                           "exchange-wrapped", optimized.status()});
+        }
+      }
+      // Shared-pool leg: the same exchange-wrapped plans, but scheduled
+      // onto a pool of two workers instead of the process-wide pool.
+      {
+        TaskScheduler::ScopedOverride override_pool(&pool2);
+        for (Engine* e : {&mono_, &seg_}) {
+          auto p = sql::ParseQuery(q.sql, *e->database());
+          ASSERT_TRUE(p.ok());
+          PlanNodePtr wrapped =
+              WrapScansInExchange(ClonePlan(p.value().plan.root()), 4);
+          auto optimized = StrategicOptimize(wrapped, StrategicOptions{});
+          if (optimized.ok()) {
+            runs.push_back({e == &mono_ ? "monolithic" : "segmented",
+                            "pool2-exchange",
+                            ExecutePlanNode(optimized.value())});
+          } else {
+            runs.push_back({e == &mono_ ? "monolithic" : "segmented",
+                            "pool2-exchange", optimized.status()});
+          }
         }
       }
     }

@@ -295,5 +295,84 @@ TEST(Limit, OverExchangeStopsWorkersEarly) {
   EXPECT_LT(raw->run_stats().blocks_in, kBlocks);
 }
 
+TEST(Exchange, NestedExchangeOnPoolOfOneCompletes) {
+  // Exchange over Exchange: the outer producer runs as a pool task and
+  // consumes the inner exchange from a worker thread. With a single-worker
+  // pool this deadlocks unless the inner consumer helps the pool (or the
+  // inner exchange degraded to inline mode); either way the rows must all
+  // come through in order.
+  TaskScheduler pool(1);
+  TaskScheduler::ScopedOverride ov(&pool);
+  const auto input = Ramp(16 * kBlockSize);
+  ExchangeOptions inner_opts;
+  inner_opts.workers = 2;
+  inner_opts.order_preserving = true;
+  auto inner = std::make_unique<Exchange>(
+      VectorSource::Ints({{"x", input}}), inner_opts);
+  ExchangeOptions outer_opts;
+  outer_opts.workers = 2;
+  outer_opts.order_preserving = true;
+  Exchange outer(std::move(inner), outer_opts);
+  const auto got = Flatten(Drain(&outer), 0);
+  EXPECT_EQ(got, input);
+}
+
+TEST(Exchange, ConcurrentExchangesShareOnePool) {
+  // Eight ordered exchanges race on a pool of two; every one must still
+  // deliver its own input intact — the scheduler's round-robin may starve
+  // none of them.
+  TaskScheduler pool(2);
+  TaskScheduler::ScopedOverride ov(&pool);
+  const Status st = testutil::RunConcurrently(8, [&](int t) -> Status {
+    const auto input = Ramp(12 * kBlockSize);
+    ExchangeOptions opts;
+    opts.workers = 3;
+    opts.order_preserving = true;
+    opts.transform = KeepEven();
+    Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+    std::vector<Block> blocks;
+    TDE_RETURN_NOT_OK(DrainOperator(&ex, &blocks));
+    const auto got = Flatten(blocks, 0);
+    if (got.size() != input.size() / 2) {
+      return Status::Internal("thread " + std::to_string(t) + ": got " +
+                              std::to_string(got.size()) + " rows, want " +
+                              std::to_string(input.size() / 2));
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != static_cast<Lane>(2 * i)) {
+        return Status::Internal("thread " + std::to_string(t) +
+                                ": wrong value at row " + std::to_string(i));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(Exchange, AutoWorkerCountFollowsThePool) {
+  // workers == 0 resolves against the shared pool's suggested share.
+  TaskScheduler pool(8);
+  TaskScheduler::ScopedOverride ov(&pool);
+  const auto input = Ramp(6 * kBlockSize);
+  ExchangeOptions opts;
+  opts.workers = 0;
+  opts.order_preserving = true;
+  Exchange ex(VectorSource::Ints({{"x", input}}), opts);
+  ASSERT_TRUE(ex.Open().ok());
+  Block b;
+  bool eos = false;
+  std::vector<Lane> got;
+  while (true) {
+    ASSERT_TRUE(ex.Next(&b, &eos).ok());
+    if (eos) break;
+    got.insert(got.end(), b.columns[0].lanes.begin(),
+               b.columns[0].lanes.end());
+  }
+  ex.Close();
+  EXPECT_EQ(got, input);
+  EXPECT_EQ(ex.run_stats().workers.size(),
+            static_cast<size_t>(pool.SuggestedQueryParallelism()));
+}
+
 }  // namespace
 }  // namespace tde

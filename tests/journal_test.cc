@@ -13,6 +13,7 @@
 #include "src/observe/metrics.h"
 #include "src/plan/executor.h"
 #include "src/workload/tpch.h"
+#include "tests/test_util.h"
 
 namespace tde {
 namespace {
@@ -226,19 +227,15 @@ TEST(Journal, DeltasSumToGlobalsAcrossConcurrentQueries) {
   };
   constexpr int kThreads = 4;
   constexpr int kPerThread = 6;
-  std::atomic<int> failures{0};
-  std::vector<std::thread> pool;
-  for (int t = 0; t < kThreads; ++t) {
-    pool.emplace_back([&, t]() {
-      for (int i = 0; i < kPerThread; ++i) {
-        auto r = engine.ExecuteSql(
-            queries[static_cast<size_t>(t + i) % queries.size()]);
-        if (!r.ok()) failures.fetch_add(1);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  ASSERT_EQ(failures.load(), 0);
+  const Status st = testutil::RunConcurrently(kThreads, [&](int t) -> Status {
+    for (int i = 0; i < kPerThread; ++i) {
+      auto r = engine.ExecuteSql(
+          queries[static_cast<size_t>(t + i) % queries.size()]);
+      if (!r.ok()) return r.status();
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
 
   const auto snap = journal.Snapshot();
   ASSERT_EQ(snap.size(), static_cast<size_t>(kThreads * kPerThread));

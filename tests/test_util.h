@@ -1,10 +1,14 @@
 #ifndef TDE_TESTS_TEST_UTIL_H_
 #define TDE_TESTS_TEST_UTIL_H_
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/exec/block.h"
@@ -93,6 +97,46 @@ inline std::vector<Lane> Flatten(const std::vector<Block>& blocks,
                b.columns[col].lanes.end());
   }
   return out;
+}
+
+/// Runs `fn(thread_index)` on `n` threads simultaneously (a start barrier
+/// maximizes interleaving) and returns the first failure, prefixed with
+/// the failing thread's index so a seeded workload can be replayed:
+/// "[thread 3] <status>". OK when every thread succeeded. gtest-free so
+/// scheduler/engine stress drivers and benchmarks can share it; in a test,
+/// assert `RunConcurrently(...).ok()`.
+inline Status RunConcurrently(int n,
+                              const std::function<Status(int)>& fn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int ready = 0;
+  bool go = false;
+  Status first_failure;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i]() {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (++ready == n) {
+          go = true;
+          cv.notify_all();
+        } else {
+          cv.wait(lock, [&]() { return go; });
+        }
+      }
+      Status st = fn(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_failure.ok()) {
+          first_failure = Status(st.code(), "[thread " + std::to_string(i) +
+                                                "] " + std::string(st.message()));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return first_failure;
 }
 
 /// Drains an operator, aborting on failure (gtest-free so benchmarks can

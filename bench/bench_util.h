@@ -43,6 +43,16 @@ inline uint64_t RollupRows() {
   return 4000000;
 }
 
+/// Rows of bench_heap_sorting's ORDER BY / Top-N table (acceptance runs
+/// use 10M). Override with TDE_SORT_ROWS; ci/check_bench.sh shrinks it
+/// for the regression gate.
+inline uint64_t SortRows() {
+  if (const char* e = std::getenv("TDE_SORT_ROWS")) {
+    return static_cast<uint64_t>(std::atoll(e));
+  }
+  return 2000000;
+}
+
 class Timer {
  public:
   Timer() : start_(std::chrono::steady_clock::now()) {}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Perf-regression gate: run bench_rollup in JSON mode and compare every
-# named measurement against the committed baseline (ci/BENCH_baseline.json).
+# Perf-regression gate: run bench_rollup and bench_heap_sorting in JSON
+# mode and compare every named measurement against the committed baseline
+# (ci/BENCH_baseline.json).
 # A measurement fails the gate when it is BOTH more than TDE_BENCH_TOLERANCE
 # slower relatively AND more than TDE_BENCH_MIN_MS slower absolutely — the
 # absolute floor keeps sub-millisecond timer noise from failing CI.
@@ -13,6 +14,8 @@
 #   TDE_ROLLUP_ROWS      bench table size (default: 1000000 for the gate;
 #                        must match the baseline's "rows" or the gate
 #                        refuses to compare)
+#   TDE_SORT_ROWS        ORDER BY / Top-N table size (default: 1000000;
+#                        recorded in the baseline as "sort_rows")
 #
 # --rebaseline replaces the committed baseline with this run's numbers
 # (use after an intentional perf change, on the reference machine).
@@ -24,24 +27,44 @@ BUILD="$(cd "$BUILD" && pwd)"
 MODE="${2:-check}"
 BASELINE="$ROOT/ci/BENCH_baseline.json"
 ROWS="${TDE_ROLLUP_ROWS:-1000000}"
+SORT_ROWS="${TDE_SORT_ROWS:-1000000}"
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 (cd "$WORK" && TDE_ROLLUP_ROWS="$ROWS" "$BUILD/bench/bench_rollup" --json \
     > bench.out) || { cat "$WORK/bench.out"; exit 1; }
-FRESH="$WORK/BENCH_rollup.json"
-[[ -f "$FRESH" ]] || { echo "bench_rollup wrote no BENCH_rollup.json"; exit 1; }
+[[ -f "$WORK/BENCH_rollup.json" ]] || {
+  echo "bench_rollup wrote no BENCH_rollup.json"; exit 1; }
+# The sorting bench's Fig. 6 half replays TPC-H imports; shrink them so
+# the gate only pays for the ORDER BY / Top-N measurements.
+(cd "$WORK" && TDE_SORT_ROWS="$SORT_ROWS" TDE_SF=0.001 \
+    TDE_FLIGHTS_ROWS=1000 "$BUILD/bench/bench_heap_sorting" --json \
+    > sortbench.out) || { cat "$WORK/sortbench.out"; exit 1; }
+[[ -f "$WORK/BENCH_sorting.json" ]] || {
+  echo "bench_heap_sorting wrote no BENCH_sorting.json"; exit 1; }
+
+# One merged doc: measurement names are globally unique across benches.
+FRESH="$WORK/BENCH_fresh.json"
+python3 - "$WORK/BENCH_rollup.json" "$WORK/BENCH_sorting.json" \
+    "$FRESH" <<'EOF'
+import json, sys
+rollup = json.load(open(sys.argv[1]))
+sorting = json.load(open(sys.argv[2]))
+doc = {"bench": "gate", "results": rollup["results"] + sorting["results"]}
+json.dump(doc, open(sys.argv[3], "w"))
+EOF
 
 if [[ "$MODE" == "--rebaseline" ]]; then
-  python3 - "$FRESH" "$BASELINE" "$ROWS" <<'EOF'
+  python3 - "$FRESH" "$BASELINE" "$ROWS" "$SORT_ROWS" <<'EOF'
 import json, sys
-fresh, baseline, rows = sys.argv[1], sys.argv[2], int(sys.argv[3])
+fresh, baseline = sys.argv[1], sys.argv[2]
 doc = json.load(open(fresh))
-doc["rows"] = rows
+doc["rows"] = int(sys.argv[3])
+doc["sort_rows"] = int(sys.argv[4])
 json.dump(doc, open(baseline, "w"), indent=1)
 open(baseline, "a").write("\n")
-print(f"rebaselined {baseline} at {rows} rows "
-      f"({len(doc['results'])} measurements)")
+print(f"rebaselined {baseline} at rows={doc['rows']} "
+      f"sort_rows={doc['sort_rows']} ({len(doc['results'])} measurements)")
 EOF
   exit 0
 fi
@@ -51,17 +74,22 @@ fi
   exit 1
 }
 
-python3 - "$FRESH" "$BASELINE" "$ROWS" <<'EOF'
+python3 - "$FRESH" "$BASELINE" "$ROWS" "$SORT_ROWS" <<'EOF'
 import json, os, sys
 fresh = json.load(open(sys.argv[1]))
 base = json.load(open(sys.argv[2]))
 rows = int(sys.argv[3])
+sort_rows = int(sys.argv[4])
 tol = float(os.environ.get("TDE_BENCH_TOLERANCE", "0.25"))
 floor_ms = float(os.environ.get("TDE_BENCH_MIN_MS", "20"))
 
 if base.get("rows") != rows:
     sys.exit(f"baseline was recorded at rows={base.get('rows')}, this run "
              f"used rows={rows}; set TDE_ROLLUP_ROWS to match or rebaseline")
+if base.get("sort_rows", sort_rows) != sort_rows:
+    sys.exit(f"baseline was recorded at sort_rows={base.get('sort_rows')}, "
+             f"this run used sort_rows={sort_rows}; set TDE_SORT_ROWS to "
+             "match or rebaseline")
 
 old = {r["name"]: r for r in base["results"]}
 new = {r["name"]: r for r in fresh["results"]}

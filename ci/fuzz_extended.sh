@@ -15,6 +15,10 @@
 #   TDE_FUZZ_THREADS concurrency stress thread counts (default "2 4 8";
 #                    set to "" to skip the concurrent-query stage)
 #   TDE_FUZZ_STRESS_ITERS  iterations per concurrency cell (default 50)
+#   TDE_FUZZ_SORT_ROWS  sort-axis row counts past the parallel-sort
+#                    threshold of 8192 (default "9000 20000"; "" skips)
+#   TDE_FUZZ_SORT_SEGS  sort-axis segment sizes (default "512 2048")
+#   TDE_FUZZ_SORT_SEEDS seeds per sort-axis cell (default 60)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -49,6 +53,23 @@ for ds in "${DATA[@]}"; do
   done
 done
 echo "differential fuzz: clean"
+
+# Sort axis: fact tables past the parallel-sort threshold (8192 rows), so
+# chunked sort + merge, Top-N zone skipping across many segments, and the
+# run-index sort all engage under the same kill-switch matrix. ORDER BY
+# shapes make up over half of the generated non-aggregate queries.
+read -r -a SORT_ROWS_AXIS <<< "${TDE_FUZZ_SORT_ROWS:-9000 20000}"
+read -r -a SORT_SEGS <<< "${TDE_FUZZ_SORT_SEGS:-512 2048}"
+SORT_SEEDS="${TDE_FUZZ_SORT_SEEDS:-60}"
+for rows in "${SORT_ROWS_AXIS[@]}"; do
+  for seg in "${SORT_SEGS[@]}"; do
+    echo "--- sort axis: rows=$rows seg_rows=$seg seeds=$SORT_SEEDS"
+    TDE_DIFF_ROWS="$rows" TDE_DIFF_SEG_ROWS="$seg" \
+    TDE_DIFF_SEEDS="$SORT_SEEDS" \
+        "$BIN" --gtest_filter='DifferentialTest.*'
+  done
+done
+echo "sort axis: clean"
 
 # Concurrent-query stress axis: the bounded tier-1 concurrency test soaked
 # with long iteration counts across several thread counts, all contending

@@ -41,6 +41,21 @@ using Lane = int64_t;
 /// as in the TDE. Nullability detection then falls out of min/max stats.
 inline constexpr int64_t kNullSentinel = std::numeric_limits<int64_t>::min();
 
+/// Three-way comparison of two reals under the engine's total order: NaN
+/// (either sign, any payload) equals NaN and orders above every number,
+/// including +inf. A plain `a < b` comparator is not a strict weak order
+/// once NaN appears (NaN is "equal" to everything, breaking transitivity
+/// and making std::sort undefined); every real comparison — predicates,
+/// MIN/MAX, sorting — goes through this one definition so the engine and
+/// the reference oracle cannot disagree. NULL is the callers' job: the
+/// sentinel must be peeled off before the lanes are read as doubles.
+inline int CompareReals(double a, double b) {
+  const bool na = a != a;  // NaN is the only value that differs from itself
+  const bool nb = b != b;
+  if (na || nb) return na == nb ? 0 : (na ? 1 : -1);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
 /// True for types whose lanes compare as signed integers.
 bool IsSignedType(TypeId t);
 

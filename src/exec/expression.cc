@@ -129,9 +129,7 @@ class CompareExpr : public Expression {
                         lv.heap->Get(a), rv.heap->Get(b));
         }
       } else if (reals) {
-        const double da = AsReal(lv.type, a);
-        const double db = AsReal(rv.type, b);
-        cmp = da < db ? -1 : (da > db ? 1 : 0);
+        cmp = CompareReals(AsReal(lv.type, a), AsReal(rv.type, b));
       } else {
         cmp = a < b ? -1 : (a > b ? 1 : 0);
       }
@@ -413,7 +411,7 @@ class InExpr : public Expression {
                          in.heap->Get(a), vv.heap->Get(b)) == 0;
           }
         } else if (in.type == TypeId::kReal || vv.type == TypeId::kReal) {
-          eq = AsReal(in.type, a) == AsReal(vv.type, b);
+          eq = CompareReals(AsReal(in.type, a), AsReal(vv.type, b)) == 0;
         } else {
           eq = a == b;
         }

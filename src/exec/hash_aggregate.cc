@@ -26,9 +26,7 @@ int CompareLanes(TypeId type, const StringHeap* heap, Lane a, Lane b) {
     return heap->CompareTokens(a, b);
   }
   if (type == TypeId::kReal) {
-    const double da = AsReal(a);
-    const double db = AsReal(b);
-    return da < db ? -1 : (da > db ? 1 : 0);
+    return CompareReals(AsReal(a), AsReal(b));
   }
   return a < b ? -1 : (a > b ? 1 : 0);
 }

@@ -1,0 +1,83 @@
+#include "src/exec/sort_keys.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tde {
+namespace sortkeys {
+
+void HeapUnifier::Adopt(const std::shared_ptr<const StringHeap>& src) {
+  heap_ = src;
+  owned_.reset();
+}
+
+void HeapUnifier::EnsureOwned() {
+  if (owned_ != nullptr) return;
+  if (heap_ == nullptr) {
+    owned_ = std::make_shared<StringHeap>();
+  } else {
+    owned_ = std::make_shared<StringHeap>(StringHeap::FromParts(
+        heap_->buffer(), heap_->entry_count(), heap_->sorted(),
+        heap_->collation()));
+  }
+  heap_ = owned_;
+}
+
+void HeapUnifier::UnifyBlock(ColumnVector* col) {
+  if (heap_ == nullptr) {
+    Adopt(col->heap);
+    return;
+  }
+  if (col->heap.get() == heap_.get() || col->heap == nullptr) {
+    col->heap = heap_;
+    return;
+  }
+  EnsureOwned();
+  const std::shared_ptr<const StringHeap> src = col->heap;
+  auto& memo = memo_[src];
+  for (Lane& lane : col->lanes) {
+    if (lane == kNullSentinel) continue;
+    auto it = memo.find(lane);
+    if (it != memo.end()) {
+      lane = it->second;
+      continue;
+    }
+    const Lane mapped = owned_->Add(src->Get(lane));
+    owned_->set_sorted(false);
+    memo.emplace(lane, mapped);
+    lane = mapped;
+  }
+  col->heap = heap_;
+}
+
+Lane StringRankCache::Rank(const std::shared_ptr<const StringHeap>& heap,
+                           Lane token) {
+  if (token == kNullSentinel) return token;
+  auto it = ranks_.find(heap);
+  if (it == ranks_.end()) {
+    std::vector<Lane> tokens = heap->AllTokens();
+    std::stable_sort(tokens.begin(), tokens.end(), [&](Lane a, Lane b) {
+      return Collate(heap->collation(), heap->Get(a), heap->Get(b)) < 0;
+    });
+    std::unordered_map<Lane, Lane> map;
+    map.reserve(tokens.size());
+    Lane rank = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      // Collation-equal entries share a rank so rank comparison returns 0
+      // exactly when CompareTokens would.
+      if (i > 0 && Collate(heap->collation(), heap->Get(tokens[i - 1]),
+                           heap->Get(tokens[i])) != 0) {
+        ++rank;
+      }
+      map[tokens[i]] = rank;
+    }
+    it = ranks_.emplace(heap, std::move(map)).first;
+  }
+  const auto entry = it->second.find(token);
+  // Tokens always come from the mapped heap; fall back to the sentinel-free
+  // token itself if a caller hands us a foreign one.
+  return entry != it->second.end() ? entry->second : token;
+}
+
+}  // namespace sortkeys
+}  // namespace tde

@@ -1,0 +1,128 @@
+#ifndef TDE_EXEC_SORT_KEYS_H_
+#define TDE_EXEC_SORT_KEYS_H_
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/block.h"
+#include "src/storage/string_heap.h"
+
+namespace tde {
+namespace sortkeys {
+
+/// Per-column heap unification for operators that buffer rows across
+/// blocks (Sort, TopN). A child usually shares one StringHeap across every
+/// block it emits, but operators that build output heaps per block (CASE
+/// over different columns, computed string projections) do not — and a
+/// buffering operator that keeps only the first block's heap would resolve
+/// later blocks' tokens against the wrong heap (wrong strings, or reads
+/// past the heap buffer). The unifier adopts the first heap it sees and,
+/// on a pointer change, re-interns foreign tokens into an owned copy; the
+/// common shared-heap path stays one pointer comparison per block.
+class HeapUnifier {
+ public:
+  /// The unified heap every stored token of this column is valid against.
+  const std::shared_ptr<const StringHeap>& heap() const { return heap_; }
+
+  /// True when `src` is not the unified heap (its tokens need Translate).
+  bool NeedsTranslation(const StringHeap* src) const {
+    return src != nullptr && src != heap_.get();
+  }
+
+  /// Rewrites `col`'s lanes to unified-heap tokens and stamps the unified
+  /// heap on the vector. Adopts the heap outright on first use.
+  void UnifyBlock(ColumnVector* col);
+
+ private:
+  void Adopt(const std::shared_ptr<const StringHeap>& src);
+  /// Clones the adopted heap into an owned, appendable copy (token offsets
+  /// are byte positions, so a verbatim buffer copy preserves them all).
+  void EnsureOwned();
+
+  std::shared_ptr<const StringHeap> heap_;
+  std::shared_ptr<StringHeap> owned_;
+  /// Keyed by owning pointer, not raw address: per-block expression heaps
+  /// die with their block, and a later heap allocated at a recycled
+  /// address must not replay the dead heap's translations. Holding the
+  /// owner also keeps every memoized source heap alive.
+  std::map<std::shared_ptr<const StringHeap>,
+           std::unordered_map<Lane, Lane>> memo_;
+};
+
+/// How a string sort key is compared (the dict-code sort of the tentpole).
+enum class StringKeyMode {
+  /// Sorted heap: token order is collation order, compare lanes as
+  /// integers and skip the heap entirely.
+  kRawTokens,
+  /// Unsorted heap: tokens were translated through a per-heap token->rank
+  /// cache (collation-sorted entries, collation-equal entries sharing one
+  /// rank), so comparisons are again integer.
+  kRanks,
+  /// Fallback (dict_sort kill switch off, or no heap): CompareTokens per
+  /// comparison.
+  kCollate,
+};
+
+/// Builds the token->rank map of `heap`: entries sorted by collation,
+/// collation-equal entries assigned equal ranks so rank comparison agrees
+/// exactly with CompareTokens. O(D log D) in distinct entries, built once
+/// per heap and reused for every key and block over it.
+class StringRankCache {
+ public:
+  /// Rank of `token` under `heap`'s collation. Builds the heap's map on
+  /// first use. The NULL sentinel passes through unchanged.
+  Lane Rank(const std::shared_ptr<const StringHeap>& heap, Lane token);
+
+ private:
+  /// Owner-keyed for the same reason as HeapUnifier::memo_: a recycled
+  /// heap address must never resolve against a dead heap's ranks.
+  std::map<std::shared_ptr<const StringHeap>,
+           std::unordered_map<Lane, Lane>> ranks_;
+};
+
+/// One prepared sort key over buffered columns. `lanes` points at the
+/// comparison lanes (rank-translated for kRanks); cmp handling of NULL and
+/// type dispatch lives in KeyCompare.
+struct PreparedKey {
+  size_t col = 0;  // column index in the operator's buffered schema
+  bool ascending = true;
+  TypeId type = TypeId::kInteger;
+  StringKeyMode mode = StringKeyMode::kCollate;
+  const StringHeap* heap = nullptr;  // kCollate only
+};
+
+/// Three-way comparison of two non-NULL comparison lanes under `key`'s
+/// domain. Callers peel the NULL sentinel off first (NULL orders below
+/// every value regardless of type).
+inline int KeyCompare(const PreparedKey& key, Lane a, Lane b) {
+  if (key.type == TypeId::kReal) {
+    return CompareReals(std::bit_cast<double>(static_cast<uint64_t>(a)),
+                        std::bit_cast<double>(static_cast<uint64_t>(b)));
+  }
+  if (key.type == TypeId::kString && key.mode == StringKeyMode::kCollate &&
+      key.heap != nullptr) {
+    return key.heap->CompareTokens(a, b);
+  }
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// Three-way comparison including the NULL rule, with the per-key
+/// direction applied: returns <0 when row lane `a` orders before `b`.
+inline int KeyCompareDirected(const PreparedKey& key, Lane a, Lane b) {
+  int cmp;
+  if (a == kNullSentinel || b == kNullSentinel) {
+    cmp = a == b ? 0 : (a == kNullSentinel ? -1 : 1);
+  } else {
+    cmp = KeyCompare(key, a, b);
+  }
+  return key.ascending ? cmp : -cmp;
+}
+
+}  // namespace sortkeys
+}  // namespace tde
+
+#endif  // TDE_EXEC_SORT_KEYS_H_

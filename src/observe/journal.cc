@@ -31,6 +31,10 @@ constexpr QueryCounterNames kQueryCounterNames[kNumQueryCounters] = {
     {"agg.runs_folded", "runs_folded"},
     {"agg.groups_late_materialized", "groups_late_materialized"},
     {"agg.metadata_answers", "metadata_answers"},
+    {"sort.rows_materialized", "rows_materialized"},
+    {"sort.topn_segments_skipped", "topn_segments_skipped"},
+    {"sort.dict_key_sorts", "dict_key_sorts"},
+    {"sort.runs_sorted", "runs_sorted"},
 };
 
 /// Registry handles looked up once: QueryCount stays two relaxed adds.

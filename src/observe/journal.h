@@ -33,6 +33,10 @@ enum class QueryCounter : int {
   kRunsFolded,                  // agg.runs_folded
   kGroupsLateMaterialized,      // agg.groups_late_materialized
   kMetadataAnswers,             // agg.metadata_answers
+  kRowsMaterialized,            // sort.rows_materialized — rows a sort kept
+  kTopNSegmentsSkipped,         // sort.topn_segments_skipped — zone skips
+  kDictKeySorts,                // sort.dict_key_sorts — integer-domain keys
+  kRunsSorted,                  // sort.runs_sorted — runs ordered, not rows
   kCount,
 };
 

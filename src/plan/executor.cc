@@ -12,6 +12,7 @@
 #include "src/exec/parallel_rollup.h"
 #include "src/exec/scheduler.h"
 #include "src/exec/table_scan.h"
+#include "src/exec/topn.h"
 #include "src/observe/journal.h"
 #include "src/observe/metrics.h"
 #include "src/observe/trace.h"
@@ -584,13 +585,31 @@ Result<BuiltPlan> BuildIndexedScan(const PlanNode& node, bool* grouped) {
     out.props[p] = PropsOf(*pc);
   }
   if (choice.ordered_aggregation) out.grouped_on = node.index_column;
+  uint64_t runs_sorted = 0;
+  if (node.sort_runs) {
+    // The run-sort rewrite: an ORDER BY became ordered run retrieval, so
+    // the sort touched `index.size()` runs instead of their rows.
+    runs_sorted = index.size();
+    out.notes.push_back("sort(" + node.index_column + "): ordered " +
+                        std::to_string(runs_sorted) +
+                        " runs in the compressed domain, not " +
+                        std::to_string(IndexRowCount(index)) + " rows");
+    observe::QueryCount(observe::QueryCounter::kRunsSorted, runs_sorted);
+    out.grouped_on = node.index_column;
+    out.props[node.index_column].meta.sorted = true;
+  }
   out.op = std::make_unique<IndexedScan>(node.table, std::move(index),
                                          std::move(opts));
   std::function<void(observe::OperatorStats*)> on_close;
-  if (node.index_predicate != nullptr) {
-    on_close = [runs_skipped, rows_pruned](observe::OperatorStats* s) {
-      s->extras.emplace_back("runs_skipped", runs_skipped);
-      s->extras.emplace_back("rows_pruned", rows_pruned);
+  if (node.index_predicate != nullptr || runs_sorted > 0) {
+    const bool filtered = node.index_predicate != nullptr;
+    on_close = [filtered, runs_skipped, rows_pruned,
+                runs_sorted](observe::OperatorStats* s) {
+      if (filtered) {
+        s->extras.emplace_back("runs_skipped", runs_skipped);
+        s->extras.emplace_back("rows_pruned", rows_pruned);
+      }
+      if (runs_sorted > 0) s->extras.emplace_back("runs_sorted", runs_sorted);
     };
   }
   Attach(&out, "IndexedScan(" + node.index_column + ")", {},
@@ -764,6 +783,129 @@ Result<BuiltPlan> BuildExchange(const PlanNode& node) {
   return out;
 }
 
+/// Lowers kTopN. Directly over a segmented scan (with sort_pruning on and
+/// a lane-comparable first key) the input splits into one range-restricted
+/// TableScan per segment, each carrying the key's zone: once the heap is
+/// full, TopN skips — never opens, never faults — segments whose best
+/// possible row cannot beat the current worst. Otherwise a single-source
+/// TopN over the built child, with a sorted-input short-circuit when the
+/// child is already ordered on the first key.
+Result<BuiltPlan> BuildTopN(const PlanNodePtr& node) {
+  TopNOptions topts;
+  topts.dict_sort = node->dict_sort;
+  const std::string key0 =
+      node->sort_keys.empty() ? std::string() : node->sort_keys[0].column;
+
+  const PlanNodePtr& child = node->children[0];
+  if (node->sort_pruning && !key0.empty() &&
+      child->kind == PlanNodeKind::kScan && child->table != nullptr &&
+      child->token_columns.empty() && child->code_columns.empty()) {
+    auto col_r = child->table->ColumnByName(key0);
+    const bool key_scanned =
+        child->columns.empty() ||
+        std::find(child->columns.begin(), child->columns.end(), key0) !=
+            child->columns.end();
+    if (col_r.ok() && key_scanned &&
+        (col_r.value()->type() == TypeId::kInteger ||
+         col_r.value()->type() == TypeId::kDate ||
+         col_r.value()->type() == TypeId::kDateTime ||
+         col_r.value()->type() == TypeId::kBool)) {
+      const std::vector<SegmentShape> shapes = col_r.value()->SegmentShapes();
+      if (shapes.size() > 1) {
+        BuiltPlan out;
+        TDE_RETURN_NOT_OK(ScanProps(*child, &out));
+        std::vector<TopNSource> sources;
+        sources.reserve(shapes.size());
+        for (const SegmentShape& s : shapes) {
+          TableScanOptions sopts;
+          sopts.columns = child->columns;
+          sopts.ranges = {{s.start_row, s.start_row + s.rows}};
+          TopNSource src;
+          src.op = std::make_unique<TableScan>(child->table, std::move(sopts));
+          if (s.zone.meta.min_max_known) {
+            src.zone_known = true;
+            src.min_value = s.zone.meta.min_value;
+            src.max_value = s.zone.meta.max_value;
+            src.has_nulls = !s.zone.meta.null_known || s.zone.meta.has_nulls;
+          }
+          sources.push_back(std::move(src));
+        }
+        const size_t nsegs = sources.size();
+        auto topn = std::make_unique<TopN>(std::move(sources),
+                                           node->sort_keys, node->limit,
+                                           topts);
+        TopN* raw = topn.get();
+        out.op = std::move(topn);
+        out.notes.push_back("topn(" + key0 + "): k=" +
+                            std::to_string(node->limit) + ", " +
+                            std::to_string(nsegs) +
+                            " segment sources with zone skipping");
+        out.grouped_on = key0;
+        auto it = out.props.find(key0);
+        if (it != out.props.end()) it->second.meta.sorted = true;
+        Attach(&out, "TopN(" + std::to_string(node->limit) + ", " +
+                         std::to_string(nsegs) + " segments)",
+               {}, [raw](observe::OperatorStats* s) {
+                 s->extras.emplace_back("input_rows", raw->input_rows());
+                 s->extras.emplace_back("rows_materialized",
+                                        raw->rows_materialized());
+                 s->extras.emplace_back("segments_skipped",
+                                        raw->segments_skipped());
+                 observe::QueryCount(
+                     observe::QueryCounter::kRowsMaterialized,
+                     raw->rows_materialized());
+                 observe::QueryCount(
+                     observe::QueryCounter::kTopNSegmentsSkipped,
+                     raw->segments_skipped());
+                 if (raw->dict_keys() > 0) {
+                   s->extras.emplace_back("dict_key_sorts", raw->dict_keys());
+                   observe::QueryCount(observe::QueryCounter::kDictKeySorts,
+                                       raw->dict_keys());
+                 }
+               });
+        return out;
+      }
+    }
+  }
+
+  TDE_ASSIGN_OR_RETURN(BuiltPlan built_child, BuildExecutable(child));
+  BuiltPlan out;
+  out.notes = std::move(built_child.notes);
+  out.props = std::move(built_child.props);
+  if (!key0.empty()) {
+    auto it = out.props.find(key0);
+    if (it != out.props.end() && it->second.meta.sorted &&
+        node->sort_keys[0].ascending) {
+      // Child already ordered on the first key: the drain can stop at the
+      // first row that cannot enter the full heap.
+      topts.input_sorted = true;
+      out.notes.push_back("topn(" + key0 +
+                          "): sorted input, early stop enabled");
+    }
+    out.grouped_on = key0;
+    if (it != out.props.end()) it->second.meta.sorted = true;
+  }
+  auto topn = std::make_unique<TopN>(std::move(built_child.op),
+                                     node->sort_keys, node->limit, topts);
+  TopN* raw = topn.get();
+  out.op = std::move(topn);
+  Attach(&out, "TopN(" + std::to_string(node->limit) + ")",
+         {std::move(built_child.stats)}, [raw](observe::OperatorStats* s) {
+           s->extras.emplace_back("input_rows", raw->input_rows());
+           s->extras.emplace_back("rows_materialized",
+                                  raw->rows_materialized());
+           if (raw->early_stopped()) s->extras.emplace_back("early_stop", 1);
+           observe::QueryCount(observe::QueryCounter::kRowsMaterialized,
+                               raw->rows_materialized());
+           if (raw->dict_keys() > 0) {
+             s->extras.emplace_back("dict_key_sorts", raw->dict_keys());
+             observe::QueryCount(observe::QueryCounter::kDictKeySorts,
+                                 raw->dict_keys());
+           }
+         });
+  return out;
+}
+
 }  // namespace
 
 Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
@@ -811,13 +953,33 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
         auto it = out.props.find(node->sort_keys[0].column);
         if (it != out.props.end()) it->second.meta.sorted = true;
       }
-      out.op = std::make_unique<Sort>(std::move(child.op), node->sort_keys);
+      SortOptions sopts;
+      sopts.dict_sort = node->dict_sort;
+      auto sort = std::make_unique<Sort>(std::move(child.op), node->sort_keys,
+                                         sopts);
+      // The wrapper owns the operator, so the raw pointer outlives Close.
+      Sort* raw = sort.get();
+      out.op = std::move(sort);
       Attach(&out,
              "Sort(" +
                  (node->sort_keys.empty() ? std::string()
                                           : node->sort_keys[0].column) +
                  ")",
-             {std::move(child.stats)});
+             {std::move(child.stats)}, [raw](observe::OperatorStats* s) {
+               s->extras.emplace_back("rows_materialized", raw->rows_sorted());
+               observe::QueryCount(observe::QueryCounter::kRowsMaterialized,
+                                   raw->rows_sorted());
+               if (raw->dict_key_sorts() > 0) {
+                 s->extras.emplace_back("dict_key_sorts",
+                                        raw->dict_key_sorts());
+                 observe::QueryCount(observe::QueryCounter::kDictKeySorts,
+                                     raw->dict_key_sorts());
+               }
+               if (raw->parallel_chunks() > 0) {
+                 s->extras.emplace_back("parallel_chunks",
+                                        raw->parallel_chunks());
+               }
+             });
       return out;
     }
     case PlanNodeKind::kJoinTable: {
@@ -855,6 +1017,8 @@ Result<BuiltPlan> BuildExecutable(const PlanNodePtr& node) {
              {std::move(child.stats)}, std::move(on_close));
       return out;
     }
+    case PlanNodeKind::kTopN:
+      return BuildTopN(node);
     case PlanNodeKind::kExchange:
       return BuildExchange(*node);
     case PlanNodeKind::kMaterialize: {

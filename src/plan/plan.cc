@@ -93,7 +93,7 @@ void Print(const PlanNodePtr& node, int depth, std::string* out) {
   static const char* kNames[] = {
       "Scan",      "Filter",        "Project",     "Aggregate",
       "Sort",      "JoinTable",     "InvisibleJoin", "IndexedScan",
-      "Exchange",  "Materialize",   "Limit"};
+      "Exchange",  "Materialize",   "Limit",       "TopN"};
   out->append(static_cast<size_t>(depth) * 2, ' ');
   out->append(kNames[static_cast<int>(node->kind)]);
   switch (node->kind) {
@@ -108,6 +108,10 @@ void Print(const PlanNodePtr& node, int depth, std::string* out) {
       break;
     case PlanNodeKind::kIndexedScan:
       out->append("(" + node->index_column + ")");
+      if (node->sort_runs) out->append("[run-sort]");
+      break;
+    case PlanNodeKind::kTopN:
+      out->append("(" + std::to_string(node->limit) + ")");
       break;
     case PlanNodeKind::kAggregate:
       if (node->metadata_answered) out->append("[metadata]");

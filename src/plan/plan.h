@@ -27,6 +27,7 @@ enum class PlanNodeKind {
   kExchange,
   kMaterialize,    // FlowTable sink
   kLimit,
+  kTopN,           // Limit-over-Sort fused into a bounded heap
 };
 
 struct PlanNode;
@@ -78,8 +79,20 @@ struct PlanNode {
   bool metadata_answered = false;
   std::vector<Lane> metadata_row;
 
-  // kSort
+  // kSort / kTopN
   std::vector<SortKey> sort_keys;
+  /// Lowering may compare string sort keys in the integer domain (raw
+  /// tokens of a sorted heap, else a per-heap code->rank cache). Cleared by
+  /// the strategic optimizer when StrategicOptions::enable_dict_sort is
+  /// off.
+  bool dict_sort = true;
+
+  // kTopN (also uses `limit`)
+  /// The executor may split a Top-N directly over a scan into per-segment
+  /// sources and skip segments whose zone map cannot beat the heap's
+  /// current worst row. Cleared when
+  /// StrategicOptions::enable_sort_pruning is off.
+  bool sort_pruning = true;
 
   // kJoinTable
   std::shared_ptr<const Table> inner_table;
@@ -98,6 +111,10 @@ struct PlanNode {
   /// Sort the index by value before scanning (ordered retrieval, 4.2.2);
   /// when unset the executor decides tactically.
   std::optional<bool> sort_index_by_value;
+  /// Set by the run-sort rewrite (an ORDER BY on an RLE column became
+  /// ordered run retrieval): sorting touched runs, not rows — counted as
+  /// sort.runs_sorted.
+  bool sort_runs = false;
   std::vector<std::string> payload;
 
   // kExchange

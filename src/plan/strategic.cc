@@ -356,6 +356,100 @@ void PushRunFilters(PlanNodePtr* node) {
   if (PlanNodePtr next = TryRunFilter(*node)) *node = std::move(next);
 }
 
+// --- Compressed-domain ordering -------------------------------------------
+
+/// Limit over Sort -> TopN: the limit bounds how many rows can ever
+/// surface, so the sort keeps a k-row heap instead of materializing and
+/// ordering everything. Output (order, ties, NULL placement) is identical
+/// to the full sort; only the work changes.
+PlanNodePtr TryTopN(const PlanNodePtr& limit) {
+  if (limit->kind != PlanNodeKind::kLimit) return nullptr;
+  const PlanNodePtr& sort = limit->children[0];
+  if (sort->kind != PlanNodeKind::kSort || sort->sort_keys.empty()) {
+    return nullptr;
+  }
+  auto topn = std::make_shared<PlanNode>();
+  topn->kind = PlanNodeKind::kTopN;
+  topn->sort_keys = sort->sort_keys;
+  topn->limit = limit->limit;
+  topn->dict_sort = sort->dict_sort;
+  topn->children = sort->children;
+  return topn;
+}
+
+/// Sort over Scan on a single ascending run-length key -> ordered run
+/// retrieval (Sect. 4.2.2): the IndexedScan sorts the *run index* by value
+/// and emits whole runs in key order, so an ORDER BY over n rows in r runs
+/// sorts r entries. Runs keep their physical order within equal values,
+/// which is exactly the stable sort's tie-break. Post-pass like
+/// TryRunFilter, so the Top-N rewrite keeps first claim on Limit-covered
+/// sorts and scan pruning has already narrowed the payload.
+PlanNodePtr TrySortRuns(const PlanNodePtr& sort) {
+  if (sort->kind != PlanNodeKind::kSort || sort->sort_keys.size() != 1 ||
+      !sort->sort_keys[0].ascending) {
+    return nullptr;
+  }
+  const PlanNodePtr& scan = sort->children[0];
+  if (scan->kind != PlanNodeKind::kScan || scan->table == nullptr ||
+      !scan->token_columns.empty() || !scan->code_columns.empty()) {
+    return nullptr;
+  }
+  const std::string& c = sort->sort_keys[0].column;
+  auto col_r = scan->table->ColumnByName(c);
+  if (!col_r.ok()) return nullptr;
+  const auto& col = col_r.value();
+  // Directory facts only. SortIndexByValue orders runs by raw lane (NULL
+  // sentinel first, matching ascending NULL placement), so the key must be
+  // lane-comparable and uncompressed — token or code runs would sort by
+  // the wrong domain.
+  if (col->encoding_type() != EncodingType::kRunLength ||
+      col->compression() != CompressionKind::kNone ||
+      !LaneComparable(col->type())) {
+    return nullptr;
+  }
+  std::vector<std::string> out_cols = scan->columns;
+  if (out_cols.empty()) {
+    for (size_t i = 0; i < scan->table->num_columns(); ++i) {
+      out_cols.push_back(scan->table->column(i).name());
+    }
+  }
+  if (std::find(out_cols.begin(), out_cols.end(), c) == out_cols.end()) {
+    return nullptr;
+  }
+
+  auto iscan = std::make_shared<PlanNode>();
+  iscan->kind = PlanNodeKind::kIndexedScan;
+  iscan->table = scan->table;
+  iscan->index_column = c;
+  iscan->sort_index_by_value = true;
+  iscan->sort_runs = true;
+  for (const std::string& n : out_cols) {
+    if (n != c) iscan->payload.push_back(n);
+  }
+  auto project = std::make_shared<PlanNode>();
+  project->kind = PlanNodeKind::kProject;
+  for (const std::string& n : out_cols) {
+    project->projections.push_back({expr::Col(n), n});
+  }
+  project->children = {iscan};
+  return project;
+}
+
+void PushSortRuns(PlanNodePtr* node) {
+  for (auto& c : (*node)->children) PushSortRuns(&c);
+  if (PlanNodePtr next = TrySortRuns(*node)) *node = std::move(next);
+}
+
+void DisableDictSort(const PlanNodePtr& node) {
+  node->dict_sort = false;
+  for (const auto& c : node->children) DisableDictSort(c);
+}
+
+void DisableSortPruning(const PlanNodePtr& node) {
+  node->sort_pruning = false;
+  for (const auto& c : node->children) DisableSortPruning(c);
+}
+
 void DisableDictPredicates(const PlanNodePtr& node) {
   node->compressed_eval = false;
   for (const auto& c : node->children) DisableDictPredicates(c);
@@ -776,7 +870,8 @@ void PruneScans(const PlanNodePtr& node, const ColumnSet* required) {
       PruneScans(node->children[0], &need);
       return;
     }
-    case PlanNodeKind::kSort: {
+    case PlanNodeKind::kSort:
+    case PlanNodeKind::kTopN: {
       if (required == nullptr) break;
       ColumnSet need = *required;
       for (const SortKey& k : node->sort_keys) need.insert(k.column);
@@ -826,6 +921,9 @@ PlanNodePtr Rewrite(PlanNodePtr node, const StrategicOptions& options) {
     if (options.enable_dict_grouping && next == nullptr) {
       next = TryDictCodeScan(node);
     }
+    if (options.enable_topn && next == nullptr) {
+      next = TryTopN(node);
+    }
     if (options.enable_invisible_join && next == nullptr) {
       next = TryInvisibleJoin(node);
     }
@@ -853,6 +951,9 @@ Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
   if (options.enable_run_filters) {
     PushRunFilters(&root);
   }
+  if (options.enable_sort_pruning) {
+    PushSortRuns(&root);
+  }
   if (options.enforce_order_preserving_exchange) {
     EnforceOrderedExchange(root, /*under_encoder=*/false);
   }
@@ -861,6 +962,12 @@ Result<PlanNodePtr> StrategicOptimize(PlanNodePtr root,
   }
   if (!options.enable_dict_grouping) {
     DisableDictGrouping(root);
+  }
+  if (!options.enable_dict_sort) {
+    DisableDictSort(root);
+  }
+  if (!options.enable_sort_pruning) {
+    DisableSortPruning(root);
   }
   return root;
 }

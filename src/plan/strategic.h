@@ -59,6 +59,22 @@ struct StrategicOptions {
   /// MIN / MAX / COUNTD answered from directory facts at strategic time.
   /// The scan is never built, so cold columns stay on disk.
   bool enable_metadata_aggregates = true;
+  /// Limit-over-Sort fusion: ORDER BY ... LIMIT k keeps the k best rows in
+  /// a bounded heap (O(n log k), O(k) materialized rows) instead of fully
+  /// sorting and then discarding. Ties and output order match the full
+  /// sort exactly.
+  bool enable_topn = true;
+  /// Compressed-domain sort keys: string ORDER BY columns compare as
+  /// integers — raw tokens when the heap is sorted, per-heap collation
+  /// ranks otherwise — instead of running the locale collation per
+  /// comparison.
+  bool enable_dict_sort = true;
+  /// Run/segment awareness for ordering: a single-key ascending ORDER BY
+  /// on an uncompressed run-length column becomes ordered run retrieval
+  /// (sorting runs, not rows), and a Top-N directly over a segmented scan
+  /// skips whole segments whose zone map cannot beat the heap's worst
+  /// kept row.
+  bool enable_sort_pruning = true;
 };
 
 /// The strategic (compile-time) optimizer: rule-based rewrites over the

@@ -1,6 +1,8 @@
 #include "src/testing/genquery.h"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 #include <utility>
 
@@ -160,7 +162,13 @@ Dataset GenerateDataset(const TableSpec& spec) {
               v.d = static_cast<double>(rng.U(8)) * 0.25;
               break;
             case ColumnShape::kScattered:
-              v.d = static_cast<double>(rng.Range(-400, 400)) * 0.25;
+              // A few NaNs ride along: sorts, aggregates and comparisons
+              // must hold the engine/oracle total order (NaN above +inf,
+              // NaN == NaN) instead of the IEEE partial order, which
+              // breaks strict weak ordering and corrupts sorted output.
+              v.d = rng.Chance(4)
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : static_cast<double>(rng.Range(-400, 400)) * 0.25;
               break;
           }
           break;
@@ -315,6 +323,9 @@ class SqlBuilder {
           return std::to_string(x);
         }
         case TypeId::kReal:
+          // NaN has no SQL literal spelling ("nan" lexes as an
+          // identifier); resample like a NULL hit.
+          if (std::isnan(v.d)) continue;
           return FormatReal(v.d);
         case TypeId::kString:
           return "'" + v.s + "'";
@@ -540,7 +551,9 @@ GeneratedQuery GenerateQuery(uint64_t seed, const Dataset& fact,
       q.has_order_by = true;
     }
     if (rng.Chance(30)) {
-      q.limit = rng.U(fact.spec.rows + 10);
+      // Small k half the time: the Top-N rewrite's interesting regime
+      // (bounded heap, zone skips); large k degenerates to the full sort.
+      q.limit = rng.Chance(50) ? rng.U(25) : rng.U(fact.spec.rows + 10);
       q.sql += " LIMIT " + std::to_string(q.limit);
       q.has_limit = true;
     }

@@ -119,9 +119,10 @@ int CompareRefValues(const RefValue& a, const RefValue& b) {
     return Collate(Collation::kLocale, a.s, b.s);
   }
   if (a.type == TypeId::kReal || b.type == TypeId::kReal) {
-    const double da = AsDouble(a);
-    const double db = AsDouble(b);
-    return da < db ? -1 : (da > db ? 1 : 0);
+    // Same total order as the engine (CompareReals): NaN equals NaN and
+    // sorts above every number, so NaN-seeded data cannot produce a
+    // comparator that is not a strict weak ordering on either side.
+    return CompareReals(AsDouble(a), AsDouble(b));
   }
   return a.i < b.i ? -1 : (a.i > b.i ? 1 : 0);
 }

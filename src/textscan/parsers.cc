@@ -99,6 +99,30 @@ bool ParseDouble(std::string_view s, double* out) {
     neg = s[0] == '-';
     pos = 1;
   }
+  // Non-finite spellings, matching FormatLane's %g output ("nan", "inf")
+  // plus the common long forms. Case-insensitive; the sign applies ("-inf"
+  // is negative infinity, "-nan" canonicalizes to the one engine NaN so a
+  // round-trip through text cannot mint a second NaN bit pattern).
+  {
+    auto ieq = [](std::string_view a, const char* b) {
+      const size_t n = std::char_traits<char>::length(b);
+      if (a.size() != n) return false;
+      for (size_t i = 0; i < n; ++i) {
+        if ((a[i] | 0x20) != b[i]) return false;
+      }
+      return true;
+    };
+    const std::string_view rest = s.substr(pos);
+    if (ieq(rest, "nan")) {
+      *out = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    }
+    if (ieq(rest, "inf") || ieq(rest, "infinity")) {
+      const double inf = std::numeric_limits<double>::infinity();
+      *out = neg ? -inf : inf;
+      return true;
+    }
+  }
   const size_t body = pos;  // first mantissa byte (sign stripped)
   uint64_t mantissa = 0;
   int exp10 = 0;

@@ -189,6 +189,9 @@ std::vector<Config> MakeConfigs() {
   off.enable_dict_grouping = false;
   off.enable_run_aggregation = false;
   off.enable_metadata_aggregates = false;
+  off.enable_topn = false;
+  off.enable_dict_sort = false;
+  off.enable_sort_pruning = false;
   configs.push_back({"everything-off", off});
 
   StrategicOptions o = StrategicOptions{};
@@ -215,6 +218,21 @@ std::vector<Config> MakeConfigs() {
   o.enable_filter_pushdown = false;
   o.enable_projection_pruning = false;
   configs.push_back({"no-rewrites", o});
+
+  // The Top-N axis: heap vs full sort must agree on order, ties, and NULL
+  // placement; with the fusion off the engine still exercises the
+  // rewritten Sort (dict keys, parallel chunks).
+  o = StrategicOptions{};
+  o.enable_topn = false;
+  configs.push_back({"no-topn", o});
+
+  o = StrategicOptions{};
+  o.enable_dict_sort = false;
+  configs.push_back({"no-dict-sort", o});
+
+  o = StrategicOptions{};
+  o.enable_sort_pruning = false;
+  configs.push_back({"no-sort-pruning", o});
   return configs;
 }
 

@@ -257,6 +257,91 @@ TEST(Journal, DeltasSumToGlobalsAcrossConcurrentQueries) {
   EXPECT_GT(scanned, 0u);
 }
 
+/// Acceptance check for the compressed-domain sort counters: a Top-N over
+/// a segmented table materializes far fewer rows than it scans and skips
+/// the segments whose zone maps cannot beat the heap, dictionary keys
+/// compare in the integer domain, and a single-key sort over a
+/// run-length column orders runs instead of rows. All of it must surface
+/// in the journal and in EXPLAIN ANALYZE.
+TEST(Journal, SortCountersFlowToJournalAndExplain) {
+  observe::SetStatsEnabled(true);
+  Engine engine;
+  ImportOptions opts;
+  opts.flow.segment_rows = 512;
+  // k ascending -> disjoint per-segment zones; s low-cardinality strings;
+  // r in non-monotone runs of 256 rows.
+  const char* words[] = {"walnut", "elm", "cedar", "ash"};
+  std::string csv = "k,s,r\n";
+  for (int i = 0; i < 4096; ++i) {
+    csv += std::to_string(i) + "," + words[i % 4] + "," +
+           std::to_string((i / 256) * 3 % 7) + "\n";
+  }
+  auto imported = engine.ImportTextBuffer(csv, "seq", opts);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  QueryJournal& journal = QueryJournal::Global();
+  const auto counter = [](const QueryJournalEntry& e, QueryCounter c) {
+    return e.counters[static_cast<size_t>(c)];
+  };
+
+  // Top-N over the segmented scan: the first segment already holds the
+  // 100 smallest keys, so every other segment's minimum loses against the
+  // full heap and is skipped unopened.
+  journal.Clear();
+  auto topn = engine.ExecuteSql("SELECT * FROM seq ORDER BY k LIMIT 100");
+  ASSERT_TRUE(topn.ok()) << topn.status().ToString();
+  ASSERT_EQ(topn.value().num_rows(), 100u);
+  EXPECT_EQ(topn.value().Value(0, 0), 0);
+  EXPECT_EQ(topn.value().Value(99, 0), 99);
+  ASSERT_EQ(journal.size(), 1u);
+  {
+    const QueryJournalEntry e = journal.Snapshot()[0];
+    const uint64_t kept = counter(e, QueryCounter::kRowsMaterialized);
+    EXPECT_GE(kept, 100u);
+    EXPECT_LT(kept, 4096u / 4);  // the bound: k rows + heap churn, not n
+    EXPECT_EQ(counter(e, QueryCounter::kTopNSegmentsSkipped), 7u);
+  }
+  // The same numbers annotate the TopN node in EXPLAIN ANALYZE.
+  auto analyzed = engine.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT * FROM seq ORDER BY k LIMIT 100");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string tree;
+  for (uint64_t r = 0; r < analyzed.value().num_rows(); ++r) {
+    tree += analyzed.value().ValueString(r, 0) + "\n";
+  }
+  EXPECT_NE(tree.find("rows_materialized"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("segments_skipped=7"), std::string::npos) << tree;
+
+  // Dictionary-coded sort keys: a string first key compares as integers.
+  journal.Clear();
+  auto dict = engine.ExecuteSql("SELECT * FROM seq ORDER BY s, k LIMIT 3");
+  ASSERT_TRUE(dict.ok()) << dict.status().ToString();
+  ASSERT_EQ(dict.value().num_rows(), 3u);
+  EXPECT_EQ(dict.value().ValueString(0, 1), "ash");
+  EXPECT_EQ(dict.value().Value(0, 0), 3);  // lowest k among the ash rows
+  EXPECT_EQ(dict.value().Value(1, 0), 7);
+  ASSERT_EQ(journal.size(), 1u);
+  EXPECT_GE(counter(journal.Snapshot()[0], QueryCounter::kDictKeySorts), 1u);
+
+  // Run-aware ordering: ORDER BY on a run-length column sorts the run
+  // index, never the rows. 4096 rows in 16 runs -> 16 runs ordered.
+  Engine mono;  // monolithic layout so the run directory spans the table
+  auto imported2 = mono.ImportTextBuffer(csv, "seq", {});
+  ASSERT_TRUE(imported2.ok()) << imported2.status().ToString();
+  journal.Clear();
+  auto runs = mono.ExecuteSql("SELECT * FROM seq ORDER BY r");
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  ASSERT_EQ(runs.value().num_rows(), 4096u);
+  EXPECT_EQ(runs.value().Value(0, 2), 0);
+  EXPECT_EQ(runs.value().Value(4095, 2), 6);
+  ASSERT_EQ(journal.size(), 1u);
+  {
+    const QueryJournalEntry e = journal.Snapshot()[0];
+    EXPECT_EQ(counter(e, QueryCounter::kRunsSorted), 16u);
+    EXPECT_EQ(counter(e, QueryCounter::kRowsMaterialized), 0u);
+  }
+}
+
 TEST(Journal, SlowQueryLineOnThreshold) {
   observe::SetStatsEnabled(true);
   const int64_t saved = QueryJournal::SlowQueryThresholdMs();

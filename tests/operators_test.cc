@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <bit>
+#include <limits>
 #include <numeric>
 
 #include <gtest/gtest.h>
@@ -9,6 +11,7 @@
 #include "src/exec/project.h"
 #include "src/exec/sort.h"
 #include "src/exec/table_scan.h"
+#include "src/exec/topn.h"
 #include "tests/test_util.h"
 
 namespace tde {
@@ -84,6 +87,295 @@ TEST(Sort, StringKeysUseCollation) {
   Sort s(std::move(src), {{"s", true}});
   auto blocks = Drain(&s);
   EXPECT_EQ(Flatten(blocks, 0), (std::vector<Lane>{1, 0, 2}));
+}
+
+TEST(Sort, DescendingPutsNullsLast) {
+  // NULL orders below every value; DESC negates after that rule, so NULLs
+  // come out last — the engine and the reference oracle agree on this.
+  auto src = VectorSource::Ints(
+      {{"x", {5, kNullSentinel, 1, kNullSentinel, 9}},
+       {"id", {0, 1, 2, 3, 4}}});
+  Sort s(std::move(src), {{"x", false}});
+  auto blocks = Drain(&s);
+  EXPECT_EQ(Flatten(blocks, 0),
+            (std::vector<Lane>{9, 5, 1, kNullSentinel, kNullSentinel}));
+  // Equal keys (the two NULLs) keep input order: stable.
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{4, 0, 2, 1, 3}));
+}
+
+TEST(Sort, MixedDirectionMultiKeyIsStable) {
+  auto src = VectorSource::Ints({{"a", {1, 2, 1, 2, 1}},
+                                 {"b", {7, 8, 7, 6, 9}},
+                                 {"id", {0, 1, 2, 3, 4}}});
+  Sort s(std::move(src), {{"a", true}, {"b", false}});
+  auto blocks = Drain(&s);
+  // a=1: b desc 9,7,7 (ids 4 then 0,2 in input order); a=2: b desc 8,6.
+  EXPECT_EQ(Flatten(blocks, 2), (std::vector<Lane>{4, 0, 2, 1, 3}));
+}
+
+TEST(Sort, EmptyInput) {
+  auto src = VectorSource::Ints({{"x", {}}});
+  Sort s(std::move(src), {{"x", true}});
+  EXPECT_TRUE(Drain(&s).empty());
+}
+
+TEST(Sort, BlockSizeBoundaries) {
+  // Exactly one block and one block plus one row: the shapes where an
+  // off-by-one in the buffering loop or the emit slicing would bite.
+  for (const size_t n : {kBlockSize, kBlockSize + 1}) {
+    std::vector<Lane> v(n);
+    std::iota(v.begin(), v.end(), 0);
+    std::reverse(v.begin(), v.end());
+    auto src = VectorSource::Ints({{"x", v}});
+    Sort s(std::move(src), {{"x", true}});
+    const auto got = Flatten(Drain(&s), 0);
+    ASSERT_EQ(got.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], static_cast<Lane>(i)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Sort, NanKeepsTotalOrder) {
+  const auto lane = [](double d) {
+    return static_cast<Lane>(std::bit_cast<uint64_t>(d));
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Schema schema;
+  schema.AddField({"d", TypeId::kReal});
+  schema.AddField({"id", TypeId::kInteger});
+  ColumnVector dcol;
+  dcol.type = TypeId::kReal;
+  dcol.lanes = {lane(1.5), lane(nan), lane(inf), kNullSentinel, lane(-2.0),
+                lane(nan)};
+  ColumnVector idcol;
+  idcol.type = TypeId::kInteger;
+  idcol.lanes = {0, 1, 2, 3, 4, 5};
+  std::vector<ColumnVector> cols;
+  cols.push_back(std::move(dcol));
+  cols.push_back(std::move(idcol));
+  auto src =
+      std::make_unique<VectorSource>(std::move(schema), std::move(cols));
+  // Total order: NULL < -2 < 1.5 < +inf < NaN == NaN (ties stable).
+  Sort s(std::move(src), {{"d", true}});
+  auto blocks = Drain(&s);
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{3, 4, 0, 2, 1, 5}));
+}
+
+/// Emits one block per value set, each with its own freshly built
+/// StringHeap — the shape CASE/computed string projections produce, where
+/// equal strings get different tokens (and equal tokens different strings)
+/// across blocks.
+class PerBlockHeapSource : public Operator {
+ public:
+  PerBlockHeapSource(std::vector<std::vector<std::string>> blocks_of_strings)
+      : blocks_(std::move(blocks_of_strings)) {
+    schema_.AddField({"s", TypeId::kString});
+    schema_.AddField({"id", TypeId::kInteger});
+  }
+
+  Status Open() override {
+    at_ = 0;
+    id_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(Block* block, bool* eos) override {
+    block->columns.clear();
+    if (at_ >= blocks_.size()) {
+      *eos = true;
+      return Status::OK();
+    }
+    auto heap = std::make_shared<StringHeap>();
+    ColumnVector sv;
+    sv.type = TypeId::kString;
+    for (const std::string& s : blocks_[at_]) {
+      sv.lanes.push_back(heap->Add(s));
+    }
+    sv.heap = std::move(heap);
+    ColumnVector idv;
+    idv.type = TypeId::kInteger;
+    for (size_t i = 0; i < blocks_[at_].size(); ++i) {
+      idv.lanes.push_back(id_++);
+    }
+    block->columns.push_back(std::move(sv));
+    block->columns.push_back(std::move(idv));
+    ++at_;
+    *eos = false;
+    return Status::OK();
+  }
+
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::vector<std::vector<std::string>> blocks_;
+  Schema schema_;
+  size_t at_ = 0;
+  Lane id_ = 0;
+};
+
+std::vector<std::string> HeapStrings(const std::vector<Block>& blocks,
+                                     size_t col) {
+  std::vector<std::string> out;
+  for (const Block& b : blocks) {
+    for (Lane t : b.columns[col].lanes) {
+      out.push_back(t == kNullSentinel
+                        ? "NULL"
+                        : std::string(b.columns[col].heap->Get(t)));
+    }
+  }
+  return out;
+}
+
+TEST(Sort, ReinternsPerBlockHeaps) {
+  // Regression: Sort used to keep only the first block's heap, so later
+  // blocks' tokens resolved against the wrong heap. Both the key and the
+  // output strings must survive blocks whose heaps disagree on tokens.
+  Sort s(std::make_unique<PerBlockHeapSource>(std::vector<std::vector<
+             std::string>>{{"cherry", "apple"}, {"banana", "apple"},
+                           {"date", "banana"}}),
+         {{"s", true}});
+  auto blocks = Drain(&s);
+  EXPECT_EQ(HeapStrings(blocks, 0),
+            (std::vector<std::string>{"apple", "apple", "banana", "banana",
+                                      "cherry", "date"}));
+  // Equal strings from different blocks stay in input order.
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{1, 3, 2, 5, 0, 4}));
+}
+
+TEST(TopN, MatchesFullSortPrefix) {
+  // Pseudo-random lanes with heavy ties: the bounded heap must agree with
+  // the full sort on order, ties (stability) and NULL placement.
+  std::vector<Lane> x, id;
+  uint64_t st = 42;
+  for (Lane i = 0; i < 3000; ++i) {
+    st = st * 6364136223846793005ull + 1442695040888963407ull;
+    x.push_back((st >> 33) % 11 == 0 ? kNullSentinel
+                                     : static_cast<Lane>((st >> 40) % 17));
+    id.push_back(i);
+  }
+  for (const bool asc : {true, false}) {
+    for (const uint64_t k : {1ull, 7ull, 100ull}) {
+      Sort full(VectorSource::Ints({{"x", x}, {"id", id}}), {{"x", asc}});
+      auto want = Flatten(Drain(&full), 1);
+      want.resize(std::min<size_t>(want.size(), k));
+      TopN top(VectorSource::Ints({{"x", x}, {"id", id}}), {{"x", asc}}, k);
+      const auto got = Flatten(Drain(&top), 1);
+      EXPECT_EQ(got, want) << "asc=" << asc << " k=" << k;
+      EXPECT_EQ(top.input_rows(), 3000u);
+      EXPECT_GE(top.rows_materialized(), want.size());
+      // The win the counter exists to show: a bounded heap writes far
+      // fewer rows than the input it consumed.
+      EXPECT_LT(top.rows_materialized(), top.input_rows() / 2)
+          << "asc=" << asc << " k=" << k;
+    }
+  }
+}
+
+TEST(TopN, LimitZeroAndLimitBeyondInput) {
+  TopN zero(VectorSource::Ints({{"x", {3, 1, 2}}}), {{"x", true}}, 0);
+  EXPECT_TRUE(Drain(&zero).empty());
+
+  TopN all(VectorSource::Ints({{"x", {3, 1, 2}}}), {{"x", true}}, 99);
+  EXPECT_EQ(Flatten(Drain(&all), 0), (std::vector<Lane>{1, 2, 3}));
+}
+
+/// An operator that must never be opened — stands in for a zone-skipped
+/// segment whose cold columns would otherwise fault in.
+class MustNotOpen : public Operator {
+ public:
+  MustNotOpen() { schema_.AddField({"x", TypeId::kInteger}); }
+  Status Open() override {
+    ADD_FAILURE() << "zone-skipped source was opened";
+    return Status::Internal("opened");
+  }
+  Status Next(Block*, bool* eos) override {
+    *eos = true;
+    return Status::OK();
+  }
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+};
+
+TEST(TopN, ZoneSkipNeverOpensLosingSegments) {
+  // Segment 1 fills the heap with {1..5}; segment 2's minimum (50) cannot
+  // beat the worst kept row (5), so it is skipped without opening.
+  std::vector<TopNSource> sources;
+  sources.emplace_back();
+  sources.back().op = VectorSource::Ints({{"x", {5, 3, 1, 4, 2}}});
+  sources.emplace_back();
+  sources.back().op = std::make_unique<MustNotOpen>();
+  sources.back().zone_known = true;
+  sources.back().min_value = 50;
+  sources.back().max_value = 90;
+  sources.back().has_nulls = false;
+  // A third segment that can win rows must still be drained.
+  sources.emplace_back();
+  sources.back().op = VectorSource::Ints({{"x", {0, 60}}});
+  sources.back().zone_known = true;
+  sources.back().min_value = 0;
+  sources.back().max_value = 60;
+  sources.back().has_nulls = false;
+  TopN top(std::move(sources), {{"x", true}}, 5);
+  EXPECT_EQ(Flatten(Drain(&top), 0), (std::vector<Lane>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(top.segments_skipped(), 1u);
+}
+
+TEST(TopN, ZoneSkipRespectsNullsUnderAscending) {
+  // NULL orders below every value: a segment whose minimum loses but which
+  // may hold NULLs cannot be skipped ascending.
+  std::vector<TopNSource> sources;
+  sources.emplace_back();
+  sources.back().op = VectorSource::Ints({{"x", {1, 2, 3}}});
+  sources.emplace_back();
+  sources.back().op =
+      VectorSource::Ints({{"x", {kNullSentinel, 70}}});
+  sources.back().zone_known = true;
+  sources.back().min_value = 70;
+  sources.back().max_value = 70;
+  sources.back().has_nulls = true;
+  TopN top(std::move(sources), {{"x", true}}, 3);
+  EXPECT_EQ(Flatten(Drain(&top), 0),
+            (std::vector<Lane>{kNullSentinel, 1, 2}));
+  EXPECT_EQ(top.segments_skipped(), 0u);
+}
+
+TEST(TopN, SortedInputStopsEarly) {
+  std::vector<Lane> v(4 * kBlockSize);
+  std::iota(v.begin(), v.end(), 0);
+  TopNOptions opts;
+  opts.input_sorted = true;
+  TopN top(VectorSource::Ints({{"x", v}}), {{"x", true}}, 3, opts);
+  EXPECT_EQ(Flatten(Drain(&top), 0), (std::vector<Lane>{0, 1, 2}));
+  EXPECT_TRUE(top.early_stopped());
+  EXPECT_LT(top.input_rows(), v.size());
+}
+
+TEST(TopN, ReinternsPerBlockHeapsOnKey) {
+  // String key whose heap changes per block: TopN must downgrade its
+  // compressed key mode and keep both order and output strings correct.
+  TopN top(std::make_unique<PerBlockHeapSource>(std::vector<std::vector<
+               std::string>>{{"cherry", "apple"}, {"banana", "apple"},
+                             {"date", "banana"}}),
+           {{"s", true}}, 4);
+  auto blocks = Drain(&top);
+  EXPECT_EQ(HeapStrings(blocks, 0),
+            (std::vector<std::string>{"apple", "apple", "banana", "banana"}));
+  EXPECT_EQ(Flatten(blocks, 1), (std::vector<Lane>{1, 3, 2, 5}));
+}
+
+TEST(TopN, DictSortOffStillOrdersStrings) {
+  auto src = VectorSource::Ints({{"id", {0, 1, 2}}});
+  src->AddStringColumn("s", {"banana", "APPLE", "cherry"});
+  TopNOptions opts;
+  opts.dict_sort = false;
+  TopN top(std::move(src), {{"s", true}}, 2, opts);
+  auto blocks = Drain(&top);
+  EXPECT_EQ(Flatten(blocks, 0), (std::vector<Lane>{1, 0}));
+  EXPECT_EQ(top.dict_keys(), 0u);
 }
 
 TEST(HashAggregate, AllAggKinds) {

@@ -502,6 +502,45 @@ TEST(SqlCase, CaseWhenExpressions) {
       engine.ExecuteSql("SELECT CASE WHEN grade = 'A' THEN 1 FROM g").ok());
 }
 
+TEST(SqlSort, OrderByDictionaryColumnAcrossSegments) {
+  // A dictionary column split across 512-row segments: each segment
+  // re-interns into its own heap, so the sort must unify heaps before
+  // comparing tokens, in both directions and under LIMIT.
+  Engine engine;
+  ImportOptions opts;
+  opts.flow.segment_rows = 512;
+  const char* words[] = {"walnut", "elm", "cedar", "ash"};
+  std::string csv = "s,k\n";
+  for (int i = 0; i < 2048; ++i) {
+    csv += std::string(words[i % 4]) + "," + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(engine.ImportTextBuffer(csv, "t", opts).ok());
+
+  auto asc = engine.ExecuteSql("SELECT s, k FROM t ORDER BY s, k LIMIT 5");
+  ASSERT_TRUE(asc.ok()) << asc.status().ToString();
+  ASSERT_EQ(asc.value().num_rows(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(asc.value().ValueString(i, 0), "ash");
+    EXPECT_EQ(asc.value().Value(i, 1), 3 + 4 * i);  // ash rows are k%4==3
+  }
+  auto desc = engine.ExecuteSql(
+      "SELECT s, k FROM t ORDER BY s DESC, k DESC LIMIT 2");
+  ASSERT_TRUE(desc.ok()) << desc.status().ToString();
+  ASSERT_EQ(desc.value().num_rows(), 2u);
+  EXPECT_EQ(desc.value().ValueString(0, 0), "walnut");
+  EXPECT_EQ(desc.value().Value(0, 1), 2044);
+  EXPECT_EQ(desc.value().Value(1, 1), 2040);
+  // Unlimited sort crosses every segment boundary in order.
+  auto full = engine.ExecuteSql("SELECT s, k FROM t ORDER BY s, k");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(full.value().num_rows(), 2048u);
+  EXPECT_EQ(full.value().ValueString(0, 0), "ash");
+  EXPECT_EQ(full.value().ValueString(511, 0), "ash");
+  EXPECT_EQ(full.value().ValueString(512, 0), "cedar");
+  EXPECT_EQ(full.value().ValueString(2047, 0), "walnut");
+  EXPECT_EQ(full.value().Value(2047, 1), 2044);
+}
+
 TEST(SqlFuzz, RandomInputNeverCrashes) {
   // Random byte soup and random token recombinations must produce clean
   // ParseErrors, never faults.
